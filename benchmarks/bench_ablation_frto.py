@@ -1,0 +1,34 @@
+"""Ablation: F-RTO spurious-timeout detection (RFC 5682).
+
+Spurious timeouts (the paper's ACK delay/loss stalls) trigger full
+go-back-N retransmissions; F-RTO probes with new data first, cutting
+the waste when the timeout was spurious.
+"""
+
+from repro.experiments.ablation import frto_ablation
+from repro.workload.services import get_profile
+
+
+def test_frto_ablation(benchmark):
+    profile = get_profile("cloud_storage")
+    result = benchmark.pedantic(
+        lambda: frto_ablation(profile, flows=120, seed=21),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("F-RTO ablation (cloud storage):")
+    print(
+        f"  retransmission ratio: off {result.retx_ratio_off * 100:.1f}%  "
+        f"on {result.retx_ratio_on * 100:.1f}%"
+    )
+    print(
+        f"  timeouts: off {result.timeouts_off}  on {result.timeouts_on}; "
+        f"spurious detected by F-RTO: {result.spurious_detected}"
+    )
+    print(
+        f"  mean latency: off {result.mean_latency_off:.2f}s  "
+        f"on {result.mean_latency_on:.2f}s"
+    )
+    # F-RTO must not increase the retransmission ratio.
+    assert result.retx_ratio_on <= result.retx_ratio_off * 1.1

@@ -1,0 +1,35 @@
+"""Ablation: pacing as the continuous-loss mitigation (Sec. 4.3)."""
+
+from repro.experiments.ablation import pacing_ablation
+from repro.workload.services import get_profile
+
+
+def test_pacing_ablation(benchmark):
+    profile = get_profile("cloud_storage")
+    result = benchmark.pedantic(
+        lambda: pacing_ablation(profile, flows=120, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    # Pacing must not increase burst-kill (continuous loss) stalls.
+    assert (
+        result.continuous_loss_paced <= result.continuous_loss_unpaced + 1
+    )
+    print()
+    print("Pacing ablation (cloud storage):")
+    print(
+        f"  stalls:          unpaced {result.stalls_unpaced:>4}   "
+        f"paced {result.stalls_paced:>4}"
+    )
+    print(
+        f"  continuous loss: unpaced {result.continuous_loss_unpaced:>4}   "
+        f"paced {result.continuous_loss_paced:>4}"
+    )
+    print(
+        f"  retx stall time: unpaced {result.retx_time_unpaced:>7.1f}s "
+        f"paced {result.retx_time_paced:>7.1f}s"
+    )
+    print(
+        f"  mean latency:    unpaced {result.mean_latency_unpaced:>7.2f}s "
+        f"paced {result.mean_latency_paced:>7.2f}s"
+    )

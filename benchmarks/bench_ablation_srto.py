@@ -1,0 +1,31 @@
+"""Ablation: S-RTO's T1 threshold (Sec. 5.1 calls it application-tuned)."""
+
+from repro.experiments.ablation import sweep_srto_parameters
+from repro.experiments.mitigation import make_short_flow_profile
+from repro.workload.services import get_profile
+
+
+def test_srto_parameter_sweep(benchmark):
+    profile = make_short_flow_profile(get_profile("cloud_storage"))
+    points = benchmark.pedantic(
+        lambda: sweep_srto_parameters(
+            profile, flows=120, seed=5, t1_values=(3, 5, 10, 20)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = points[0]
+    assert baseline.t1 == 0
+    # Some S-RTO configuration improves the p95 tail over native.
+    best = min(p.p95_latency for p in points[1:])
+    assert best <= baseline.p95_latency * 1.05
+    print()
+    print("S-RTO parameter sweep (cloud-storage short flows):")
+    print(f"{'T1':>4}{'T2':>4}{'p90':>9}{'p95':>9}{'mean':>9}{'retx':>7}")
+    for p in points:
+        label = "nat" if p.t1 == 0 else str(p.t1)
+        print(
+            f"{label:>4}{p.t2 or '-':>4}{p.p90_latency:>9.3f}"
+            f"{p.p95_latency:>9.3f}{p.mean_latency:>9.3f}"
+            f"{p.retransmission_ratio * 100:>6.1f}%"
+        )

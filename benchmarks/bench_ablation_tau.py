@@ -1,0 +1,26 @@
+"""Ablation: TAPO's stall threshold multiplier (the paper's tau = 2)."""
+
+from repro.experiments.ablation import tau_sensitivity
+from repro.workload.services import get_profile
+
+
+def test_tau_sensitivity(benchmark):
+    profile = get_profile("software_download")
+    points = benchmark.pedantic(
+        lambda: tau_sensitivity(
+            profile, flows=100, seed=17, taus=(1.5, 2.0, 3.0, 4.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # More permissive thresholds detect (weakly) fewer stalls.
+    counts = [p.stalls for p in points]
+    assert counts == sorted(counts, reverse=True)
+    print()
+    print("TAPO threshold sensitivity (software download):")
+    print(f"{'tau':>5}{'stalls':>8}{'stalled_s':>11}{'flows_w_stalls':>16}")
+    for p in points:
+        print(
+            f"{p.tau:>5.1f}{p.stalls:>8}{p.stalled_time:>11.1f}"
+            f"{p.flows_with_stalls:>16}"
+        )

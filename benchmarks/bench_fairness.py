@@ -1,0 +1,30 @@
+"""Fairness at a shared bottleneck (the paper's Sec. 5.2 claim).
+
+"[The retransmission increase] does not hurt TCP fairness as the
+congestion window still follows the AIMD principle" — verified by
+competing an S-RTO flow against a native flow through one queue.
+"""
+
+from repro.experiments.fairness import run_fairness
+
+
+def test_srto_fairness(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fairness(
+            policy="srto",
+            policy_kwargs={"t1": 10, "t2": 5},
+            duration=30.0,
+            seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"S-RTO vs native at a shared bottleneck: "
+        f"share {result.policy_share * 100:.1f}% / "
+        f"{(1 - result.policy_share) * 100:.1f}%, "
+        f"Jain index {result.jain_index:.4f}"
+    )
+    assert 0.35 <= result.policy_share <= 0.65
+    assert result.jain_index > 0.95

@@ -1,0 +1,27 @@
+"""Figure 1: per-flow RTT and RTO distributions; RTO/RTT ratio."""
+
+from repro.core.report import percentile
+from repro.experiments.tables import format_fig1
+
+
+def test_fig1(benchmark, reports):
+    def series():
+        return {
+            name: (
+                r.rtt_values(),
+                r.rto_values(),
+                r.rto_over_rtt_values(),
+            )
+            for name, r in reports.items()
+        }
+
+    data = benchmark(series)
+    for name, (rtts, rtos, ratios) in data.items():
+        assert rtts, name
+        if rtos:
+            # The paper's headline: RTO well above the RTT.
+            assert percentile(rtos, 50) > percentile(rtts, 50)
+        if ratios:
+            assert percentile(ratios, 50) > 1.5
+    print()
+    print(format_fig1(reports))

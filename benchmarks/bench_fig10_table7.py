@@ -1,0 +1,23 @@
+"""Figure 10 + Table 7: tail-retransmission stall context."""
+
+from repro.experiments.tables import format_fig10_table7
+
+
+def test_fig10_table7(benchmark, reports):
+    def compute():
+        return {
+            name: (
+                report.tail_positions(),
+                report.tail_in_flights(),
+                report.tail_state_shares(),
+            )
+            for name, report in reports.items()
+        }
+
+    data = benchmark(compute)
+    for name, (positions, in_flights, _states) in data.items():
+        # Fig. 10b: tails happen with few packets in flight.
+        if in_flights:
+            assert min(in_flights) <= 4, name
+    print()
+    print(format_fig10_table7(reports))

@@ -1,0 +1,23 @@
+"""Figure 11: in-flight size computed on each ACK."""
+
+from repro.experiments.tables import format_fig11
+
+
+def test_fig11(benchmark, reports):
+    values = benchmark(
+        lambda: {n: r.in_flight_values() for n, r in reports.items()}
+    )
+    for name, series in values.items():
+        assert series, name
+        small = sum(1 for v in series if v < 4) / len(series)
+        assert small > 0.05, name  # a visible small-window share
+    # Web search flows are short: more tiny in-flight samples.
+    web_small = sum(1 for v in values["web_search"] if v < 4) / len(
+        values["web_search"]
+    )
+    cloud_small = sum(1 for v in values["cloud_storage"] if v < 4) / len(
+        values["cloud_storage"]
+    )
+    assert web_small > cloud_small
+    print()
+    print(format_fig11(reports))

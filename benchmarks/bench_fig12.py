@@ -1,0 +1,16 @@
+"""Figure 12: in-flight size when continuous-loss stalls happen."""
+
+from repro.experiments.tables import format_fig12
+
+
+def test_fig12(benchmark, reports):
+    values = benchmark(
+        lambda: {
+            n: r.continuous_loss_in_flights() for n, r in reports.items()
+        }
+    )
+    collected = [v for series in values.values() for v in series]
+    # Continuous loss requires at least a 4-packet window by definition.
+    assert all(v >= 4 for v in collected)
+    print()
+    print(format_fig12(reports))

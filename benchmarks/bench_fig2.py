@@ -1,0 +1,24 @@
+"""Figure 2: the illustrative stalled flow (zero window -> RTT
+variation -> timeouts over a 400 KB transfer)."""
+
+from repro.core import StallCause
+from repro.experiments.illustrative import run_illustrative_flow
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(
+        run_illustrative_flow, rounds=3, iterations=1
+    )
+    assert result.total_bytes == 400_000
+    causes = {s.cause for s in result.analysis.stalls}
+    assert StallCause.ZERO_RWND in causes
+    assert StallCause.RETRANSMISSION in causes
+    print()
+    print(
+        f"Figure 2: {result.total_bytes} bytes in "
+        f"{result.transfer_time:.2f}s, stalled {result.stalled_time:.2f}s "
+        f"({result.stalled_time / result.transfer_time * 100:.0f}% of "
+        "the transfer)."
+    )
+    for stall in result.analysis.stalls:
+        print("  " + stall.describe())

@@ -1,0 +1,14 @@
+"""Figure 3: ratio of stalled time to transmission time."""
+
+from repro.experiments.tables import format_fig3
+
+
+def test_fig3(benchmark, reports):
+    ratios = benchmark(
+        lambda: {n: r.stall_ratio_values() for n, r in reports.items()}
+    )
+    for name, values in ratios.items():
+        stalled = sum(1 for v in values if v > 0)
+        assert stalled > 0, name
+    print()
+    print(format_fig3(reports))

@@ -1,0 +1,27 @@
+"""Figure 7 + Table 6: double-retransmission stall context."""
+
+from repro.core.stalls import DoubleKind
+from repro.experiments.tables import format_fig7_table6
+
+
+def test_fig7_table6(benchmark, reports):
+    def compute():
+        return {
+            name: (
+                report.double_positions(),
+                report.double_in_flights(),
+                report.double_kind_shares(),
+            )
+            for name, report in reports.items()
+        }
+
+    data = benchmark(compute)
+    positions, in_flights, kinds = data["cloud_storage"]
+    if positions:
+        # Fig. 7a: roughly uniform positions — doubles appear both in
+        # the first and the second half of flows.
+        assert any(p < 0.5 for p in positions)
+        shares = kinds[DoubleKind.F_DOUBLE] + kinds[DoubleKind.T_DOUBLE]
+        assert shares == 0.0 or abs(shares - 1.0) < 1e-9
+    print()
+    print(format_fig7_table6(reports))

@@ -1,0 +1,22 @@
+"""Table 1: flow-level statistics of the dataset."""
+
+from repro.experiments.tables import format_table1
+
+
+def bench_table1(benchmark, reports):
+    rows = benchmark(
+        lambda: {name: r.table1_row() for name, r in reports.items()}
+    )
+    assert all(row["flows"] > 0 for row in rows.values())
+    # Flow-size ordering of the paper's Table 1.
+    assert (
+        rows["cloud_storage"]["avg_flow_size"]
+        > rows["software_download"]["avg_flow_size"]
+        > rows["web_search"]["avg_flow_size"]
+    )
+    print()
+    print(format_table1(reports))
+
+
+def test_table1(benchmark, reports):
+    bench_table1(benchmark, reports)

@@ -1,0 +1,20 @@
+"""Table 3: percentage of stalls by cause (volume and time)."""
+
+from repro.core.stalls import StallCause
+from repro.experiments.tables import format_table3
+
+
+def test_table3(benchmark, reports):
+    breakdowns = benchmark(
+        lambda: {n: r.cause_breakdown() for n, r in reports.items()}
+    )
+    # Shape checks against the paper: retransmission stalls are a
+    # leading network-side contributor of stall time everywhere, and
+    # zero-window stalls concentrate in software download.
+    for name, bd in breakdowns.items():
+        assert bd[StallCause.RETRANSMISSION].time_share > 0.05, name
+    soft = breakdowns["software_download"][StallCause.ZERO_RWND]
+    cloud = breakdowns["cloud_storage"][StallCause.ZERO_RWND]
+    assert soft.volume_share > cloud.volume_share
+    print()
+    print(format_table3(reports))

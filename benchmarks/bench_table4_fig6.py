@@ -1,0 +1,27 @@
+"""Figure 6 + Table 4: initial receive windows and zero-window risk."""
+
+from repro.experiments.tables import format_fig6_table4
+
+BINS = [2, 11, 45, 182, 648, 1297, 4096]
+
+
+def test_fig6_table4(benchmark, reports):
+    def compute():
+        return {
+            name: (
+                report.init_rwnd_values(),
+                report.zero_rwnd_prob_by_init(BINS),
+            )
+            for name, report in reports.items()
+        }
+
+    data = benchmark(compute)
+    init_values, probs = data["software_download"]
+    assert min(init_values) <= 11  # old clients with tiny windows exist
+    # Table 4's shape: smaller initial windows -> higher zero-rwnd risk.
+    small_bins = [probs[b][0] for b in (2, 11) if probs[b][1] > 0]
+    large_bins = [probs[b][0] for b in (648, 1297, 4096) if probs[b][1] > 0]
+    if small_bins and large_bins:
+        assert max(small_bins) >= max(large_bins)
+    print()
+    print(format_fig6_table4(reports))

@@ -1,0 +1,18 @@
+"""Table 5: breakdown of timeout-retransmission stalls."""
+
+from repro.core.stalls import RetxCause
+from repro.experiments.tables import format_table5
+
+
+def test_table5(benchmark, reports):
+    breakdowns = benchmark(
+        lambda: {n: r.retx_breakdown() for n, r in reports.items()}
+    )
+    # Double retransmissions are a top contributor of retransmission
+    # stall time for the bulk services (the paper's key finding).
+    cloud = breakdowns["cloud_storage"]
+    assert cloud[RetxCause.DOUBLE].time_share > 0.1
+    total_vol = sum(e.volume_share for e in cloud.values())
+    assert abs(total_vol - 1.0) < 1e-6 or total_vol == 0
+    print()
+    print(format_table5(reports))

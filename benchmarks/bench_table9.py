@@ -1,0 +1,19 @@
+"""Table 9: retransmission packet ratio under each policy."""
+
+from repro.experiments.tables import format_table9
+
+
+def test_table9(benchmark, mitigation_comparisons):
+    ratios = benchmark(
+        lambda: {
+            c.service: c.retransmission_ratios()
+            for c in mitigation_comparisons
+        }
+    )
+    for service, by_policy in ratios.items():
+        # Probing policies retransmit more than native Linux, never less
+        # (the paper's Table 9 ordering).
+        assert by_policy["srto"] >= by_policy["native"], service
+        assert by_policy["tlp"] >= by_policy["native"], service
+    print()
+    print(format_table9(mitigation_comparisons))

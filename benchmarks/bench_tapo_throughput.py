@@ -1,0 +1,24 @@
+"""TAPO analysis throughput: packets per second through the full
+pipeline (the paper integrated TAPO into daily production analysis, so
+its own speed matters)."""
+
+from repro.core.tapo import Tapo
+
+
+def test_tapo_throughput(benchmark, dataset):
+    service = "cloud_storage"
+    traces = dataset.runs[service].traces
+    packets = sum(len(t) for t in traces)
+    tapo = Tapo()
+
+    def analyze_all():
+        total = 0
+        for trace in traces:
+            total += len(tapo.analyze_packets(trace))
+        return total
+
+    flows = benchmark(analyze_all)
+    assert flows == len(traces)
+    rate = packets / benchmark.stats.stats.mean
+    print(f"\nTAPO throughput: {rate / 1e3:.0f} kpps over {packets} packets")
+    assert rate > 20_000  # comfortably faster than line-rate capture replay

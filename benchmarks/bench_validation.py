@@ -1,0 +1,40 @@
+"""Classifier validation: TAPO inference vs simulator ground truth.
+
+The paper can only bound its unknowns (4-8 % undetermined stalls); the
+simulator knows the truth, so this target quantifies how much of the
+sender's state a passive tool recovers.
+"""
+
+from repro.experiments.validation import validate_inference
+from repro.workload.services import get_profile
+
+
+def test_inference_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: validate_inference(
+            get_profile("cloud_storage"), flows=100, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.retx_exact  # wire events must match exactly
+    assert result.exact_share > 0.85
+    assert result.timeout_error < 0.2
+    assert result.fast_retx_error < 0.2
+    print()
+    print("TAPO inference vs ground truth (cloud storage):")
+    print(f"  flows exactly matched:  {result.exact_share * 100:.0f}%")
+    print(
+        f"  timeouts:  true {result.true_timeouts}  "
+        f"inferred {result.inferred_timeouts}  "
+        f"(err {result.timeout_error * 100:.1f}%)"
+    )
+    print(
+        f"  fast retx: true {result.true_fast_retx}  "
+        f"inferred {result.inferred_fast_retx}  "
+        f"(err {result.fast_retx_error * 100:.1f}%)"
+    )
+    print(
+        f"  retransmissions: true {result.true_retx}  "
+        f"inferred {result.inferred_retx}  (exact)"
+    )

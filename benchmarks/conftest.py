@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper's measurement section is one dataset analyzed many ways, so
+the simulation runs once per pytest session (`dataset` fixture) and
+each bench target measures the *analysis* that regenerates its table
+or figure, then prints the paper-style output.
+
+Scale note: `FLOWS_PER_SERVICE` flows per service keeps the whole
+bench suite in the minutes range; the shapes reported in
+EXPERIMENTS.md are stable at this size.  Crank it up for tighter
+percentiles.
+"""
+
+import pytest
+
+from repro.experiments.dataset import build_dataset
+from repro.experiments.mitigation import (
+    compare_policies,
+    make_short_flow_profile,
+)
+from repro.workload.services import get_profile
+
+FLOWS_PER_SERVICE = 150
+DATASET_SEED = 20141222
+
+MITIGATION_FLOWS = 300
+MITIGATION_SEED = 5
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The simulated three-service dataset, analyzed by TAPO."""
+    return build_dataset(
+        flows_per_service=FLOWS_PER_SERVICE, seed=DATASET_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def reports(dataset):
+    return dataset.reports
+
+
+@pytest.fixture(scope="session")
+def mitigation_comparisons():
+    """Table 8/9 policy sweep: web search + cloud-storage short flows."""
+    web = compare_policies(
+        get_profile("web_search"),
+        flows=MITIGATION_FLOWS,
+        seed=MITIGATION_SEED,
+        t1=5,
+        short_flow_max=None,
+    )
+    cloud_short = compare_policies(
+        make_short_flow_profile(get_profile("cloud_storage")),
+        flows=MITIGATION_FLOWS,
+        seed=MITIGATION_SEED,
+        t1=10,
+        short_flow_max=None,
+    )
+    return [web, cloud_short]

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space ablations around the paper's mechanisms.
+
+Four sweeps, each isolating one design choice:
+
+1. S-RTO's T1 threshold (the paper tunes it per application);
+2. sender pacing — the paper's suggested continuous-loss mitigation
+   (Sec. 4.3, citing TCP pacing);
+3. the destination RTT-metrics cache that keeps short-flow RTOs
+   conservative;
+4. TAPO's stall-threshold multiplier tau (the paper picks 2).
+
+Usage::
+
+    python examples/ablations.py [flows]
+"""
+
+import sys
+import time
+
+from repro.experiments.ablation import (
+    destination_cache_ablation,
+    pacing_ablation,
+    sweep_srto_parameters,
+    tau_sensitivity,
+)
+from repro.experiments.mitigation import make_short_flow_profile
+from repro.workload import get_profile
+
+
+def main() -> None:
+    flows = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    started = time.time()
+
+    print(f"1) S-RTO T1 sweep ({flows} cloud-storage short flows/point)")
+    short = make_short_flow_profile(get_profile("cloud_storage"))
+    points = sweep_srto_parameters(short, flows=flows, seed=5)
+    print(f"   {'T1':>4} {'p90':>8} {'p95':>8} {'mean':>8} {'retx':>6}")
+    for p in points:
+        label = "nat" if p.t1 == 0 else str(p.t1)
+        print(
+            f"   {label:>4} {p.p90_latency:8.3f} {p.p95_latency:8.3f}"
+            f" {p.mean_latency:8.3f} {p.retransmission_ratio * 100:5.1f}%"
+        )
+
+    print("\n2) pacing ablation (cloud storage)")
+    cloud = get_profile("cloud_storage")
+    pacing = pacing_ablation(cloud, flows=flows, seed=9)
+    print(
+        f"   continuous-loss stalls: {pacing.continuous_loss_unpaced} -> "
+        f"{pacing.continuous_loss_paced} with pacing"
+    )
+    print(
+        f"   retransmission stall time: {pacing.retx_time_unpaced:.1f}s -> "
+        f"{pacing.retx_time_paced:.1f}s"
+    )
+    print(
+        f"   mean session latency: {pacing.mean_latency_unpaced:.2f}s -> "
+        f"{pacing.mean_latency_paced:.2f}s"
+    )
+
+    print("\n3) destination-cache ablation (cloud storage)")
+    cache = destination_cache_ablation(cloud, flows=flows, seed=13)
+    print(
+        f"   spurious retransmissions: cached {cache.spurious_cached} vs "
+        f"fresh {cache.spurious_fresh}"
+    )
+    print(
+        f"   timeouts: cached {cache.timeouts_cached} vs "
+        f"fresh {cache.timeouts_fresh}"
+    )
+
+    print("\n4) TAPO tau sensitivity (software download)")
+    for point in tau_sensitivity(
+        get_profile("software_download"), flows=flows, seed=17
+    ):
+        print(
+            f"   tau={point.tau:3.1f}: {point.stalls:4d} stalls, "
+            f"{point.stalled_time:6.1f}s stalled, "
+            f"{point.flows_with_stalls} flows affected"
+        )
+
+    print(f"\ndone in {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

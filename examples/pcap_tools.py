@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""pcap workflow: generate a synthetic dataset trace, then analyze it.
+
+Demonstrates the offline path the paper's tool takes in production:
+a pcap file captured at the server is the only input.
+
+* ``generate`` simulates N flows of a service and writes one pcap;
+* ``analyze`` reads any raw-IP/Ethernet pcap and prints the stall
+  report (equivalent to the installed ``tapo`` CLI).
+
+Usage::
+
+    python examples/pcap_tools.py generate web_search 20 /tmp/ws.pcap
+    python examples/pcap_tools.py analyze /tmp/ws.pcap
+"""
+
+import sys
+
+from repro.core import ServiceReport, Tapo
+from repro.experiments.runner import run_flows
+from repro.packet import PcapWriter, read_pcap
+from repro.workload import generate_flows, get_profile
+
+
+def generate(service: str, count: int, path: str) -> None:
+    profile = get_profile(service)
+    run = run_flows(generate_flows(profile, count, seed=99))
+    with PcapWriter(path) as writer:
+        for trace in run.traces:
+            writer.write_all(trace)
+        total = writer.packets_written
+    print(f"wrote {total} packets from {count} {service} flows to {path}")
+
+
+def analyze(path: str) -> None:
+    packets = read_pcap(path)
+    print(f"read {len(packets)} packets from {path}")
+    analyses = Tapo().analyze_packets(packets)
+    report = ServiceReport(service=path)
+    for analysis in analyses:
+        report.add(analysis)
+    print(
+        f"flows: {len(analyses)}, with stalls: {report.flows_with_stalls()},"
+        f" stalls: {report.total_stalls()}"
+    )
+    print("\ncauses (volume% / time%):")
+    for cause, entry in report.cause_breakdown().items():
+        if entry.count:
+            print(
+                f"  {cause.value:<22} {entry.volume_share * 100:5.1f}  "
+                f"{entry.time_share * 100:5.1f}"
+            )
+    retx = report.retx_breakdown()
+    if any(e.count for e in retx.values()):
+        print("\nretransmission stalls (volume% / time%):")
+        for cause, entry in retx.items():
+            if entry.count:
+                print(
+                    f"  {cause.value:<22} {entry.volume_share * 100:5.1f}  "
+                    f"{entry.time_share * 100:5.1f}"
+                )
+
+
+def main() -> None:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        raise SystemExit(2)
+    command = sys.argv[1]
+    if command == "generate":
+        if len(sys.argv) != 5:
+            print(__doc__)
+            raise SystemExit(2)
+        generate(sys.argv[2], int(sys.argv[3]), sys.argv[4])
+    elif command == "analyze":
+        analyze(sys.argv[2])
+    else:
+        print(__doc__)
+        raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    main()

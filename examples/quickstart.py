@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a lossy TCP transfer, classify its stalls.
+
+Runs a single 400 KB cloud-storage-style flow over a lossy, jittery
+path, captures the server-side trace (also writing a real pcap file),
+and feeds it to TAPO — the paper's stall classifier.
+
+Usage::
+
+    python examples/quickstart.py [output.pcap]
+"""
+
+import random
+import sys
+
+from repro import Tapo
+from repro.app import ClientApp, Request, ServerApp, Session
+from repro.netsim import (
+    BernoulliLoss,
+    CaptureTap,
+    EventLoop,
+    PathConfig,
+    SpikeJitter,
+    TimedBurstLoss,
+)
+from repro.netsim.loss import CompositeLoss
+from repro.packet import ip_from_str, write_pcap
+from repro.tcp import EndpointConfig, TcpConnection
+
+
+def main() -> None:
+    pcap_path = sys.argv[1] if len(sys.argv) > 1 else "quickstart.pcap"
+
+    # 1. One client, one front-end server, one imperfect path.
+    engine = EventLoop()
+    rng = random.Random(7)
+    tap = CaptureTap(engine)
+    client = EndpointConfig(ip=ip_from_str("100.64.0.7"), port=40123)
+    server = EndpointConfig(
+        ip=ip_from_str("10.0.0.1"), port=80, init_cwnd=10
+    )
+    path = PathConfig(
+        delay=0.05,  # 100 ms RTT
+        rate_bps=6e6,
+        data_loss=CompositeLoss(
+            BernoulliLoss(0.02),
+            TimedBurstLoss(mean_good=4.0, mean_bad=0.2),
+        ),
+        data_jitter=SpikeJitter(
+            base_jitter=0.02, spike_prob=0.01, spike_low=0.2, spike_high=0.4
+        ),
+    )
+    connection = TcpConnection(engine, client, server, path, rng, tap=tap)
+
+    # 2. The application: one request, a 400 KB response, with a slow
+    #    back-end fetch before the first byte.
+    session = Session(
+        requests=[
+            Request(request_bytes=400, response_bytes=400_000, data_delay=0.6)
+        ]
+    )
+    ServerApp(engine, connection.server, session)
+    ClientApp(engine, connection.client, session)
+
+    # 3. Run and capture.
+    connection.open()
+    engine.run(until=120.0)
+    connection.teardown()
+    write_pcap(pcap_path, tap.packets)
+    print(f"captured {len(tap.packets)} packets -> {pcap_path}")
+
+    # 4. Analyze with TAPO.
+    for analysis in Tapo().analyze_packets(tap.packets):
+        print(
+            f"\nflow: {analysis.bytes_out} bytes in "
+            f"{analysis.duration:.2f}s "
+            f"(avg RTT {1000 * (analysis.avg_rtt or 0):.0f} ms, "
+            f"{analysis.retransmissions} retransmissions)"
+        )
+        print(
+            f"stalled {analysis.stalled_time:.2f}s = "
+            f"{analysis.stall_ratio * 100:.0f}% of the flow lifetime"
+        )
+        for stall in analysis.stalls:
+            print("  " + stall.describe())
+        if not analysis.stalls:
+            print("  (no stalls — try another seed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Print the stall gallery: one scripted scenario per stall type.
+
+Each scenario is deterministic; the trace exhibits the named cause by
+construction, and TAPO's classification is shown alongside.
+
+Usage::
+
+    python examples/stall_gallery.py
+"""
+
+from repro.experiments.scenarios import GALLERY
+
+
+def main() -> None:
+    for name, (builder, expected_cause, expected_retx) in GALLERY.items():
+        analysis = builder()
+        expectation = expected_cause.value + (
+            f" / {expected_retx.value}" if expected_retx else ""
+        )
+        print(f"\n=== {name}  (expected: {expectation})")
+        print(
+            f"    {analysis.bytes_out} bytes, "
+            f"{analysis.retransmissions} retransmissions, "
+            f"{analysis.stalled_time:.2f}s stalled"
+        )
+        for stall in analysis.stalls:
+            print("    " + stall.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``python setup.py develop``) to work offline; all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

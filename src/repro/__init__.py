@@ -1,0 +1,53 @@
+"""repro: reproduction of "Demystifying and Mitigating TCP Stalls at
+the Server Side" (Zhou et al., CoNEXT 2015).
+
+The package provides:
+
+* :mod:`repro.core` — TAPO, the passive TCP stall classifier;
+* :mod:`repro.tcp` — a Linux-2.6.32-style TCP stack simulator with
+  pluggable recovery policies (native RTO, TLP, and the paper's S-RTO);
+* :mod:`repro.netsim` — a discrete-event network simulator;
+* :mod:`repro.packet` — headers, pcap I/O, flow demuxing;
+* :mod:`repro.workload` / :mod:`repro.app` — the three studied services;
+* :mod:`repro.experiments` — harnesses regenerating every table and
+  figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import Tapo, analyze_pcap
+    for flow in analyze_pcap("trace.pcap"):
+        for stall in flow.stalls:
+            print(stall.describe())
+"""
+
+from .core import (
+    CaState,
+    DoubleKind,
+    FlowAnalysis,
+    RetxCause,
+    ServiceReport,
+    Stall,
+    StallCause,
+    Tapo,
+    analyze_pcap,
+)
+from .tcp import EndpointConfig, SRTOPolicy, TcpConnection, TLPPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaState",
+    "DoubleKind",
+    "EndpointConfig",
+    "FlowAnalysis",
+    "RetxCause",
+    "SRTOPolicy",
+    "ServiceReport",
+    "Stall",
+    "StallCause",
+    "TLPPolicy",
+    "Tapo",
+    "TcpConnection",
+    "analyze_pcap",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Application layer: scripted request/response sessions."""
+
+from .client import ClientApp
+from .server import ServerApp
+from .session import (
+    Request,
+    RequestTiming,
+    Session,
+    SessionResult,
+    SupplyChunk,
+)
+
+__all__ = [
+    "ClientApp",
+    "Request",
+    "RequestTiming",
+    "ServerApp",
+    "Session",
+    "SessionResult",
+    "SupplyChunk",
+]

@@ -1,0 +1,92 @@
+"""Client application.
+
+Issues the scripted requests, waits for each response to be fully
+delivered, idles for the scripted think time, and records per-request
+timings (the latency metric of the paper's Table 8 is the time from
+the request leaving the client to the full response being delivered).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..netsim.engine import EventLoop
+from ..tcp.endpoint import TcpEndpoint
+from .session import Request, RequestTiming, Session, SessionResult
+
+
+class ClientApp:
+    """Drives the client side of one session."""
+
+    def __init__(
+        self,
+        engine: EventLoop,
+        endpoint: TcpEndpoint,
+        session: Session,
+        on_done: Callable[[SessionResult], None] | None = None,
+    ):
+        self.engine = engine
+        self.endpoint = endpoint
+        self.session = session
+        self.result = SessionResult()
+        self.on_done = on_done
+        self._request_index = 0
+        self._response_bytes = 0
+        self._awaiting_response = False
+        endpoint.on_established = self._on_established
+
+    def _on_established(self) -> None:
+        assert self.endpoint.receiver is not None
+        self.result.established_at = self.engine.now
+        self.endpoint.receiver.on_delivered = self._on_response_bytes
+        self.endpoint.receiver.on_fin = self._on_fin
+        self._schedule_next_request()
+
+    def _current_request(self) -> Request | None:
+        if self._request_index >= len(self.session.requests):
+            return None
+        return self.session.requests[self._request_index]
+
+    def _schedule_next_request(self) -> None:
+        request = self._current_request()
+        if request is None:
+            self._finish()
+            return
+        self.engine.schedule(request.think_time, self._send_request)
+
+    def _send_request(self) -> None:
+        request = self._current_request()
+        if request is None or self.endpoint.closed:
+            return
+        self.result.timings.append(RequestTiming(sent_at=self.engine.now))
+        self._response_bytes = 0
+        self._awaiting_response = True
+        self.endpoint.write(request.request_bytes)
+
+    def _on_response_bytes(self, nbytes: int) -> None:
+        if not self._awaiting_response:
+            return
+        request = self._current_request()
+        if request is None:
+            return
+        timing = self.result.timings[-1]
+        if timing.first_byte_at is None:
+            timing.first_byte_at = self.engine.now
+        self._response_bytes += nbytes
+        if self._response_bytes >= request.response_bytes:
+            timing.completed_at = self.engine.now
+            self._awaiting_response = False
+            self._request_index += 1
+            self._schedule_next_request()
+
+    def _on_fin(self) -> None:
+        if self.result.finished_at is None:
+            self.result.finished_at = self.engine.now
+        if not self.result.complete and not self._awaiting_response:
+            pass  # server closed between requests; session simply ends
+
+    def _finish(self) -> None:
+        if self.result.finished_at is None:
+            self.result.finished_at = self.engine.now
+        if self.on_done is not None:
+            self.on_done(self.result)

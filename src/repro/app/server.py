@@ -1,0 +1,80 @@
+"""Front-end server application.
+
+Executes the server side of a :class:`~repro.app.session.Session` on a
+:class:`~repro.tcp.endpoint.TcpEndpoint`: waits for each request's
+bytes to arrive, then — after the scripted back-end fetch delay —
+feeds the response to TCP following the scripted chunk schedule.
+"""
+
+from __future__ import annotations
+
+from ..netsim.engine import EventLoop
+from ..tcp.endpoint import TcpEndpoint
+from .session import Request, Session
+
+
+class ServerApp:
+    """Serves the scripted responses for one connection."""
+
+    def __init__(
+        self, engine: EventLoop, endpoint: TcpEndpoint, session: Session
+    ):
+        self.engine = engine
+        self.endpoint = endpoint
+        self.session = session
+        self._request_index = 0
+        self._bytes_of_request = 0
+        self._serving = False
+        endpoint.on_established = self._on_established
+
+    def _on_established(self) -> None:
+        assert self.endpoint.receiver is not None
+        self.endpoint.receiver.on_delivered = self._on_request_bytes
+
+    def _current_request(self) -> Request | None:
+        if self._request_index >= len(self.session.requests):
+            return None
+        return self.session.requests[self._request_index]
+
+    def _on_request_bytes(self, nbytes: int) -> None:
+        """Request bytes arrived from the client."""
+        request = self._current_request()
+        if request is None or self._serving:
+            return
+        self._bytes_of_request += nbytes
+        if self._bytes_of_request >= request.request_bytes:
+            self._bytes_of_request -= request.request_bytes
+            self._serving = True
+            # Back-end fetch: data is unavailable for data_delay seconds.
+            self.engine.schedule(
+                request.data_delay, lambda: self._serve(request, 0)
+            )
+
+    def _serve(self, request: Request, chunk_index: int) -> None:
+        if self.endpoint.closed:
+            return
+        if chunk_index >= len(request.chunks):
+            self._finish_request()
+            return
+        chunk = request.chunks[chunk_index]
+
+        def write_chunk() -> None:
+            if self.endpoint.closed:
+                return
+            if chunk.nbytes:
+                self.endpoint.write(chunk.nbytes)
+            self._serve(request, chunk_index + 1)
+
+        if chunk_index == 0 or chunk.delay == 0:
+            # data_delay already covered the pre-first-chunk wait.
+            delay = chunk.delay if chunk_index else 0.0
+        else:
+            delay = chunk.delay
+        self.engine.schedule(delay, write_chunk)
+
+    def _finish_request(self) -> None:
+        self._serving = False
+        self._request_index += 1
+        if self._request_index >= len(self.session.requests):
+            if self.session.close_after:
+                self.endpoint.close()

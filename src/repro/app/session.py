@@ -1,0 +1,111 @@
+"""Application-level session scripts.
+
+A :class:`Session` describes everything that happens on one TCP
+connection above the transport: the sequence of requests the client
+issues, how large each response is, how long the front-end server needs
+before response data becomes available (back-end fetches — the paper's
+*data unavailable* stalls), and how smoothly the server application
+feeds data to TCP (*resource constraint* stalls).
+
+Sessions are plain data; :mod:`repro.workload` generates them from
+service profiles and :mod:`repro.app` executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SupplyChunk:
+    """One application write: ``delay`` seconds after the previous
+    chunk finishes being handed to TCP, write ``nbytes``."""
+
+    nbytes: int
+    delay: float = 0.0
+
+
+@dataclass
+class Request:
+    """One request/response exchange within a connection.
+
+    ``think_time`` is the client-side gap between the completion of the
+    previous response (or connection establishment) and this request —
+    the paper's *client idle* cause.  ``data_delay`` is the server-side
+    gap between receiving the request and the first byte of response
+    data being available (*data unavailable*).  ``chunks`` model the
+    server application's write pattern; any chunk with ``delay > 0``
+    after the first is a *resource constraint* pause.
+    """
+
+    request_bytes: int
+    response_bytes: int
+    think_time: float = 0.0
+    data_delay: float = 0.0
+    chunks: list[SupplyChunk] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.request_bytes <= 0:
+            raise ValueError("request_bytes must be positive")
+        if self.response_bytes < 0:
+            raise ValueError("response_bytes cannot be negative")
+        if not self.chunks:
+            self.chunks = [SupplyChunk(self.response_bytes)]
+        total = sum(chunk.nbytes for chunk in self.chunks)
+        if total != self.response_bytes:
+            raise ValueError(
+                f"chunks total {total} != response_bytes {self.response_bytes}"
+            )
+
+
+@dataclass
+class Session:
+    """The full application script for one connection."""
+
+    requests: list[Request]
+    close_after: bool = True  # server sends FIN after the last response
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a session needs at least one request")
+
+    @property
+    def total_response_bytes(self) -> int:
+        return sum(request.response_bytes for request in self.requests)
+
+    @property
+    def total_request_bytes(self) -> int:
+        return sum(request.request_bytes for request in self.requests)
+
+
+@dataclass
+class RequestTiming:
+    """Measured timestamps for one request (client clock)."""
+
+    sent_at: float
+    first_byte_at: float | None = None
+    completed_at: float | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.sent_at
+
+
+@dataclass
+class SessionResult:
+    """Outcome of executing one session."""
+
+    timings: list[RequestTiming] = field(default_factory=list)
+    established_at: float | None = None
+    finished_at: float | None = None
+    failed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return (
+            not self.failed
+            and bool(self.timings)
+            and all(t.completed_at is not None for t in self.timings)
+        )

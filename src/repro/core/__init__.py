@@ -1,0 +1,51 @@
+"""TAPO: TCP stall detection and classification (the paper's core)."""
+
+from .classifier import StallClassifier, classify_flow
+from .flow_analyzer import FlowAnalysis, FlowAnalyzer
+from .records import flow_record, format_flow_table, record_fields, write_csv
+from .report import BreakdownEntry, ServiceReport, cdf_points, percentile
+from .segments import AnalyzedSegment, SegmentTracker
+from .state_machine import CaStateTracker, ShadowWindow
+from .stalls import (
+    STALL_TAU,
+    CaState,
+    DoubleKind,
+    RetxCause,
+    Stall,
+    StallCause,
+    StallContext,
+)
+from .tapo import Tapo, analyze_pcap
+from .timeline import FlowTimeline, TimelinePoint, build_timeline, write_timeline
+
+__all__ = [
+    "AnalyzedSegment",
+    "BreakdownEntry",
+    "CaState",
+    "CaStateTracker",
+    "DoubleKind",
+    "FlowAnalysis",
+    "FlowAnalyzer",
+    "FlowTimeline",
+    "RetxCause",
+    "STALL_TAU",
+    "SegmentTracker",
+    "ServiceReport",
+    "ShadowWindow",
+    "Stall",
+    "StallCause",
+    "StallClassifier",
+    "StallContext",
+    "Tapo",
+    "TimelinePoint",
+    "analyze_pcap",
+    "build_timeline",
+    "cdf_points",
+    "classify_flow",
+    "flow_record",
+    "format_flow_table",
+    "percentile",
+    "record_fields",
+    "write_csv",
+    "write_timeline",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface: ``tapo <trace.pcap>``.
+
+Prints per-flow stall summaries and the aggregate cause breakdown —
+the offline mode of the paper's tool.  ``--json`` emits a machine-
+readable report for pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..packet.flow import server_by_ip, server_by_port
+from ..packet.headers import ip_from_str
+from .report import ServiceReport
+from .stalls import RetxCause, StallCause
+from .tapo import Tapo
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tapo",
+        description="Classify TCP stall causes in a server-side pcap trace.",
+    )
+    parser.add_argument("pcap", help="path to a pcap file (raw-IP or Ethernet)")
+    parser.add_argument(
+        "--server-ip",
+        help="IP address of the server endpoint (otherwise inferred)",
+    )
+    parser.add_argument(
+        "--server-port",
+        type=int,
+        help="TCP port of the server endpoint (otherwise inferred)",
+    )
+    parser.add_argument(
+        "--tau",
+        type=float,
+        default=2.0,
+        help="stall threshold multiplier on SRTT (default 2)",
+    )
+    parser.add_argument(
+        "--per-flow",
+        action="store_true",
+        help="print every stall of every flow",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--csv",
+        help="write a tstat-style per-flow record table to this file",
+    )
+    parser.add_argument(
+        "--flow-table",
+        action="store_true",
+        help="print a compact per-flow table",
+    )
+    parser.add_argument(
+        "--timeline-dir",
+        help=(
+            "write tcptrace-style .dat series (data/retx/acks/window/"
+            "rtt/stalls) for every flow into this directory"
+        ),
+    )
+    return parser
+
+
+def _flow_to_dict(analysis) -> dict:
+    key = analysis.flow.key
+    return {
+        "endpoints": [
+            [key.ip_a, key.port_a],
+            [key.ip_b, key.port_b],
+        ],
+        "bytes_out": analysis.bytes_out,
+        "data_packets": analysis.data_packets,
+        "retransmissions": analysis.retransmissions,
+        "timeouts": analysis.timeouts,
+        "duration": analysis.duration,
+        "avg_rtt": analysis.avg_rtt,
+        "avg_rto": analysis.avg_rto,
+        "init_rwnd": analysis.init_rwnd,
+        "zero_window_seen": analysis.zero_window_seen,
+        "stall_ratio": analysis.stall_ratio,
+        "stalls": [
+            {
+                "start": stall.start_time,
+                "duration": stall.duration,
+                "cause": stall.cause.value,
+                "retx_cause": (
+                    stall.retx_cause.value if stall.retx_cause else None
+                ),
+                "double_kind": (
+                    stall.double_kind.value if stall.double_kind else None
+                ),
+                "ca_state": stall.context.ca_state.value,
+                "in_flight": stall.context.in_flight,
+                "position": stall.position,
+            }
+            for stall in analysis.stalls
+        ],
+    }
+
+
+def _emit_json(report: ServiceReport, analyses) -> None:
+    breakdown = report.cause_breakdown()
+    retx = report.retx_breakdown()
+    payload = {
+        "flows": len(analyses),
+        "flows_with_stalls": report.flows_with_stalls(),
+        "stalls": report.total_stalls(),
+        "causes": {
+            cause.value: {
+                "count": entry.count,
+                "time": entry.time,
+                "volume_share": entry.volume_share,
+                "time_share": entry.time_share,
+            }
+            for cause, entry in breakdown.items()
+            if entry.count
+        },
+        "retransmission_causes": {
+            cause.value: {
+                "count": entry.count,
+                "time": entry.time,
+                "volume_share": entry.volume_share,
+                "time_share": entry.time_share,
+            }
+            for cause, entry in retx.items()
+            if entry.count
+        },
+        "per_flow": [_flow_to_dict(a) for a in analyses],
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    server_side = None
+    if args.server_ip:
+        server_side = server_by_ip(ip_from_str(args.server_ip))
+    elif args.server_port:
+        server_side = server_by_port(args.server_port)
+
+    tapo = Tapo(tau=args.tau)
+    try:
+        analyses = tapo.analyze_pcap(args.pcap, server_side)
+    except OSError as exc:
+        print(f"tapo: cannot read {args.pcap}: {exc}", file=sys.stderr)
+        return 1
+
+    report = ServiceReport(service=args.pcap)
+    for analysis in analyses:
+        report.add(analysis)
+
+    if args.csv:
+        from .records import write_csv
+
+        rows = write_csv(args.csv, analyses)
+        print(f"wrote {rows} flow records to {args.csv}", file=sys.stderr)
+
+    if args.flow_table:
+        from .records import format_flow_table
+
+        print(format_flow_table(analyses))
+        print()
+
+    if args.timeline_dir:
+        from .timeline import build_timeline, write_timeline
+
+        written = 0
+        for index, analysis in enumerate(analyses):
+            timeline = build_timeline(analysis)
+            write_timeline(
+                timeline, args.timeline_dir, prefix=f"flow{index:04d}"
+            )
+            written += 1
+        print(
+            f"wrote timelines for {written} flows to {args.timeline_dir}",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        _emit_json(report, analyses)
+        return 0
+
+    print(f"flows analyzed:    {len(analyses)}")
+    print(f"flows with stalls: {report.flows_with_stalls()}")
+    print(f"stalls detected:   {report.total_stalls()}")
+
+    if args.per_flow:
+        for analysis in analyses:
+            if not analysis.stalls:
+                continue
+            key = analysis.flow.key
+            print(
+                f"\nflow {key.ip_a:#010x}:{key.port_a} <-> "
+                f"{key.ip_b:#010x}:{key.port_b} "
+                f"({analysis.bytes_out} bytes, "
+                f"{analysis.stalled_time:.3f}s stalled)"
+            )
+            for stall in analysis.stalls:
+                print("  " + stall.describe())
+
+    print("\nstall causes (volume% / time%):")
+    breakdown = report.cause_breakdown()
+    for cause in StallCause:
+        entry = breakdown[cause]
+        if entry.count == 0:
+            continue
+        print(
+            f"  {cause.value:<20} {entry.volume_share * 100:6.1f}%  "
+            f"{entry.time_share * 100:6.1f}%   ({entry.count} stalls)"
+        )
+
+    retx = report.retx_breakdown()
+    if any(entry.count for entry in retx.values()):
+        print("\ntimeout-retransmission stalls (volume% / time%):")
+        for cause in RetxCause:
+            entry = retx[cause]
+            if entry.count == 0:
+                continue
+            print(
+                f"  {cause.value:<20} {entry.volume_share * 100:6.1f}%  "
+                f"{entry.time_share * 100:6.1f}%   ({entry.count} stalls)"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,415 @@
+"""Pass 1 of TAPO: replay one flow's trace and extract everything.
+
+The analyzer walks the server-side packet stream of a single flow in
+time order, mimicking the server's TCP stack as it goes:
+
+* it reconstructs the retransmission queue (:mod:`.segments`), the
+  congestion state machine and a shadow cwnd (:mod:`.state_machine`),
+  and the kernel's SRTT/RTO estimators (:mod:`repro.tcp.rto` — the
+  *same* code the simulated sender runs);
+* it detects stalls — inter-packet gaps exceeding
+  ``min(2*SRTT, RTO)`` — and snapshots the Table 2 parameters at each
+  stall's start;
+* it records the per-ACK in-flight series (Fig. 11), per-flow RTT
+  samples and per-timeout RTO values (Fig. 1), and the client's
+  initial receive window (Fig. 6 / Table 4).
+
+Classification of the collected stalls is pass 2
+(:mod:`.classifier`), which needs whole-flow lookahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet.flow import Direction, FlowTrace
+from ..packet.packet import PacketRecord
+from ..packet.seqnum import seq_before, seq_leq
+from ..tcp.constants import ts_to_time
+from ..tcp.rto import RTOEstimator
+from .segments import AnalyzedSegment, SegmentTracker
+from .state_machine import FAST, PROBE, RTO, CaStateTracker
+from .stalls import STALL_TAU, CaState, Stall, StallContext
+
+
+@dataclass
+class FlowAnalysis:
+    """Everything TAPO extracts from one flow."""
+
+    flow: FlowTrace
+    mss: int = 1448
+    init_rwnd: int = 0  # bytes, from the client SYN
+    wscale: int = 0
+    stalls: list[Stall] = field(default_factory=list)
+    rtt_samples: list[float] = field(default_factory=list)
+    rto_samples: list[float] = field(default_factory=list)  # at timeouts
+    in_flight_on_ack: list[int] = field(default_factory=list)
+    zero_window_seen: bool = False
+    request_count: int = 0
+    data_packets: int = 0
+    retransmissions: int = 0
+    bytes_out: int = 0
+    duration: float = 0.0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    probe_retransmissions: int = 0
+    spurious_retransmissions: int = 0
+    final_srtt: float | None = None
+    final_rto: float = 0.0
+    state_log: list[tuple[float, CaState]] = field(default_factory=list)
+
+    @property
+    def avg_rtt(self) -> float | None:
+        if not self.rtt_samples:
+            return None
+        return sum(self.rtt_samples) / len(self.rtt_samples)
+
+    @property
+    def avg_rto(self) -> float | None:
+        if not self.rto_samples:
+            return None
+        return sum(self.rto_samples) / len(self.rto_samples)
+
+    @property
+    def stalled_time(self) -> float:
+        return sum(stall.duration for stall in self.stalls)
+
+    @property
+    def stall_ratio(self) -> float:
+        """Stalled time over flow transmission time (Fig. 3)."""
+        if self.duration <= 0:
+            return 0.0
+        return min(1.0, self.stalled_time / self.duration)
+
+    @property
+    def loss_estimate(self) -> float:
+        """Retransmitted fraction of data packets (Table 1's pkt loss)."""
+        if not self.data_packets:
+            return 0.0
+        return self.retransmissions / self.data_packets
+
+    @property
+    def avg_speed(self) -> float:
+        """Bytes per second over the flow lifetime (Table 1)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_out / self.duration
+
+    @property
+    def init_rwnd_mss(self) -> int:
+        return self.init_rwnd // self.mss if self.mss else 0
+
+
+class FlowAnalyzer:
+    """Replays one flow; produces a :class:`FlowAnalysis`."""
+
+    def __init__(self, flow: FlowTrace, tau: float = STALL_TAU,
+                 init_cwnd: int = 3):
+        self.flow = flow
+        self.tau = tau
+        self.analysis = FlowAnalysis(flow=flow)
+        self.tracker = SegmentTracker()
+        self.ca = CaStateTracker(init_cwnd=init_cwnd)
+        self.rto_est = RTOEstimator()
+        self.rwnd = 0
+        self.established = False
+        self._synack_time: float | None = None
+        self._synack_count = 0
+        self._handshake_sampled = False
+        self._request_pending = False
+        self._response_started = False
+        self._bytes_sent = 0
+        self._lost_out = 0
+        self._last_new_ack_time: float | None = None
+        self._last_in_packet_time: float | None = None
+        self._counted_recovery_point: int | None = None
+
+    # -- public API -------------------------------------------------------
+    def run(self) -> FlowAnalysis:
+        packets = self.flow.packets
+        if not packets:
+            return self.analysis
+        prev_time: float | None = None
+        for index, (pkt, direction) in enumerate(packets):
+            if prev_time is not None and self.established and not pkt.syn:
+                # Handshake retransmissions (SYN / SYN+ACK) are not
+                # data-transfer stalls; the paper's analysis starts at
+                # established connections.
+                gap = pkt.timestamp - prev_time
+                threshold = self.rto_est.stall_threshold(self.tau)
+                if gap > threshold:
+                    self._record_stall(index, pkt, direction, prev_time, threshold)
+            self._process(pkt, direction)
+            prev_time = pkt.timestamp
+        self._finalize()
+        return self.analysis
+
+    # -- stall snapshots -----------------------------------------------------
+    def _record_stall(
+        self,
+        index: int,
+        pkt: PacketRecord,
+        direction: Direction,
+        start_time: float,
+        threshold: float,
+    ) -> None:
+        is_data = pkt.payload_len > 0 or pkt.fin
+        is_retrans = (
+            direction is Direction.OUT
+            and is_data
+            and seq_before(pkt.seq, self.tracker.transmitted_max)
+        )
+        context = self._snapshot_context()
+        self.analysis.stalls.append(
+            Stall(
+                start_time=start_time,
+                end_time=pkt.timestamp,
+                threshold=threshold,
+                cur_pkt_index=index,
+                cur_pkt_dir_in=direction is Direction.IN,
+                cur_pkt_is_data=is_data,
+                cur_pkt_is_retrans=is_retrans,
+                cur_pkt_seq=pkt.seq,
+                cur_pkt_payload=pkt.payload_len,
+                context=context,
+            )
+        )
+
+    def _snapshot_context(self) -> StallContext:
+        tracker = self.tracker
+        packets_out = tracker.packets_out
+        sacked_out = tracker.sacked_out
+        lost_out = self._estimate_lost_out()
+        retrans_out = tracker.retrans_out()
+        return StallContext(
+            ca_state=self.ca.state,
+            packets_out=packets_out,
+            sacked_out=sacked_out,
+            lost_out=lost_out,
+            retrans_out=retrans_out,
+            holes=tracker.holes(),
+            in_flight=max(
+                0, packets_out + retrans_out - (sacked_out + lost_out)
+            ),
+            unsacked_out=packets_out - sacked_out,
+            snd_una=tracker.snd_una,
+            snd_nxt=tracker.transmitted_max,
+            cwnd=self.ca.cwnd,
+            rwnd=self.rwnd,
+            init_rwnd=self.analysis.init_rwnd,
+            mss=self.analysis.mss,
+            request_pending=self._request_pending,
+            response_started=self._response_started,
+            bytes_sent=self._bytes_sent,
+        )
+
+    def _estimate_lost_out(self) -> int:
+        """Mimic the kernel's loss marking for the current instant."""
+        if self.ca.state == CaState.LOSS:
+            return len(self.tracker.outstanding_unsacked())
+        if self.ca.state != CaState.RECOVERY:
+            return 0
+        sacked_above = self.tracker.sacked_out
+        lost = 0
+        for segment in self.tracker.outstanding():
+            if segment.sacked:
+                sacked_above -= 1
+                continue
+            if sacked_above >= self.ca.dup_thresh:
+                lost += 1
+        return lost
+
+    # -- packet processing ---------------------------------------------------
+    def _process(self, pkt: PacketRecord, direction: Direction) -> None:
+        if direction is Direction.IN:
+            self._process_in(pkt)
+        else:
+            self._process_out(pkt)
+
+    def _process_in(self, pkt: PacketRecord) -> None:
+        if pkt.syn:
+            # Client SYN: initial receive window and options.
+            self.analysis.wscale = pkt.options.wscale or 0
+            self.analysis.init_rwnd = pkt.window << self.analysis.wscale
+            if pkt.options.mss:
+                self.analysis.mss = min(self.analysis.mss, pkt.options.mss)
+            self.rwnd = self.analysis.init_rwnd
+            return
+        # Window update (scaled after the handshake).
+        self.rwnd = pkt.window << self.analysis.wscale
+        if self.rwnd < self.analysis.mss and self.analysis.bytes_out > 0:
+            # The advertised window cannot hold one full segment: the
+            # sender is (or is about to be) blocked on the receiver.
+            self.analysis.zero_window_seen = True
+
+        # Handshake RTT sample (SYN+ACK -> first ACK), Karn-guarded.
+        if (
+            not self._handshake_sampled
+            and pkt.has_ack
+            and self._synack_time is not None
+        ):
+            self._handshake_sampled = True
+            if self._synack_count == 1:
+                rtt = pkt.timestamp - self._synack_time
+                if rtt > 0:
+                    self.rto_est.observe(rtt, now=pkt.timestamp)
+                    self.analysis.rtt_samples.append(rtt)
+
+        if pkt.payload_len > 0:
+            # Client request data.
+            self.analysis.request_count += 1 if not self._request_pending else 0
+            self._request_pending = True
+            self._response_started = False
+
+        if not pkt.has_ack:
+            return
+        snd_una_before = self.tracker.snd_una
+        newly_sacked, dsack = self.tracker.apply_sack(
+            pkt.sack_blocks, pkt.ack, pkt.timestamp
+        )
+        if dsack:
+            self.analysis.spurious_retransmissions += 1
+        acked_segments = self.tracker.apply_ack(pkt.ack, pkt.timestamp)
+        new_ack = bool(acked_segments) or seq_before(snd_una_before, pkt.ack)
+        self._last_in_packet_time = pkt.timestamp
+        if new_ack:
+            self._last_new_ack_time = pkt.timestamp
+            self.rto_est.on_ack()
+        if new_ack or newly_sacked:
+            self._sample_rtts(pkt, acked_segments, newly_sacked)
+        is_dupack = (
+            pkt.is_pure_ack
+            and pkt.ack == snd_una_before
+            and self.tracker.packets_out > 0
+            and not new_ack
+        )
+        self.ca.on_ack(
+            pkt.timestamp,
+            self.tracker,
+            new_ack=new_ack,
+            acked_segments=len(acked_segments),
+            is_dupack=is_dupack,
+            dsack=dsack,
+        )
+        # Per-ACK in-flight sample (Fig. 11), Equation (1).
+        packets_out = self.tracker.packets_out
+        sacked_out = self.tracker.sacked_out
+        lost_out = self._estimate_lost_out()
+        retrans_out = self.tracker.retrans_out()
+        self.analysis.in_flight_on_ack.append(
+            max(0, packets_out + retrans_out - (sacked_out + lost_out))
+        )
+
+    def _sample_rtts(self, pkt, acked_segments, newly_sacked) -> None:
+        """RTT samples for an ACK carrying new information, exactly as
+        the mimicked sender computes them.
+
+        Timestamps (``now - TSecr``) when the trace carries them;
+        otherwise sequence-based samples under Karn's rule, taken at
+        SACK time for SACKed segments and skipping stale cumulative
+        ACKs of segments SACKed earlier.
+        """
+        now = pkt.timestamp
+        ts_ecr = pkt.options.ts_ecr
+        if ts_ecr:
+            rtt = now - ts_to_time(ts_ecr)
+            if rtt > 0:
+                self.rto_est.observe(rtt, now=now)
+                self.analysis.rtt_samples.append(rtt)
+            return
+        # FLAG_RETRANS_DATA_ACKED (see the sender): a batch containing
+        # a retransmitted segment yields no sequence-based samples.
+        if not any(seg.retransmitted for seg in acked_segments):
+            for segment in acked_segments:
+                if segment.sacked or not segment.tx_times:
+                    continue
+                rtt = segment.acked_at - segment.tx_times[0]
+                if rtt > 0:
+                    self.rto_est.observe(rtt, now=now)
+                    self.analysis.rtt_samples.append(rtt)
+        for segment in newly_sacked:
+            if segment.retrans_count == 0 and segment.tx_times:
+                rtt = now - segment.tx_times[0]
+                if rtt > 0:
+                    self.rto_est.observe(rtt, now=now)
+                    self.analysis.rtt_samples.append(rtt)
+
+    def _process_out(self, pkt: PacketRecord) -> None:
+        if pkt.syn:
+            # SYN+ACK from the server.
+            self.tracker.init_seq(pkt.seq)
+            self.established = True
+            self._synack_time = pkt.timestamp
+            self._synack_count += 1
+            return
+        is_data = pkt.payload_len > 0 or pkt.fin
+        if not is_data:
+            return
+        # Zero-window probe: one already-acked byte.
+        if pkt.payload_len == 1 and seq_before(
+            pkt.seq, self.tracker.snd_una
+        ) and seq_leq(pkt.end_seq, self.tracker.snd_una):
+            return
+        segment, is_retrans = self.tracker.record_transmission(
+            pkt, pkt.timestamp
+        )
+        self.analysis.data_packets += 1
+        if is_retrans:
+            self.analysis.retransmissions += 1
+            kind = self.ca.classify_retransmission(
+                segment,
+                pkt.timestamp,
+                self.tracker,
+                rto=self.rto_est.rto,
+                srtt=self.rto_est.srtt,
+                last_new_ack=self._last_new_ack_time,
+                last_in_packet=self._last_in_packet_time,
+            )
+            if kind == RTO:
+                # Count timer *expiries*, not go-back-N continuations:
+                # a new timeout either enters Loss or re-fires for the
+                # head after another RTO-scale silence (backoff).
+                previous_tx = (
+                    segment.tx_times[-2]
+                    if len(segment.tx_times) >= 2
+                    else None
+                )
+                is_head = segment.seq == self.tracker.snd_una
+                new_expiry = self.ca.state != CaState.LOSS or (
+                    is_head
+                    and segment.rto_retrans_times  # backoff re-expiry
+                    and previous_tx is not None
+                    and pkt.timestamp - previous_tx
+                    >= 0.85 * self.rto_est.rto
+                )
+                if new_expiry:
+                    self.analysis.rto_samples.append(self.rto_est.rto)
+                    self.analysis.timeouts += 1
+                    self.rto_est.on_timeout()
+                segment.rto_retrans_times.append(pkt.timestamp)
+            elif kind == FAST:
+                # The kernel performs one fast retransmit per Recovery
+                # episode; follow-up hole repairs are recovery
+                # retransmissions, not new fast-retransmit events.  The
+                # shadow machine enters Recovery on the triggering ACK,
+                # so episodes are keyed by its recovery point.
+                if self._counted_recovery_point != self.ca.high_seq:
+                    self.analysis.fast_retransmits += 1
+                    self._counted_recovery_point = self.ca.high_seq
+                segment.fast_retrans_times.append(pkt.timestamp)
+            else:
+                self.analysis.probe_retransmissions += 1
+                segment.probe_retrans_times.append(pkt.timestamp)
+            self.ca.on_retransmission(kind, pkt.timestamp, self.tracker)
+        else:
+            self.analysis.bytes_out += pkt.payload_len
+            self._bytes_sent += pkt.payload_len
+            if self._request_pending:
+                self._request_pending = False
+            self._response_started = True
+
+    def _finalize(self) -> None:
+        self.analysis.duration = self.flow.duration
+        self.analysis.final_srtt = self.rto_est.srtt
+        self.analysis.final_rto = self.rto_est.rto
+        self.analysis.state_log = list(self.ca.state_log)

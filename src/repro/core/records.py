@@ -1,0 +1,144 @@
+"""Per-flow records: a tstat-style flow table from TAPO analyses.
+
+The paper's tool runs inside a daily TCP-analysis platform; the
+companion every such platform needs is a flat per-flow record with the
+connection's vital signs.  :func:`flow_record` distills one
+:class:`~repro.core.flow_analyzer.FlowAnalysis` into an ordered mapping
+of scalar fields, and :func:`write_csv` dumps a whole corpus as CSV.
+
+Fields (one row per flow)::
+
+    server_ip server_port client_ip client_port
+    start_time duration
+    init_rwnd_bytes init_rwnd_mss wscale mss
+    bytes_out data_packets packets_total requests
+    retransmissions timeouts fast_retransmits probe_retransmissions
+    spurious_retransmissions loss_estimate
+    avg_rtt min_rtt max_rtt avg_rto final_rto
+    throughput_bps
+    stalls stalled_time stall_ratio
+    stall_<cause>  (one column per top-level cause, seconds)
+    retx_<cause>   (one column per retransmission cause, seconds)
+    zero_window_seen
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import OrderedDict
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..packet.headers import ip_to_str
+from .flow_analyzer import FlowAnalysis
+from .stalls import RetxCause, StallCause
+
+
+def flow_record(analysis: FlowAnalysis) -> "OrderedDict[str, object]":
+    """Flatten one analyzed flow into a record of scalars."""
+    flow = analysis.flow
+    record: OrderedDict[str, object] = OrderedDict()
+    record["server_ip"] = ip_to_str(flow.server[0])
+    record["server_port"] = flow.server[1]
+    record["client_ip"] = ip_to_str(flow.client[0])
+    record["client_port"] = flow.client[1]
+    record["start_time"] = round(flow.first_time, 6)
+    record["duration"] = round(analysis.duration, 6)
+    record["init_rwnd_bytes"] = analysis.init_rwnd
+    record["init_rwnd_mss"] = analysis.init_rwnd_mss
+    record["wscale"] = analysis.wscale
+    record["mss"] = analysis.mss
+    record["bytes_out"] = analysis.bytes_out
+    record["data_packets"] = analysis.data_packets
+    record["packets_total"] = len(flow.packets)
+    record["requests"] = analysis.request_count
+    record["retransmissions"] = analysis.retransmissions
+    record["timeouts"] = analysis.timeouts
+    record["fast_retransmits"] = analysis.fast_retransmits
+    record["probe_retransmissions"] = analysis.probe_retransmissions
+    record["spurious_retransmissions"] = analysis.spurious_retransmissions
+    record["loss_estimate"] = round(analysis.loss_estimate, 6)
+    rtts = analysis.rtt_samples
+    record["avg_rtt"] = round(analysis.avg_rtt, 6) if rtts else ""
+    record["min_rtt"] = round(min(rtts), 6) if rtts else ""
+    record["max_rtt"] = round(max(rtts), 6) if rtts else ""
+    record["avg_rto"] = (
+        round(analysis.avg_rto, 6) if analysis.rto_samples else ""
+    )
+    record["final_rto"] = round(analysis.final_rto, 6)
+    record["throughput_bps"] = round(analysis.avg_speed * 8, 1)
+    record["stalls"] = len(analysis.stalls)
+    record["stalled_time"] = round(analysis.stalled_time, 6)
+    record["stall_ratio"] = round(analysis.stall_ratio, 6)
+    per_cause = {cause: 0.0 for cause in StallCause}
+    per_retx = {cause: 0.0 for cause in RetxCause}
+    for stall in analysis.stalls:
+        per_cause[stall.cause] += stall.duration
+        if stall.retx_cause is not None:
+            per_retx[stall.retx_cause] += stall.duration
+    for cause in StallCause:
+        record[f"stall_{cause.value}"] = round(per_cause[cause], 6)
+    for cause in RetxCause:
+        record[f"retx_{cause.value}"] = round(per_retx[cause], 6)
+    record["zero_window_seen"] = int(analysis.zero_window_seen)
+    return record
+
+
+def record_fields() -> list[str]:
+    """The column order of :func:`flow_record` (stable)."""
+    columns = [
+        "server_ip", "server_port", "client_ip", "client_port",
+        "start_time", "duration",
+        "init_rwnd_bytes", "init_rwnd_mss", "wscale", "mss",
+        "bytes_out", "data_packets", "packets_total", "requests",
+        "retransmissions", "timeouts", "fast_retransmits",
+        "probe_retransmissions", "spurious_retransmissions",
+        "loss_estimate",
+        "avg_rtt", "min_rtt", "max_rtt", "avg_rto", "final_rto",
+        "throughput_bps",
+        "stalls", "stalled_time", "stall_ratio",
+    ]
+    columns += [f"stall_{cause.value}" for cause in StallCause]
+    columns += [f"retx_{cause.value}" for cause in RetxCause]
+    columns.append("zero_window_seen")
+    return columns
+
+
+def write_csv(
+    path: str | Path, analyses: Iterable[FlowAnalysis]
+) -> int:
+    """Write one CSV row per flow; returns the number of rows."""
+    fields = record_fields()
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for analysis in analyses:
+            writer.writerow(flow_record(analysis))
+            rows += 1
+    return rows
+
+
+def format_flow_table(
+    analyses: Iterable[FlowAnalysis], max_rows: int = 40
+) -> str:
+    """Human-readable flow table (a compact subset of the record)."""
+    header = (
+        f"{'client':<22}{'bytes':>10}{'pkts':>7}{'retx':>6}{'rto':>5}"
+        f"{'rtt_ms':>8}{'stalls':>7}{'stalled_s':>10}{'ratio':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for index, analysis in enumerate(analyses):
+        if index >= max_rows:
+            lines.append(f"... ({index}+ flows)")
+            break
+        flow = analysis.flow
+        client = f"{ip_to_str(flow.client[0])}:{flow.client[1]}"
+        rtt_ms = f"{analysis.avg_rtt * 1000:.0f}" if analysis.avg_rtt else "-"
+        lines.append(
+            f"{client:<22}{analysis.bytes_out:>10}"
+            f"{analysis.data_packets:>7}{analysis.retransmissions:>6}"
+            f"{analysis.timeouts:>5}{rtt_ms:>8}{len(analysis.stalls):>7}"
+            f"{analysis.stalled_time:>10.2f}{analysis.stall_ratio:>7.2f}"
+        )
+    return "\n".join(lines)

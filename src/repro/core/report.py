@@ -1,0 +1,274 @@
+"""Aggregation of per-flow analyses into the paper's tables and figures.
+
+A :class:`ServiceReport` wraps all analyzed flows of one service and
+exposes one method per table/figure of the paper's evaluation:
+
+=============================  ==========================================
+method                         paper content
+=============================  ==========================================
+``table1_row``                 Table 1 flow-level statistics
+``rtt_values`` / ``rto_values``  Fig. 1a per-flow RTT and RTO CDFs
+``rto_over_rtt_values``        Fig. 1b RTO/RTT
+``stall_ratio_values``         Fig. 3 stalled/transmission time
+``cause_breakdown``            Table 3 stall causes (volume and time)
+``init_rwnd_values``           Fig. 6 initial receive windows
+``zero_rwnd_prob_by_init``     Table 4 zero-window probability
+``retx_breakdown``             Table 5 retransmission-stall breakdown
+``double_positions`` etc.      Fig. 7 double-retransmission context
+``double_kind_shares``         Table 6 f-double vs t-double
+``tail_positions`` etc.        Fig. 10 tail-retransmission context
+``tail_state_shares``          Table 7 Open vs Recovery tails
+``in_flight_values``           Fig. 11 per-ACK in-flight CDF
+``continuous_loss_in_flights`` Fig. 12 in-flight at continuous loss
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .flow_analyzer import FlowAnalysis
+from .stalls import CaState, DoubleKind, RetxCause, StallCause
+
+
+def cdf_points(values: list[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) pairs."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100
+    low = int(pos)
+    high = min(low + 1, len(ordered) - 1)
+    frac = pos - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass
+class BreakdownEntry:
+    """Volume and time share of one stall category (Table 3/5 cells)."""
+
+    count: int = 0
+    time: float = 0.0
+    volume_share: float = 0.0
+    time_share: float = 0.0
+
+
+@dataclass
+class ServiceReport:
+    """All analyzed flows of one service."""
+
+    service: str
+    flows: list[FlowAnalysis] = field(default_factory=list)
+
+    def add(self, analysis: FlowAnalysis) -> None:
+        self.flows.append(analysis)
+
+    # -- Table 1 ----------------------------------------------------------
+    def table1_row(self) -> dict[str, float]:
+        flows = [f for f in self.flows if f.data_packets > 0]
+        n = len(flows)
+        if n == 0:
+            return {
+                "flows": 0, "avg_speed": 0.0, "avg_flow_size": 0.0,
+                "pkt_loss": 0.0, "avg_rtt": 0.0, "avg_rto": 0.0,
+            }
+        speeds = [f.avg_speed for f in flows if f.duration > 0]
+        rtts = [f.avg_rtt for f in flows if f.avg_rtt is not None]
+        rtos = [f.avg_rto for f in flows if f.avg_rto is not None]
+        total_retx = sum(f.retransmissions for f in flows)
+        total_data = sum(f.data_packets for f in flows)
+        return {
+            "flows": n,
+            "avg_speed": sum(speeds) / max(1, len(speeds)),
+            "avg_flow_size": sum(f.bytes_out for f in flows) / n,
+            "pkt_loss": total_retx / max(1, total_data),
+            "avg_rtt": sum(rtts) / max(1, len(rtts)),
+            "avg_rto": sum(rtos) / max(1, len(rtos)),
+        }
+
+    # -- Fig. 1 -------------------------------------------------------------
+    def rtt_values(self) -> list[float]:
+        return [f.avg_rtt for f in self.flows if f.avg_rtt is not None]
+
+    def rto_values(self) -> list[float]:
+        return [f.avg_rto for f in self.flows if f.avg_rto is not None]
+
+    def rto_over_rtt_values(self) -> list[float]:
+        out = []
+        for flow in self.flows:
+            if flow.avg_rtt and flow.avg_rto:
+                out.append(flow.avg_rto / flow.avg_rtt)
+        return out
+
+    # -- Fig. 3 ---------------------------------------------------------------
+    def stall_ratio_values(self) -> list[float]:
+        return [f.stall_ratio for f in self.flows if f.duration > 0]
+
+    def flows_with_stalls(self) -> int:
+        return sum(1 for f in self.flows if f.stalls)
+
+    def total_stalls(self) -> int:
+        return sum(len(f.stalls) for f in self.flows)
+
+    # -- Table 3 ----------------------------------------------------------------
+    def cause_breakdown(self) -> dict[StallCause, BreakdownEntry]:
+        counts: Counter = Counter()
+        times: Counter = Counter()
+        for flow in self.flows:
+            for stall in flow.stalls:
+                counts[stall.cause] += 1
+                times[stall.cause] += stall.duration
+        total_count = sum(counts.values())
+        total_time = sum(times.values())
+        result: dict[StallCause, BreakdownEntry] = {}
+        for cause in StallCause:
+            entry = BreakdownEntry(
+                count=counts.get(cause, 0), time=times.get(cause, 0.0)
+            )
+            if total_count:
+                entry.volume_share = entry.count / total_count
+            if total_time:
+                entry.time_share = entry.time / total_time
+            result[cause] = entry
+        return result
+
+    def category_breakdown(self) -> dict[str, BreakdownEntry]:
+        """Server / client / network shares (Table 3 row groups)."""
+        by_cause = self.cause_breakdown()
+        result: dict[str, BreakdownEntry] = {}
+        for cause, entry in by_cause.items():
+            bucket = result.setdefault(cause.category, BreakdownEntry())
+            bucket.count += entry.count
+            bucket.time += entry.time
+            bucket.volume_share += entry.volume_share
+            bucket.time_share += entry.time_share
+        return result
+
+    # -- Fig. 6 / Table 4 -----------------------------------------------------
+    def init_rwnd_values(self) -> list[int]:
+        """Initial receive window per flow, in MSS units."""
+        return [
+            f.init_rwnd_mss for f in self.flows if f.init_rwnd > 0
+        ]
+
+    def zero_rwnd_prob_by_init(
+        self, bins: list[int]
+    ) -> dict[int, tuple[float, int]]:
+        """P(flow sees a zero window) per init-rwnd bin (Table 4).
+
+        ``bins`` are upper edges in MSS; returns {edge: (prob, n)}.
+        """
+        result: dict[int, tuple[float, int]] = {}
+        edges = sorted(bins)
+        for index, edge in enumerate(edges):
+            low = edges[index - 1] if index else 0
+            members = [
+                f
+                for f in self.flows
+                if f.init_rwnd > 0 and low < f.init_rwnd_mss <= edge
+            ]
+            if not members:
+                result[edge] = (0.0, 0)
+                continue
+            hit = sum(1 for f in members if f.zero_window_seen)
+            result[edge] = (hit / len(members), len(members))
+        return result
+
+    # -- Table 5 -------------------------------------------------------------
+    def retx_breakdown(self) -> dict[RetxCause, BreakdownEntry]:
+        counts: Counter = Counter()
+        times: Counter = Counter()
+        for stall in self._retx_stalls():
+            counts[stall.retx_cause] += 1
+            times[stall.retx_cause] += stall.duration
+        total_count = sum(counts.values())
+        total_time = sum(times.values())
+        result: dict[RetxCause, BreakdownEntry] = {}
+        for cause in RetxCause:
+            entry = BreakdownEntry(
+                count=counts.get(cause, 0), time=times.get(cause, 0.0)
+            )
+            if total_count:
+                entry.volume_share = entry.count / total_count
+            if total_time:
+                entry.time_share = entry.time / total_time
+            result[cause] = entry
+        return result
+
+    def _retx_stalls(self):
+        for flow in self.flows:
+            for stall in flow.stalls:
+                if stall.cause == StallCause.RETRANSMISSION:
+                    yield stall
+
+    def _retx_stalls_of(self, cause: RetxCause):
+        for stall in self._retx_stalls():
+            if stall.retx_cause == cause:
+                yield stall
+
+    # -- Fig. 7 / Table 6 -------------------------------------------------------
+    def double_positions(self) -> list[float]:
+        return [s.position for s in self._retx_stalls_of(RetxCause.DOUBLE)]
+
+    def double_in_flights(self) -> list[int]:
+        return [
+            s.context.unsacked_out
+            for s in self._retx_stalls_of(RetxCause.DOUBLE)
+        ]
+
+    def double_kind_shares(self) -> dict[DoubleKind, float]:
+        times: Counter = Counter()
+        for stall in self._retx_stalls_of(RetxCause.DOUBLE):
+            if stall.double_kind is not None:
+                times[stall.double_kind] += stall.duration
+        total = sum(times.values())
+        return {
+            kind: (times.get(kind, 0.0) / total if total else 0.0)
+            for kind in DoubleKind
+        }
+
+    # -- Fig. 10 / Table 7 --------------------------------------------------------
+    def tail_positions(self) -> list[float]:
+        return [s.position for s in self._retx_stalls_of(RetxCause.TAIL)]
+
+    def tail_in_flights(self) -> list[int]:
+        return [
+            s.context.unsacked_out
+            for s in self._retx_stalls_of(RetxCause.TAIL)
+        ]
+
+    def tail_state_shares(self) -> dict[CaState, float]:
+        times: Counter = Counter()
+        for stall in self._retx_stalls_of(RetxCause.TAIL):
+            if stall.tail_state is not None:
+                times[stall.tail_state] += stall.duration
+        total = sum(times.values())
+        return {
+            state: (times.get(state, 0.0) / total if total else 0.0)
+            for state in (CaState.OPEN, CaState.RECOVERY)
+        }
+
+    # -- Fig. 11 / Fig. 12 ----------------------------------------------------------
+    def in_flight_values(self) -> list[int]:
+        out: list[int] = []
+        for flow in self.flows:
+            out.extend(flow.in_flight_on_ack)
+        return out
+
+    def continuous_loss_in_flights(self) -> list[int]:
+        return [
+            s.context.unsacked_out
+            for s in self._retx_stalls_of(RetxCause.CONTINUOUS_LOSS)
+        ]

@@ -1,0 +1,240 @@
+"""Analyzer-side segment tracking.
+
+TAPO reconstructs the server's retransmission queue from the trace
+alone: every outgoing data segment is recorded, retransmissions are
+recognized as sequence ranges transmitted before, SACK blocks from
+client ACKs mark segments, and DSACKs identify spurious
+retransmissions — which gives the *true* ``lost_out`` the paper uses
+to disambiguate loss from reordering (Sec. 3.3).
+
+The tracker is built for multi-thousand-packet flows: cumulative ACKs
+advance a prefix pointer instead of rescanning, so a whole-flow replay
+is linear in the packet count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet.options import SackBlock
+from ..packet.packet import PacketRecord
+from ..packet.seqnum import seq_after, seq_before, seq_geq, seq_leq
+
+
+@dataclass
+class AnalyzedSegment:
+    """One distinct sequence range the server transmitted."""
+
+    seq: int
+    end_seq: int
+    tx_times: list[float] = field(default_factory=list)
+    #: Times of retransmissions inferred as fast retransmits.
+    fast_retrans_times: list[float] = field(default_factory=list)
+    #: Times of retransmissions inferred as timeout-driven.
+    rto_retrans_times: list[float] = field(default_factory=list)
+    #: Times of probe retransmissions (TLP / S-RTO traces).
+    probe_retrans_times: list[float] = field(default_factory=list)
+    sacked_at: float | None = None
+    acked_at: float | None = None
+    #: Time a DSACK revealed a retransmission of this segment was
+    #: spurious (the original had arrived).
+    spurious_at: float | None = None
+    is_fin: bool = False
+    ordinal: int = 0  # position among distinct data segments of the flow
+
+    @property
+    def retrans_count(self) -> int:
+        return max(0, len(self.tx_times) - 1)
+
+    @property
+    def retransmitted(self) -> bool:
+        return self.retrans_count > 0
+
+    @property
+    def sacked(self) -> bool:
+        return self.sacked_at is not None
+
+    @property
+    def acked(self) -> bool:
+        return self.acked_at is not None
+
+    @property
+    def length(self) -> int:
+        return (self.end_seq - self.seq) % (1 << 32)
+
+    def first_retrans_kind(self) -> str | None:
+        """'fast', 'rto' or 'probe' — trigger of the first retransmission."""
+        candidates = []
+        if self.fast_retrans_times:
+            candidates.append(("fast", self.fast_retrans_times[0]))
+        if self.rto_retrans_times:
+            candidates.append(("rto", self.rto_retrans_times[0]))
+        if self.probe_retrans_times:
+            candidates.append(("probe", self.probe_retrans_times[0]))
+        if not candidates:
+            return None
+        return min(candidates, key=lambda item: item[1])[0]
+
+
+class SegmentTracker:
+    """Reconstructed retransmission queue for one flow."""
+
+    def __init__(self) -> None:
+        self.segments: list[AnalyzedSegment] = []  # ordered by seq
+        self._by_seq: dict[int, AnalyzedSegment] = {}
+        self._first_unacked = 0  # index of the oldest unacked segment
+        self._sacked_out = 0
+        self.snd_una: int = 0
+        self.transmitted_max: int = 0  # == reconstructed snd_nxt
+        self.highest_sacked: int | None = None
+        self.total_data_packets = 0
+        self.total_retransmissions = 0
+        self.total_new_bytes = 0
+
+    def init_seq(self, iss: int) -> None:
+        self.snd_una = (iss + 1) % (1 << 32)
+        self.transmitted_max = self.snd_una
+
+    # -- outgoing data ---------------------------------------------------
+    def record_transmission(
+        self, pkt: PacketRecord, now: float
+    ) -> tuple[AnalyzedSegment, bool]:
+        """Record an outgoing data/FIN segment.
+
+        Returns ``(segment, is_retransmission)``.
+        """
+        self.total_data_packets += 1
+        end_seq = pkt.end_seq
+        is_retrans = seq_before(pkt.seq, self.transmitted_max)
+        segment = self._by_seq.get(pkt.seq)
+        if segment is None:
+            segment = AnalyzedSegment(
+                seq=pkt.seq,
+                end_seq=end_seq,
+                is_fin=pkt.fin,
+                ordinal=len(self.segments),
+            )
+            self._by_seq[pkt.seq] = segment
+            self.segments.append(segment)
+        segment.tx_times.append(now)
+        if is_retrans:
+            self.total_retransmissions += 1
+        else:
+            self.total_new_bytes += pkt.payload_len
+        if seq_after(end_seq, self.transmitted_max):
+            self.transmitted_max = end_seq
+        return segment, is_retrans
+
+    # -- incoming acknowledgments ------------------------------------------
+    def apply_ack(self, ack: int, now: float) -> list[AnalyzedSegment]:
+        """Advance snd_una; return the newly acked segments."""
+        if not seq_after(ack, self.snd_una):
+            return []
+        newly: list[AnalyzedSegment] = []
+        index = self._first_unacked
+        while index < len(self.segments):
+            segment = self.segments[index]
+            if not seq_leq(segment.end_seq, ack):
+                break
+            if not segment.acked:
+                segment.acked_at = now
+                newly.append(segment)
+                if segment.sacked:
+                    self._sacked_out -= 1
+            index += 1
+        self._first_unacked = index
+        self.snd_una = ack
+        return newly
+
+    def apply_sack(
+        self, blocks: list[SackBlock], ack: int, now: float
+    ) -> tuple[list[AnalyzedSegment], bool]:
+        """Apply SACK blocks; return (newly_sacked_segments, dsack_seen).
+
+        ``ack`` is the cumulative ACK of the same packet: a block at or
+        below it is a DSACK (RFC 2883).
+        """
+        newly: list[AnalyzedSegment] = []
+        dsack = False
+        for index, (left, right) in enumerate(blocks):
+            if seq_leq(right, ack):
+                dsack = True
+                self._record_dsack(left, right, now)
+                continue
+            if index == 0 and len(blocks) > 1:
+                outer_left, outer_right = blocks[1]
+                if seq_geq(left, outer_left) and seq_leq(right, outer_right):
+                    dsack = True
+                    self._record_dsack(left, right, now)
+                    continue
+            for segment in self.outstanding():
+                if segment.sacked:
+                    continue
+                if seq_geq(segment.seq, left) and seq_leq(
+                    segment.end_seq, right
+                ):
+                    segment.sacked_at = now
+                    newly.append(segment)
+                    self._sacked_out += 1
+                    if self.highest_sacked is None or seq_after(
+                        segment.end_seq, self.highest_sacked
+                    ):
+                        self.highest_sacked = segment.end_seq
+        return newly, dsack
+
+    def _record_dsack(self, left: int, right: int, now: float) -> None:
+        """A DSACK for [left, right): some transmission was spurious."""
+        segment = self.find_covering(left)
+        if (
+            segment is not None
+            and segment.spurious_at is None
+            and segment.retransmitted
+        ):
+            segment.spurious_at = now
+
+    # -- queries --------------------------------------------------------------
+    def outstanding(self) -> list[AnalyzedSegment]:
+        """Segments transmitted but not yet cumulatively acked."""
+        return self.segments[self._first_unacked :]
+
+    def outstanding_unsacked(self) -> list[AnalyzedSegment]:
+        return [s for s in self.outstanding() if not s.sacked]
+
+    @property
+    def packets_out(self) -> int:
+        return len(self.segments) - self._first_unacked
+
+    @property
+    def sacked_out(self) -> int:
+        return self._sacked_out
+
+    def retrans_out(self) -> int:
+        return sum(
+            1
+            for s in self.outstanding()
+            if s.retransmitted and not s.sacked
+        )
+
+    def holes(self) -> int:
+        if self.highest_sacked is None:
+            return 0
+        return sum(
+            1
+            for s in self.outstanding()
+            if not s.sacked and seq_before(s.seq, self.highest_sacked)
+        )
+
+    def find_covering(self, seq: int) -> AnalyzedSegment | None:
+        segment = self._by_seq.get(seq)
+        if segment is not None:
+            return segment
+        for candidate in self.segments:
+            if seq_leq(candidate.seq, seq) and seq_before(
+                seq, candidate.end_seq
+            ):
+                return candidate
+        return None
+
+    @property
+    def total_segments(self) -> int:
+        return len(self.segments)

@@ -1,0 +1,228 @@
+"""Reconstruction of the sender's congestion-avoidance state machine.
+
+TAPO cannot see kernel state, so it *mimics* the stack (Sec. 3.3):
+it replays the observed ACK stream and retransmissions through the
+same Open / Disorder / Recovery / Loss transition rules the 2.6.32
+sender uses (Fig. 4), and keeps a shadow congestion window that
+follows slow start, congestion avoidance, rate-halving Recovery and
+the cwnd := 1 reset of the Loss state.
+
+Retransmission triggers are inferred from timing and duplicate-ACK
+context: enough dupacks -> fast retransmit; a gap close to the
+estimated RTO since the segment's previous transmission -> timeout;
+a gap of about two RTTs with few dupacks -> probe (TLP / S-RTO
+traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .segments import AnalyzedSegment, SegmentTracker
+from .stalls import CaState
+
+#: Fraction of the estimated RTO above which a silent gap before a
+#: retransmission is attributed to the retransmission timer.
+RTO_FRACTION = 0.85
+
+#: Multiple of SRTT above which a gap suggests a probe timer (2*RTT
+#: in both TLP and S-RTO) rather than a fast retransmit.
+PROBE_FRACTION = 1.7
+
+FAST = "fast"
+RTO = "rto"
+PROBE = "probe"
+
+
+@dataclass
+class ShadowWindow:
+    """Mimicked congestion window (segments).
+
+    The true server may run CUBIC; the shadow window follows Reno-style
+    growth, which is sufficient for the classifier's only use of cwnd —
+    deciding whether a small in-flight size was cwnd- or rwnd-limited —
+    and is the approximation a deployed passive tool has to make.
+    """
+
+    cwnd: int = 3
+    ssthresh: int = 1 << 30
+    _avoid_count: int = 0
+    _halve_count: int = 0
+
+    def on_new_ack(self, acked_segments: int, in_recovery: bool, in_loss: bool) -> None:
+        if in_recovery:
+            # Rate halving: shed one segment every second ACK.
+            self._halve_count += 1
+            if self._halve_count >= 2:
+                self._halve_count = 0
+                if self.cwnd > self.ssthresh:
+                    self.cwnd -= 1
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += acked_segments
+            return
+        self._avoid_count += acked_segments
+        if self._avoid_count >= self.cwnd:
+            self._avoid_count -= self.cwnd
+            self.cwnd += 1
+
+    def on_enter_recovery(self) -> None:
+        self.ssthresh = max(self.cwnd // 2, 2)
+        self._halve_count = 0
+
+    def on_exit_recovery(self) -> None:
+        self.cwnd = max(min(self.cwnd, self.ssthresh), 2)
+
+    def on_rto(self) -> None:
+        self.ssthresh = max(self.cwnd // 2, 2)
+        self.cwnd = 1
+
+
+class CaStateTracker:
+    """Shadow state machine for one flow."""
+
+    def __init__(self, init_cwnd: int = 3, dup_thresh: int = 3):
+        self.state = CaState.OPEN
+        self.dup_thresh = dup_thresh
+        self.dup_acks = 0
+        self.high_seq: int | None = None
+        self.window = ShadowWindow(cwnd=init_cwnd)
+        self.state_log: list[tuple[float, CaState]] = []
+
+    @property
+    def cwnd(self) -> int:
+        return self.window.cwnd
+
+    def _set_state(self, state: CaState, now: float) -> None:
+        if state != self.state:
+            self.state = state
+            self.state_log.append((now, state))
+
+    # -- ACK-driven transitions ------------------------------------------
+    def on_ack(
+        self,
+        now: float,
+        tracker: SegmentTracker,
+        new_ack: bool,
+        acked_segments: int,
+        is_dupack: bool,
+        dsack: bool,
+    ) -> None:
+        if dsack and self.dup_thresh < 10:
+            # DSACK reveals reordering mistaken for loss: raise dupthres
+            # like tcp_update_reordering.
+            self.dup_thresh += 1
+        if new_ack:
+            self.dup_acks = 0
+        elif is_dupack:
+            self.dup_acks += 1
+        dup_signal = max(self.dup_acks, tracker.sacked_out)
+
+        if self.state in (CaState.OPEN, CaState.DISORDER):
+            if dup_signal >= self.dup_thresh:
+                self.window.on_enter_recovery()
+                self.high_seq = tracker.transmitted_max
+                self._set_state(CaState.RECOVERY, now)
+            elif dup_signal > 0:
+                self._set_state(CaState.DISORDER, now)
+            else:
+                self._set_state(CaState.OPEN, now)
+                if new_ack:
+                    self.window.on_new_ack(acked_segments, False, False)
+        elif self.state == CaState.RECOVERY:
+            self.window.on_new_ack(acked_segments, True, False)
+            if new_ack and self._past_high_seq(tracker):
+                self.window.on_exit_recovery()
+                self.high_seq = None
+                self._set_state(CaState.OPEN, now)
+        elif self.state == CaState.LOSS:
+            if new_ack:
+                self.window.on_new_ack(acked_segments, False, True)
+                if self._past_high_seq(tracker):
+                    self.high_seq = None
+                    self._set_state(CaState.OPEN, now)
+
+    def _past_high_seq(self, tracker: SegmentTracker) -> bool:
+        if self.high_seq is None:
+            return True
+        diff = (tracker.snd_una - self.high_seq) % (1 << 32)
+        return diff < (1 << 31)
+
+    # -- retransmission-driven transitions ----------------------------------
+    def classify_retransmission(
+        self,
+        segment: AnalyzedSegment,
+        now: float,
+        tracker: SegmentTracker,
+        rto: float,
+        srtt: float | None,
+        last_new_ack: float | None = None,
+        last_in_packet: float | None = None,
+    ) -> str:
+        """Infer what triggered this retransmission: fast / rto / probe.
+
+        A timeout retransmission (a) retransmits the *head* of the
+        window — ``snd_una`` — and (b) follows a silence on the order
+        of the RTO since the retransmission timer was last restarted
+        (the later of the segment's previous transmission and the last
+        ACK of new data).  Recovery retransmissions of non-head
+        segments paced by returning dupacks must not be mistaken for
+        timeouts, however long the window kept them queued.
+        """
+        previous_tx = (
+            segment.tx_times[-2] if len(segment.tx_times) >= 2 else None
+        )
+        timer_base = previous_tx if previous_tx is not None else now
+        if last_new_ack is not None:
+            timer_base = max(timer_base, last_new_ack)
+        gap = now - timer_base
+        is_head = segment.seq == tracker.snd_una
+        is_tail_seg = segment.end_seq == tracker.transmitted_max
+
+        if self.state == CaState.LOSS:
+            # Go-back-N continuation, or a fresh backoff timeout.
+            return RTO
+        dup_signal = max(self.dup_acks, tracker.sacked_out)
+        if not is_head:
+            # Only TLP probes retransmit the tail without a timeout.
+            if (
+                is_tail_seg
+                and srtt is not None
+                and dup_signal < self.dup_thresh
+                and gap >= PROBE_FRACTION * srtt
+                and gap < RTO_FRACTION * rto
+            ):
+                return PROBE
+            return FAST
+        if gap >= RTO_FRACTION * rto:
+            # Head retransmitted after an RTO-scale silence...
+            quiet_since = (
+                now - last_in_packet if last_in_packet is not None else gap
+            )
+            if dup_signal >= self.dup_thresh and quiet_since < RTO_FRACTION * rto:
+                # ...but dupacks were still flowing: fast retransmit.
+                return FAST
+            return RTO
+        if dup_signal >= self.dup_thresh:
+            return FAST
+        if srtt is not None and gap >= PROBE_FRACTION * srtt:
+            return PROBE
+        return FAST
+
+    def on_retransmission(self, kind: str, now: float, tracker: SegmentTracker) -> None:
+        """Apply the state effect of an observed retransmission."""
+        if kind == RTO:
+            if self.state != CaState.LOSS:
+                self.window.on_rto()
+                self.high_seq = tracker.transmitted_max
+                self._set_state(CaState.LOSS, now)
+            else:
+                # Repeated timeout within Loss: window already 1.
+                self.window.cwnd = 1
+        elif kind == FAST:
+            if self.state not in (CaState.RECOVERY, CaState.LOSS):
+                self.window.on_enter_recovery()
+                self.high_seq = tracker.transmitted_max
+                self._set_state(CaState.RECOVERY, now)
+        # PROBE retransmissions do not change the native state machine
+        # (TLP) — S-RTO's Recovery entry shows up through later ACKs.

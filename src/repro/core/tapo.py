@@ -1,0 +1,91 @@
+"""TAPO: the TCP stall diagnosis tool (the paper's contribution).
+
+The facade ties the three components of Sec. 3.3 together:
+
+1. reconstruction of the congestion state machine for each flow,
+2. calculation of the Table 2 parameters by mimicking the TCP stack,
+3. classification of stalls with the decision tree.
+
+Inputs can be a pcap file, an in-memory packet list, or pre-demuxed
+flows; output is a list of classified :class:`FlowAnalysis` objects or
+a per-service :class:`ServiceReport`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..packet.flow import FlowTrace, ServerPredicate, demux
+from ..packet.packet import PacketRecord
+from ..packet.pcap import PcapReader
+from .classifier import classify_flow
+from .flow_analyzer import FlowAnalysis, FlowAnalyzer
+from .report import ServiceReport
+from .stalls import STALL_TAU
+
+
+class Tapo:
+    """TCP performance analysis tool.
+
+    Parameters
+    ----------
+    tau:
+        The stall-threshold multiplier on SRTT (paper uses 2).
+    init_cwnd:
+        Initial congestion window assumed for the shadow window.
+    """
+
+    def __init__(self, tau: float = STALL_TAU, init_cwnd: int = 3):
+        self.tau = tau
+        self.init_cwnd = init_cwnd
+
+    # -- single flow ------------------------------------------------------
+    def analyze_flow(self, flow: FlowTrace) -> FlowAnalysis:
+        """Analyze and classify one flow."""
+        analyzer = FlowAnalyzer(flow, tau=self.tau, init_cwnd=self.init_cwnd)
+        analysis = analyzer.run()
+        classify_flow(analysis, analyzer.tracker)
+        return analysis
+
+    # -- packet streams ------------------------------------------------------
+    def analyze_packets(
+        self,
+        packets: Iterable[PacketRecord],
+        server_side: ServerPredicate | None = None,
+    ) -> list[FlowAnalysis]:
+        """Demux a packet stream into flows and analyze each."""
+        flows = demux(packets, server_side)
+        return [self.analyze_flow(flow) for flow in flows]
+
+    def analyze_pcap(
+        self,
+        path: str | Path,
+        server_side: ServerPredicate | None = None,
+    ) -> list[FlowAnalysis]:
+        """Analyze every flow in a pcap file."""
+        with PcapReader(path) as reader:
+            return self.analyze_packets(reader, server_side)
+
+    # -- services --------------------------------------------------------------
+    def report(
+        self,
+        traces: Iterable[list[PacketRecord]],
+        service: str = "trace",
+    ) -> ServiceReport:
+        """Analyze per-connection traces into a service report.
+
+        ``traces`` is an iterable of already-separated per-connection
+        packet lists (the shape the simulator produces); mixed streams
+        should go through :meth:`analyze_packets` instead.
+        """
+        report = ServiceReport(service=service)
+        for packets in traces:
+            for analysis in self.analyze_packets(packets):
+                report.add(analysis)
+        return report
+
+
+def analyze_pcap(path: str | Path, **kwargs) -> list[FlowAnalysis]:
+    """Module-level convenience wrapper around :class:`Tapo`."""
+    return Tapo(**kwargs).analyze_pcap(path)

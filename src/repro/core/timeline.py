@@ -1,0 +1,143 @@
+"""Per-flow timelines: tcptrace-style series for any analyzed flow.
+
+The paper's Fig. 2 plots a flow's sequence progress and RTT with its
+stalls; this module extracts the same series for *any* flow TAPO has
+analyzed, ready for plotting or eyeballing:
+
+* data-segment transmissions (first transmissions vs retransmissions),
+* cumulative-ACK progress,
+* advertised receive window (right edge),
+* per-sample RTT,
+* the classified stall intervals.
+
+Sequence numbers are rebased to the server's initial sequence number so
+the series start near zero regardless of the random ISN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet.flow import Direction
+from .flow_analyzer import FlowAnalysis
+from .stalls import Stall
+
+
+@dataclass
+class TimelinePoint:
+    time: float
+    value: float
+
+
+@dataclass
+class FlowTimeline:
+    """All plottable series of one flow."""
+
+    #: (time, relative seq) of first-transmission data segments.
+    data_segments: list[TimelinePoint] = field(default_factory=list)
+    #: (time, relative seq) of retransmitted segments.
+    retransmissions: list[TimelinePoint] = field(default_factory=list)
+    #: (time, relative ack) cumulative ACK progress.
+    acks: list[TimelinePoint] = field(default_factory=list)
+    #: (time, relative right edge) advertised window edge.
+    window_edge: list[TimelinePoint] = field(default_factory=list)
+    #: (time, seconds) RTT samples in arrival order.
+    rtt: list[TimelinePoint] = field(default_factory=list)
+    #: The flow's classified stalls.
+    stalls: list[Stall] = field(default_factory=list)
+    base_seq: int = 0
+
+    @property
+    def duration(self) -> float:
+        times = [p.time for p in self.data_segments + self.acks]
+        if not times:
+            return 0.0
+        return max(times) - min(times)
+
+    def stalled_intervals(self) -> list[tuple[float, float]]:
+        return [(s.start_time, s.end_time) for s in self.stalls]
+
+
+def build_timeline(analysis: FlowAnalysis) -> FlowTimeline:
+    """Extract the plottable series from an analyzed flow."""
+    timeline = FlowTimeline(stalls=list(analysis.stalls))
+    base: int | None = None
+    seen_ranges: set[int] = set()
+    rtt_index = 0
+    wscale = analysis.wscale
+
+    for pkt, direction in analysis.flow.packets:
+        if direction is Direction.OUT:
+            if pkt.syn:
+                base = (pkt.seq + 1) % (1 << 32)
+                timeline.base_seq = base
+                continue
+            if pkt.payload_len > 0 or pkt.fin:
+                if base is None:
+                    base = pkt.seq
+                    timeline.base_seq = base
+                rel = (pkt.seq - base) % (1 << 32)
+                point = TimelinePoint(pkt.timestamp, float(rel))
+                if pkt.seq in seen_ranges:
+                    timeline.retransmissions.append(point)
+                else:
+                    seen_ranges.add(pkt.seq)
+                    timeline.data_segments.append(point)
+        else:
+            if pkt.syn or base is None:
+                continue
+            if pkt.has_ack:
+                rel_ack = (pkt.ack - base) % (1 << 32)
+                # Ignore the pre-data ACKs of the handshake whose ack
+                # field is far below the rebased space.
+                if rel_ack < (1 << 31):
+                    timeline.acks.append(
+                        TimelinePoint(pkt.timestamp, float(rel_ack))
+                    )
+                    edge = rel_ack + (pkt.window << wscale)
+                    timeline.window_edge.append(
+                        TimelinePoint(pkt.timestamp, float(edge))
+                    )
+
+    # RTT samples have no timestamps of their own; pair them with ACK
+    # arrival times in order (they are produced one per sampled ACK).
+    ack_times = [p.time for p in timeline.acks]
+    for sample in analysis.rtt_samples:
+        when = ack_times[min(rtt_index, len(ack_times) - 1)] if ack_times else 0.0
+        timeline.rtt.append(TimelinePoint(when, sample))
+        rtt_index += 1
+    return timeline
+
+
+def write_timeline(timeline: FlowTimeline, out_dir, prefix: str = "flow"):
+    """Write the series as gnuplot-ready .dat files; returns paths."""
+    from pathlib import Path
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def emit(name: str, points: list[TimelinePoint], header: str) -> None:
+        path = out / f"{prefix}_{name}.dat"
+        with open(path, "w") as handle:
+            handle.write(f"# {header}\n")
+            for point in points:
+                handle.write(f"{point.time:.6f} {point.value:.6f}\n")
+        written.append(path)
+
+    emit("data", timeline.data_segments, "time relative_seq (first tx)")
+    emit("retx", timeline.retransmissions, "time relative_seq (retx)")
+    emit("acks", timeline.acks, "time relative_ack")
+    emit("window", timeline.window_edge, "time advertised_right_edge")
+    emit("rtt", timeline.rtt, "time rtt_seconds")
+    stall_path = out / f"{prefix}_stalls.dat"
+    with open(stall_path, "w") as handle:
+        handle.write("# start end cause retx_cause\n")
+        for stall in timeline.stalls:
+            retx = stall.retx_cause.value if stall.retx_cause else "-"
+            handle.write(
+                f"{stall.start_time:.6f} {stall.end_time:.6f} "
+                f"{stall.cause.value} {retx}\n"
+            )
+    written.append(stall_path)
+    return written

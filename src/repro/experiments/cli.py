@@ -1,0 +1,157 @@
+"""One-command paper reproduction: ``repro-paper``.
+
+Runs the whole pipeline — simulate the three services, analyze with
+TAPO, print every table/figure summary, run the mitigation A/B, and
+optionally export figure data files — so the paper's evaluation
+regenerates with::
+
+    repro-paper --flows 150 --mitigation-flows 300 --export-dir out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..workload.services import get_profile
+from .dataset import build_dataset
+from .illustrative import run_illustrative_flow
+from .mitigation import compare_policies, make_short_flow_profile
+from .tables import (
+    format_fig1,
+    format_fig3,
+    format_fig6_table4,
+    format_fig7_table6,
+    format_fig10_table7,
+    format_fig11,
+    format_fig12,
+    format_table1,
+    format_table3,
+    format_table5,
+    format_table8,
+    format_table9,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description=(
+            "Regenerate the evaluation of 'Demystifying and Mitigating "
+            "TCP Stalls at the Server Side' (CoNEXT'15)."
+        ),
+    )
+    parser.add_argument(
+        "--flows",
+        type=int,
+        default=150,
+        help="flows per service for the measurement study (default 150)",
+    )
+    parser.add_argument(
+        "--mitigation-flows",
+        type=int,
+        default=300,
+        help="flows per policy for Tables 8/9 (default 300)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20141222, help="dataset seed"
+    )
+    parser.add_argument(
+        "--skip-mitigation",
+        action="store_true",
+        help="skip the (slower) Table 8/9 policy sweep",
+    )
+    parser.add_argument(
+        "--export-dir",
+        help="also write gnuplot-ready figure data files here",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+
+    print(
+        f"simulating {args.flows} flows x 3 services "
+        f"(seed {args.seed})...",
+        file=sys.stderr,
+    )
+    dataset = build_dataset(flows_per_service=args.flows, seed=args.seed)
+    print(
+        f"  {dataset.total_packets} packets analyzed in "
+        f"{time.time() - started:.1f}s",
+        file=sys.stderr,
+    )
+    reports = dataset.reports
+
+    sections = [
+        format_table1(reports),
+        format_fig1(reports),
+        format_fig3(reports),
+        format_table3(reports),
+        format_fig6_table4(reports),
+        format_table5(reports),
+        format_fig7_table6(reports),
+        format_fig10_table7(reports),
+        format_fig11(reports),
+        format_fig12(reports),
+    ]
+    for section in sections:
+        print(section)
+        print()
+
+    illustrative = run_illustrative_flow()
+    print(
+        f"Figure 2: {illustrative.total_bytes} bytes in "
+        f"{illustrative.transfer_time:.2f}s, "
+        f"stalled {illustrative.stalled_time:.2f}s"
+    )
+    for stall in illustrative.analysis.stalls:
+        print("  " + stall.describe())
+    print()
+
+    if not args.skip_mitigation:
+        print(
+            f"running mitigation sweep ({args.mitigation_flows} flows x 3 "
+            "policies x 2 services)...",
+            file=sys.stderr,
+        )
+        comparisons = [
+            compare_policies(
+                get_profile("web_search"),
+                flows=args.mitigation_flows,
+                seed=5,
+                t1=5,
+                short_flow_max=None,
+            ),
+            compare_policies(
+                make_short_flow_profile(get_profile("cloud_storage")),
+                flows=args.mitigation_flows,
+                seed=5,
+                t1=10,
+                short_flow_max=None,
+            ),
+        ]
+        print(format_table8(comparisons))
+        print()
+        print(format_table9(comparisons))
+        print()
+
+    if args.export_dir:
+        from .export import export_all
+
+        written = export_all(reports, illustrative, args.export_dir)
+        print(
+            f"exported {len(written)} figure data files to "
+            f"{args.export_dir}",
+            file=sys.stderr,
+        )
+
+    print(f"total wall time: {time.time() - started:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Dataset construction: simulate the three services and analyze them.
+
+The paper's measurement section is one dataset (Table 1) analyzed many
+ways (Figs. 1-12, Tables 3-7).  :func:`build_dataset` runs the
+simulator once per service, pushes every trace through TAPO, and
+returns per-service :class:`~repro.core.report.ServiceReport` objects.
+Results are memoized per (flows, seed) so the benchmark suite shares
+one simulation run across all table/figure targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import ServiceReport
+from ..core.tapo import Tapo
+from ..workload.generator import generate_flows
+from ..workload.services import SERVICE_PROFILES, get_profile
+from .runner import DatasetRun, run_flows
+
+SERVICES = tuple(sorted(SERVICE_PROFILES))
+
+_CACHE: dict[tuple, "Dataset"] = {}
+
+
+@dataclass
+class Dataset:
+    """Simulated traces plus their TAPO analyses, per service."""
+
+    flows_per_service: int
+    seed: int
+    runs: dict[str, DatasetRun]
+    reports: dict[str, ServiceReport]
+
+    @property
+    def total_flows(self) -> int:
+        return sum(len(r.results) for r in self.runs.values())
+
+    @property
+    def total_packets(self) -> int:
+        return sum(r.total_packets() for r in self.runs.values())
+
+    def report(self, service: str) -> ServiceReport:
+        return self.reports[service]
+
+
+def build_dataset(
+    flows_per_service: int = 150,
+    seed: int = 20141222,  # first day of the paper's collection window
+    services: tuple[str, ...] = SERVICES,
+    use_cache: bool = True,
+) -> Dataset:
+    """Simulate and analyze the dataset; memoized by parameters."""
+    key = (flows_per_service, seed, services)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    tapo = Tapo()
+    runs: dict[str, DatasetRun] = {}
+    reports: dict[str, ServiceReport] = {}
+    for service in services:
+        profile = get_profile(service)
+        run = run_flows(generate_flows(profile, flows_per_service, seed=seed))
+        report = ServiceReport(service=service)
+        for trace in run.traces:
+            for analysis in tapo.analyze_packets(trace):
+                report.add(analysis)
+        runs[service] = run
+        reports[service] = report
+    dataset = Dataset(
+        flows_per_service=flows_per_service,
+        seed=seed,
+        runs=runs,
+        reports=reports,
+    )
+    if use_cache:
+        _CACHE[key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop memoized datasets (tests use this to force re-simulation)."""
+    _CACHE.clear()

@@ -1,0 +1,151 @@
+"""Export figure series to plain-text data files.
+
+The paper's figures are CDFs and scatter series; this module writes
+them as whitespace-separated ``.dat`` files (one per curve) that
+gnuplot, matplotlib, or a spreadsheet can plot directly — keeping the
+library itself free of plotting dependencies.
+
+Layout written by :func:`export_all`::
+
+    <out>/fig1a_rtt_<service>.dat        value  cdf
+    <out>/fig1a_rto_<service>.dat        value  cdf
+    <out>/fig1b_rto_over_rtt_<service>.dat
+    <out>/fig2_sequence.dat              time   relative_seq
+    <out>/fig2_rtt.dat                   time   rtt
+    <out>/fig3_stall_ratio_<service>.dat
+    <out>/fig6_init_rwnd_<service>.dat
+    <out>/fig7a_double_position_<service>.dat
+    <out>/fig7b_double_in_flight_<service>.dat
+    <out>/fig10a_tail_position_<service>.dat
+    <out>/fig10b_tail_in_flight_<service>.dat
+    <out>/fig11_in_flight_<service>.dat
+    <out>/fig12_continuous_loss_<service>.dat
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+
+from ..core.report import ServiceReport, cdf_points
+from .illustrative import IllustrativeResult
+
+
+def write_series(
+    path: Path, rows: list[tuple[float, float]], header: str
+) -> None:
+    """Write one two-column data file."""
+    with open(path, "w") as handle:
+        handle.write(f"# {header}\n")
+        for x, y in rows:
+            handle.write(f"{x:.6f} {y:.6f}\n")
+
+
+def write_cdf(path: Path, values: list[float], label: str) -> bool:
+    """Write a CDF data file; False when there are no samples."""
+    points = cdf_points(values)
+    if not points:
+        return False
+    write_series(path, points, f"{label}: value cdf")
+    return True
+
+
+def export_reports(
+    reports: Mapping[str, ServiceReport], out_dir: str | Path
+) -> list[Path]:
+    """Write every figure series of the measurement study."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, values: list[float], label: str) -> None:
+        path = out / name
+        if write_cdf(path, values, label):
+            written.append(path)
+
+    for service, report in reports.items():
+        emit(
+            f"fig1a_rtt_{service}.dat",
+            report.rtt_values(),
+            f"Fig 1a per-flow RTT, {service}",
+        )
+        emit(
+            f"fig1a_rto_{service}.dat",
+            report.rto_values(),
+            f"Fig 1a per-flow RTO, {service}",
+        )
+        emit(
+            f"fig1b_rto_over_rtt_{service}.dat",
+            report.rto_over_rtt_values(),
+            f"Fig 1b RTO/RTT, {service}",
+        )
+        emit(
+            f"fig3_stall_ratio_{service}.dat",
+            report.stall_ratio_values(),
+            f"Fig 3 stalled/transmission time, {service}",
+        )
+        emit(
+            f"fig6_init_rwnd_{service}.dat",
+            [float(v) for v in report.init_rwnd_values()],
+            f"Fig 6 initial rwnd (MSS), {service}",
+        )
+        emit(
+            f"fig7a_double_position_{service}.dat",
+            report.double_positions(),
+            f"Fig 7a double-retrans position, {service}",
+        )
+        emit(
+            f"fig7b_double_in_flight_{service}.dat",
+            [float(v) for v in report.double_in_flights()],
+            f"Fig 7b double-retrans in-flight, {service}",
+        )
+        emit(
+            f"fig10a_tail_position_{service}.dat",
+            report.tail_positions(),
+            f"Fig 10a tail-retrans position, {service}",
+        )
+        emit(
+            f"fig10b_tail_in_flight_{service}.dat",
+            [float(v) for v in report.tail_in_flights()],
+            f"Fig 10b tail-retrans in-flight, {service}",
+        )
+        emit(
+            f"fig11_in_flight_{service}.dat",
+            [float(v) for v in report.in_flight_values()],
+            f"Fig 11 per-ACK in-flight, {service}",
+        )
+        emit(
+            f"fig12_continuous_loss_{service}.dat",
+            [float(v) for v in report.continuous_loss_in_flights()],
+            f"Fig 12 continuous-loss in-flight, {service}",
+        )
+    return written
+
+
+def export_illustrative(
+    result: IllustrativeResult, out_dir: str | Path
+) -> list[Path]:
+    """Write the Fig. 2 time/sequence and RTT series."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    seq_path = out / "fig2_sequence.dat"
+    write_series(
+        seq_path,
+        [(t, float(s)) for t, s in result.seq_series],
+        "Fig 2: time relative_seq",
+    )
+    rtt_path = out / "fig2_rtt.dat"
+    write_series(rtt_path, result.rtt_series, "Fig 2: time rtt")
+    return [seq_path, rtt_path]
+
+
+def export_all(
+    reports: Mapping[str, ServiceReport],
+    illustrative: IllustrativeResult | None,
+    out_dir: str | Path,
+) -> list[Path]:
+    """Write every exportable series; returns the files written."""
+    written = export_reports(reports, out_dir)
+    if illustrative is not None:
+        written.extend(export_illustrative(illustrative, out_dir))
+    return written

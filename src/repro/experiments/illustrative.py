@@ -1,0 +1,130 @@
+"""Fig. 2: the illustrative stalled flow.
+
+Reconstructs the paper's example — a cloud-storage flow that is stalled
+first by a zero receive window (~250 ms), then by RTT variation
+(~300 ms), and finally several times by timeouts, taking seconds to
+move 400 KB.  The scenario is scripted (fixed pause, delay epoch and
+loss bursts) so the figure is deterministic, and the output is the
+time/sequence series plus TAPO's stall classification of the same
+trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..app.client import ClientApp
+from ..app.server import ServerApp
+from ..app.session import Request, Session
+from ..core.flow_analyzer import FlowAnalysis
+from ..core.tapo import Tapo
+from ..netsim.engine import EventLoop
+from ..netsim.link import PathConfig
+from ..netsim.loss import JitterModel, LossModel
+from ..netsim.trace import CaptureTap
+from ..packet.flow import Direction
+from ..packet.headers import ip_from_str
+from ..tcp.endpoint import EndpointConfig, TcpConnection
+from ..tcp.receiver import PausingReader
+
+
+class ScriptedLoss(LossModel):
+    """Drops every packet inside the scripted burst windows."""
+
+    def __init__(self, bursts: list[tuple[float, float]]):
+        self.bursts = bursts
+
+    def should_drop(self, rng: random.Random, now: float = 0.0, pkt=None) -> bool:
+        return any(start <= now < end for start, end in self.bursts)
+
+
+class ScriptedDelay(JitterModel):
+    """Adds a fixed extra delay inside the scripted epochs."""
+
+    def __init__(self, epochs: list[tuple[float, float, float]]):
+        self.epochs = epochs  # (start, end, extra_delay)
+
+    def extra_delay(self, rng: random.Random, now: float = 0.0) -> float:
+        for start, end, extra in self.epochs:
+            if start <= now < end:
+                return extra
+        return 0.0
+
+
+@dataclass
+class IllustrativeResult:
+    """Everything needed to draw Fig. 2."""
+
+    analysis: FlowAnalysis
+    #: (time, relative sequence) of outgoing data packets.
+    seq_series: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, rtt) samples as the analyzer measured them.
+    rtt_series: list[tuple[float, float]] = field(default_factory=list)
+    total_bytes: int = 0
+    transfer_time: float = 0.0
+    stalled_time: float = 0.0
+
+
+def run_illustrative_flow(response_bytes: int = 400_000) -> IllustrativeResult:
+    """Simulate and analyze the Fig. 2 scenario."""
+    engine = EventLoop()
+    rng = random.Random(2014)
+    tap = CaptureTap(engine)
+    client = EndpointConfig(
+        ip=ip_from_str("100.64.3.7"),
+        port=23456,
+        rcv_buf=12 << 10,
+        max_rcv_buf=12 << 10,
+        rcv_buf_auto_grow=False,
+        wscale=0,
+        # Zero-window stall: the client app stops reading 1.0s in.
+        reader=PausingReader(pauses=[(1.0, 0.6)]),
+    )
+    server = EndpointConfig(ip=ip_from_str("10.0.0.1"), port=80, init_cwnd=10)
+    path = PathConfig(
+        delay=0.045,
+        rate_bps=8e5,  # the paper's example crawls: 400 KB in ~9 s
+        queue_limit=32,
+        # Timeout stalls: two loss bursts late in the transfer.
+        data_loss=ScriptedLoss([(3.4, 3.75), (5.2, 5.65)]),
+        # RTT-variation stall: a 350 ms delay epoch around t=2.2s.
+        data_jitter=ScriptedDelay([(2.3, 2.7, 0.38)]),
+    )
+    connection = TcpConnection(engine, client, server, path, rng, tap=tap)
+    session = Session(
+        requests=[Request(request_bytes=400, response_bytes=response_bytes)]
+    )
+    ServerApp(engine, connection.server, session)
+    ClientApp(engine, connection.client, session)
+    connection.open()
+    engine.run(until=60.0)
+    connection.teardown()
+
+    analysis = Tapo().analyze_flow(_single_flow(tap.packets))
+    result = IllustrativeResult(analysis=analysis)
+    base_seq = None
+    for pkt, direction in analysis.flow.packets:
+        if direction is Direction.OUT and pkt.payload_len > 0:
+            if base_seq is None:
+                base_seq = pkt.seq
+            result.seq_series.append(
+                (pkt.timestamp, (pkt.seq - base_seq) % (1 << 32))
+            )
+    sample_times = [t for t, _ in result.seq_series]
+    for index, rtt in enumerate(analysis.rtt_samples):
+        when = sample_times[min(index, len(sample_times) - 1)] if sample_times else 0.0
+        result.rtt_series.append((when, rtt))
+    result.total_bytes = analysis.bytes_out
+    result.transfer_time = analysis.duration
+    result.stalled_time = analysis.stalled_time
+    return result
+
+
+def _single_flow(packets):
+    from ..packet.flow import demux
+
+    flows = demux(packets)
+    if len(flows) != 1:
+        raise RuntimeError(f"expected one flow in the trace, got {len(flows)}")
+    return flows[0]

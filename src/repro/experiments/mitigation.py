@@ -1,0 +1,204 @@
+"""Section 5 experiments: native Linux vs TLP vs S-RTO.
+
+Reproduces the paper's deployment methodology in simulation: the same
+workload (same seeds, hence the same loss/delay processes per flow) is
+served once under each recovery policy, and per-request latencies are
+compared.  Latency is the time from the client issuing a request to
+the full response being delivered (the paper measures "client
+initiates a request until all response packets have been acknowledged"
+— the same quantity up to half an RTT).
+
+``short_flow_max_bytes`` mirrors the paper's 200 KB short-flow
+threshold, scaled to this reproduction's flow sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.report import percentile
+from ..workload.distributions import Constant, LogNormal
+from ..workload.generator import generate_flows
+from ..workload.services import ServiceProfile
+from .runner import run_flows
+
+#: The policies of Table 8/9, in the paper's order.
+POLICIES: tuple[tuple[str, str], ...] = (
+    ("native", "Linux"),
+    ("tlp", "TLP"),
+    ("srto", "S-RTO"),
+)
+
+#: Paper's short-flow threshold is 200 KB on 1.7 MB average flows;
+#: flow sizes here are scaled by ~7x, hence 60 KB.
+SHORT_FLOW_MAX_BYTES = 60_000
+
+#: Large-flow threshold for the throughput comparison.
+LARGE_FLOW_MIN_BYTES = 60_000
+
+
+@dataclass
+class PolicyOutcome:
+    """Measurements for one service under one recovery policy."""
+
+    policy: str
+    latencies: list[float] = field(default_factory=list)
+    throughputs: list[float] = field(default_factory=list)  # bytes/sec
+    retransmissions: int = 0
+    data_segments: int = 0
+    flows: int = 0
+
+    @property
+    def retransmission_ratio(self) -> float:
+        if not self.data_segments:
+            return 0.0
+        return self.retransmissions / self.data_segments
+
+    def latency_quantile(self, q: float) -> float:
+        return percentile(self.latencies, q)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / max(1, len(self.latencies))
+
+    @property
+    def mean_throughput(self) -> float:
+        return sum(self.throughputs) / max(1, len(self.throughputs))
+
+
+def make_short_flow_profile(base: ServiceProfile) -> ServiceProfile:
+    """Derive the paper's "short flow" workload from a service profile.
+
+    The paper's cloud-storage short flows are *control flows*: small
+    single-object exchanges on the same network paths as the bulk
+    traffic.  The variant keeps the path and client population but
+    serves one small response per connection with no back-end fetch and
+    no application write pauses, so that the latency tail isolates the
+    transport behaviour the recovery policies target.
+    """
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}_short",
+        response_size=LogNormal(15_000, 0.8),
+        requests_per_session=Constant(1),
+        backend_fetch_prob=0.0,
+        supply_pause_prob=0.0,
+    )
+
+
+def make_large_flow_profile(base: ServiceProfile) -> ServiceProfile:
+    """Derive a bulk-transfer workload (Sec. 5.2's "large flows")."""
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}_large",
+        response_size=LogNormal(200_000, 0.6),
+        requests_per_session=Constant(1),
+        backend_fetch_prob=0.0,
+        supply_pause_prob=0.0,
+    )
+
+
+def run_policy(
+    profile: ServiceProfile,
+    policy: str,
+    flows: int,
+    seed: int,
+    t1: int = 10,
+    t2: int = 5,
+    short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
+) -> PolicyOutcome:
+    """Run one service under one recovery policy.
+
+    Per-request latencies are restricted to requests whose response is
+    a "short flow" when ``short_flow_max`` is set; throughputs are
+    collected from large responses.
+    """
+    kwargs = {"t1": t1, "t2": t2} if policy == "srto" else {}
+    scenarios = generate_flows(
+        profile, flows, seed=seed, policy=policy, policy_kwargs=kwargs
+    )
+    outcome = PolicyOutcome(policy=policy)
+    run = run_flows(scenarios)
+    for result in run.results:
+        outcome.flows += 1
+        outcome.retransmissions += result.server_stats.retransmissions
+        outcome.data_segments += result.server_stats.data_segments_sent
+        requests = result.scenario.session.requests
+        for request, timing in zip(requests, result.session_result.timings):
+            if timing.latency is None:
+                continue
+            if (
+                short_flow_max is None
+                or request.response_bytes <= short_flow_max
+            ):
+                outcome.latencies.append(timing.latency)
+            if (
+                request.response_bytes >= LARGE_FLOW_MIN_BYTES
+                and timing.latency > 0
+            ):
+                outcome.throughputs.append(
+                    request.response_bytes / timing.latency
+                )
+    return outcome
+
+
+@dataclass
+class MitigationComparison:
+    """Table 8 / Table 9 material for one service."""
+
+    service: str
+    outcomes: dict[str, PolicyOutcome]
+
+    QUANTILES = (50, 90, 95)
+
+    def reduction(self, policy: str, q: float) -> float:
+        """Latency reduction vs native at quantile ``q`` (negative =
+        faster, as the paper reports)."""
+        base = self.outcomes["native"].latency_quantile(q)
+        value = self.outcomes[policy].latency_quantile(q)
+        if base == 0:
+            return 0.0
+        return (value - base) / base
+
+    def mean_reduction(self, policy: str) -> float:
+        base = self.outcomes["native"].mean_latency
+        if base == 0:
+            return 0.0
+        return (self.outcomes[policy].mean_latency - base) / base
+
+    def throughput_improvement(self, policy: str) -> float:
+        base = self.outcomes["native"].mean_throughput
+        if base == 0:
+            return 0.0
+        return (self.outcomes[policy].mean_throughput - base) / base
+
+    def retransmission_ratios(self) -> dict[str, float]:
+        """Table 9: retransmitted fraction of data packets."""
+        return {
+            policy: outcome.retransmission_ratio
+            for policy, outcome in self.outcomes.items()
+        }
+
+
+def compare_policies(
+    profile: ServiceProfile,
+    flows: int,
+    seed: int = 0,
+    t1: int = 10,
+    t2: int = 5,
+    short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
+) -> MitigationComparison:
+    """Run all three policies over the same seeded workload."""
+    outcomes = {}
+    for policy, _label in POLICIES:
+        outcomes[policy] = run_policy(
+            profile,
+            policy,
+            flows,
+            seed,
+            t1=t1,
+            t2=t2,
+            short_flow_max=short_flow_max,
+        )
+    return MitigationComparison(service=profile.name, outcomes=outcomes)

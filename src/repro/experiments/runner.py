@@ -1,0 +1,141 @@
+"""Run flow scenarios through the simulator and collect traces.
+
+Each flow runs in its own event loop (flows in the paper's dataset are
+analyzed independently, so there is no cross-flow coupling to model;
+shared-bottleneck effects are represented by the per-flow loss/queue
+models).  The output of a run is exactly what a front-end tcpdump
+would give: the server-side packet trace, plus ground-truth transport
+statistics that the tests use to validate TAPO.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..app.client import ClientApp
+from ..app.server import ServerApp
+from ..app.session import SessionResult
+from ..netsim.engine import EventLoop
+from ..netsim.trace import CaptureTap
+from ..packet.packet import PacketRecord
+from ..tcp.endpoint import TcpConnection
+from ..tcp.sender import SenderStats
+from ..workload.generator import FlowScenario
+
+
+@dataclass
+class FlowRunResult:
+    """Everything observable about one simulated flow."""
+
+    scenario: FlowScenario
+    packets: list[PacketRecord]
+    session_result: SessionResult
+    server_stats: SenderStats
+    sim_time: float
+    events: int
+
+    @property
+    def complete(self) -> bool:
+        return self.session_result.complete
+
+    @property
+    def latency(self) -> float | None:
+        """First-request-to-last-response completion time."""
+        timings = self.session_result.timings
+        if not timings or timings[-1].completed_at is None:
+            return None
+        return timings[-1].completed_at - timings[0].sent_at
+
+    @property
+    def response_bytes(self) -> int:
+        return self.scenario.session.total_response_bytes
+
+
+def run_flow(
+    scenario: FlowScenario, max_sim_time: float = 600.0
+) -> FlowRunResult:
+    """Simulate one flow scenario to completion (or the time cap)."""
+    engine = EventLoop()
+    rng = random.Random(scenario.seed ^ 0x5EED)
+    tap = CaptureTap(engine)
+    connection = TcpConnection(
+        engine,
+        client_config=scenario.client_config,
+        server_config=scenario.server_config,
+        path_config=scenario.path_config,
+        rng=rng,
+        tap=tap,
+    )
+    ServerApp(engine, connection.server, scenario.session)
+    done: dict[str, bool] = {}
+    client_app = ClientApp(
+        engine,
+        connection.client,
+        scenario.session,
+        on_done=lambda result: done.setdefault("finished", True),
+    )
+    connection.open()
+
+    # Run in slices so we can stop as soon as the session completes and
+    # the server has drained (FIN acked or sender gave up).
+    slice_len = 5.0
+    while engine.now < max_sim_time:
+        engine.run(until=min(engine.now + slice_len, max_sim_time))
+        server_sender = connection.server.sender
+        if done.get("finished") and (
+            server_sender is None or server_sender.all_acked
+            or server_sender.failed
+        ):
+            break
+        if engine.peek_time() is None:
+            break
+
+    if connection.server.sender is not None and connection.server.sender.failed:
+        client_app.result.failed = True
+    connection.teardown()
+    return FlowRunResult(
+        scenario=scenario,
+        packets=tap.packets,
+        session_result=client_app.result,
+        server_stats=(
+            connection.server.sender.stats
+            if connection.server.sender is not None
+            else SenderStats()
+        ),
+        sim_time=engine.now,
+        events=engine.events_run,
+    )
+
+
+@dataclass
+class DatasetRun:
+    """Results of running a batch of flows for one service."""
+
+    service: str
+    results: list[FlowRunResult] = field(default_factory=list)
+
+    @property
+    def traces(self) -> list[list[PacketRecord]]:
+        return [result.packets for result in self.results]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for result in self.results if result.complete)
+
+    def total_packets(self) -> int:
+        return sum(len(result.packets) for result in self.results)
+
+
+def run_flows(
+    scenarios: Iterable[FlowScenario],
+    max_sim_time: float = 600.0,
+) -> DatasetRun:
+    """Run a batch of scenarios; returns the collected results."""
+    results = []
+    service = ""
+    for scenario in scenarios:
+        service = scenario.service
+        results.append(run_flow(scenario, max_sim_time=max_sim_time))
+    return DatasetRun(service=service, results=results)

@@ -1,0 +1,46 @@
+"""Discrete-event network simulator: engine, links, loss models, taps."""
+
+from .engine import EventLoop, SimulationError, Timer
+from .link import DuplexPath, Link, LinkStats, PathConfig
+from .loss import (
+    BernoulliLoss,
+    CompositeJitter,
+    CompositeLoss,
+    GilbertElliottLoss,
+    JitterModel,
+    LossModel,
+    NoJitter,
+    NoLoss,
+    RandomWalkJitter,
+    ScriptedDrop,
+    SpikeJitter,
+    TimedBurstLoss,
+    UniformJitter,
+)
+from .topology import Dispatcher, SharedBottleneck
+from .trace import CaptureTap
+
+__all__ = [
+    "BernoulliLoss",
+    "CaptureTap",
+    "CompositeJitter",
+    "CompositeLoss",
+    "Dispatcher",
+    "DuplexPath",
+    "EventLoop",
+    "GilbertElliottLoss",
+    "JitterModel",
+    "Link",
+    "LinkStats",
+    "LossModel",
+    "NoJitter",
+    "NoLoss",
+    "PathConfig",
+    "RandomWalkJitter",
+    "ScriptedDrop",
+    "SimulationError",
+    "SpikeJitter",
+    "TimedBurstLoss",
+    "Timer",
+    "UniformJitter",
+]

@@ -1,0 +1,129 @@
+"""Discrete event simulation engine.
+
+A single-threaded event loop over a binary heap.  Components schedule
+callbacks at absolute or relative times and receive a :class:`Timer`
+handle that supports cancellation and rescheduling — the exact facility
+a TCP retransmission timer needs.
+
+Determinism: events at the same timestamp fire in scheduling order
+(a monotonic tie-breaker is part of the heap key), so simulations are
+bit-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    tie: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle for a scheduled callback.
+
+    ``cancel()`` is idempotent; ``pending`` tells whether the callback
+    is still going to fire.
+    """
+
+    __slots__ = ("_engine", "_event", "_callback")
+
+    def __init__(self, engine: "EventLoop", event: _Event):
+        self._engine = engine
+        self._event = event
+
+    @property
+    def pending(self) -> bool:
+        return not self._event.cancelled and self._event.time >= self._engine.now
+
+    @property
+    def fire_time(self) -> float:
+        return self._event.time
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class EventLoop:
+    """The simulation clock and event queue."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._heap: list[_Event] = []
+        self._tie = itertools.count()
+        self.events_run = 0
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, now is {self.now:.6f}"
+            )
+        event = _Event(time, next(self._tie), callback)
+        heapq.heappush(self._heap, event)
+        return Timer(self, event)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay:.6f}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; return False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Drain the queue, optionally bounded by time or event count.
+
+        With ``until``, events after that time stay queued and the clock
+        is left at ``until``.
+        """
+        remaining = max_events
+        while True:
+            if remaining is not None and remaining <= 0:
+                return
+            next_time = self.peek_time()
+            if next_time is None:
+                if until is not None:
+                    self.now = max(self.now, until)
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            if remaining is not None:
+                remaining -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,107 @@
+"""Shared-bottleneck topology: several connections over one queue.
+
+The point-to-point :class:`~repro.netsim.link.Link` serves the per-flow
+experiments; fairness questions (does S-RTO steal bandwidth from native
+flows? — the paper's Sec. 5.2 claim) need competing connections that
+*share* a bottleneck.  A :class:`SharedBottleneck` owns one forward and
+one reverse link whose sinks dispatch packets to the registered
+endpoint for the destination address, so all attached connections
+contend for the same serialization capacity and queue.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from ..packet.packet import PacketRecord
+from .engine import EventLoop
+from .link import Link
+from .loss import JitterModel, LossModel
+
+Address = tuple[int, int]
+
+
+class Dispatcher:
+    """Routes delivered packets to the endpoint owning the address."""
+
+    def __init__(self) -> None:
+        self._routes: dict[Address, Callable[[PacketRecord], None]] = {}
+        self.unrouted = 0
+
+    def register(
+        self, address: Address, sink: Callable[[PacketRecord], None]
+    ) -> None:
+        if address in self._routes:
+            raise ValueError(f"address {address} already registered")
+        self._routes[address] = sink
+
+    def __call__(self, pkt: PacketRecord) -> None:
+        sink = self._routes.get((pkt.dst_ip, pkt.dst_port))
+        if sink is None:
+            self.unrouted += 1
+            return
+        sink(pkt)
+
+
+class SharedBottleneck:
+    """One bottleneck shared by many client/server endpoint pairs.
+
+    ``forward`` carries server -> clients traffic; ``reverse`` carries
+    clients -> server traffic.  Register each endpoint's receive
+    callback under its (ip, port) and hand the endpoints the matching
+    link via ``attach_link``.
+    """
+
+    def __init__(
+        self,
+        engine: EventLoop,
+        delay: float = 0.05,
+        rate_bps: float | None = 10e6,
+        queue_limit: int = 64,
+        data_loss: LossModel | None = None,
+        ack_loss: LossModel | None = None,
+        data_jitter: JitterModel | None = None,
+        ack_jitter: JitterModel | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.engine = engine
+        self.to_clients = Dispatcher()
+        self.to_server = Dispatcher()
+        rng = rng or random.Random(0)
+        self.forward = Link(
+            engine,
+            self.to_clients,
+            delay=delay,
+            rate_bps=rate_bps,
+            queue_limit=queue_limit,
+            loss=data_loss,
+            jitter=data_jitter,
+            rng=rng,
+            name="shared-data",
+        )
+        self.reverse = Link(
+            engine,
+            self.to_server,
+            delay=delay,
+            rate_bps=rate_bps,
+            queue_limit=queue_limit,
+            loss=ack_loss,
+            jitter=ack_jitter,
+            rng=rng,
+            name="shared-ack",
+        )
+
+    def register_client(
+        self, address: Address, sink: Callable[[PacketRecord], None]
+    ) -> Link:
+        """Register a client; returns its outgoing (reverse) link."""
+        self.to_clients.register(address, sink)
+        return self.reverse
+
+    def register_server(
+        self, address: Address, sink: Callable[[PacketRecord], None]
+    ) -> Link:
+        """Register a server; returns its outgoing (forward) link."""
+        self.to_server.register(address, sink)
+        return self.forward

@@ -1,0 +1,192 @@
+"""Flow identification and demultiplexing.
+
+A *flow* is one TCP connection identified by its canonical 4-tuple.
+The analyzer works from the server's point of view, so every flow is
+oriented: the *server endpoint* is the sender whose stalls we classify,
+and packets are tagged :data:`Direction.OUT` (server -> client) or
+:data:`Direction.IN` (client -> server).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from .packet import PacketRecord
+
+
+class Direction(enum.Enum):
+    """Packet direction relative to the server endpoint."""
+
+    OUT = "out"  # server -> client
+    IN = "in"  # client -> server
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """Canonical 4-tuple: the endpoints sorted so either direction maps
+    to the same key."""
+
+    ip_a: int
+    port_a: int
+    ip_b: int
+    port_b: int
+
+    @classmethod
+    def from_packet(cls, pkt: PacketRecord) -> "FlowKey":
+        a = (pkt.src_ip, pkt.src_port)
+        b = (pkt.dst_ip, pkt.dst_port)
+        if a > b:
+            a, b = b, a
+        return cls(a[0], a[1], b[0], b[1])
+
+    def endpoints(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        return (self.ip_a, self.port_a), (self.ip_b, self.port_b)
+
+
+ServerPredicate = Callable[[PacketRecord], bool]
+
+
+def server_by_ip(*server_ips: int) -> ServerPredicate:
+    """Predicate: the server endpoint is any of the given IPs."""
+    ips = frozenset(server_ips)
+
+    def predicate(pkt: PacketRecord) -> bool:
+        return pkt.src_ip in ips
+
+    return predicate
+
+
+def server_by_port(*server_ports: int) -> ServerPredicate:
+    """Predicate: the server endpoint is any of the given ports
+    (e.g. 80/443 for a front-end web server)."""
+    ports = frozenset(server_ports)
+
+    def predicate(pkt: PacketRecord) -> bool:
+        return pkt.src_port in ports
+
+    return predicate
+
+
+@dataclass
+class FlowTrace:
+    """All packets of one connection, oriented toward the server.
+
+    ``server`` / ``client`` are (ip, port) endpoints; ``packets`` is the
+    time-ordered capture with a direction tag per packet.
+    """
+
+    key: FlowKey
+    server: tuple[int, int]
+    client: tuple[int, int]
+    packets: list[tuple[PacketRecord, Direction]]
+
+    def direction_of(self, pkt: PacketRecord) -> Direction:
+        if (pkt.src_ip, pkt.src_port) == self.server:
+            return Direction.OUT
+        return Direction.IN
+
+    def append(self, pkt: PacketRecord) -> None:
+        self.packets.append((pkt, self.direction_of(pkt)))
+
+    @property
+    def first_time(self) -> float:
+        return self.packets[0][0].timestamp if self.packets else 0.0
+
+    @property
+    def last_time(self) -> float:
+        return self.packets[-1][0].timestamp if self.packets else 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time
+
+    def out_packets(self) -> list[PacketRecord]:
+        return [p for p, d in self.packets if d is Direction.OUT]
+
+    def in_packets(self) -> list[PacketRecord]:
+        return [p for p, d in self.packets if d is Direction.IN]
+
+    def bytes_out(self) -> int:
+        return sum(p.payload_len for p, d in self.packets if d is Direction.OUT)
+
+
+class FlowDemuxer:
+    """Group a packet stream into per-connection :class:`FlowTrace`\\ s.
+
+    The ``server_side`` predicate decides, for each packet, whether its
+    *source* is the server endpoint.  When no predicate is given the
+    demuxer infers the server as the endpoint that sent the SYN+ACK
+    (falling back to the destination of the first SYN, then to the
+    endpoint sending the most data).
+    """
+
+    def __init__(self, server_side: ServerPredicate | None = None):
+        self._server_side = server_side
+        self._flows: dict[FlowKey, FlowTrace] = {}
+        self._pending: dict[FlowKey, list[PacketRecord]] = defaultdict(list)
+
+    def feed(self, pkt: PacketRecord) -> None:
+        key = FlowKey.from_packet(pkt)
+        flow = self._flows.get(key)
+        if flow is not None:
+            flow.append(pkt)
+            return
+        server = self._identify_server(key, pkt)
+        if server is None:
+            self._pending[key].append(pkt)
+            return
+        endpoints = key.endpoints()
+        client = endpoints[1] if endpoints[0] == server else endpoints[0]
+        flow = FlowTrace(key=key, server=server, client=client, packets=[])
+        for earlier in self._pending.pop(key, []):
+            flow.append(earlier)
+        flow.append(pkt)
+        self._flows[key] = flow
+
+    def feed_all(self, packets: Iterable[PacketRecord]) -> None:
+        for pkt in packets:
+            self.feed(pkt)
+
+    def _identify_server(
+        self, key: FlowKey, pkt: PacketRecord
+    ) -> tuple[int, int] | None:
+        if self._server_side is not None:
+            if self._server_side(pkt):
+                return (pkt.src_ip, pkt.src_port)
+            return (pkt.dst_ip, pkt.dst_port)
+        # Inference: SYN+ACK source is the server; a bare SYN points at it.
+        if pkt.syn and pkt.has_ack:
+            return (pkt.src_ip, pkt.src_port)
+        if pkt.syn:
+            return (pkt.dst_ip, pkt.dst_port)
+        return None
+
+    def flows(self) -> list[FlowTrace]:
+        """Finalized flows, resolving any still-ambiguous ones by data
+        volume (the heavier sender is assumed to be the server)."""
+        for key, packets in list(self._pending.items()):
+            by_endpoint: dict[tuple[int, int], int] = defaultdict(int)
+            for pkt in packets:
+                by_endpoint[(pkt.src_ip, pkt.src_port)] += pkt.payload_len
+            server = max(by_endpoint, key=by_endpoint.get)  # type: ignore[arg-type]
+            endpoints = key.endpoints()
+            client = endpoints[1] if endpoints[0] == server else endpoints[0]
+            flow = FlowTrace(key=key, server=server, client=client, packets=[])
+            for pkt in packets:
+                flow.append(pkt)
+            self._flows[key] = flow
+            del self._pending[key]
+        return sorted(self._flows.values(), key=lambda f: f.first_time)
+
+
+def demux(
+    packets: Iterable[PacketRecord],
+    server_side: ServerPredicate | None = None,
+) -> list[FlowTrace]:
+    """Convenience wrapper: demultiplex ``packets`` into flows."""
+    demuxer = FlowDemuxer(server_side)
+    demuxer.feed_all(packets)
+    return demuxer.flows()

@@ -1,0 +1,119 @@
+"""TCP option encoding and decoding.
+
+Implements the option kinds that matter for server-side stall analysis:
+
+* ``MSS`` (kind 2) — maximum segment size, carried on SYN.
+* ``Window Scale`` (kind 3) — receive-window shift count.
+* ``SACK Permitted`` (kind 4) — negotiated on SYN.
+* ``SACK`` (kind 5) — selective acknowledgment blocks; the first block
+  may be a DSACK (RFC 2883) reporting a duplicate segment.
+* ``Timestamps`` (kind 8) — TSval/TSecr, used for RTT measurement.
+
+The wire format follows RFC 793 / RFC 7323: ``NOP`` (kind 1) padding and
+``EOL`` (kind 0) termination are honoured when decoding, and options are
+padded to a 4-byte boundary when encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+KIND_EOL = 0
+KIND_NOP = 1
+KIND_MSS = 2
+KIND_WSCALE = 3
+KIND_SACK_PERMITTED = 4
+KIND_SACK = 5
+KIND_TIMESTAMP = 8
+
+#: A SACK block: (left edge, right edge), right edge exclusive.
+SackBlock = tuple[int, int]
+
+
+class OptionDecodeError(ValueError):
+    """Raised when a TCP option area is malformed."""
+
+
+@dataclass
+class TCPOptions:
+    """Decoded TCP options of a single segment.
+
+    Absent options are ``None`` (or an empty list for SACK blocks).
+    """
+
+    mss: int | None = None
+    wscale: int | None = None
+    sack_permitted: bool = False
+    sack_blocks: list[SackBlock] = field(default_factory=list)
+    ts_val: int | None = None
+    ts_ecr: int | None = None
+
+    def encode(self) -> bytes:
+        """Serialize to wire format, padded to a 4-byte boundary."""
+        out = bytearray()
+        if self.mss is not None:
+            out += struct.pack("!BBH", KIND_MSS, 4, self.mss)
+        if self.wscale is not None:
+            out += struct.pack("!BBB", KIND_WSCALE, 3, self.wscale)
+        if self.sack_permitted:
+            out += struct.pack("!BB", KIND_SACK_PERMITTED, 2)
+        if self.ts_val is not None:
+            out += struct.pack(
+                "!BBII", KIND_TIMESTAMP, 10, self.ts_val, self.ts_ecr or 0
+            )
+        if self.sack_blocks:
+            blocks = self.sack_blocks[:4]
+            out += struct.pack("!BB", KIND_SACK, 2 + 8 * len(blocks))
+            for left, right in blocks:
+                out += struct.pack("!II", left, right)
+        while len(out) % 4:
+            out += bytes([KIND_NOP])
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TCPOptions":
+        """Parse a TCP option area.
+
+        Raises :class:`OptionDecodeError` on truncated or malformed
+        options rather than silently guessing.
+        """
+        opts = cls()
+        i = 0
+        n = len(data)
+        while i < n:
+            kind = data[i]
+            if kind == KIND_EOL:
+                break
+            if kind == KIND_NOP:
+                i += 1
+                continue
+            if i + 1 >= n:
+                raise OptionDecodeError("option kind %d truncated" % kind)
+            length = data[i + 1]
+            if length < 2 or i + length > n:
+                raise OptionDecodeError(
+                    "option kind %d has bad length %d" % (kind, length)
+                )
+            body = data[i + 2 : i + length]
+            if kind == KIND_MSS and length == 4:
+                (opts.mss,) = struct.unpack("!H", body)
+            elif kind == KIND_WSCALE and length == 3:
+                opts.wscale = body[0]
+            elif kind == KIND_SACK_PERMITTED and length == 2:
+                opts.sack_permitted = True
+            elif kind == KIND_TIMESTAMP and length == 10:
+                opts.ts_val, opts.ts_ecr = struct.unpack("!II", body)
+            elif kind == KIND_SACK:
+                if (length - 2) % 8:
+                    raise OptionDecodeError("SACK option length %d" % length)
+                for off in range(0, length - 2, 8):
+                    left, right = struct.unpack("!II", body[off : off + 8])
+                    opts.sack_blocks.append((left, right))
+            # Unknown option kinds are skipped, as real stacks do.
+            i += length
+        return opts
+
+    def wire_length(self) -> int:
+        """Length of the encoded option area including padding."""
+        return len(self.encode())

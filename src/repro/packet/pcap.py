@@ -1,0 +1,170 @@
+"""Classic libpcap file reader and writer.
+
+Implements the original pcap format (magic ``0xa1b2c3d4``, microsecond
+timestamps, both byte orders on read) with the ``LINKTYPE_RAW`` (101)
+and ``LINKTYPE_ETHERNET`` (1) link types.  Raw IP is the native format
+for simulator output; Ethernet frames are supported on read so traces
+captured with tcpdump on a real interface can be analyzed too.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import BinaryIO
+
+from .headers import HeaderDecodeError
+from .packet import PacketRecord
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+ETHERTYPE_IPV4 = 0x0800
+
+
+class PcapFormatError(ValueError):
+    """Raised when a pcap file is malformed."""
+
+
+class PcapWriter:
+    """Stream packet records into a classic pcap file.
+
+    Usable as a context manager::
+
+        with PcapWriter(path) as writer:
+            writer.write(record)
+    """
+
+    def __init__(self, path: str | Path, linktype: int = LINKTYPE_RAW):
+        self._file: BinaryIO = open(path, "wb")
+        self.linktype = linktype
+        header = struct.pack(
+            "!IHHiIII" if False else "<IHHiIII",
+            PCAP_MAGIC,
+            2,
+            4,
+            0,
+            0,
+            65535,
+            linktype,
+        )
+        self._file.write(header)
+        self.packets_written = 0
+
+    def write(self, record: PacketRecord) -> None:
+        """Append one packet record."""
+        data = record.encode()
+        if self.linktype == LINKTYPE_ETHERNET:
+            data = b"\x00" * 12 + struct.pack("!H", ETHERTYPE_IPV4) + data
+        ts_sec = int(record.timestamp)
+        ts_usec = int(round((record.timestamp - ts_sec) * 1_000_000))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        self._file.write(
+            struct.pack("<IIII", ts_sec, ts_usec, len(data), len(data))
+        )
+        self._file.write(data)
+        self.packets_written += 1
+
+    def write_all(self, records: Iterable[PacketRecord]) -> int:
+        """Append every record from an iterable; return the count."""
+        count = 0
+        for record in records:
+            self.write(record)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate packet records out of a classic pcap file.
+
+    Non-IPv4 frames and packets that fail to parse as TCP are skipped
+    and counted in :attr:`skipped` — production traces always contain
+    ARP and other noise, and the analyzer should not die on it.
+    """
+
+    def __init__(self, path: str | Path):
+        self._file: BinaryIO = open(path, "rb")
+        raw = self._file.read(_GLOBAL_HEADER.size)
+        if len(raw) < _GLOBAL_HEADER.size:
+            raise PcapFormatError("pcap global header truncated")
+        magic = struct.unpack("<I", raw[:4])[0]
+        if magic == PCAP_MAGIC:
+            self._endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise PcapFormatError("bad pcap magic %#010x" % magic)
+        fields = struct.unpack(self._endian + "IHHiIII", raw)
+        self.linktype = fields[6]
+        if self.linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
+            raise PcapFormatError("unsupported linktype %d" % self.linktype)
+        self.skipped = 0
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        record_struct = struct.Struct(self._endian + "IIII")
+        while True:
+            raw = self._file.read(record_struct.size)
+            if not raw:
+                return
+            if len(raw) < record_struct.size:
+                raise PcapFormatError("pcap record header truncated")
+            ts_sec, ts_usec, incl_len, _orig_len = record_struct.unpack(raw)
+            data = self._file.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapFormatError("pcap packet body truncated")
+            if self.linktype == LINKTYPE_ETHERNET:
+                if len(data) < 14:
+                    self.skipped += 1
+                    continue
+                ethertype = struct.unpack("!H", data[12:14])[0]
+                if ethertype != ETHERTYPE_IPV4:
+                    self.skipped += 1
+                    continue
+                data = data[14:]
+            timestamp = ts_sec + ts_usec / 1_000_000
+            try:
+                yield PacketRecord.decode(data, timestamp)
+            except HeaderDecodeError:
+                self.skipped += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_pcap(
+    path: str | Path,
+    records: Iterable[PacketRecord],
+    linktype: int = LINKTYPE_RAW,
+) -> int:
+    """Write all ``records`` to ``path``; return the packet count."""
+    with PcapWriter(path, linktype=linktype) as writer:
+        return writer.write_all(records)
+
+
+def read_pcap(path: str | Path) -> list[PacketRecord]:
+    """Read every packet record from ``path``."""
+    with PcapReader(path) as reader:
+        return list(reader)

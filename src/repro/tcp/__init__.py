@@ -1,0 +1,60 @@
+"""Server-side TCP stack simulator (Linux 2.6.32 flavoured)."""
+
+from .congestion import CongestionControl, Cubic, NewReno, make_congestion_control
+from .constants import (
+    DEFAULT_INIT_CWND,
+    DEFAULT_MSS,
+    DEFAULT_RCV_BUF,
+    DUP_THRESH,
+    MAX_RTO,
+    MIN_RTO,
+)
+from .endpoint import EndpointConfig, TcpConnection, TcpEndpoint
+from .policies import (
+    NativePolicy,
+    RecoveryPolicy,
+    SRTOPolicy,
+    TLPPolicy,
+    make_policy,
+)
+from .receiver import (
+    AppReader,
+    ImmediateReader,
+    IntervalReader,
+    PausingReader,
+    ReceiverHalf,
+)
+from .rto import RTOEstimator
+from .scoreboard import Scoreboard, Segment
+from .sender import SenderHalf, SenderStats
+
+__all__ = [
+    "AppReader",
+    "CongestionControl",
+    "Cubic",
+    "DEFAULT_INIT_CWND",
+    "DEFAULT_MSS",
+    "DEFAULT_RCV_BUF",
+    "DUP_THRESH",
+    "EndpointConfig",
+    "ImmediateReader",
+    "IntervalReader",
+    "MAX_RTO",
+    "MIN_RTO",
+    "NativePolicy",
+    "NewReno",
+    "PausingReader",
+    "RTOEstimator",
+    "ReceiverHalf",
+    "RecoveryPolicy",
+    "SRTOPolicy",
+    "Scoreboard",
+    "Segment",
+    "SenderHalf",
+    "SenderStats",
+    "TLPPolicy",
+    "TcpConnection",
+    "TcpEndpoint",
+    "make_congestion_control",
+    "make_policy",
+]

@@ -1,0 +1,176 @@
+"""Congestion-control algorithms: NewReno and CUBIC.
+
+Both operate on a congestion window measured in segments, the way the
+Linux kernel does.  The sender drives them through a small interface:
+
+* :meth:`CongestionControl.on_ack` — one ACK advancing ``snd_una``,
+  with the number of newly acknowledged segments;
+* :meth:`CongestionControl.ssthresh` — the reduced target after a loss
+  event (Reno halves; CUBIC multiplies by beta = 717/1024);
+* :meth:`CongestionControl.on_loss_event` / :meth:`on_rto` — bookkeeping
+  when entering Recovery / Loss.
+
+CUBIC follows Ha, Rhee & Xu (2008) and the 2.6.32 implementation:
+window growth is a cubic function of the time since the last reduction,
+with the TCP-friendly region taken as a lower bound and fast convergence
+shrinking ``w_max`` on consecutive losses.
+"""
+
+from __future__ import annotations
+
+from .constants import MIN_CWND
+
+
+class CongestionControl:
+    """Interface implemented by every congestion-control algorithm."""
+
+    name = "base"
+
+    def on_ack(self, cwnd: int, ssthresh: int, acked: int, now: float) -> int:
+        """Return the new cwnd after an ACK of ``acked`` segments."""
+        raise NotImplementedError
+
+    def ssthresh(self, cwnd: int) -> int:
+        """Return the reduced ssthresh after a loss event."""
+        raise NotImplementedError
+
+    def on_loss_event(self, cwnd: int, now: float) -> None:
+        """Called when the sender enters Recovery."""
+
+    def on_rto(self, cwnd: int, now: float) -> None:
+        """Called when the retransmission timer expires."""
+
+    def reset(self) -> None:
+        """Forget all history (new connection)."""
+
+
+class NewReno(CongestionControl):
+    """Classic AIMD: slow start, then +1 segment per RTT."""
+
+    name = "reno"
+
+    def __init__(self) -> None:
+        self._cwnd_cnt = 0
+
+    def on_ack(self, cwnd: int, ssthresh: int, acked: int, now: float) -> int:
+        if cwnd < ssthresh:
+            # Slow start: one segment per ACKed segment.
+            grow = min(acked, ssthresh - cwnd)
+            cwnd += grow
+            acked -= grow
+            if acked <= 0:
+                return cwnd
+        # Congestion avoidance: one segment per window of ACKs.
+        self._cwnd_cnt += acked
+        if self._cwnd_cnt >= cwnd:
+            self._cwnd_cnt -= cwnd
+            cwnd += 1
+        return cwnd
+
+    def ssthresh(self, cwnd: int) -> int:
+        return max(cwnd // 2, MIN_CWND)
+
+    def on_loss_event(self, cwnd: int, now: float) -> None:
+        self._cwnd_cnt = 0
+
+    def on_rto(self, cwnd: int, now: float) -> None:
+        self._cwnd_cnt = 0
+
+    def reset(self) -> None:
+        self._cwnd_cnt = 0
+
+
+class Cubic(CongestionControl):
+    """CUBIC congestion avoidance (the 2.6.32 default).
+
+    ``w(t) = C * (t - K)^3 + w_max`` with ``K = cbrt(w_max * beta' / C)``
+    where ``beta' = 1 - beta`` is the multiplicative decrease.  The
+    TCP-friendly estimate bounds growth from below so CUBIC never does
+    worse than Reno on short-RTT paths.
+    """
+
+    name = "cubic"
+
+    C = 0.4
+    BETA = 717 / 1024  # multiplicative decrease factor (~0.7)
+
+    def __init__(self, fast_convergence: bool = True):
+        self.fast_convergence = fast_convergence
+        self.reset()
+
+    def reset(self) -> None:
+        self._w_max = 0.0
+        self._epoch_start: float | None = None
+        self._k = 0.0
+        self._origin_point = 0.0
+        self._w_tcp = 0.0
+        self._cnt = 0
+        self._ack_cnt = 0
+
+    def _cubic_update(self, cwnd: int, now: float) -> int:
+        """Return the per-ACK increment denominator (Linux ``cnt``)."""
+        if self._epoch_start is None:
+            self._epoch_start = now
+            self._ack_cnt = 0
+            if cwnd < self._w_max:
+                self._k = ((self._w_max - cwnd) / self.C) ** (1 / 3)
+                self._origin_point = self._w_max
+            else:
+                self._k = 0.0
+                self._origin_point = float(cwnd)
+            self._w_tcp = float(cwnd)
+        t = now - self._epoch_start
+        target = self._origin_point + self.C * (t - self._k) ** 3
+        if target > cwnd:
+            cnt = cwnd / max(target - cwnd, 1e-9)
+        else:
+            cnt = 100.0 * cwnd  # effectively flat
+        # TCP-friendly region.
+        self._w_tcp += 3 * (1 - self.BETA) / (1 + self.BETA) * (
+            self._ack_cnt / max(cwnd, 1)
+        )
+        self._ack_cnt = 0
+        if self._w_tcp > cwnd:
+            friendly_cnt = cwnd / max(self._w_tcp - cwnd, 1e-9)
+            cnt = min(cnt, friendly_cnt)
+        return max(int(cnt), 2)
+
+    def on_ack(self, cwnd: int, ssthresh: int, acked: int, now: float) -> int:
+        if cwnd < ssthresh:
+            grow = min(acked, ssthresh - cwnd)
+            cwnd += grow
+            acked -= grow
+            if acked <= 0:
+                return cwnd
+        self._ack_cnt += acked
+        cnt = self._cubic_update(cwnd, now)
+        self._cnt += acked
+        if self._cnt >= cnt:
+            self._cnt = 0
+            cwnd += 1
+        return cwnd
+
+    def ssthresh(self, cwnd: int) -> int:
+        if self.fast_convergence and cwnd < self._w_max:
+            self._w_max = cwnd * (1 + self.BETA) / 2
+        else:
+            self._w_max = float(cwnd)
+        self._epoch_start = None
+        return max(int(cwnd * self.BETA), MIN_CWND)
+
+    def on_loss_event(self, cwnd: int, now: float) -> None:
+        self._epoch_start = None
+
+    def on_rto(self, cwnd: int, now: float) -> None:
+        self._epoch_start = None
+
+
+def make_congestion_control(name: str) -> CongestionControl:
+    """Factory keyed by algorithm name ('reno' or 'cubic')."""
+    algorithms = {"reno": NewReno, "cubic": Cubic}
+    try:
+        return algorithms[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; choose from {sorted(algorithms)}"
+        ) from None

@@ -1,0 +1,67 @@
+"""Protocol constants mirroring the Linux 2.6.32 stack the paper studies."""
+
+from __future__ import annotations
+
+#: Default maximum segment size (Ethernet MTU minus IP/TCP headers,
+#: leaving room for timestamps).
+DEFAULT_MSS = 1448
+
+#: Initial congestion window in segments (RFC 3390 era; 2.6.32 default).
+DEFAULT_INIT_CWND = 3
+
+#: Initial slow-start threshold: effectively unbounded.
+INITIAL_SSTHRESH = 1 << 30
+
+#: Minimum retransmission timeout — TCP_RTO_MIN in Linux (200 ms).
+MIN_RTO = 0.2
+
+#: Maximum retransmission timeout — TCP_RTO_MAX in Linux (120 s).
+MAX_RTO = 120.0
+
+#: Initial RTO before any RTT sample (RFC 6298 says 1 s; Linux uses 1 s
+#: for data, 3 s for SYN).
+INITIAL_RTO = 1.0
+SYN_RTO = 3.0
+
+#: Fast-retransmit duplicate-ACK threshold (initial value of dupthres).
+DUP_THRESH = 3
+
+#: Minimum congestion window after a reduction, in segments.
+MIN_CWND = 2
+
+#: Delayed-ACK timer bounds (Linux: HZ/25 .. HZ/5).
+DELACK_MIN = 0.04
+DELACK_MAX = 0.2
+
+#: Upper bound RFC 1122 places on ACK delay; old client stacks approach it.
+DELACK_RFC_MAX = 0.5
+
+#: Maximum number of SACK blocks carried in one ACK (with timestamps).
+MAX_SACK_BLOCKS = 3
+
+#: Zero-window persist probe interval bounds.
+PERSIST_MIN = 0.2
+PERSIST_MAX = 60.0
+
+#: Default receive buffer (bytes) for well-behaved clients.
+DEFAULT_RCV_BUF = 1 << 20
+
+#: Default advertised window scale factor.
+DEFAULT_WSCALE = 7
+
+#: Maximum retransmission attempts before a flow is aborted.
+MAX_RETRIES = 15
+
+#: Offset added to the millisecond timestamp clock so that a TSval of
+#: zero unambiguously means "no timestamp".
+TS_OFFSET = 10_000
+
+
+def ts_now(now: float) -> int:
+    """Simulation time -> TCP timestamp clock (milliseconds)."""
+    return TS_OFFSET + int(round(now * 1000))
+
+
+def ts_to_time(ts: int) -> float:
+    """TCP timestamp clock -> simulation time (seconds)."""
+    return (ts - TS_OFFSET) / 1000.0

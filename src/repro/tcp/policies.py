@@ -1,0 +1,185 @@
+"""Loss-recovery policies: native RTO, TLP, and the paper's S-RTO.
+
+The sender owns a single retransmission-timer slot.  Whenever it
+(re)arms that timer it asks its policy for a duration and a kind:
+
+* kind ``"rto"`` — the native retransmission timeout; on expiry the
+  sender enters the Loss state (Sec. 3.1 of the paper).
+* kind ``"probe"`` — a policy-specific probe timer that fires *before*
+  the RTO and tries to recover the loss cheaply; the policy's
+  :meth:`RecoveryPolicy.on_probe_fire` decides what to transmit and how
+  to adjust the congestion state, after which the sender falls back to
+  the native RTO.
+
+``NativePolicy`` reproduces the stock 2.6.32 kernel, ``TLPPolicy``
+implements Tail Loss Probe (Flach et al., SIGCOMM'13) as the paper's
+baseline mitigation, and ``SRTOPolicy`` is Algorithm 1 verbatim.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sender import SenderHalf
+
+PROBE = "probe"
+RTO = "rto"
+
+
+class RecoveryPolicy:
+    """Base policy: pure native-RTO behaviour."""
+
+    name = "native"
+
+    def timer_duration(self, sender: "SenderHalf") -> tuple[float, str]:
+        """Duration and kind of the next retransmission timer."""
+        return sender.rto_estimator.rto, RTO
+
+    def on_probe_fire(self, sender: "SenderHalf") -> None:
+        """Handle a ``probe`` timer expiry (never called for native)."""
+        raise NotImplementedError(f"{self.name} policy armed no probe")
+
+    def on_ack(self, sender: "SenderHalf", new_data_acked: bool) -> None:
+        """Hook called after the sender processes each ACK."""
+
+    def reset(self) -> None:
+        """Forget per-flight state (new connection)."""
+
+
+class NativePolicy(RecoveryPolicy):
+    """Stock Linux 2.6.32: no probe timer at all."""
+
+
+class TLPPolicy(RecoveryPolicy):
+    """Tail Loss Probe.
+
+    Arms a probe timeout of ``2 * SRTT`` (plus a worst-case delayed-ACK
+    allowance when only one segment is outstanding) **only in the Open
+    state**.  On expiry the highest-sequence unacknowledged segment is
+    retransmitted once; congestion state is untouched and the native
+    RTO takes over.  The Open-state restriction is why TLP cannot fix
+    f-double stalls (Sec. 4.1).
+    """
+
+    name = "tlp"
+
+    #: Worst-case extra delay a delayed-ACK receiver can add.
+    WCDELACK = 0.2
+    #: Probe floor: keeps the PTO off the ACK-clock jitter of very
+    #: low-latency paths.
+    MIN_PTO = 0.1
+
+    def __init__(self) -> None:
+        self._probe_outstanding = False
+
+    def reset(self) -> None:
+        self._probe_outstanding = False
+
+    def timer_duration(self, sender: "SenderHalf") -> tuple[float, str]:
+        rto = sender.rto_estimator.rto
+        srtt = sender.rto_estimator.srtt
+        if (
+            self._probe_outstanding
+            or srtt is None
+            or sender.ca_state != sender.OPEN
+            or sender.scoreboard.empty
+        ):
+            return rto, RTO
+        pto = max(2 * srtt, self.MIN_PTO)
+        if sender.scoreboard.packets_out == 1:
+            pto += self.WCDELACK
+        if pto >= rto:
+            return rto, RTO
+        return pto, PROBE
+
+    def on_probe_fire(self, sender: "SenderHalf") -> None:
+        self._probe_outstanding = True
+        tail = sender.scoreboard.tail()
+        if tail is not None:
+            sender.retransmit_segment(tail, probe=True)
+
+    def on_ack(self, sender: "SenderHalf", new_data_acked: bool) -> None:
+        if new_data_acked:
+            self._probe_outstanding = False
+
+
+class SRTOPolicy(RecoveryPolicy):
+    """Smart-RTO (Algorithm 1 of the paper).
+
+    ``set_srto``: the probe timer is armed at ``2 * RTT`` whenever the
+    current packet has not already been retransmitted by a native RTO
+    and ``packets_out < T1``; otherwise the native RTO is used.
+
+    ``trigger_srto``: retransmit the first unacknowledged packet; if
+    ``cwnd > T2`` and the sender is not already in Recovery, halve cwnd;
+    enter Recovery; fall back to the native RTO.
+
+    Unlike TLP, the probe is armed in *any* congestion state, which is
+    what lets it catch f-double stalls (the retransmission itself being
+    lost while the sender sits in Recovery).
+    """
+
+    name = "srto"
+
+    #: Worst-case delayed-ACK allowance added when a single segment is
+    #: outstanding (same guard as TLP).  Deviation from the paper's
+    #: bare ``2 * RTT``: without it the probe races the receiver's
+    #: delayed ACK on sub-50 ms paths and fires spuriously.
+    WCDELACK = 0.2
+
+    def __init__(self, t1: int = 10, t2: int = 5):
+        self.t1 = t1
+        self.t2 = t2
+        self._probe_outstanding = False
+
+    def reset(self) -> None:
+        self._probe_outstanding = False
+
+    def timer_duration(self, sender: "SenderHalf") -> tuple[float, str]:
+        rto = sender.rto_estimator.rto
+        srtt = sender.rto_estimator.srtt
+        head = sender.scoreboard.head()
+        if (
+            self._probe_outstanding
+            or srtt is None
+            or head is None
+            or head.rto_retrans
+            or sender.scoreboard.packets_out >= self.t1
+        ):
+            return rto, RTO
+        probe = max(2 * srtt, TLPPolicy.MIN_PTO)
+        if sender.scoreboard.packets_out == 1:
+            probe += self.WCDELACK
+        if probe >= rto:
+            return rto, RTO
+        return probe, PROBE
+
+    def on_probe_fire(self, sender: "SenderHalf") -> None:
+        self._probe_outstanding = True
+        head = sender.scoreboard.head()
+        if head is None:
+            return
+        sender.retransmit_segment(head, probe=True)
+        if sender.cwnd > self.t2 and sender.ca_state != sender.RECOVERY:
+            sender.cwnd = max(sender.cwnd // 2, 1)
+        sender.enter_recovery_from_probe()
+
+    def on_ack(self, sender: "SenderHalf", new_data_acked: bool) -> None:
+        if new_data_acked:
+            self._probe_outstanding = False
+
+
+def make_policy(name: str, **kwargs) -> RecoveryPolicy:
+    """Factory keyed by policy name: 'native', 'tlp' or 'srto'."""
+    policies = {
+        "native": NativePolicy,
+        "tlp": TLPPolicy,
+        "srto": SRTOPolicy,
+    }
+    try:
+        return policies[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery policy {name!r}; choose from {sorted(policies)}"
+        ) from None

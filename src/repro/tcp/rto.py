@@ -1,0 +1,150 @@
+"""Retransmission-timeout estimation, Linux ``tcp_rtt_estimator`` style.
+
+The paper's stall definition — a gap exceeding ``min(2 * SRTT, RTO)`` —
+uses "SRTT and RTO calculated according to RFC 6298 as implemented in
+the Linux kernel", so this class reproduces the *kernel's* estimator
+rather than the plain RFC text.  The differences matter enormously for
+the observed RTO distribution (Fig. 1):
+
+* ``RTO = SRTT + rttvar4`` where ``rttvar4`` (the kernel's ``rttvar``,
+  approximately four mean deviations) is a **windowed maximum**: it
+  rises immediately with any deviation but decays by only 25% per
+  round trip (``tcp_rtt_estimator``'s ``mdev_max`` logic);
+* the per-window deviation floor is ``TCP_RTO_MIN`` (200 ms), so the
+  RTO never falls below ``SRTT + 200 ms`` — this, not a flat 200 ms
+  clamp, is why kernel RTOs sit an order of magnitude above the RTT on
+  low-latency paths;
+* exponential backoff doubles the RTO on every expiry (bounded by
+  ``TCP_RTO_MAX`` = 120 s);
+* Karn's rule — retransmitted segments never produce samples — is
+  enforced by the callers (timestamps lift it where present).
+
+The same class is shared between the TCP sender
+(:mod:`repro.tcp.sender`) and the passive analyzer (:mod:`repro.core`):
+both must compute identical SRTT/RTO values from the same samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import INITIAL_RTO, MAX_RTO, MIN_RTO
+
+
+@dataclass
+class RTOEstimator:
+    """SRTT / RTTVAR / RTO state for one connection."""
+
+    min_rto: float = MIN_RTO
+    max_rto: float = MAX_RTO
+    initial_rto: float = INITIAL_RTO
+
+    srtt: float | None = None
+    #: Mean deviation (true units, the kernel's ``mdev / 4``).
+    mdev: float = 0.0
+    #: Windowed maximum of ``4 * mdev`` within the current RTT window.
+    mdev_max: float = field(default=MIN_RTO)
+    #: The kernel's ``rttvar``: the value actually added to SRTT.
+    rttvar4: float = 0.0
+    backoff: int = 0
+    samples: int = 0
+    _window_end: float | None = None
+
+    ALPHA = 1 / 8
+    BETA = 1 / 4
+
+    def seed(self, srtt: float, rttvar4: float) -> None:
+        """Initialize from cached destination metrics (Linux inherits
+        ``srtt``/``rttvar`` from previous connections to the same peer
+        unless ``tcp_no_metrics_save`` is set)."""
+        self.srtt = max(srtt, 0.001)
+        self.rttvar4 = max(rttvar4, self.min_rto)
+        self.mdev = self.rttvar4 / 4
+        self.mdev_max = self.min_rto
+
+    def observe(self, rtt: float, now: float | None = None) -> None:
+        """Fold one RTT sample (seconds) into the estimator.
+
+        ``now`` drives the once-per-RTT rttvar decay window; without it
+        the window advances every 8 samples (a fair proxy for one
+        window of ACKs).
+        """
+        if rtt <= 0:
+            return
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = rtt
+            self.mdev = rtt / 2
+            self.rttvar4 = max(2 * rtt, self.min_rto)
+            self.mdev_max = self.rttvar4
+            self._advance_window(now)
+            return
+        err = rtt - self.srtt
+        self.srtt += self.ALPHA * err
+        aerr = abs(err)
+        if err < 0 and aerr > self.mdev:
+            # The kernel damps sudden *downward* RTT jumps so that one
+            # fast sample does not collapse the deviation estimate.
+            self.mdev += (aerr - self.mdev) * self.BETA / 8
+        else:
+            self.mdev += (aerr - self.mdev) * self.BETA
+        if 4 * self.mdev > self.mdev_max:
+            self.mdev_max = 4 * self.mdev
+            if self.mdev_max > self.rttvar4:
+                self.rttvar4 = self.mdev_max
+        self._maybe_close_window(now)
+
+    def _advance_window(self, now: float | None) -> None:
+        if now is not None and self.srtt is not None:
+            self._window_end = now + self.srtt
+        else:
+            self._window_end = None
+
+    def _maybe_close_window(self, now: float | None) -> None:
+        """Once per RTT: decay rttvar toward the window max and reset
+        the window floor to TCP_RTO_MIN."""
+        if now is not None:
+            if self._window_end is not None and now < self._window_end:
+                return
+        elif self.samples % 8:
+            return
+        if self.mdev_max < self.rttvar4:
+            self.rttvar4 -= (self.rttvar4 - self.mdev_max) * self.BETA
+        self.mdev_max = self.min_rto
+        self._advance_window(now)
+
+    @property
+    def rttvar(self) -> float:
+        """Mean-deviation view (compatibility helper): rttvar4 / 4."""
+        return self.rttvar4 / 4
+
+    @property
+    def base_rto(self) -> float:
+        """RTO without backoff applied: ``SRTT + rttvar4``."""
+        if self.srtt is None:
+            return self.initial_rto
+        rto = self.srtt + max(self.rttvar4, self.min_rto)
+        return min(max(rto, self.min_rto), self.max_rto)
+
+    @property
+    def rto(self) -> float:
+        """Current RTO including exponential backoff."""
+        return min(self.base_rto * (1 << self.backoff), self.max_rto)
+
+    def on_timeout(self) -> None:
+        """Record an expiry: double the RTO (bounded)."""
+        if self.base_rto * (1 << self.backoff) < self.max_rto:
+            self.backoff += 1
+
+    def on_ack(self) -> None:
+        """An ACK of new data clears the backoff."""
+        self.backoff = 0
+
+    def stall_threshold(self, tau: float = 2.0) -> float:
+        """The paper's stall threshold ``min(tau * SRTT, RTO)``.
+
+        Before any sample exists the RTO alone is used.
+        """
+        if self.srtt is None:
+            return self.rto
+        return min(tau * self.srtt, self.rto)

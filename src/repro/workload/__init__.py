@@ -1,0 +1,58 @@
+"""Workload models: distributions, client populations, service profiles."""
+
+from .clients import (
+    INIT_RWND_STEPS,
+    ClientPopulation,
+    cloud_storage_clients,
+    software_download_clients,
+    web_search_clients,
+)
+from .distributions import (
+    BoundedPareto,
+    Choice,
+    Constant,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    sample_int,
+)
+from .generator import SERVER_IP, SERVER_PORT, FlowScenario, generate_flows
+from .services import (
+    SERVICE_PROFILES,
+    PathProfile,
+    ServiceProfile,
+    cloud_storage_profile,
+    get_profile,
+    software_download_profile,
+    web_search_profile,
+)
+
+__all__ = [
+    "BoundedPareto",
+    "Choice",
+    "ClientPopulation",
+    "Constant",
+    "Distribution",
+    "Exponential",
+    "FlowScenario",
+    "INIT_RWND_STEPS",
+    "LogNormal",
+    "Mixture",
+    "PathProfile",
+    "SERVER_IP",
+    "SERVER_PORT",
+    "SERVICE_PROFILES",
+    "ServiceProfile",
+    "Uniform",
+    "cloud_storage_clients",
+    "cloud_storage_profile",
+    "generate_flows",
+    "get_profile",
+    "sample_int",
+    "software_download_clients",
+    "software_download_profile",
+    "web_search_clients",
+    "web_search_profile",
+]

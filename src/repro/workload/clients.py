@@ -1,0 +1,145 @@
+"""Client population models.
+
+The paper traces several stall causes to *client* properties: old
+client software advertising tiny initial receive windows (Fig. 6,
+Table 4), receive buffers that fill because the application reads
+slowly (zero-window stalls), and delayed-ACK timers long enough to
+beat the 200 ms minimum RTO (ACK-delay stalls).  A
+:class:`ClientPopulation` captures those distributions and stamps out
+an :class:`~repro.tcp.endpoint.EndpointConfig` per simulated client.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..tcp.constants import DEFAULT_MSS
+from ..tcp.endpoint import EndpointConfig
+from ..tcp.receiver import AppReader, BurstyReader, ImmediateReader
+from .distributions import Choice, Distribution, Uniform
+
+#: Initial-rwnd steps (in MSS) used on the x-axis of the paper's Fig. 6.
+INIT_RWND_STEPS = [2, 5, 11, 22, 45, 182, 364, 1297, 1456]
+
+
+@dataclass
+class ClientPopulation:
+    """Distribution over client endpoint behaviours for one service."""
+
+    name: str
+    #: Initial receive window in MSS units (the SYN's window field).
+    init_rwnd_mss: Distribution = field(
+        default_factory=lambda: Choice([45, 182, 1297], [0.2, 0.4, 0.4])
+    )
+    #: Delayed-ACK timeout in seconds.
+    delack: Distribution = field(default_factory=lambda: Uniform(0.04, 0.12))
+    #: Probability that a small-window client runs old software whose
+    #: buffer never grows (Table 4's zero-window victims).
+    frozen_buffer_prob: float = 0.7
+    #: Probability that a frozen-buffer client also reads slowly.
+    slow_reader_prob: float = 0.8
+    #: A small-window threshold in MSS under which the client is
+    #: considered "old software".
+    small_window_mss: int = 12
+    #: Clients below this window size (but above small_window_mss) may
+    #: still run software with fixed, moderate buffers (Table 4 shows
+    #: zero-window stalls even at 45-MSS initial windows).
+    medium_window_mss: int = 100
+    medium_frozen_prob: float = 0.0
+    mss: int = DEFAULT_MSS
+
+    def make_config(
+        self, rng: random.Random, ip: int, port: int
+    ) -> EndpointConfig:
+        """Sample one client endpoint configuration."""
+        init_mss = int(self.init_rwnd_mss.sample(rng))
+        init_rwnd = init_mss * self.mss
+        delack = self.delack.sample(rng)
+        reader: AppReader = ImmediateReader()
+        auto_grow = True
+        max_rcv_buf = 4 << 20
+
+        if init_mss < self.small_window_mss:
+            if rng.random() < self.frozen_buffer_prob:
+                # Old client software: the buffer never grows past the
+                # initial window ...
+                auto_grow = False
+                max_rcv_buf = init_rwnd
+                if rng.random() < self.slow_reader_prob:
+                    # ... and the application periodically stops
+                    # draining it, so the advertised window repeatedly
+                    # collapses to zero.
+                    reader = BurstyReader(
+                        rng,
+                        active_mean=0.8,
+                        pause_low=0.3,
+                        pause_high=1.5,
+                    )
+            else:
+                max_rcv_buf = 1 << 20
+        elif (
+            init_mss < self.medium_window_mss
+            and rng.random() < self.medium_frozen_prob
+        ):
+            auto_grow = False
+            max_rcv_buf = init_rwnd
+            reader = BurstyReader(
+                rng, active_mean=1.5, pause_low=0.2, pause_high=0.8
+            )
+
+        small = init_mss < self.small_window_mss
+        return EndpointConfig(
+            ip=ip,
+            port=port,
+            mss=self.mss,
+            wscale=0 if small else 7,
+            rcv_buf=min(init_rwnd, 65535 if small else 65535 << 7),
+            max_rcv_buf=max(max_rcv_buf, init_rwnd),
+            rcv_buf_auto_grow=auto_grow,
+            delack_timeout=delack,
+            reader=reader,
+        )
+
+
+def cloud_storage_clients() -> ClientPopulation:
+    """Cloud-storage clients: the Qihoo client software keeps windows
+    of at least ~45 MSS (Table 4's cloud-storage row starts at 45)."""
+    return ClientPopulation(
+        name="cloud_storage",
+        init_rwnd_mss=Choice(
+            [45, 182, 648, 1297], [0.18, 0.32, 0.30, 0.20]
+        ),
+        delack=Uniform(0.04, 0.1),
+        medium_frozen_prob=0.3,
+    )
+
+
+def software_download_clients() -> ClientPopulation:
+    """Software-download clients: 18% below 10 MSS, some at 2 MSS
+    (old installers), long delayed ACKs on the old stacks."""
+    return ClientPopulation(
+        name="software_download",
+        init_rwnd_mss=Choice(
+            [2, 5, 11, 45, 182, 648],
+            [0.05, 0.08, 0.07, 0.30, 0.30, 0.20],
+        ),
+        delack=Choice([0.05, 0.15, 0.4], [0.6, 0.33, 0.07]),
+        frozen_buffer_prob=0.85,
+        slow_reader_prob=0.9,
+        medium_frozen_prob=0.3,
+    )
+
+
+def web_search_clients() -> ClientPopulation:
+    """Web-search clients are browsers: healthy windows, normal ACKs."""
+    return ClientPopulation(
+        name="web_search",
+        init_rwnd_mss=Choice(
+            [11, 45, 182, 1297], [0.04, 0.36, 0.40, 0.20]
+        ),
+        delack=Uniform(0.04, 0.1),
+        frozen_buffer_prob=0.3,
+        slow_reader_prob=0.3,
+        medium_frozen_prob=0.06,
+    )

@@ -1,0 +1,163 @@
+"""Random distributions used by the workload generators.
+
+Thin, seedable wrappers: every sampler takes an injected
+:class:`random.Random` so whole experiments replay from one seed.
+Flow sizes in measured CDNs are heavy-tailed, so the service profiles
+lean on :class:`LogNormal` and :class:`BoundedPareto`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+class Distribution:
+    """A positive-valued sampler."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean where available (used in tests)."""
+        raise NotImplementedError
+
+
+@dataclass
+class Constant(Distribution):
+    value: float
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass
+class Uniform(Distribution):
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError("low > high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+
+@dataclass
+class Exponential(Distribution):
+    """Exponential with the given mean."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass
+class LogNormal(Distribution):
+    """Log-normal parameterized by its median and sigma (of log)."""
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma < 0:
+            raise ValueError("median must be positive, sigma non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def mean(self) -> float:
+        return self.median * math.exp(self.sigma**2 / 2)
+
+
+@dataclass
+class BoundedPareto(Distribution):
+    """Pareto truncated to [low, high] via inverse-CDF sampling."""
+
+    low: float
+    high: float
+    alpha: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low < self.high:
+            raise ValueError("need 0 < low < high")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        la = self.low**self.alpha
+        ha = self.high**self.alpha
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1 / self.alpha)
+
+    def mean(self) -> float:
+        a, l, h = self.alpha, self.low, self.high
+        if a == 1:
+            return l * math.log(h / l) / (1 - l / h)
+        num = (l**a) / (1 - (l / h) ** a) * a / (a - 1)
+        return num * (1 / l ** (a - 1) - 1 / h ** (a - 1))
+
+
+@dataclass
+class Choice(Distribution):
+    """Discrete distribution over (value, weight) pairs."""
+
+    values: list[float]
+    weights: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.weights) or not self.values:
+            raise ValueError("values and weights must match and be non-empty")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("weights must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choices(self.values, weights=self.weights, k=1)[0]
+
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return sum(v * w for v, w in zip(self.values, self.weights)) / total
+
+
+@dataclass
+class Mixture(Distribution):
+    """Weighted mixture of component distributions."""
+
+    components: list[Distribution]
+    weights: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.components) != len(self.weights) or not self.components:
+            raise ValueError("components and weights must match")
+
+    def sample(self, rng: random.Random) -> float:
+        component = rng.choices(self.components, weights=self.weights, k=1)[0]
+        return component.sample(rng)
+
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return (
+            sum(c.mean() * w for c, w in zip(self.components, self.weights))
+            / total
+        )
+
+
+def sample_int(dist: Distribution, rng: random.Random, minimum: int = 1) -> int:
+    """Sample and round to an int with a floor."""
+    return max(minimum, int(round(dist.sample(rng))))

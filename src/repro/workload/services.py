@@ -1,0 +1,300 @@
+"""Service profiles: cloud storage, software download, web search.
+
+Each profile bundles the distributions that shape one of the paper's
+three services — flow sizes, request patterns, back-end fetch delays,
+application write pauses, client population, and network path
+characteristics (RTT, loss including bursts, jitter spikes).
+
+Absolute sizes are scaled down from the production numbers (Table 1)
+to keep a pure-Python simulation tractable, but the *relations* the
+analysis depends on are preserved: cloud-storage flows are an order of
+magnitude larger than software downloads, which are an order of
+magnitude larger than web-search responses; web search sees the lowest
+loss and RTT; software download has the most small-init-rwnd clients.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..app.session import Request, Session, SupplyChunk
+from ..netsim.link import PathConfig
+from ..netsim.loss import (
+    BernoulliLoss,
+    CompositeJitter,
+    CompositeLoss,
+    RandomWalkJitter,
+    SpikeJitter,
+    TimedBurstLoss,
+)
+from ..tcp.endpoint import EndpointConfig
+from .clients import (
+    ClientPopulation,
+    cloud_storage_clients,
+    software_download_clients,
+    web_search_clients,
+)
+from .distributions import (
+    Choice,
+    Constant,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    sample_int,
+)
+
+
+@dataclass
+class PathProfile:
+    """Distributions describing the network path of one service."""
+
+    rtt: Distribution
+    rate_bps: Distribution
+    data_loss_rate: float
+    #: Mean seconds between loss bursts and mean burst duration.
+    burst_mean_good: float = 20.0
+    burst_mean_bad: float = 0.22
+    ack_loss_rate: float = 0.008
+    #: Continuous small jitter: inflates RTTVAR, and with it the very
+    #: conservative RTOs the paper observes (Fig. 1).
+    jitter_base: float = 0.02
+    #: Slowly-wandering cross-traffic queueing delay (bufferbloat).
+    walk_max: float = 0.15
+    walk_volatility: float = 0.05
+    jitter_spike_prob: float = 0.015
+    jitter_spike_low: float = 0.2
+    jitter_spike_high: float = 0.5
+    #: Historical RTT variance of the destination (seeds the server's
+    #: cached metrics; drawn per flow).
+    cached_rttvar_low: float = 0.1
+    cached_rttvar_high: float = 0.3
+    queue_limit: int = 48
+
+    def make_path(self, rng: random.Random) -> PathConfig:
+        rtt = max(0.004, self.rtt.sample(rng))
+        rate = max(2e5, self.rate_bps.sample(rng))
+        return PathConfig(
+            delay=rtt / 2,
+            rate_bps=rate,
+            queue_limit=self.queue_limit,
+            data_loss=CompositeLoss(
+                BernoulliLoss(self.data_loss_rate),
+                TimedBurstLoss(
+                    mean_good=self.burst_mean_good,
+                    mean_bad=self.burst_mean_bad,
+                ),
+            ),
+            ack_loss=BernoulliLoss(self.ack_loss_rate),
+            data_jitter=CompositeJitter(
+                RandomWalkJitter(
+                    max_delay=self.walk_max, volatility=self.walk_volatility
+                ),
+                SpikeJitter(
+                    base_jitter=self.jitter_base,
+                    spike_prob=self.jitter_spike_prob,
+                    spike_low=self.jitter_spike_low,
+                    spike_high=self.jitter_spike_high,
+                ),
+            ),
+            ack_jitter=CompositeJitter(
+                RandomWalkJitter(
+                    max_delay=self.walk_max / 3,
+                    volatility=self.walk_volatility / 2,
+                ),
+                SpikeJitter(
+                    base_jitter=self.jitter_base,
+                    spike_prob=self.jitter_spike_prob / 3,
+                    spike_low=self.jitter_spike_low,
+                    spike_high=self.jitter_spike_high,
+                ),
+            ),
+        )
+
+
+@dataclass
+class ServiceProfile:
+    """Everything needed to generate flows of one service."""
+
+    name: str
+    clients: ClientPopulation
+    path: PathProfile
+    #: Bytes of one response object.
+    response_size: Distribution = field(
+        default_factory=lambda: LogNormal(30_000, 1.2)
+    )
+    #: Objects (requests) per connection.
+    requests_per_session: Distribution = field(default_factory=lambda: Constant(1))
+    #: Request (upload) size in bytes.
+    request_size: Distribution = field(default_factory=lambda: Uniform(200, 900))
+    #: Client think time before each request.
+    think_time: Distribution = field(default_factory=lambda: Uniform(0.005, 0.04))
+    #: Probability that response data is *not* locally available.
+    backend_fetch_prob: float = 0.2
+    #: Back-end fetch delay when it happens.
+    backend_delay: Distribution = field(default_factory=lambda: Uniform(0.05, 0.4))
+    #: Probability of a mid-transfer application write pause.
+    supply_pause_prob: float = 0.05
+    #: Duration of such a pause.
+    supply_pause: Distribution = field(default_factory=lambda: Uniform(0.1, 0.4))
+    #: Chunk size the server app writes in when pausing is possible.
+    supply_chunk_bytes: int = 32_768
+    #: Server transport knobs.
+    server_init_cwnd: int = 10
+    server_congestion: str = "cubic"
+
+    def make_session(self, rng: random.Random) -> Session:
+        """Sample the application script of one connection."""
+        n_requests = sample_int(self.requests_per_session, rng)
+        requests = []
+        for index in range(n_requests):
+            response_bytes = sample_int(self.response_size, rng, minimum=300)
+            data_delay = 0.0
+            if rng.random() < self.backend_fetch_prob:
+                data_delay = self.backend_delay.sample(rng)
+            chunks = self._make_chunks(response_bytes, rng)
+            requests.append(
+                Request(
+                    request_bytes=sample_int(self.request_size, rng, 100),
+                    response_bytes=response_bytes,
+                    think_time=self.think_time.sample(rng),
+                    data_delay=data_delay,
+                    chunks=chunks,
+                )
+            )
+        return Session(requests=requests)
+
+    def _make_chunks(
+        self, response_bytes: int, rng: random.Random
+    ) -> list[SupplyChunk]:
+        """Split a response into application writes, possibly pausing."""
+        if rng.random() >= self.supply_pause_prob:
+            return [SupplyChunk(response_bytes)]
+        if response_bytes <= 2 * self.supply_chunk_bytes:
+            # Too small to pause meaningfully: pause before the tail half.
+            head = max(1, response_bytes // 2)
+            return [
+                SupplyChunk(head),
+                SupplyChunk(
+                    response_bytes - head, delay=self.supply_pause.sample(rng)
+                ),
+            ]
+        chunks: list[SupplyChunk] = []
+        remaining = response_bytes
+        pause_at = rng.randrange(1, max(2, response_bytes // self.supply_chunk_bytes))
+        index = 0
+        while remaining > 0:
+            size = min(self.supply_chunk_bytes, remaining)
+            delay = self.supply_pause.sample(rng) if index == pause_at else 0.0
+            chunks.append(SupplyChunk(size, delay=delay))
+            remaining -= size
+            index += 1
+        return chunks
+
+    def make_server_config(
+        self,
+        ip: int,
+        port: int,
+        policy: str = "native",
+        policy_kwargs: dict | None = None,
+        init_srtt: float | None = None,
+        init_rttvar: float | None = None,
+    ) -> EndpointConfig:
+        return EndpointConfig(
+            ip=ip,
+            port=port,
+            mss=self.clients.mss,
+            init_cwnd=self.server_init_cwnd,
+            congestion=self.server_congestion,
+            policy=policy,
+            policy_kwargs=policy_kwargs or {},
+            init_srtt=init_srtt,
+            init_rttvar=init_rttvar,
+        )
+
+
+def cloud_storage_profile() -> ServiceProfile:
+    """Large flows, multiple files per connection, shared connections."""
+    return ServiceProfile(
+        name="cloud_storage",
+        clients=cloud_storage_clients(),
+        path=PathProfile(
+            rtt=LogNormal(0.05, 0.45),
+            rate_bps=Choice([4e6, 8e6, 16e6], [0.4, 0.35, 0.25]),
+            data_loss_rate=0.010,
+            burst_mean_good=14.0,
+            ),
+        response_size=LogNormal(55_000, 1.25),
+        requests_per_session=Choice([1, 2, 3, 5], [0.45, 0.25, 0.2, 0.1]),
+        think_time=Mixture(
+            [Uniform(0.005, 0.08), Exponential(1.2)], [0.96, 0.04]
+        ),
+        backend_fetch_prob=0.08,
+        backend_delay=Uniform(0.4, 1.5),
+        supply_pause_prob=0.08,
+    )
+
+
+def software_download_profile() -> ServiceProfile:
+    """Single static file per connection, loaded servers, old clients."""
+    return ServiceProfile(
+        name="software_download",
+        clients=software_download_clients(),
+        path=PathProfile(
+            rtt=LogNormal(0.05, 0.45),
+            rate_bps=Choice([3e6, 6e6, 10e6], [0.35, 0.4, 0.25]),
+            data_loss_rate=0.011,
+            burst_mean_good=16.0,
+            ),
+        response_size=LogNormal(45_000, 1.0),
+        requests_per_session=Constant(1),
+        think_time=Uniform(0.005, 0.05),
+        backend_fetch_prob=0.07,
+        backend_delay=Uniform(0.3, 0.9),
+        supply_pause_prob=0.12,
+        supply_pause=Uniform(0.5, 1.2),
+    )
+
+
+def web_search_profile() -> ServiceProfile:
+    """Short interactive flows, dynamic results fetched from back-ends."""
+    return ServiceProfile(
+        name="web_search",
+        clients=web_search_clients(),
+        path=PathProfile(
+            rtt=LogNormal(0.038, 0.4),
+            rate_bps=Choice([4e6, 8e6, 20e6], [0.3, 0.4, 0.3]),
+            data_loss_rate=0.018,
+            burst_mean_good=30.0,
+            ack_loss_rate=0.006,
+            ),
+        response_size=Mixture(
+            [Constant(1_200), LogNormal(7_000, 0.9)], [0.2, 0.8]
+        ),
+        requests_per_session=Constant(1),
+        think_time=Uniform(0.005, 0.03),
+        backend_fetch_prob=0.55,
+        backend_delay=Mixture(
+            [Uniform(0.02, 0.15), Uniform(0.25, 0.7)], [0.45, 0.55]
+        ),
+        supply_pause_prob=0.01,
+    )
+
+
+SERVICE_PROFILES = {
+    "cloud_storage": cloud_storage_profile,
+    "software_download": software_download_profile,
+    "web_search": web_search_profile,
+}
+
+
+def get_profile(name: str) -> ServiceProfile:
+    """Look up a service profile by name."""
+    try:
+        return SERVICE_PROFILES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown service {name!r}; choose from {sorted(SERVICE_PROFILES)}"
+        ) from None

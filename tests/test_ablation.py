@@ -1,0 +1,74 @@
+"""Ablation harness tests (small scales; shapes only)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    destination_cache_ablation,
+    frto_ablation,
+    pacing_ablation,
+    sweep_srto_parameters,
+    tau_sensitivity,
+)
+from repro.experiments.mitigation import make_short_flow_profile
+from repro.workload.services import get_profile
+
+
+@pytest.fixture(scope="module")
+def cloud_profile():
+    return get_profile("cloud_storage")
+
+
+class TestSrtoSweep:
+    def test_baseline_first(self, cloud_profile):
+        profile = make_short_flow_profile(cloud_profile)
+        points = sweep_srto_parameters(
+            profile, flows=25, seed=1, t1_values=(5,), t2_values=(5,)
+        )
+        assert points[0].t1 == 0  # native baseline
+        assert len(points) == 2
+        for point in points:
+            assert point.flows == 25
+            assert point.p95_latency >= point.p90_latency
+
+    def test_retx_grows_with_t1(self, cloud_profile):
+        profile = make_short_flow_profile(cloud_profile)
+        points = sweep_srto_parameters(
+            profile, flows=40, seed=2, t1_values=(3, 20), t2_values=(5,)
+        )
+        by_t1 = {p.t1: p for p in points}
+        assert (
+            by_t1[20].retransmission_ratio
+            >= by_t1[3].retransmission_ratio
+        )
+
+
+class TestPacing:
+    def test_metrics_populated(self, cloud_profile):
+        result = pacing_ablation(cloud_profile, flows=25, seed=3)
+        assert result.stalls_unpaced >= 0
+        assert result.mean_latency_paced > 0
+        assert result.mean_latency_unpaced > 0
+
+
+class TestCache:
+    def test_fresh_increases_spuriousness(self, cloud_profile):
+        result = destination_cache_ablation(cloud_profile, flows=40, seed=4)
+        assert result.spurious_fresh >= result.spurious_cached
+
+
+class TestTau:
+    def test_monotone_detection(self):
+        profile = get_profile("software_download")
+        points = tau_sensitivity(
+            profile, flows=40, seed=5, taus=(1.5, 3.0)
+        )
+        assert points[0].stalls >= points[1].stalls
+        assert points[0].stalled_time >= points[1].stalled_time
+
+
+class TestFrto:
+    def test_metrics_populated(self, cloud_profile):
+        result = frto_ablation(cloud_profile, flows=25, seed=6)
+        assert result.retx_ratio_off > 0
+        assert result.retx_ratio_on > 0
+        assert result.mean_latency_on > 0

@@ -1,0 +1,155 @@
+"""Robustness: TAPO must survive arbitrary (even nonsensical) traces.
+
+Production captures contain noise the analyzer cannot anticipate —
+mid-connection captures, missing directions, garbage ACK numbers,
+duplicate SYNs.  These property tests throw randomized packet streams
+at the full pipeline and assert it never crashes and its outputs stay
+within their invariants.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Tapo
+from repro.core.cli import main as cli_main
+from repro.packet.flow import demux
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+
+SERVER = (0x0A000001, 80)
+CLIENT = (0x64400001, 31313)
+
+flag_choices = st.sampled_from(
+    [FLAG_ACK, FLAG_SYN, FLAG_SYN | FLAG_ACK, FLAG_ACK | FLAG_FIN]
+)
+
+
+@st.composite
+def random_packet(draw, t):
+    outgoing = draw(st.booleans())
+    src, dst = (SERVER, CLIENT) if outgoing else (CLIENT, SERVER)
+    sack = []
+    if draw(st.booleans()):
+        base = draw(st.integers(0, 1 << 20))
+        sack = [(base, base + draw(st.integers(1, 3000)))]
+    return PacketRecord(
+        timestamp=t,
+        src_ip=src[0],
+        src_port=src[1],
+        dst_ip=dst[0],
+        dst_port=dst[1],
+        seq=draw(st.integers(0, (1 << 32) - 1)),
+        ack=draw(st.integers(0, (1 << 32) - 1)),
+        flags=draw(flag_choices),
+        window=draw(st.integers(0, 65535)),
+        payload_len=draw(st.integers(0, 1460)),
+        options=TCPOptions(
+            sack_blocks=sack,
+            ts_val=draw(st.one_of(st.none(), st.integers(1, 1 << 30))),
+            ts_ecr=draw(st.one_of(st.none(), st.integers(1, 1 << 30))),
+        ),
+    )
+
+
+@st.composite
+def random_trace(draw):
+    n = draw(st.integers(1, 40))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2.0), min_size=n, max_size=n
+        )
+    )
+    t = 0.0
+    packets = []
+    for gap in gaps:
+        t += gap
+        packets.append(draw(random_packet(t)))
+    return packets
+
+
+class TestFuzz:
+    @given(random_trace())
+    @settings(max_examples=150, deadline=None)
+    def test_analyzer_never_crashes(self, packets):
+        analyses = Tapo().analyze_packets(packets)
+        for analysis in analyses:
+            # Invariants that must hold for any input whatsoever.
+            assert analysis.stalled_time >= 0
+            assert 0 <= analysis.stall_ratio <= 1
+            assert analysis.retransmissions <= analysis.data_packets
+            for stall in analysis.stalls:
+                assert stall.duration > 0
+                assert stall.cause is not None
+                assert 0 <= stall.position <= 1
+                assert (
+                    analysis.flow.first_time
+                    <= stall.start_time
+                    < stall.end_time
+                    <= analysis.flow.last_time
+                )
+
+    @given(random_trace())
+    @settings(max_examples=50, deadline=None)
+    def test_breakdown_shares_sum_to_one(self, packets):
+        from repro.core.report import ServiceReport
+
+        report = ServiceReport(service="fuzz")
+        for analysis in Tapo().analyze_packets(packets):
+            report.add(analysis)
+        breakdown = report.cause_breakdown()
+        total_volume = sum(e.volume_share for e in breakdown.values())
+        total_time = sum(e.time_share for e in breakdown.values())
+        assert total_volume == 0 or abs(total_volume - 1.0) < 1e-9
+        assert total_time == 0 or abs(total_time - 1.0) < 1e-9
+
+    @given(random_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_demux_keeps_every_packet(self, packets):
+        flows = demux(packets)
+        assert sum(len(f.packets) for f in flows) == len(packets)
+
+    def test_mid_connection_capture(self):
+        """A capture starting mid-transfer (no handshake) still parses."""
+        packets = [
+            PacketRecord(
+                timestamp=i * 0.01,
+                src_ip=SERVER[0],
+                src_port=SERVER[1],
+                dst_ip=CLIENT[0],
+                dst_port=CLIENT[1],
+                seq=1000 + i * 1448,
+                ack=500,
+                flags=FLAG_ACK,
+                payload_len=1448,
+            )
+            for i in range(20)
+        ]
+        analyses = Tapo().analyze_packets(packets)
+        assert len(analyses) == 1
+
+    def test_empty_trace(self):
+        assert Tapo().analyze_packets([]) == []
+
+
+class TestCliJson:
+    def test_json_output_parses(self, tmp_path, capsys):
+        from repro.experiments.runner import run_flow
+        from repro.packet.pcap import write_pcap
+        from repro.workload.generator import generate_flows
+        from repro.workload.services import get_profile
+
+        profile = get_profile("web_search")
+        result = run_flow(next(iter(generate_flows(profile, 1, seed=31))))
+        path = tmp_path / "flow.pcap"
+        write_pcap(path, result.packets)
+        assert cli_main([str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flows"] == 1
+        assert "per_flow" in payload
+        flow = payload["per_flow"][0]
+        assert flow["bytes_out"] > 0
+        for stall in flow["stalls"]:
+            assert "cause" in stall and "duration" in stall

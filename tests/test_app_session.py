@@ -1,0 +1,139 @@
+"""Application layer tests: sessions, server app, client app."""
+
+import random
+
+import pytest
+
+from repro.app.client import ClientApp
+from repro.app.server import ServerApp
+from repro.app.session import Request, Session, SupplyChunk
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import PathConfig
+from repro.packet.headers import ip_from_str
+from repro.tcp.endpoint import EndpointConfig, TcpConnection
+
+
+class TestSessionModel:
+    def test_chunks_default_to_single_write(self):
+        request = Request(request_bytes=100, response_bytes=5000)
+        assert request.chunks == [SupplyChunk(5000)]
+
+    def test_chunks_must_total_response(self):
+        with pytest.raises(ValueError, match="chunks total"):
+            Request(
+                request_bytes=100,
+                response_bytes=5000,
+                chunks=[SupplyChunk(1000)],
+            )
+
+    def test_request_bytes_positive(self):
+        with pytest.raises(ValueError):
+            Request(request_bytes=0, response_bytes=100)
+
+    def test_session_needs_requests(self):
+        with pytest.raises(ValueError):
+            Session(requests=[])
+
+    def test_totals(self):
+        session = Session(
+            requests=[
+                Request(request_bytes=100, response_bytes=1000),
+                Request(request_bytes=200, response_bytes=2000),
+            ]
+        )
+        assert session.total_response_bytes == 3000
+        assert session.total_request_bytes == 300
+
+
+def run_session(session, until=120.0, path=None):
+    engine = EventLoop()
+    client_cfg = EndpointConfig(ip=ip_from_str("100.64.0.9"), port=41000)
+    server_cfg = EndpointConfig(ip=ip_from_str("10.0.0.1"), port=80)
+    conn = TcpConnection(
+        engine,
+        client_cfg,
+        server_cfg,
+        path or PathConfig(delay=0.03, rate_bps=20e6),
+        random.Random(7),
+    )
+    ServerApp(engine, conn.server, session)
+    done = []
+    app = ClientApp(engine, conn.client, session, on_done=done.append)
+    conn.open()
+    engine.run(until=until)
+    conn.teardown()
+    return app.result, done
+
+
+class TestRequestResponse:
+    def test_single_request_completes(self):
+        session = Session(
+            requests=[Request(request_bytes=300, response_bytes=20_000)]
+        )
+        result, done = run_session(session)
+        assert result.complete
+        assert done
+        assert result.timings[0].latency > 0
+
+    def test_multiple_requests_sequential(self):
+        session = Session(
+            requests=[
+                Request(request_bytes=300, response_bytes=5_000),
+                Request(
+                    request_bytes=300, response_bytes=8_000, think_time=0.5
+                ),
+            ]
+        )
+        result, _ = run_session(session)
+        assert result.complete
+        assert len(result.timings) == 2
+        gap = result.timings[1].sent_at - result.timings[0].completed_at
+        assert gap == pytest.approx(0.5, abs=0.05)
+
+    def test_data_delay_defers_first_byte(self):
+        session = Session(
+            requests=[
+                Request(
+                    request_bytes=300, response_bytes=5_000, data_delay=0.8
+                )
+            ]
+        )
+        result, _ = run_session(session)
+        timing = result.timings[0]
+        assert timing.first_byte_at - timing.sent_at > 0.8
+
+    def test_chunked_supply_pauses(self):
+        session = Session(
+            requests=[
+                Request(
+                    request_bytes=300,
+                    response_bytes=20_000,
+                    chunks=[
+                        SupplyChunk(10_000),
+                        SupplyChunk(10_000, delay=0.6),
+                    ],
+                )
+            ]
+        )
+        result, _ = run_session(session)
+        assert result.complete
+        assert result.timings[0].latency > 0.6
+
+    def test_fin_after_last_response(self):
+        session = Session(
+            requests=[Request(request_bytes=300, response_bytes=3_000)],
+            close_after=True,
+        )
+        result, _ = run_session(session)
+        assert result.finished_at is not None
+
+    def test_latency_none_until_complete(self):
+        timing = Session(
+            requests=[Request(request_bytes=100, response_bytes=100)]
+        )
+        from repro.app.session import RequestTiming
+
+        t = RequestTiming(sent_at=1.0)
+        assert t.latency is None
+        t.completed_at = 2.5
+        assert t.latency == 1.5

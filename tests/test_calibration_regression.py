@@ -1,0 +1,104 @@
+"""Calibration regression: each service keeps its signature stalls.
+
+These pin the qualitative shapes EXPERIMENTS.md reports, so future
+changes to the stack or workloads that silently break a paper-matching
+property fail loudly.  Scales are modest; the assertions are
+deliberately loose (shapes, not numbers).
+"""
+
+import pytest
+
+from repro.core import RetxCause, StallCause
+from repro.experiments.dataset import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(flows_per_service=120, seed=77)
+
+
+class TestServiceSignatures:
+    def test_flow_size_ordering(self, dataset):
+        sizes = {
+            name: report.table1_row()["avg_flow_size"]
+            for name, report in dataset.reports.items()
+        }
+        assert (
+            sizes["cloud_storage"]
+            > sizes["software_download"]
+            > sizes["web_search"]
+        )
+
+    def test_rto_exceeds_rtt_everywhere(self, dataset):
+        for name, report in dataset.reports.items():
+            row = report.table1_row()
+            if row["avg_rto"]:
+                assert row["avg_rto"] > 1.5 * row["avg_rtt"], name
+
+    def test_web_search_dominated_by_data_unavailable(self, dataset):
+        breakdown = dataset.reports["web_search"].cause_breakdown()
+        top_volume = max(
+            (entry.volume_share, cause)
+            for cause, entry in breakdown.items()
+        )
+        assert top_volume[1] == StallCause.DATA_UNAVAILABLE
+
+    def test_zero_window_concentrates_in_software_download(self, dataset):
+        soft = dataset.reports["software_download"].cause_breakdown()
+        cloud = dataset.reports["cloud_storage"].cause_breakdown()
+        web = dataset.reports["web_search"].cause_breakdown()
+        assert (
+            soft[StallCause.ZERO_RWND].volume_share
+            > cloud[StallCause.ZERO_RWND].volume_share
+        )
+        assert (
+            soft[StallCause.ZERO_RWND].volume_share
+            > web[StallCause.ZERO_RWND].volume_share
+        )
+
+    def test_retransmission_is_major_time_contributor_for_cloud(
+        self, dataset
+    ):
+        breakdown = dataset.reports["cloud_storage"].cause_breakdown()
+        assert breakdown[StallCause.RETRANSMISSION].time_share > 0.2
+
+    def test_double_retransmissions_lead_cloud_retx_time(self, dataset):
+        retx = dataset.reports["cloud_storage"].retx_breakdown()
+        double_time = retx[RetxCause.DOUBLE].time_share
+        others = [
+            entry.time_share
+            for cause, entry in retx.items()
+            if cause != RetxCause.DOUBLE
+        ]
+        assert double_time >= max(others)
+
+    def test_tails_lead_web_search_retx(self, dataset):
+        retx = dataset.reports["web_search"].retx_breakdown()
+        total = sum(entry.count for entry in retx.values())
+        if total >= 3:
+            assert retx[RetxCause.TAIL].volume_share >= 0.3
+
+    def test_small_init_rwnd_correlates_with_zero_window(self, dataset):
+        report = dataset.reports["software_download"]
+        probs = report.zero_rwnd_prob_by_init([11, 4096])
+        small_prob, small_n = probs[11]
+        large_prob, large_n = probs[4096]
+        if small_n >= 3 and large_n >= 3:
+            assert small_prob > large_prob
+
+    def test_undetermined_share_small(self, dataset):
+        """The paper's classifier leaves 4-8% undetermined; ours should
+        stay in that ballpark or below."""
+        for name, report in dataset.reports.items():
+            breakdown = report.cause_breakdown()
+            assert breakdown[StallCause.UNDETERMINED].volume_share < 0.1, name
+
+    def test_tail_in_flight_small(self, dataset):
+        for name, report in dataset.reports.items():
+            values = report.tail_in_flights()
+            if values:
+                assert min(values) <= 4, name
+
+    def test_most_flows_complete(self, dataset):
+        for name, run in dataset.runs.items():
+            assert run.completed >= 0.95 * len(run.results), name

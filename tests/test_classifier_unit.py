@@ -1,0 +1,383 @@
+"""Direct decision-tree tests: every branch of the Fig. 5 classifier.
+
+These drive :class:`StallClassifier` with hand-built stalls, contexts
+and packet lookaheads, so each rule is pinned independently of the
+simulator (the e2e suite covers the integrated behaviour).
+"""
+
+from repro.core.classifier import StallClassifier
+from repro.core.flow_analyzer import FlowAnalysis
+from repro.core.segments import AnalyzedSegment, SegmentTracker
+from repro.core.stalls import (
+    CaState,
+    DoubleKind,
+    RetxCause,
+    Stall,
+    StallCause,
+    StallContext,
+)
+from repro.packet.flow import Direction, FlowKey, FlowTrace
+from repro.packet.headers import FLAG_ACK
+from repro.packet.packet import PacketRecord
+
+MSS = 1000
+
+
+def out_data(ts, seq, payload=MSS):
+    return (
+        PacketRecord(
+            timestamp=ts,
+            src_ip=1,
+            src_port=80,
+            dst_ip=2,
+            dst_port=9,
+            seq=seq,
+            ack=0,
+            flags=FLAG_ACK,
+            payload_len=payload,
+        ),
+        Direction.OUT,
+    )
+
+
+def in_data(ts, payload=300):
+    return (
+        PacketRecord(
+            timestamp=ts,
+            src_ip=2,
+            src_port=9,
+            dst_ip=1,
+            dst_port=80,
+            seq=0,
+            ack=0,
+            flags=FLAG_ACK,
+            payload_len=payload,
+        ),
+        Direction.IN,
+    )
+
+
+def make_harness(packets=(), segments=(), bytes_out=50_000):
+    flow = FlowTrace(
+        key=FlowKey(1, 80, 2, 9),
+        server=(1, 80),
+        client=(2, 9),
+        packets=list(packets),
+    )
+    analysis = FlowAnalysis(flow=flow)
+    analysis.bytes_out = bytes_out
+    tracker = SegmentTracker()
+    tracker.init_seq(0)
+    for segment in segments:
+        tracker.segments.append(segment)
+        tracker._by_seq[segment.seq] = segment
+        tracker.transmitted_max = max(
+            tracker.transmitted_max, segment.end_seq
+        )
+    return StallClassifier(analysis, tracker)
+
+
+def make_stall(
+    dir_in=False,
+    is_data=True,
+    is_retrans=False,
+    seq=1,
+    payload=MSS,
+    ctx=None,
+    index=0,
+):
+    return Stall(
+        start_time=10.0,
+        end_time=11.0,
+        threshold=0.3,
+        cur_pkt_index=index,
+        cur_pkt_dir_in=dir_in,
+        cur_pkt_is_data=is_data,
+        cur_pkt_is_retrans=is_retrans,
+        cur_pkt_seq=seq,
+        cur_pkt_payload=payload,
+        context=ctx or StallContext(mss=MSS, rwnd=1 << 20, snd_una=1, snd_nxt=1),
+    )
+
+
+class TestTopLevel:
+    def test_incoming_request_is_client_idle(self):
+        classifier = make_harness()
+        stall = make_stall(dir_in=True, is_data=True)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.CLIENT_IDLE
+
+    def test_incoming_ack_after_zero_window(self):
+        ctx = StallContext(mss=MSS, rwnd=0, snd_una=1, snd_nxt=1)
+        classifier = make_harness()
+        stall = make_stall(dir_in=True, is_data=False, payload=0, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.ZERO_RWND
+
+    def test_incoming_ack_window_blocked(self):
+        # rwnd 2 MSS, 2 MSS outstanding: the sender was window-blocked
+        # even though the advertised value was not literally zero.
+        ctx = StallContext(
+            mss=MSS,
+            rwnd=2 * MSS,
+            snd_una=1,
+            snd_nxt=1 + 2 * MSS,
+            response_started=True,
+            packets_out=2,
+        )
+        classifier = make_harness()
+        stall = make_stall(dir_in=True, is_data=False, payload=0, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.ZERO_RWND
+
+    def test_incoming_ack_otherwise_packet_delay(self):
+        ctx = StallContext(
+            mss=MSS, rwnd=1 << 20, snd_una=1, snd_nxt=1 + MSS, packets_out=1
+        )
+        classifier = make_harness()
+        stall = make_stall(dir_in=True, is_data=False, payload=0, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.PACKET_DELAY
+
+    def test_new_data_after_pending_request_is_data_unavailable(self):
+        ctx = StallContext(
+            mss=MSS, rwnd=1 << 20, request_pending=True, snd_una=1, snd_nxt=1
+        )
+        classifier = make_harness()
+        stall = make_stall(ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.DATA_UNAVAILABLE
+
+    def test_new_data_with_idle_window_is_resource_constraint(self):
+        ctx = StallContext(
+            mss=MSS, rwnd=1 << 20, packets_out=0, snd_una=1, snd_nxt=1,
+            response_started=True,
+        )
+        classifier = make_harness()
+        stall = make_stall(ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.RESOURCE_CONSTRAINT
+
+    def test_new_data_with_closed_window_is_zero_rwnd(self):
+        ctx = StallContext(
+            mss=MSS, rwnd=MSS - 1, packets_out=0, snd_una=1, snd_nxt=1
+        )
+        classifier = make_harness()
+        stall = make_stall(ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.ZERO_RWND
+
+    def test_window_probe_is_zero_rwnd(self):
+        # A 1-byte retransmission below snd_una is a persist probe.
+        ctx = StallContext(mss=MSS, rwnd=0, snd_una=5000, snd_nxt=5000)
+        classifier = make_harness()
+        stall = make_stall(is_retrans=True, seq=4999, payload=1, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.ZERO_RWND
+
+    def test_outgoing_pure_ack_with_pending_request(self):
+        ctx = StallContext(
+            mss=MSS, rwnd=1 << 20, request_pending=True, snd_una=1, snd_nxt=1
+        )
+        classifier = make_harness()
+        stall = make_stall(is_data=False, payload=0, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.cause == StallCause.DATA_UNAVAILABLE
+
+
+def retrans_segment(seq=1, tx_times=(5.0,), rto_times=(), fast_times=()):
+    segment = AnalyzedSegment(seq=seq, end_seq=seq + MSS)
+    segment.tx_times = list(tx_times)
+    segment.rto_retrans_times = list(rto_times)
+    segment.fast_retrans_times = list(fast_times)
+    return segment
+
+
+class TestRetransmissionBranch:
+    def make(self, segment, packets=(), ctx=None, index=0):
+        classifier = make_harness(packets=packets, segments=[segment])
+        stall = make_stall(
+            is_retrans=True,
+            seq=segment.seq,
+            ctx=ctx
+            or StallContext(
+                mss=MSS,
+                rwnd=1 << 20,
+                snd_una=segment.seq,
+                snd_nxt=segment.end_seq,
+                packets_out=1,
+                unsacked_out=1,
+                in_flight=1,
+            ),
+            index=index,
+        )
+        return classifier, stall
+
+    def test_double_retransmission(self):
+        # Transmitted at 5.0, retransmitted at 8.0, stall ends at 11.0
+        # with the second retransmission.
+        segment = retrans_segment(
+            tx_times=(5.0, 8.0, 11.0), rto_times=(8.0,)
+        )
+        classifier, stall = self.make(segment)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.DOUBLE
+        assert stall.double_kind == DoubleKind.T_DOUBLE
+
+    def test_f_double_kind(self):
+        segment = retrans_segment(
+            tx_times=(5.0, 8.0, 11.0), fast_times=(8.0,)
+        )
+        classifier, stall = self.make(segment)
+        classifier.classify(stall)
+        assert stall.double_kind == DoubleKind.F_DOUBLE
+
+    def test_tail_when_no_new_data_follows(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        packets = [out_data(11.0, segment.seq)]  # only the repair
+        classifier, stall = self.make(segment, packets=packets, index=0)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.TAIL
+
+    def test_tail_when_next_event_is_a_request(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        packets = [
+            out_data(11.0, segment.seq),
+            in_data(11.2),  # next request before any new data
+            out_data(11.4, segment.end_seq),
+        ]
+        classifier, stall = self.make(segment, packets=packets, index=0)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.TAIL
+
+    def test_not_tail_when_new_data_follows(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        ctx = StallContext(
+            mss=MSS,
+            rwnd=1 << 20,
+            snd_una=segment.seq,
+            snd_nxt=segment.end_seq,
+            packets_out=1,
+            unsacked_out=1,
+            in_flight=1,
+        )
+        packets = [
+            out_data(11.0, segment.seq),
+            out_data(11.1, segment.end_seq),  # new data past snd_nxt
+        ]
+        classifier, stall = self.make(segment, packets=packets, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.SMALL_CWND
+
+    def test_small_rwnd_when_window_tiny(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        ctx = StallContext(
+            mss=MSS,
+            rwnd=2 * MSS,  # below 4 MSS
+            snd_una=segment.seq,
+            snd_nxt=segment.end_seq,
+            packets_out=1,
+            unsacked_out=1,
+            in_flight=1,
+        )
+        packets = [
+            out_data(11.0, segment.seq),
+            out_data(11.1, segment.end_seq),
+        ]
+        classifier, stall = self.make(segment, packets=packets, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.SMALL_RWND
+
+    def test_continuous_loss(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        ctx = StallContext(
+            mss=MSS,
+            rwnd=1 << 20,
+            snd_una=segment.seq,
+            snd_nxt=segment.seq + 8 * MSS,
+            packets_out=8,
+            unsacked_out=8,
+            sacked_out=0,
+            in_flight=8,
+        )
+        packets = [
+            out_data(11.0, segment.seq),
+            out_data(11.1, segment.seq + 8 * MSS),
+        ]
+        classifier, stall = self.make(segment, packets=packets, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.CONTINUOUS_LOSS
+
+    def test_ack_delay_when_spurious(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        segment.spurious_at = 11.2  # DSACK right after the repair
+        ctx = StallContext(
+            mss=MSS,
+            rwnd=1 << 20,
+            snd_una=segment.seq,
+            snd_nxt=segment.seq + 8 * MSS,
+            packets_out=8,
+            unsacked_out=8,
+            sacked_out=3,
+            in_flight=8,
+        )
+        packets = [
+            out_data(11.0, segment.seq),
+            out_data(11.1, segment.seq + 8 * MSS),
+        ]
+        classifier, stall = self.make(segment, packets=packets, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.ACK_DELAY_LOSS
+
+    def test_undetermined_fallback(self):
+        segment = retrans_segment(tx_times=(5.0, 11.0))
+        ctx = StallContext(
+            mss=MSS,
+            rwnd=1 << 20,
+            snd_una=segment.seq,
+            snd_nxt=segment.seq + 8 * MSS,
+            packets_out=8,
+            unsacked_out=8,
+            sacked_out=3,  # dupacks existed -> not continuous loss
+            in_flight=8,  # not small
+        )
+        packets = [
+            out_data(11.0, segment.seq),
+            out_data(11.1, segment.seq + 8 * MSS),
+        ]
+        classifier, stall = self.make(segment, packets=packets, ctx=ctx)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.UNDETERMINED
+
+    def test_missing_segment_is_undetermined(self):
+        classifier = make_harness()
+        stall = make_stall(is_retrans=True, seq=777_777)
+        classifier.classify(stall)
+        assert stall.retx_cause == RetxCause.UNDETERMINED
+
+
+class TestPositions:
+    def test_segment_position_uses_ordinal(self):
+        segments = [
+            AnalyzedSegment(seq=1 + i * MSS, end_seq=1 + (i + 1) * MSS, ordinal=i)
+            for i in range(10)
+        ]
+        for segment in segments:
+            segment.tx_times = [1.0]
+        segments[7].tx_times = [1.0, 11.0]
+        classifier = make_harness(segments=segments)
+        stall = make_stall(
+            is_retrans=True,
+            seq=segments[7].seq,
+            ctx=StallContext(
+                mss=MSS,
+                rwnd=1 << 20,
+                snd_una=segments[7].seq,
+                snd_nxt=segments[-1].end_seq,
+                packets_out=3,
+                unsacked_out=3,
+                in_flight=3,
+            ),
+        )
+        classifier.classify(stall)
+        assert stall.position == 0.7

@@ -1,0 +1,114 @@
+"""Congestion control tests: NewReno and CUBIC."""
+
+import pytest
+
+from repro.tcp.congestion import Cubic, NewReno, make_congestion_control
+from repro.tcp.constants import MIN_CWND
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = NewReno()
+        cwnd = 10
+        for _ in range(10):
+            cwnd = cc.on_ack(cwnd, ssthresh=1 << 30, acked=1, now=0.0)
+        assert cwnd == 20
+
+    def test_congestion_avoidance_one_per_window(self):
+        cc = NewReno()
+        cwnd = 10
+        # 10 ACKs in avoidance (ssthresh below cwnd) grow by exactly 1.
+        for _ in range(10):
+            cwnd = cc.on_ack(cwnd, ssthresh=5, acked=1, now=0.0)
+        assert cwnd == 11
+
+    def test_slow_start_caps_at_ssthresh_then_avoidance(self):
+        cc = NewReno()
+        cwnd = cc.on_ack(8, ssthresh=10, acked=5, now=0.0)
+        # 2 acked segments grow to ssthresh, the rest go to avoidance.
+        assert cwnd == 10
+
+    def test_ssthresh_halves(self):
+        assert NewReno().ssthresh(20) == 10
+
+    def test_ssthresh_floor(self):
+        assert NewReno().ssthresh(2) == MIN_CWND
+        assert NewReno().ssthresh(1) == MIN_CWND
+
+    def test_reset_clears_counter(self):
+        cc = NewReno()
+        cc.on_ack(10, ssthresh=5, acked=9, now=0.0)
+        cc.reset()
+        assert cc._cwnd_cnt == 0
+
+
+class TestCubic:
+    def test_slow_start(self):
+        cc = Cubic()
+        cwnd = 10
+        for _ in range(10):
+            cwnd = cc.on_ack(cwnd, ssthresh=1 << 30, acked=1, now=0.0)
+        assert cwnd == 20
+
+    def test_ssthresh_beta(self):
+        cc = Cubic()
+        reduced = cc.ssthresh(100)
+        assert reduced == int(100 * Cubic.BETA)
+
+    def test_ssthresh_floor(self):
+        assert Cubic().ssthresh(2) >= MIN_CWND
+
+    def test_fast_convergence_lowers_w_max(self):
+        cc = Cubic(fast_convergence=True)
+        cc.ssthresh(100)  # w_max = 100
+        cc.ssthresh(80)  # second loss below w_max: w_max shrinks
+        assert cc._w_max < 80
+
+    def test_no_fast_convergence(self):
+        cc = Cubic(fast_convergence=False)
+        cc.ssthresh(100)
+        cc.ssthresh(80)
+        assert cc._w_max == 80
+
+    def test_concave_growth_toward_w_max(self):
+        """After a reduction, the window climbs back toward w_max."""
+        cc = Cubic()
+        cwnd = 100
+        ssthresh = cc.ssthresh(cwnd)
+        cwnd = ssthresh
+        cc.on_loss_event(cwnd, now=0.0)
+        now = 0.0
+        for _ in range(2000):
+            now += 0.01
+            cwnd = cc.on_ack(cwnd, ssthresh, acked=1, now=now)
+        assert cwnd > ssthresh
+        assert cwnd >= 95  # recovered most of the way to w_max
+
+    def test_growth_is_monotonic(self):
+        cc = Cubic()
+        cwnd = 20
+        ssthresh = cc.ssthresh(cwnd)
+        cwnd = ssthresh
+        previous = cwnd
+        now = 0.0
+        for _ in range(500):
+            now += 0.02
+            cwnd = cc.on_ack(cwnd, ssthresh, acked=1, now=now)
+            assert cwnd >= previous
+            previous = cwnd
+
+    def test_rto_resets_epoch(self):
+        cc = Cubic()
+        cc.on_ack(10, ssthresh=5, acked=1, now=1.0)
+        cc.on_rto(10, now=2.0)
+        assert cc._epoch_start is None
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_congestion_control("reno"), NewReno)
+        assert isinstance(make_congestion_control("cubic"), Cubic)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            make_congestion_control("vegas")

@@ -1,0 +1,147 @@
+"""Workload distribution tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    BoundedPareto,
+    Choice,
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    sample_int,
+)
+
+
+def empirical_mean(dist, n=20000, seed=3):
+    rng = random.Random(seed)
+    return sum(dist.sample(rng) for _ in range(n)) / n
+
+
+class TestConstant:
+    def test_sample_and_mean(self):
+        dist = Constant(7.5)
+        assert dist.sample(random.Random(0)) == 7.5
+        assert dist.mean() == 7.5
+
+
+class TestUniform:
+    def test_bounds(self):
+        dist = Uniform(2.0, 5.0)
+        rng = random.Random(1)
+        assert all(2.0 <= dist.sample(rng) <= 5.0 for _ in range(500))
+
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean() == 4.0
+        assert empirical_mean(Uniform(2.0, 6.0)) == pytest.approx(4.0, rel=0.02)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 2.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        assert empirical_mean(Exponential(0.5)) == pytest.approx(0.5, rel=0.05)
+
+    def test_positive(self):
+        rng = random.Random(2)
+        dist = Exponential(1.0)
+        assert all(dist.sample(rng) >= 0 for _ in range(200))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_analytic_mean_matches_empirical(self):
+        dist = LogNormal(median=100.0, sigma=1.0)
+        assert empirical_mean(dist, n=100000) == pytest.approx(
+            dist.mean(), rel=0.1
+        )
+
+    def test_median(self):
+        rng = random.Random(5)
+        dist = LogNormal(median=50.0, sigma=1.2)
+        samples = sorted(dist.sample(rng) for _ in range(20001))
+        assert samples[10000] == pytest.approx(50.0, rel=0.1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(median=0.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LogNormal(median=1.0, sigma=-1.0)
+
+
+class TestBoundedPareto:
+    def test_bounds_respected(self):
+        dist = BoundedPareto(low=10.0, high=1000.0, alpha=1.2)
+        rng = random.Random(6)
+        for _ in range(1000):
+            assert 10.0 <= dist.sample(rng) <= 1000.0
+
+    def test_heavy_tail(self):
+        dist = BoundedPareto(low=10.0, high=100000.0, alpha=1.1)
+        rng = random.Random(7)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert max(samples) > 50 * (sorted(samples)[10000])
+
+    def test_analytic_mean(self):
+        dist = BoundedPareto(low=10.0, high=1000.0, alpha=1.5)
+        assert empirical_mean(dist, n=100000) == pytest.approx(
+            dist.mean(), rel=0.05
+        )
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(low=10.0, high=5.0)
+
+
+class TestChoice:
+    def test_only_listed_values(self):
+        dist = Choice([1.0, 2.0, 3.0], [1, 1, 1])
+        rng = random.Random(8)
+        assert {dist.sample(rng) for _ in range(200)} <= {1.0, 2.0, 3.0}
+
+    def test_weights_respected(self):
+        dist = Choice([0.0, 1.0], [9, 1])
+        rng = random.Random(9)
+        ones = sum(dist.sample(rng) for _ in range(20000))
+        assert ones / 20000 == pytest.approx(0.1, abs=0.02)
+
+    def test_mean(self):
+        assert Choice([0.0, 10.0], [1, 1]).mean() == 5.0
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            Choice([1.0], [1, 2])
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        dist = Mixture([Constant(0.0), Constant(10.0)], [3, 1])
+        assert dist.mean() == 2.5
+        assert empirical_mean(dist) == pytest.approx(2.5, rel=0.1)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            Mixture([Constant(1.0)], [1, 2])
+
+
+class TestSampleInt:
+    def test_floor_applied(self):
+        assert sample_int(Constant(0.2), random.Random(0), minimum=5) == 5
+
+    def test_rounding(self):
+        assert sample_int(Constant(7.6), random.Random(0)) == 8
+
+    @given(st.floats(min_value=0.1, max_value=1e6))
+    @settings(max_examples=50)
+    def test_always_at_least_minimum(self, value):
+        assert sample_int(Constant(value), random.Random(0), minimum=3) >= 3

@@ -1,0 +1,194 @@
+"""Endpoint and connection tests: handshake, negotiation, transfer."""
+
+import random
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import PathConfig
+from repro.netsim.loss import BernoulliLoss
+from repro.packet.headers import ip_from_str
+from repro.tcp.endpoint import EndpointConfig, TcpConnection
+
+CLIENT_IP = ip_from_str("100.64.0.2")
+SERVER_IP = ip_from_str("10.0.0.1")
+
+
+def make_connection(
+    client_kwargs=None,
+    server_kwargs=None,
+    path=None,
+    seed=0,
+):
+    engine = EventLoop()
+    client = EndpointConfig(ip=CLIENT_IP, port=40000, **(client_kwargs or {}))
+    server = EndpointConfig(ip=SERVER_IP, port=80, **(server_kwargs or {}))
+    connection = TcpConnection(
+        engine,
+        client,
+        server,
+        path or PathConfig(delay=0.05, rate_bps=None),
+        random.Random(seed),
+    )
+    return engine, connection
+
+
+class TestHandshake:
+    def test_establishes_both_sides(self):
+        engine, conn = make_connection()
+        conn.open()
+        engine.run(until=1.0)
+        assert conn.client.established
+        assert conn.server.established
+
+    def test_syn_synack_ack_in_trace(self):
+        engine, conn = make_connection()
+        conn.open()
+        engine.run(until=1.0)
+        packets = conn.tap.packets
+        assert packets[0].syn and not packets[0].has_ack
+        assert packets[1].syn and packets[1].has_ack
+        assert not packets[2].syn and packets[2].has_ack
+
+    def test_syn_retransmitted_on_loss(self):
+        lossy = PathConfig(
+            delay=0.05,
+            rate_bps=None,
+            ack_loss=BernoulliLoss(0.0),
+        )
+        # Drop the first SYN via a scripted one-shot loss.
+        class OneShot(BernoulliLoss):
+            def __init__(self):
+                super().__init__(0.0)
+                self.dropped = False
+
+            def should_drop(self, rng, now=0.0, pkt=None):
+                if not self.dropped:
+                    self.dropped = True
+                    return True
+                return False
+
+        lossy.ack_loss = OneShot()  # client->server carries the SYN
+        engine, conn = make_connection(path=lossy)
+        conn.open()
+        engine.run(until=10.0)
+        assert conn.server.established
+
+    def test_mss_negotiated_to_minimum(self):
+        engine, conn = make_connection(
+            client_kwargs={"mss": 500}, server_kwargs={"mss": 1448}
+        )
+        conn.open()
+        engine.run(until=1.0)
+        assert conn.server.sender.mss == 500
+
+    def test_wscale_applied_to_acks(self):
+        engine, conn = make_connection(
+            client_kwargs={"wscale": 7, "rcv_buf": 1 << 20}
+        )
+        conn.open()
+        engine.run(until=1.0)
+        assert conn.server.sender.peer_wscale == 7
+
+    def test_handshake_seeds_rtt(self):
+        engine, conn = make_connection()
+        conn.open()
+        engine.run(until=1.0)
+        assert conn.server.sender.rto_estimator.srtt == pytest.approx(
+            0.1, rel=0.1
+        )
+
+    def test_init_rwnd_recoverable_from_syn(self):
+        engine, conn = make_connection(
+            client_kwargs={"rcv_buf": 2896, "wscale": 0}
+        )
+        conn.open()
+        engine.run(until=1.0)
+        syn = conn.tap.packets[0]
+        assert syn.window << (syn.options.wscale or 0) == 2896
+
+
+class TestTransfer:
+    def run_transfer(self, nbytes, path=None, seed=1, until=300.0):
+        engine, conn = make_connection(path=path, seed=seed)
+        conn.server.on_established = lambda: (
+            conn.server.write(nbytes),
+            conn.server.close(),
+        )
+        conn.open()
+        engine.run(until=until)
+        return conn
+
+    def test_bytes_delivered_exactly(self):
+        conn = self.run_transfer(100_000)
+        assert conn.client.receiver.total_received == 100_000
+        assert conn.client.receiver.fin_received
+
+    def test_lossy_transfer_completes(self):
+        path = PathConfig(
+            delay=0.05, rate_bps=10e6, data_loss=BernoulliLoss(0.05)
+        )
+        conn = self.run_transfer(200_000, path=path)
+        assert conn.client.receiver.total_received == 200_000
+        assert conn.client.receiver.fin_received
+        assert conn.server.sender.stats.retransmissions > 0
+
+    @pytest.mark.parametrize("seed", [2, 3, 4, 5])
+    def test_completes_across_seeds(self, seed):
+        path = PathConfig(
+            delay=0.04,
+            rate_bps=8e6,
+            data_loss=BernoulliLoss(0.03),
+            ack_loss=BernoulliLoss(0.01),
+        )
+        conn = self.run_transfer(150_000, path=path, seed=seed)
+        assert conn.client.receiver.total_received == 150_000
+
+    def test_client_to_server_data(self):
+        engine, conn = make_connection()
+        conn.client.on_established = lambda: conn.client.write(5000)
+        delivered = []
+
+        def hook():
+            conn.server.receiver.on_delivered = delivered.append
+
+        conn.server.on_established = hook
+        conn.open()
+        engine.run(until=5.0)
+        assert sum(delivered) == 5000
+
+    def test_abort_stops_traffic(self):
+        engine, conn = make_connection()
+        conn.server.on_established = lambda: conn.server.write(1 << 20)
+        conn.open()
+        engine.run(until=0.5)
+        conn.teardown()
+        engine.run(until=1.0)  # drain packets already in flight
+        count = len(conn.tap.packets)
+        engine.run(until=10.0)
+        assert len(conn.tap.packets) == count
+
+
+class TestCaptureTap:
+    def test_records_both_directions(self):
+        engine, conn = make_connection()
+        conn.server.on_established = lambda: (
+            conn.server.write(5000),
+            conn.server.close(),
+        )
+        conn.open()
+        engine.run(until=5.0)
+        out = [p for p in conn.tap.packets if p.src_ip == SERVER_IP]
+        inbound = [p for p in conn.tap.packets if p.src_ip == CLIENT_IP]
+        assert out and inbound
+
+    def test_timestamps_monotonic(self):
+        engine, conn = make_connection()
+        conn.server.on_established = lambda: (
+            conn.server.write(20_000),
+            conn.server.close(),
+        )
+        conn.open()
+        engine.run(until=5.0)
+        times = [p.timestamp for p in conn.tap.packets]
+        assert times == sorted(times)

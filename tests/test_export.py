@@ -1,0 +1,55 @@
+"""Figure-series export tests."""
+
+from repro.experiments.dataset import build_dataset
+from repro.experiments.export import (
+    export_all,
+    export_illustrative,
+    export_reports,
+    write_cdf,
+)
+from repro.experiments.illustrative import run_illustrative_flow
+
+
+class TestWriteCdf:
+    def test_empty_returns_false(self, tmp_path):
+        assert not write_cdf(tmp_path / "x.dat", [], "empty")
+        assert not (tmp_path / "x.dat").exists()
+
+    def test_writes_monotone_cdf(self, tmp_path):
+        path = tmp_path / "c.dat"
+        assert write_cdf(path, [3.0, 1.0, 2.0], "demo")
+        rows = [
+            line.split()
+            for line in path.read_text().splitlines()
+            if not line.startswith("#")
+        ]
+        xs = [float(r[0]) for r in rows]
+        ys = [float(r[1]) for r in rows]
+        assert xs == sorted(xs)
+        assert ys[-1] == 1.0
+
+
+class TestExport:
+    def test_export_reports_writes_files(self, tmp_path):
+        dataset = build_dataset(flows_per_service=15, seed=8)
+        written = export_reports(dataset.reports, tmp_path)
+        assert written
+        names = {p.name for p in written}
+        assert any(n.startswith("fig1a_rtt_") for n in names)
+        assert any(n.startswith("fig3_stall_ratio_") for n in names)
+        for path in written:
+            assert path.stat().st_size > 0
+
+    def test_export_illustrative(self, tmp_path):
+        result = run_illustrative_flow()
+        paths = export_illustrative(result, tmp_path)
+        assert [p.name for p in paths] == ["fig2_sequence.dat", "fig2_rtt.dat"]
+        body = paths[0].read_text().splitlines()
+        assert body[0].startswith("#")
+        assert len(body) > 100  # ~one row per data packet
+
+    def test_export_all(self, tmp_path):
+        dataset = build_dataset(flows_per_service=15, seed=8)
+        result = run_illustrative_flow()
+        written = export_all(dataset.reports, result, tmp_path)
+        assert (tmp_path / "fig2_sequence.dat") in written

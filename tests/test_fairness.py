@@ -1,0 +1,93 @@
+"""Shared-bottleneck topology and fairness tests."""
+
+import random
+
+import pytest
+
+from repro.experiments.fairness import run_fairness
+from repro.netsim.engine import EventLoop
+from repro.netsim.topology import Dispatcher, SharedBottleneck
+from repro.packet.headers import FLAG_ACK
+from repro.packet.packet import PacketRecord
+
+
+def make_pkt(dst, payload=100):
+    return PacketRecord(
+        timestamp=0.0,
+        src_ip=1,
+        src_port=2,
+        dst_ip=dst[0],
+        dst_port=dst[1],
+        seq=0,
+        ack=0,
+        flags=FLAG_ACK,
+        payload_len=payload,
+    )
+
+
+class TestDispatcher:
+    def test_routes_by_destination(self):
+        dispatcher = Dispatcher()
+        seen = []
+        dispatcher.register((10, 80), lambda p: seen.append("a"))
+        dispatcher.register((11, 80), lambda p: seen.append("b"))
+        dispatcher(make_pkt((11, 80)))
+        dispatcher(make_pkt((10, 80)))
+        assert seen == ["b", "a"]
+
+    def test_unrouted_counted(self):
+        dispatcher = Dispatcher()
+        dispatcher(make_pkt((99, 99)))
+        assert dispatcher.unrouted == 1
+
+    def test_duplicate_registration_rejected(self):
+        dispatcher = Dispatcher()
+        dispatcher.register((10, 80), lambda p: None)
+        with pytest.raises(ValueError):
+            dispatcher.register((10, 80), lambda p: None)
+
+
+class TestSharedBottleneck:
+    def test_connections_share_capacity(self):
+        """Two greedy flows each get roughly half the bottleneck."""
+        result = run_fairness(
+            policy="native", duration=15.0, rate_bps=4e6, seed=3
+        )
+        assert result.policy_bytes > 0 and result.native_bytes > 0
+        total = result.policy_bytes + result.native_bytes
+        # Combined goodput close to (but not exceeding) link capacity.
+        capacity_bytes = 4e6 / 8 * result.duration
+        assert total <= capacity_bytes
+        assert total > 0.5 * capacity_bytes
+
+    def test_serialization_is_shared(self):
+        engine = EventLoop()
+        bottleneck = SharedBottleneck(
+            engine, delay=0.0, rate_bps=1e6, rng=random.Random(0)
+        )
+        arrivals = []
+        bottleneck.to_clients.register(
+            (50, 50), lambda p: arrivals.append(engine.now)
+        )
+        bottleneck.to_clients.register(
+            (51, 51), lambda p: arrivals.append(engine.now)
+        )
+        bottleneck.forward.send(make_pkt((50, 50), payload=1000))
+        bottleneck.forward.send(make_pkt((51, 51), payload=1000))
+        engine.run()
+        assert len(arrivals) == 2
+        # The second packet waited for the first to serialize.
+        assert arrivals[1] - arrivals[0] == pytest.approx(
+            1040 * 8 / 1e6, rel=0.01
+        )
+
+
+class TestFairness:
+    @pytest.mark.parametrize("policy", ["srto", "tlp"])
+    def test_policies_stay_fair(self, policy):
+        kwargs = {"t1": 10, "t2": 5} if policy == "srto" else {}
+        result = run_fairness(
+            policy=policy, policy_kwargs=kwargs, duration=20.0, seed=4
+        )
+        assert 0.3 <= result.policy_share <= 0.7
+        assert result.jain_index > 0.9

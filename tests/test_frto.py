@@ -1,0 +1,127 @@
+"""F-RTO (RFC 5682) tests."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.packet.headers import FLAG_ACK
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+from repro.tcp.congestion import NewReno
+from repro.tcp.sender import SenderHalf
+
+MSS = 1000
+
+
+class Harness:
+    def __init__(self, frto=True, init_cwnd=10):
+        self.engine = EventLoop()
+        self.sent = []
+        self.sender = SenderHalf(
+            self.engine,
+            transmit=lambda *a: self.sent.append((self.engine.now, *a)),
+            iss=0,
+            mss=MSS,
+            init_cwnd=init_cwnd,
+            congestion=NewReno(),
+            frto=frto,
+        )
+        self.sender.rwnd = 1 << 20
+        self.sender.rto_estimator.observe(0.1, now=0.0)
+
+    def ack(self, ack, sack=None):
+        self.sender.on_ack(
+            PacketRecord(
+                timestamp=self.engine.now,
+                src_ip=1,
+                dst_ip=2,
+                src_port=3,
+                dst_port=4,
+                seq=0,
+                ack=ack,
+                flags=FLAG_ACK,
+                window=1 << 20,
+                options=TCPOptions(sack_blocks=sack or []),
+            )
+        )
+
+    def force_timeout(self, segments=5, extra_unsent=5):
+        self.sender.write((segments + extra_unsent) * MSS)
+        # Only `segments` go out (cwnd limit assumed >=), wait for RTO.
+        self.engine.run(
+            until=self.engine.now + self.sender.rto_estimator.rto * 1.05
+        )
+
+
+class TestSpuriousTimeout:
+    def test_two_advancing_acks_detect_spurious(self):
+        h = Harness(init_cwnd=5)
+        h.force_timeout()
+        assert h.sender._frto_phase == 1
+        cwnd_before = 10  # anything; we check restoration below
+        h.ack(1 + MSS)  # first advancing ACK
+        assert h.sender._frto_phase == 2
+        h.ack(1 + 2 * MSS)  # second advancing ACK: spurious!
+        assert h.sender.stats.frto_spurious_detected == 1
+        assert h.sender.ca_state == SenderHalf.OPEN
+        assert h.sender.cwnd >= 5  # window restored
+
+    def test_spurious_avoids_go_back_n(self):
+        h = Harness(init_cwnd=5)
+        h.force_timeout()
+        retx_after_timeout = sum(1 for s in h.sent if s[4])
+        assert retx_after_timeout == 1  # only the head probe
+        h.ack(1 + MSS)
+        h.ack(1 + 2 * MSS)
+        # No further retransmissions happened.
+        assert sum(1 for s in h.sent if s[4]) == 1
+
+    def test_without_frto_go_back_n(self):
+        h = Harness(frto=False, init_cwnd=5)
+        h.force_timeout()
+        h.ack(1 + MSS)
+        h.ack(1 + 2 * MSS)
+        # Conventional recovery retransmits the later holes too.
+        assert sum(1 for s in h.sent if s[4]) > 1
+
+
+class TestGenuineLoss:
+    def test_dupack_in_phase1_falls_back(self):
+        h = Harness(init_cwnd=5)
+        h.force_timeout()
+        h.ack(1)  # duplicate: the head retransmission hasn't landed yet
+        assert h.sender._frto_phase == 0
+        assert h.sender.ca_state == SenderHalf.LOSS
+        # Whole window marked lost again -> go-back-N resumes.
+        assert h.sender.scoreboard.lost_out >= 4
+
+    def test_dupack_in_phase2_falls_back(self):
+        h = Harness(init_cwnd=5)
+        h.force_timeout()
+        h.ack(1 + MSS)  # phase 2
+        h.ack(1 + MSS)  # duplicate: genuine loss above
+        assert h.sender._frto_phase == 0
+        assert h.sender.ca_state == SenderHalf.LOSS
+
+    def test_recovery_still_completes(self):
+        h = Harness(init_cwnd=5)
+        h.force_timeout()
+        h.ack(1)  # genuine loss path
+        h.engine.run(until=h.engine.now + 5.0)
+        # Acknowledge everything actually transmitted so far.
+        h.ack(h.sender.snd_nxt)
+        assert h.sender.ca_state == SenderHalf.OPEN
+
+
+class TestActivationConditions:
+    def test_not_used_when_no_new_data(self):
+        """F-RTO needs unsent data to probe with."""
+        h = Harness(init_cwnd=10)
+        h.sender.write(3 * MSS)  # everything sent, nothing in reserve
+        h.engine.run(until=h.sender.rto_estimator.rto * 1.05)
+        assert h.sender._frto_phase == 0
+
+    def test_not_used_for_single_segment(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 1.1)
+        assert h.sender._frto_phase == 0

@@ -1,0 +1,185 @@
+"""Cross-module integration: simulator -> pcap -> TAPO -> reports/CLI."""
+
+import pytest
+
+from repro.core import StallCause, Tapo
+from repro.core.cli import main as cli_main
+from repro.experiments.dataset import build_dataset, clear_cache
+from repro.experiments.illustrative import run_illustrative_flow
+from repro.experiments.mitigation import (
+    compare_policies,
+    make_short_flow_profile,
+)
+from repro.experiments.runner import run_flow, run_flows
+from repro.experiments.tables import (
+    format_fig1,
+    format_fig3,
+    format_fig6_table4,
+    format_fig7_table6,
+    format_fig10_table7,
+    format_fig11,
+    format_fig12,
+    format_table1,
+    format_table3,
+    format_table5,
+    format_table8,
+    format_table9,
+)
+from repro.packet.pcap import read_pcap, write_pcap
+from repro.workload.generator import generate_flows
+from repro.workload.services import get_profile
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    clear_cache()
+    return build_dataset(flows_per_service=20, seed=5)
+
+
+class TestRunner:
+    def test_run_flow_produces_trace_and_result(self):
+        profile = get_profile("web_search")
+        scenario = next(iter(generate_flows(profile, 1, seed=3)))
+        result = run_flow(scenario)
+        assert result.complete
+        assert result.packets
+        assert result.latency > 0
+        assert result.server_stats.data_segments_sent > 0
+
+    def test_run_flows_batch(self):
+        profile = get_profile("web_search")
+        run = run_flows(generate_flows(profile, 10, seed=4))
+        assert len(run.results) == 10
+        assert run.completed >= 9
+        assert run.total_packets() > 50
+
+    def test_deterministic_traces(self):
+        profile = get_profile("web_search")
+        a = run_flow(next(iter(generate_flows(profile, 1, seed=9))))
+        b = run_flow(next(iter(generate_flows(profile, 1, seed=9))))
+        assert len(a.packets) == len(b.packets)
+        assert [p.seq for p in a.packets] == [p.seq for p in b.packets]
+        assert a.latency == b.latency
+
+
+class TestPcapRoundTrip:
+    def test_analysis_identical_through_pcap(self, tmp_path):
+        """TAPO must reach identical conclusions on a trace that has
+        been serialized to a real pcap file and parsed back."""
+        profile = get_profile("cloud_storage")
+        scenario = next(iter(generate_flows(profile, 1, seed=12)))
+        result = run_flow(scenario)
+        path = tmp_path / "flow.pcap"
+        write_pcap(path, result.packets)
+        tapo = Tapo()
+        direct = tapo.analyze_packets(result.packets)
+        loaded = tapo.analyze_packets(read_pcap(path))
+        assert len(direct) == len(loaded)
+        for a, b in zip(direct, loaded):
+            assert len(a.stalls) == len(b.stalls)
+            assert [s.cause for s in a.stalls] == [s.cause for s in b.stalls]
+            assert a.retransmissions == b.retransmissions
+            assert a.bytes_out == b.bytes_out
+
+
+class TestDataset:
+    def test_reports_for_all_services(self, small_dataset):
+        assert set(small_dataset.reports) == {
+            "cloud_storage",
+            "software_download",
+            "web_search",
+        }
+        assert small_dataset.total_flows == 60
+
+    def test_cache_returns_same_object(self, small_dataset):
+        again = build_dataset(flows_per_service=20, seed=5)
+        assert again is small_dataset
+
+    def test_stalls_detected_overall(self, small_dataset):
+        total = sum(
+            r.total_stalls() for r in small_dataset.reports.values()
+        )
+        assert total > 0
+
+    def test_table_formatters_render(self, small_dataset):
+        reports = small_dataset.reports
+        assert "Table 1" in format_table1(reports)
+        assert "Figure 1a" in format_fig1(reports)
+        assert "Figure 3" in format_fig3(reports)
+        assert "Table 3" in format_table3(reports)
+        assert "Table 4" in format_fig6_table4(reports)
+        assert "Table 5" in format_table5(reports)
+        assert "Table 6" in format_fig7_table6(reports)
+        assert "Table 7" in format_fig10_table7(reports)
+        assert "Figure 11" in format_fig11(reports)
+        assert "Figure 12" in format_fig12(reports)
+
+
+class TestMitigation:
+    def test_compare_policies_structure(self):
+        profile = make_short_flow_profile(get_profile("cloud_storage"))
+        comparison = compare_policies(
+            profile, flows=30, seed=2, short_flow_max=None
+        )
+        assert set(comparison.outcomes) == {"native", "tlp", "srto"}
+        for outcome in comparison.outcomes.values():
+            assert outcome.latencies
+            assert outcome.data_segments > 0
+        # Reductions are computable for every quantile.
+        for q in comparison.QUANTILES:
+            comparison.reduction("srto", q)
+        text8 = format_table8([comparison])
+        text9 = format_table9([comparison])
+        assert "S-RTO" in text8 and "Table 9" in text9
+
+    def test_short_flow_profile_strips_server_noise(self):
+        base = get_profile("cloud_storage")
+        short = make_short_flow_profile(base)
+        assert short.backend_fetch_prob == 0.0
+        assert short.supply_pause_prob == 0.0
+        assert short.path is base.path
+
+
+class TestIllustrative:
+    def test_fig2_structure(self):
+        result = run_illustrative_flow()
+        assert result.total_bytes == 400_000
+        assert result.transfer_time > 5.0
+        assert result.stalled_time > 1.0
+        causes = {s.cause for s in result.analysis.stalls}
+        assert StallCause.ZERO_RWND in causes
+        assert StallCause.RETRANSMISSION in causes
+        assert result.seq_series
+        assert result.rtt_series
+
+
+class TestCli:
+    def test_cli_on_generated_pcap(self, tmp_path, capsys):
+        profile = get_profile("web_search")
+        results = [
+            run_flow(s) for s in generate_flows(profile, 5, seed=21)
+        ]
+        path = tmp_path / "ws.pcap"
+        packets = [p for r in results for p in r.packets]
+        write_pcap(path, packets)
+        code = cli_main([str(path), "--server-port", "80", "--per-flow"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flows analyzed:    5" in out
+        assert "stall causes" in out
+
+    def test_cli_missing_file(self, capsys):
+        assert cli_main(["/nonexistent.pcap"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+    def test_cli_timeline_export(self, tmp_path, capsys):
+        profile = get_profile("web_search")
+        result = run_flow(next(iter(generate_flows(profile, 1, seed=41))))
+        path = tmp_path / "one.pcap"
+        write_pcap(path, result.packets)
+        out_dir = tmp_path / "timelines"
+        assert cli_main([str(path), "--timeline-dir", str(out_dir)]) == 0
+        files = list(out_dir.iterdir())
+        assert any(f.name.endswith("_data.dat") for f in files)
+        assert any(f.name.endswith("_stalls.dat") for f in files)

@@ -1,0 +1,183 @@
+"""Link model tests: delay, serialization, queueing, loss."""
+
+import random
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link, PathConfig
+from repro.netsim.loss import BernoulliLoss, UniformJitter
+from repro.packet.headers import FLAG_ACK
+from repro.packet.packet import PacketRecord
+
+
+def make_pkt(payload=1000, seq=0):
+    return PacketRecord(
+        timestamp=0.0,
+        src_ip=1,
+        dst_ip=2,
+        src_port=80,
+        dst_port=90,
+        seq=seq,
+        ack=0,
+        flags=FLAG_ACK,
+        payload_len=payload,
+    )
+
+
+class Sink:
+    def __init__(self, engine):
+        self.engine = engine
+        self.arrivals = []
+
+    def __call__(self, pkt):
+        self.arrivals.append((self.engine.now, pkt))
+
+
+class TestDelivery:
+    def test_propagation_delay(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(engine, sink, delay=0.05, rate_bps=None)
+        link.send(make_pkt())
+        engine.run()
+        assert sink.arrivals[0][0] == 0.05
+
+    def test_serialization_delay(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        # 1 Mbps: a 1040-byte wire packet takes 8.32 ms to serialize.
+        link = Link(engine, sink, delay=0.0, rate_bps=1e6)
+        link.send(make_pkt(payload=1000))
+        engine.run()
+        expected = (1000 + Link.HEADER_OVERHEAD) * 8 / 1e6
+        assert abs(sink.arrivals[0][0] - expected) < 1e-9
+
+    def test_back_to_back_packets_queue(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(engine, sink, delay=0.0, rate_bps=1e6)
+        link.send(make_pkt())
+        link.send(make_pkt())
+        engine.run()
+        t1, t2 = sink.arrivals[0][0], sink.arrivals[1][0]
+        assert abs((t2 - t1) - (1040 * 8 / 1e6)) < 1e-9
+
+    def test_fifo_order_enforced_under_jitter(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(
+            engine,
+            sink,
+            delay=0.01,
+            rate_bps=None,
+            jitter=UniformJitter(0.5),
+            rng=random.Random(1),
+            allow_reorder=False,
+        )
+        for i in range(50):
+            engine.schedule(i * 0.001, lambda i=i: link.send(make_pkt(seq=i)))
+        engine.run()
+        seqs = [pkt.seq for _, pkt in sink.arrivals]
+        assert seqs == sorted(seqs)
+
+    def test_reorder_allowed_when_enabled(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(
+            engine,
+            sink,
+            delay=0.01,
+            rate_bps=None,
+            jitter=UniformJitter(0.5),
+            rng=random.Random(1),
+            allow_reorder=True,
+        )
+        for i in range(50):
+            engine.schedule(i * 0.001, lambda i=i: link.send(make_pkt(seq=i)))
+        engine.run()
+        seqs = [pkt.seq for _, pkt in sink.arrivals]
+        assert seqs != sorted(seqs)
+
+
+class TestQueueing:
+    def test_drop_tail_when_queue_full(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(engine, sink, delay=0.0, rate_bps=1e5, queue_limit=4)
+        for _ in range(20):
+            link.send(make_pkt())
+        engine.run()
+        assert link.stats.dropped_queue > 0
+        assert link.stats.delivered <= 6  # queue + the ones in service
+
+    def test_queue_drains_over_time(self):
+        """After the burst drains, new packets are accepted again."""
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(engine, sink, delay=0.0, rate_bps=1e6, queue_limit=4)
+        for _ in range(8):
+            link.send(make_pkt())
+        engine.run()
+        delivered_first = link.stats.delivered
+        link.send(make_pkt())
+        engine.run()
+        assert link.stats.delivered == delivered_first + 1
+
+    def test_queue_not_charged_for_propagation(self):
+        """Packets on the wire (propagation) must not occupy the queue:
+        with a long delay and a modest queue, every packet of a paced
+        stream is still delivered."""
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(engine, sink, delay=1.0, rate_bps=1e7, queue_limit=4)
+        for i in range(40):
+            engine.schedule(
+                i * 0.002, lambda: link.send(make_pkt())
+            )
+        engine.run()
+        assert link.stats.dropped_queue == 0
+        assert link.stats.delivered == 40
+
+
+class TestLossAndStats:
+    def test_loss_model_applied(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(
+            engine,
+            sink,
+            delay=0.0,
+            loss=BernoulliLoss(1.0),
+            rng=random.Random(0),
+        )
+        link.send(make_pkt())
+        engine.run()
+        assert link.stats.dropped_loss == 1
+        assert not sink.arrivals
+
+    def test_stats_counters(self):
+        engine = EventLoop()
+        sink = Sink(engine)
+        link = Link(engine, sink, delay=0.0)
+        link.send(make_pkt(payload=500))
+        link.send(make_pkt(payload=300))
+        engine.run()
+        assert link.stats.sent == 2
+        assert link.stats.delivered == 2
+        assert link.stats.bytes_delivered == 800
+        assert link.stats.drop_rate == 0.0
+
+
+class TestPathConfig:
+    def test_build_wires_both_directions(self):
+        engine = EventLoop()
+        to_client = Sink(engine)
+        to_server = Sink(engine)
+        path = PathConfig(delay=0.02, rate_bps=None).build(
+            engine, to_client, to_server, random.Random(0)
+        )
+        path.forward.send(make_pkt())
+        path.reverse.send(make_pkt())
+        engine.run()
+        assert len(to_client.arrivals) == 1
+        assert len(to_server.arrivals) == 1
+        assert path.rtt_floor == 0.04

@@ -1,0 +1,104 @@
+"""PacketRecord tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+
+
+def make_packet(**kwargs) -> PacketRecord:
+    defaults = dict(
+        timestamp=1.5,
+        src_ip=0x0A000001,
+        dst_ip=0x0A000002,
+        src_port=80,
+        dst_port=40000,
+        seq=1000,
+        ack=2000,
+        flags=FLAG_ACK,
+        window=8192,
+        payload_len=0,
+    )
+    defaults.update(kwargs)
+    return PacketRecord(**defaults)
+
+
+class TestProperties:
+    def test_pure_ack(self):
+        assert make_packet().is_pure_ack()
+        assert not make_packet(payload_len=10).is_pure_ack()
+        assert not make_packet(flags=FLAG_ACK | FLAG_SYN).is_pure_ack()
+        assert not make_packet(flags=FLAG_ACK | FLAG_FIN).is_pure_ack()
+
+    def test_is_data(self):
+        assert make_packet(payload_len=1).is_data()
+        assert not make_packet().is_data()
+
+    def test_seq_space_counts_syn_fin(self):
+        assert make_packet(payload_len=100).seq_space == 100
+        assert make_packet(flags=FLAG_SYN).seq_space == 1
+        assert make_packet(flags=FLAG_ACK | FLAG_FIN, payload_len=10).seq_space == 11
+
+    def test_end_seq(self):
+        assert make_packet(seq=100, payload_len=50).end_seq == 150
+
+    def test_end_seq_wraps(self):
+        pkt = make_packet(seq=(1 << 32) - 10, payload_len=20)
+        assert pkt.end_seq == 10
+
+    def test_copy_changes_only_requested(self):
+        original = make_packet()
+        copy = original.copy(timestamp=9.0)
+        assert copy.timestamp == 9.0
+        assert copy.seq == original.seq
+        assert original.timestamp == 1.5
+
+    def test_describe_mentions_flags(self):
+        text = make_packet(flags=FLAG_SYN | FLAG_ACK).describe()
+        assert "S" in text and "seq=1000" in text
+
+
+class TestWireRoundTrip:
+    def test_simple(self):
+        pkt = make_packet(payload_len=100)
+        decoded = PacketRecord.decode(pkt.encode(), timestamp=pkt.timestamp)
+        assert decoded.src_ip == pkt.src_ip
+        assert decoded.dst_port == pkt.dst_port
+        assert decoded.seq == pkt.seq
+        assert decoded.payload_len == 100
+        assert decoded.timestamp == pkt.timestamp
+
+    def test_with_options(self):
+        pkt = make_packet(
+            flags=FLAG_SYN,
+            options=TCPOptions(mss=1448, wscale=7, sack_permitted=True),
+        )
+        decoded = PacketRecord.decode(pkt.encode())
+        assert decoded.options.mss == 1448
+        assert decoded.syn
+
+    def test_sack_blocks_survive(self):
+        pkt = make_packet(options=TCPOptions(sack_blocks=[(5, 10), (20, 30)]))
+        assert PacketRecord.decode(pkt.encode()).sack_blocks == [(5, 10), (20, 30)]
+
+    @given(
+        seq=st.integers(0, (1 << 32) - 1),
+        ack=st.integers(0, (1 << 32) - 1),
+        payload=st.integers(0, 1460),
+        window=st.integers(0, 65535),
+        flags=st.sampled_from(
+            [FLAG_ACK, FLAG_SYN, FLAG_SYN | FLAG_ACK, FLAG_ACK | FLAG_FIN]
+        ),
+    )
+    def test_roundtrip_property(self, seq, ack, payload, window, flags):
+        pkt = make_packet(
+            seq=seq, ack=ack, payload_len=payload, window=window, flags=flags
+        )
+        decoded = PacketRecord.decode(pkt.encode())
+        assert decoded.seq == seq
+        assert decoded.ack == ack
+        assert decoded.payload_len == payload
+        assert decoded.window == window
+        assert decoded.flags == flags

@@ -1,0 +1,151 @@
+"""pcap reader/writer tests."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet.headers import FLAG_ACK, FLAG_SYN
+from repro.packet.packet import PacketRecord
+from repro.packet.pcap import (
+    LINKTYPE_ETHERNET,
+    PcapFormatError,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def make_packets(n=5):
+    return [
+        PacketRecord(
+            timestamp=i * 0.25,
+            src_ip=0x0A000001,
+            dst_ip=0x64400000 + i,
+            src_port=80,
+            dst_port=30000 + i,
+            seq=i * 1000,
+            ack=i * 500,
+            flags=FLAG_SYN if i == 0 else FLAG_ACK,
+            window=1000 + i,
+            payload_len=i * 100,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        packets = make_packets()
+        assert write_pcap(path, packets) == len(packets)
+        loaded = read_pcap(path)
+        assert len(loaded) == len(packets)
+        for original, decoded in zip(packets, loaded):
+            assert decoded.seq == original.seq
+            assert decoded.payload_len == original.payload_len
+            assert decoded.timestamp == pytest.approx(
+                original.timestamp, abs=1e-6
+            )
+
+    def test_ethernet_linktype(self, tmp_path):
+        path = tmp_path / "eth.pcap"
+        packets = make_packets(3)
+        write_pcap(path, packets, linktype=LINKTYPE_ETHERNET)
+        loaded = read_pcap(path)
+        assert [p.seq for p in loaded] == [p.seq for p in packets]
+
+    def test_context_managers(self, tmp_path):
+        path = tmp_path / "ctx.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(make_packets(1)[0])
+            assert writer.packets_written == 1
+        with PcapReader(path) as reader:
+            assert len(list(reader)) == 1
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        assert read_pcap(path) == []
+
+    def test_microsecond_precision(self, tmp_path):
+        path = tmp_path / "precision.pcap"
+        pkt = make_packets(1)[0].copy(timestamp=123.456789)
+        write_pcap(path, [pkt])
+        assert read_pcap(path)[0].timestamp == pytest.approx(
+            123.456789, abs=2e-6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=10))
+    def test_timestamps_survive(self, timestamps):
+        import tempfile
+        from pathlib import Path
+
+        tmp = tempfile.mkdtemp()
+        path = Path(tmp) / "t.pcap"
+        base = make_packets(1)[0]
+        packets = [base.copy(timestamp=t) for t in sorted(timestamps)]
+        write_pcap(path, packets)
+        loaded = read_pcap(path)
+        for original, decoded in zip(packets, loaded):
+            assert decoded.timestamp == pytest.approx(
+                original.timestamp, abs=2e-6
+            )
+
+
+class TestFormatEdges:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\xde\xad\xbe\xef" + b"\x00" * 20)
+        with pytest.raises(PcapFormatError):
+            PcapReader(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1\x02")
+        with pytest.raises(PcapFormatError):
+            PcapReader(path)
+
+    def test_truncated_packet_body(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, make_packets(1))
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(PcapFormatError):
+            read_pcap(path)
+
+    def test_unsupported_linktype(self, tmp_path):
+        path = tmp_path / "linktype.pcap"
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 105)
+        path.write_bytes(header)
+        with pytest.raises(PcapFormatError):
+            PcapReader(path)
+
+    def test_non_ip_ethernet_frames_skipped(self, tmp_path):
+        path = tmp_path / "arp.pcap"
+        with PcapWriter(path, linktype=LINKTYPE_ETHERNET) as writer:
+            writer.write(make_packets(1)[0])
+        # Append an ARP frame by hand.
+        arp = b"\x00" * 12 + struct.pack("!H", 0x0806) + b"\x00" * 28
+        with open(path, "ab") as f:
+            f.write(struct.pack("<IIII", 1, 0, len(arp), len(arp)))
+            f.write(arp)
+        with PcapReader(path) as reader:
+            packets = list(reader)
+            assert len(packets) == 1
+            assert reader.skipped == 1
+
+    def test_big_endian_read(self, tmp_path):
+        """Swapped-magic (big-endian) captures are readable."""
+        path = tmp_path / "be.pcap"
+        pkt = make_packets(1)[0]
+        body = pkt.encode()
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        record = struct.pack(">IIII", 3, 500000, len(body), len(body))
+        path.write_bytes(header + record + body)
+        loaded = read_pcap(path)
+        assert len(loaded) == 1
+        assert loaded[0].timestamp == pytest.approx(3.5)

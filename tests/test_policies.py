@@ -1,0 +1,209 @@
+"""Recovery policy tests: TLP and S-RTO."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.packet.headers import FLAG_ACK
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+from repro.tcp.congestion import NewReno
+from repro.tcp.policies import (
+    PROBE,
+    RTO,
+    NativePolicy,
+    SRTOPolicy,
+    TLPPolicy,
+    make_policy,
+)
+from repro.tcp.sender import SenderHalf
+
+MSS = 1000
+
+
+class Harness:
+    def __init__(self, policy, init_cwnd=10, srtt=0.1):
+        self.engine = EventLoop()
+        self.sent = []
+        self.sender = SenderHalf(
+            self.engine,
+            transmit=lambda *a: self.sent.append((self.engine.now, *a)),
+            iss=0,
+            mss=MSS,
+            init_cwnd=init_cwnd,
+            congestion=NewReno(),
+            policy=policy,
+        )
+        self.sender.rwnd = 1 << 20
+        if srtt:
+            self.sender.rto_estimator.observe(srtt, now=0.0)
+
+    def ack(self, ack, sack=None):
+        self.sender.on_ack(
+            PacketRecord(
+                timestamp=self.engine.now,
+                src_ip=1,
+                dst_ip=2,
+                src_port=3,
+                dst_port=4,
+                seq=0,
+                ack=ack,
+                flags=FLAG_ACK,
+                window=1 << 12,
+                options=TCPOptions(sack_blocks=sack or []),
+            )
+        )
+
+
+class TestNative:
+    def test_always_rto(self):
+        h = Harness(NativePolicy())
+        h.sender.write(MSS)
+        delay, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+        assert delay == h.sender.rto_estimator.rto
+
+    def test_probe_fire_raises(self):
+        with pytest.raises(NotImplementedError):
+            NativePolicy().on_probe_fire(None)
+
+
+class TestTLP:
+    def test_arms_probe_in_open_state(self):
+        h = Harness(TLPPolicy())
+        h.sender.write(5 * MSS)
+        delay, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == PROBE
+        assert delay < h.sender.rto_estimator.rto
+
+    def test_no_probe_without_srtt(self):
+        h = Harness(TLPPolicy(), srtt=None)
+        h.sender.write(MSS)
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+
+    def test_no_probe_outside_open(self):
+        h = Harness(TLPPolicy())
+        h.sender.write(10 * MSS)
+        for i in range(2, 5):  # force Recovery
+            h.ack(1, sack=[(1 + (i - 1) * MSS, 1 + i * MSS)])
+        assert h.sender.ca_state == SenderHalf.RECOVERY
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+
+    def test_probe_retransmits_tail(self):
+        h = Harness(TLPPolicy())
+        h.sender.write(3 * MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.9)
+        probes = [s for s in h.sent if s[4]]  # is_retrans
+        assert probes
+        assert probes[0][1] == 1 + 2 * MSS  # tail segment
+
+    def test_single_probe_per_flight(self):
+        h = Harness(TLPPolicy())
+        h.sender.write(2 * MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.95)
+        probes = [s for s in h.sent if s[4]]
+        assert len(probes) == 1
+
+    def test_single_segment_pto_defers_to_rto(self):
+        # With one segment out, PTO = 2*SRTT + WCDELACK exceeds the
+        # floored RTO here, so TLP leaves recovery to the native timer.
+        h = Harness(TLPPolicy())
+        h.sender.write(MSS)
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+
+    def test_wcdelack_added_for_single_segment(self):
+        h = Harness(TLPPolicy())
+        h.sender.write(MSS)
+        delay, kind = h.sender.policy.timer_duration(h.sender)
+        if kind == PROBE:
+            assert delay >= 2 * h.sender.rto_estimator.srtt + TLPPolicy.WCDELACK - 1e-9
+
+    def test_congestion_state_untouched(self):
+        h = Harness(TLPPolicy())
+        h.sender.write(3 * MSS)
+        cwnd = h.sender.cwnd
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.9)
+        assert h.sender.ca_state == SenderHalf.OPEN
+        assert h.sender.cwnd == cwnd
+
+
+class TestSRTO:
+    def test_arms_probe_below_t1(self):
+        h = Harness(SRTOPolicy(t1=10, t2=5))
+        h.sender.write(5 * MSS)
+        delay, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == PROBE
+
+    def test_native_rto_at_or_above_t1(self):
+        h = Harness(SRTOPolicy(t1=5, t2=5))
+        h.sender.write(5 * MSS)  # packets_out == 5 == T1
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+
+    def test_no_probe_after_native_rto_of_head(self):
+        h = Harness(SRTOPolicy(t1=10, t2=5))
+        h.sender.write(MSS)
+        h.engine.run(until=10.0)  # several RTOs fire
+        head = h.sender.scoreboard.head()
+        assert head.rto_retrans
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+
+    def test_probe_retransmits_head(self):
+        h = Harness(SRTOPolicy(t1=10, t2=5))
+        h.sender.write(3 * MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.9)
+        probes = [s for s in h.sent if s[4]]
+        assert probes
+        assert probes[0][1] == 1  # head, not tail
+
+    def test_probe_enters_recovery(self):
+        h = Harness(SRTOPolicy(t1=10, t2=5))
+        h.sender.write(3 * MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.9)
+        assert h.sender.ca_state == SenderHalf.RECOVERY
+
+    def test_cwnd_halved_above_t2(self):
+        h = Harness(SRTOPolicy(t1=20, t2=5), init_cwnd=12)
+        h.sender.write(8 * MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.9)
+        assert h.sender.cwnd == 6
+
+    def test_cwnd_kept_at_or_below_t2(self):
+        h = Harness(SRTOPolicy(t1=20, t2=5), init_cwnd=4)
+        h.sender.write(3 * MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.9)
+        assert h.sender.cwnd == 4
+
+    def test_probe_in_recovery_state_allowed(self):
+        """Unlike TLP, S-RTO arms its probe during Recovery — the
+        f-double case."""
+        h = Harness(SRTOPolicy(t1=20, t2=5))
+        h.sender.write(10 * MSS)
+        for i in range(2, 5):
+            h.ack(1, sack=[(1 + (i - 1) * MSS, 1 + i * MSS)])
+        assert h.sender.ca_state == SenderHalf.RECOVERY
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == PROBE
+
+    def test_falls_back_to_native_after_probe(self):
+        h = Harness(SRTOPolicy(t1=10, t2=5))
+        h.sender.write(MSS)
+        h.engine.run(until=h.sender.rto_estimator.rto * 0.95)
+        _, kind = h.sender.policy.timer_duration(h.sender)
+        assert kind == RTO
+
+
+class TestFactory:
+    def test_known(self):
+        assert isinstance(make_policy("native"), NativePolicy)
+        assert isinstance(make_policy("tlp"), TLPPolicy)
+        srto = make_policy("srto", t1=5, t2=3)
+        assert isinstance(srto, SRTOPolicy)
+        assert srto.t1 == 5 and srto.t2 == 3
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown recovery policy"):
+            make_policy("frto")

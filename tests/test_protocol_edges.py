@@ -1,0 +1,172 @@
+"""Protocol corner cases: duplicate handshakes, window semantics."""
+
+import random
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import PathConfig
+from repro.packet.headers import FLAG_ACK, FLAG_SYN, ip_from_str
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+from repro.tcp.endpoint import EndpointConfig, TcpConnection
+from repro.tcp.receiver import ReceiverHalf
+
+CLIENT_IP = ip_from_str("100.64.7.7")
+SERVER_IP = ip_from_str("10.0.0.1")
+
+
+def established_connection():
+    engine = EventLoop()
+    conn = TcpConnection(
+        engine,
+        EndpointConfig(ip=CLIENT_IP, port=47000),
+        EndpointConfig(ip=SERVER_IP, port=80),
+        PathConfig(delay=0.03, rate_bps=None),
+        random.Random(0),
+    )
+    conn.open()
+    engine.run(until=1.0)
+    assert conn.server.established and conn.client.established
+    return engine, conn
+
+
+class TestDuplicateHandshake:
+    def test_duplicate_syn_answered_with_synack(self):
+        engine, conn = established_connection()
+        outgoing_before = len(conn.tap.packets)
+        # Replay the client's original SYN (network duplicate).
+        syn = conn.tap.packets[0]
+        assert syn.syn and not syn.has_ack
+        conn.server.receive(syn.copy(timestamp=engine.now))
+        engine.run(until=engine.now + 0.5)
+        new_packets = conn.tap.packets[outgoing_before:]
+        assert any(p.syn and p.has_ack for p in new_packets)
+        assert conn.server.established  # state undisturbed
+
+    def test_duplicate_synack_reacked_by_client(self):
+        engine, conn = established_connection()
+        synack = next(
+            p for p in conn.tap.packets if p.syn and p.has_ack
+        )
+        before = conn.server.sender.snd_una
+        conn.client.receive(synack.copy(timestamp=engine.now))
+        engine.run(until=engine.now + 0.5)
+        assert conn.client.established
+        assert conn.server.sender.snd_una == before
+
+    def test_stray_packet_for_unopened_connection_ignored(self):
+        engine = EventLoop()
+        conn = TcpConnection(
+            engine,
+            EndpointConfig(ip=CLIENT_IP, port=47001),
+            EndpointConfig(ip=SERVER_IP, port=80),
+            PathConfig(delay=0.03, rate_bps=None),
+            random.Random(1),
+        )
+        # No SYN yet; a bare ACK arrives at the listening server.
+        stray = PacketRecord(
+            timestamp=0.0,
+            src_ip=CLIENT_IP,
+            src_port=47001,
+            dst_ip=SERVER_IP,
+            dst_port=80,
+            seq=5,
+            ack=9,
+            flags=FLAG_ACK,
+        )
+        conn.server.receive(stray)  # must not raise
+        assert conn.server.sender is None
+
+
+class TestReceiverWindowSemantics:
+    def make_receiver(self, rcv_buf=4000):
+        engine = EventLoop()
+        acks = []
+        receiver = ReceiverHalf(
+            engine,
+            send_ack=lambda: acks.append(
+                (engine.now, receiver.advertised_window())
+            ),
+            rcv_buf=rcv_buf,
+            auto_grow=False,
+            mss=1000,
+        )
+        receiver.on_syn(0)
+        receiver._quickack = 0
+        return engine, receiver, acks
+
+    def feed(self, engine, receiver, seq, length=1000):
+        receiver.on_data(
+            PacketRecord(
+                timestamp=engine.now,
+                src_ip=1,
+                src_port=2,
+                dst_ip=3,
+                dst_port=4,
+                seq=seq,
+                ack=0,
+                flags=FLAG_ACK,
+                payload_len=length,
+            )
+        )
+
+    def test_window_edge_monotone_under_reads(self):
+        engine, receiver, _ = self.make_receiver()
+        edges = []
+        for i in range(4):
+            self.feed(engine, receiver, 1 + i * 1000)
+            edges.append(receiver.rcv_nxt + receiver.advertised_window())
+            receiver.read(500)
+            edges.append(receiver.rcv_nxt + receiver.advertised_window())
+        assert edges == sorted(edges)
+
+    def test_data_beyond_advertised_window_buffered_consistently(self):
+        engine, receiver, _ = self.make_receiver(rcv_buf=2000)
+        self.feed(engine, receiver, 1)
+        self.feed(engine, receiver, 1001)
+        assert receiver.advertised_window() == 0
+        assert receiver.buffered == 2000
+
+    def test_total_received_tracks_goodput_only(self):
+        engine, receiver, _ = self.make_receiver()
+        self.feed(engine, receiver, 1)
+        self.feed(engine, receiver, 1)  # duplicate
+        assert receiver.total_received == 1000
+        assert receiver.duplicate_segments == 1
+
+
+class TestTimestampEdges:
+    def test_missing_timestamps_tolerated(self):
+        """Packets without TS options still flow end to end."""
+        engine, conn = established_connection()
+        # Hand-deliver a dataless keepalive-style packet with no TS.
+        bare = PacketRecord(
+            timestamp=engine.now,
+            src_ip=CLIENT_IP,
+            src_port=47000,
+            dst_ip=SERVER_IP,
+            dst_port=80,
+            seq=conn.client.sender.snd_nxt,
+            ack=conn.server.sender.snd_una,
+            flags=FLAG_ACK,
+            window=64000,
+            options=TCPOptions(),
+        )
+        conn.server.receive(bare)  # must not raise
+
+    def test_syn_carries_timestamp(self):
+        engine, conn = established_connection()
+        syn = conn.tap.packets[0]
+        assert syn.options.ts_val is not None
+
+    def test_acks_echo_timestamps(self):
+        engine, conn = established_connection()
+        conn.server.write(5000)
+        engine.run(until=engine.now + 1.0)
+        acks = [
+            p
+            for p in conn.tap.packets
+            if p.src_ip == CLIENT_IP and p.is_pure_ack()
+        ]
+        assert any(p.options.ts_ecr for p in acks)

@@ -1,0 +1,240 @@
+"""Receiver half tests: delack, SACK/DSACK generation, windows."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.packet.headers import FLAG_ACK, FLAG_FIN
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+from repro.tcp.receiver import ReceiverHalf
+
+MSS = 1000
+
+
+class Harness:
+    def __init__(self, rcv_buf=64_000, delack=0.2, auto_grow=False, **kwargs):
+        self.engine = EventLoop()
+        self.acks = []
+        self.receiver = ReceiverHalf(
+            self.engine,
+            send_ack=self._on_ack,
+            rcv_buf=rcv_buf,
+            delack_timeout=delack,
+            auto_grow=auto_grow,
+            mss=MSS,
+            **kwargs,
+        )
+        self.receiver.on_syn(999)  # data starts at seq 1000
+        # Exhaust quickack so delayed-ACK tests see steady-state
+        # behaviour (individual tests may reset it).
+        self.receiver._quickack = 0
+
+    def _on_ack(self):
+        self.acks.append(
+            (
+                self.engine.now,
+                self.receiver.rcv_nxt,
+                self.receiver.sack_blocks(),
+            )
+        )
+
+    def data(self, seq, length=MSS, fin=False, ts_val=None):
+        pkt = PacketRecord(
+            timestamp=self.engine.now,
+            src_ip=1,
+            dst_ip=2,
+            src_port=5,
+            dst_port=6,
+            seq=seq,
+            ack=0,
+            flags=FLAG_ACK | (FLAG_FIN if fin else 0),
+            payload_len=length,
+            options=TCPOptions(ts_val=ts_val),
+        )
+        self.receiver.on_data(pkt)
+        return pkt
+
+
+class TestInOrder:
+    def test_advances_rcv_nxt(self):
+        h = Harness()
+        h.data(1000)
+        assert h.receiver.rcv_nxt == 2000
+
+    def test_every_second_segment_acked_immediately(self):
+        h = Harness()
+        h.data(1000)
+        assert not h.acks  # first one waits on the delack timer
+        h.data(2000)
+        assert len(h.acks) == 1
+
+    def test_delack_timer_fires(self):
+        h = Harness(delack=0.15)
+        h.data(1000)
+        h.engine.run()
+        assert len(h.acks) == 1
+        assert h.acks[0][0] == pytest.approx(0.15)
+
+    def test_quickack_acks_immediately(self):
+        h = Harness()
+        h.receiver._quickack = 2
+        h.data(1000)
+        assert len(h.acks) == 1
+
+    def test_delivered_callback(self):
+        h = Harness()
+        delivered = []
+        h.receiver.on_delivered = delivered.append
+        h.data(1000)
+        assert delivered == [MSS]
+
+
+class TestOutOfOrder:
+    def test_immediate_dupack_with_sack(self):
+        h = Harness()
+        h.data(2000)  # hole at 1000
+        assert len(h.acks) == 1
+        _, rcv_nxt, blocks = h.acks[0]
+        assert rcv_nxt == 1000
+        assert blocks == [(2000, 3000)]
+
+    def test_sack_blocks_most_recent_first(self):
+        h = Harness()
+        h.data(3000)
+        h.data(5000)
+        blocks = h.acks[-1][2]
+        assert blocks[0] == (5000, 6000)
+        assert (3000, 4000) in blocks
+
+    def test_hole_fill_delivers_all(self):
+        h = Harness()
+        delivered = []
+        h.receiver.on_delivered = delivered.append
+        h.data(2000)
+        h.data(1000)
+        assert h.receiver.rcv_nxt == 3000
+        assert sum(delivered) == 2 * MSS
+
+    def test_adjacent_ooo_ranges_merge(self):
+        h = Harness()
+        h.data(2000)
+        h.data(3000)
+        blocks = h.acks[-1][2]
+        assert blocks[0] == (2000, 4000)
+
+    def test_duplicate_triggers_dsack(self):
+        h = Harness()
+        h.data(1000)
+        h.data(2000)
+        h.data(1000)  # full duplicate
+        _, _, blocks = h.acks[-1]
+        assert blocks[0] == (1000, 2000)
+        assert h.receiver.duplicate_segments == 1
+
+    def test_partial_overlap_trims_and_dsacks(self):
+        h = Harness()
+        h.data(1000, length=1500)  # delivers up to 2500
+        h.data(2000, length=1000)  # first 500 bytes duplicate
+        _, _, blocks = h.acks[-1]
+        assert blocks[0] == (2000, 2500)
+        assert h.receiver.rcv_nxt == 3000
+
+    def test_duplicate_of_ooo_range_dsacks(self):
+        h = Harness()
+        h.data(2000)
+        h.data(2000)
+        _, _, blocks = h.acks[-1]
+        assert blocks[0] == (2000, 3000)
+
+
+class TestWindow:
+    def test_window_shrinks_with_buffered_data(self):
+        h = Harness(rcv_buf=3 * MSS)
+        before = h.receiver.advertised_window()
+        h.data(1000)
+        assert h.receiver.advertised_window() == before - MSS
+
+    def test_zero_window_when_full(self):
+        h = Harness(rcv_buf=2 * MSS)
+        h.data(1000)
+        h.data(2000)
+        assert h.receiver.advertised_window() == 0
+
+    def test_right_edge_never_retreats(self):
+        h = Harness(rcv_buf=4 * MSS)
+        edge_before = h.receiver.rcv_nxt + h.receiver.advertised_window()
+        h.data(1000)
+        edge_after = h.receiver.rcv_nxt + h.receiver.advertised_window()
+        assert edge_after >= edge_before
+
+    def test_read_reopens_window_with_update(self):
+        h = Harness(rcv_buf=2 * MSS)
+        h.data(1000)
+        h.data(2000)
+        acks_before = len(h.acks)
+        h.receiver.read(2 * MSS)
+        assert len(h.acks) == acks_before + 1  # window update
+        assert h.receiver.advertised_window() == 2 * MSS
+
+    def test_read_returns_bytes_consumed(self):
+        h = Harness()
+        h.data(1000)
+        assert h.receiver.read(600) == 600
+        assert h.receiver.read(10_000) == MSS - 600
+        assert h.receiver.read(10) == 0
+
+    def test_auto_grow(self):
+        h = Harness(rcv_buf=2 * MSS, auto_grow=True, max_rcv_buf=8 * MSS)
+        h.receiver.max_rcv_buf = 8 * MSS
+        for i in range(6):
+            h.data(1000 + i * MSS)
+            h.receiver.read(MSS)
+        assert h.receiver.rcv_buf > 2 * MSS
+
+
+class TestFin:
+    def test_in_order_fin(self):
+        h = Harness()
+        fins = []
+        h.receiver.on_fin = lambda: fins.append(1)
+        h.data(1000)
+        h.data(2000, fin=True)
+        assert h.receiver.fin_received
+        assert h.receiver.rcv_nxt == 3001
+        assert fins == [1]
+
+    def test_out_of_order_fin_waits_for_data(self):
+        h = Harness()
+        h.data(2000, fin=True)  # hole at 1000
+        assert not h.receiver.fin_received
+        h.data(1000)
+        assert h.receiver.fin_received
+        assert h.receiver.rcv_nxt == 3001
+
+    def test_pure_fin(self):
+        h = Harness()
+        h.data(1000)
+        h.data(2000, length=0, fin=True)
+        assert h.receiver.fin_received
+        assert h.receiver.rcv_nxt == 2001
+
+    def test_fin_not_delivered_as_byte(self):
+        h = Harness()
+        delivered = []
+        h.receiver.on_delivered = delivered.append
+        h.data(1000, fin=True)
+        assert sum(delivered) == MSS
+
+
+class TestTimestampEcho:
+    def test_ts_recent_tracks_last_ack_edge(self):
+        h = Harness()
+        h.receiver._quickack = 10
+        h.data(1000, ts_val=111)
+        assert h.receiver.ts_recent == 111
+        # The ACK for seg 1 moved Last.ACK.sent to 2000; segment at
+        # 2000 refreshes, but a further one (before any ACK) does not.
+        h.receiver._quickack = 0
+        h.data(2000, ts_val=222)
+        h.data(3000, ts_val=333)
+        assert h.receiver.ts_recent == 222

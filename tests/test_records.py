@@ -1,0 +1,100 @@
+"""Per-flow record tests."""
+
+import csv
+
+from repro.core import Tapo, flow_record, format_flow_table, record_fields, write_csv
+from repro.core.cli import main as cli_main
+from repro.experiments.runner import run_flow
+from repro.packet.pcap import write_pcap
+from repro.workload.generator import generate_flows
+from repro.workload.services import get_profile
+
+
+def analyses_for(service="cloud_storage", n=3, seed=5):
+    profile = get_profile(service)
+    tapo = Tapo()
+    out = []
+    for scenario in generate_flows(profile, n, seed=seed):
+        result = run_flow(scenario)
+        out.extend(tapo.analyze_packets(result.packets))
+    return out
+
+
+class TestFlowRecord:
+    def test_fields_match_schema(self):
+        analysis = analyses_for(n=1)[0]
+        record = flow_record(analysis)
+        assert list(record) == record_fields()
+
+    def test_values_consistent(self):
+        analysis = analyses_for(n=1)[0]
+        record = flow_record(analysis)
+        assert record["bytes_out"] == analysis.bytes_out
+        assert record["stalls"] == len(analysis.stalls)
+        assert record["server_port"] == 80
+        total_stalled = sum(
+            record[f"stall_{c}"]
+            for c in (
+                "data_unavailable", "resource_constraint", "client_idle",
+                "zero_rwnd", "packet_delay", "retransmission",
+                "undetermined",
+            )
+        )
+        assert abs(total_stalled - record["stalled_time"]) < 1e-6
+
+    def test_empty_rtt_fields_blank(self):
+        from repro.core.flow_analyzer import FlowAnalysis
+        from repro.packet.flow import FlowKey, FlowTrace
+
+        analysis = FlowAnalysis(
+            flow=FlowTrace(
+                key=FlowKey(1, 2, 3, 4), server=(1, 2), client=(3, 4),
+                packets=[],
+            )
+        )
+        record = flow_record(analysis)
+        assert record["avg_rtt"] == ""
+        assert record["avg_rto"] == ""
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        analyses = analyses_for(n=3)
+        path = tmp_path / "flows.csv"
+        assert write_csv(path, analyses) == len(analyses)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(analyses)
+        assert int(rows[0]["bytes_out"]) == analyses[0].bytes_out
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        profile = get_profile("web_search")
+        result = run_flow(next(iter(generate_flows(profile, 1, seed=7))))
+        pcap = tmp_path / "x.pcap"
+        write_pcap(pcap, result.packets)
+        out_csv = tmp_path / "x.csv"
+        assert cli_main([str(pcap), "--csv", str(out_csv)]) == 0
+        assert out_csv.exists()
+        with open(out_csv) as handle:
+            assert len(list(csv.DictReader(handle))) == 1
+
+
+class TestFlowTable:
+    def test_renders(self):
+        analyses = analyses_for(n=3)
+        text = format_flow_table(analyses)
+        assert "client" in text
+        assert len(text.splitlines()) == 2 + len(analyses)
+
+    def test_truncation(self):
+        analyses = analyses_for(n=3)
+        text = format_flow_table(analyses, max_rows=1)
+        assert "..." in text
+
+    def test_cli_flow_table(self, tmp_path, capsys):
+        profile = get_profile("web_search")
+        result = run_flow(next(iter(generate_flows(profile, 1, seed=7))))
+        pcap = tmp_path / "y.pcap"
+        write_pcap(pcap, result.packets)
+        assert cli_main([str(pcap), "--flow-table"]) == 0
+        assert "client" in capsys.readouterr().out

@@ -1,0 +1,25 @@
+"""The public scenario gallery produces its advertised stall types."""
+
+import pytest
+
+from repro.experiments.scenarios import GALLERY, run_gallery
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+def test_scenario_produces_expected_cause(name):
+    builder, expected_cause, expected_retx = GALLERY[name]
+    analysis = builder()
+    causes = {stall.cause for stall in analysis.stalls}
+    assert expected_cause in causes, (name, causes)
+    if expected_retx is not None:
+        retx = {
+            stall.retx_cause
+            for stall in analysis.stalls
+            if stall.retx_cause is not None
+        }
+        assert expected_retx in retx, (name, retx)
+
+
+def test_run_gallery_covers_all():
+    results = run_gallery()
+    assert set(results) == set(GALLERY)

@@ -1,0 +1,183 @@
+"""Sender scoreboard tests (SACK, loss marking, Equation 1)."""
+
+import pytest
+
+from repro.tcp.scoreboard import Scoreboard, Segment
+
+
+def seg(seq, length=1000, **kwargs):
+    return Segment(
+        seq=seq,
+        end_seq=seq + length,
+        first_tx_time=0.0,
+        last_tx_time=0.0,
+        **kwargs,
+    )
+
+
+def filled_board(n=5, length=1000):
+    board = Scoreboard()
+    for i in range(n):
+        board.add(seg(i * length, length))
+    return board
+
+
+class TestQueue:
+    def test_add_in_order(self):
+        board = filled_board(3)
+        assert board.packets_out == 3
+        assert board.head().seq == 0
+        assert board.tail().seq == 2000
+
+    def test_add_out_of_order_rejected(self):
+        board = filled_board(2)
+        with pytest.raises(ValueError):
+            board.add(seg(500))
+
+    def test_ack_through_removes_prefix(self):
+        board = filled_board(5)
+        acked = board.ack_through(2000)
+        assert [s.seq for s in acked] == [0, 1000]
+        assert board.packets_out == 3
+
+    def test_partial_segment_not_acked(self):
+        board = filled_board(2)
+        acked = board.ack_through(1500)
+        assert len(acked) == 1
+
+    def test_clear(self):
+        board = filled_board(3)
+        board.clear()
+        assert board.empty
+
+
+class TestSack:
+    def test_marks_covered_segments(self):
+        board = filled_board(5)
+        result = board.apply_sack([(2000, 4000)], snd_una=0, now=1.0)
+        assert result.newly_sacked == 2
+        assert board.sacked_out == 2
+        assert board.highest_sacked == 4000
+
+    def test_repeated_sack_not_double_counted(self):
+        board = filled_board(5)
+        board.apply_sack([(2000, 4000)], snd_una=0)
+        result = board.apply_sack([(2000, 4000)], snd_una=0)
+        assert result.newly_sacked == 0
+        assert board.sacked_out == 2
+
+    def test_sacked_time_recorded(self):
+        board = filled_board(3)
+        result = board.apply_sack([(1000, 2000)], snd_una=0, now=4.2)
+        assert result.newly_sacked_segments[0].sacked_time == 4.2
+
+    def test_dsack_below_snd_una(self):
+        board = filled_board(3)
+        result = board.apply_sack([(0, 1000)], snd_una=2000)
+        assert result.dsack_seen
+        assert result.dsack_ranges == [(0, 1000)]
+
+    def test_dsack_contained_in_second_block(self):
+        board = filled_board(5)
+        result = board.apply_sack(
+            [(2200, 2800), (2000, 4000)], snd_una=1000
+        )
+        assert result.dsack_seen
+
+    def test_normal_first_block_not_dsack(self):
+        board = filled_board(5)
+        result = board.apply_sack([(2000, 3000)], snd_una=1000)
+        assert not result.dsack_seen
+
+
+class TestLossMarking:
+    def test_mark_lost_by_sack_needs_dupthresh_above(self):
+        board = filled_board(5)
+        board.apply_sack([(1000, 4000)], snd_una=0)  # 3 sacked above seg 0
+        newly = board.mark_lost_by_sack(dup_thresh=3)
+        assert newly == 1
+        assert board.head().lost
+
+    def test_not_enough_sacked(self):
+        board = filled_board(5)
+        board.apply_sack([(1000, 3000)], snd_una=0)  # only 2 above
+        assert board.mark_lost_by_sack(dup_thresh=3) == 0
+
+    def test_mark_head_lost(self):
+        board = filled_board(3)
+        marked = board.mark_head_lost()
+        assert marked.seq == 0 and marked.lost
+
+    def test_mark_head_skips_sacked(self):
+        board = filled_board(3)
+        board.apply_sack([(0, 1000)], snd_una=0)
+        marked = board.mark_head_lost()
+        assert marked.seq == 1000
+
+    def test_mark_all_lost_clears_fast_retrans(self):
+        board = filled_board(3)
+        board.head().fast_retrans = True
+        board.head().retrans_outstanding = True
+        count = board.mark_all_lost()
+        assert count == 3
+        assert not board.head().fast_retrans
+        assert not board.head().retrans_outstanding
+
+    def test_mark_all_lost_spares_sacked(self):
+        board = filled_board(3)
+        board.apply_sack([(1000, 2000)], snd_una=0)
+        assert board.mark_all_lost() == 2
+
+
+class TestEquationOne:
+    def test_clean_window(self):
+        board = filled_board(5)
+        assert board.in_flight == 5
+
+    def test_sacked_reduce_in_flight(self):
+        board = filled_board(5)
+        board.apply_sack([(3000, 5000)], snd_una=0)
+        assert board.in_flight == 3
+
+    def test_lost_then_retransmitted_counts_once(self):
+        board = filled_board(5)
+        board.apply_sack([(1000, 5000)], snd_una=0)
+        board.mark_lost_by_sack(dup_thresh=3)
+        head = board.head()
+        assert board.in_flight == 0  # lost head, everything else sacked
+        head.retrans_count += 1
+        head.retrans_outstanding = True
+        assert board.in_flight == 1  # its retransmission is in the net
+
+    def test_holes(self):
+        board = filled_board(5)
+        board.apply_sack([(3000, 4000)], snd_una=0)
+        assert board.holes() == 3
+
+
+class TestRetransmitSelection:
+    def test_next_retransmittable_skips_fast_retransmitted(self):
+        """The 2.6.32 rule creating f-double stalls: a fast-
+        retransmitted segment is never fast-retransmitted again."""
+        board = filled_board(3)
+        for s in board:
+            s.lost = True
+        board.head().fast_retrans = True
+        candidate = board.next_retransmittable()
+        assert candidate.seq == 1000
+
+    def test_next_rto_retransmittable_includes_fast_retransmitted(self):
+        board = filled_board(3)
+        for s in board:
+            s.lost = True
+        board.head().fast_retrans = True
+        assert board.next_rto_retransmittable().seq == 0
+
+    def test_none_when_nothing_lost(self):
+        board = filled_board(3)
+        assert board.next_retransmittable() is None
+
+    def test_find(self):
+        board = filled_board(3)
+        assert board.find(1000).seq == 1000
+        assert board.find(999) is None

@@ -1,0 +1,268 @@
+"""Sender half tests: windows, recovery states, timers."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.packet.headers import FLAG_ACK
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+from repro.tcp.congestion import NewReno
+from repro.tcp.sender import SenderHalf
+
+MSS = 1000
+
+
+class Harness:
+    """Drives a SenderHalf directly, playing the network+receiver."""
+
+    def __init__(self, **kwargs):
+        self.engine = EventLoop()
+        self.sent = []  # (time, seq, length, fin, is_retrans)
+        kwargs.setdefault("mss", MSS)
+        kwargs.setdefault("iss", 0)  # data starts at seq 1
+        kwargs.setdefault("congestion", NewReno())
+        self.sender = SenderHalf(self.engine, transmit=self._transmit, **kwargs)
+        self.sender.rwnd = 1 << 20
+        self.sender.rto_estimator.observe(0.1, now=0.0)
+
+    def _transmit(self, seq, length, fin, is_retrans):
+        self.sent.append((self.engine.now, seq, length, fin, is_retrans))
+
+    def ack(self, ack, sack=None, window=1 << 20):
+        pkt = PacketRecord(
+            timestamp=self.engine.now,
+            src_ip=1,
+            dst_ip=2,
+            src_port=3,
+            dst_port=4,
+            seq=0,
+            ack=ack,
+            flags=FLAG_ACK,
+            window=window,
+            options=TCPOptions(sack_blocks=sack or []),
+        )
+        self.sender.on_ack(pkt)
+
+    def data_seqs(self):
+        return [s[1] for s in self.sent]
+
+
+class TestTransmission:
+    def test_initial_window_limits_burst(self):
+        h = Harness(init_cwnd=3)
+        h.sender.write(10 * MSS)
+        assert len(h.sent) == 3
+
+    def test_ack_releases_more(self):
+        h = Harness(init_cwnd=3)
+        h.sender.write(10 * MSS)
+        h.ack(1 + MSS)
+        # cwnd grew by 1 (slow start), 1 segment left the network.
+        assert len(h.sent) == 5
+
+    def test_rwnd_limits(self):
+        h = Harness(init_cwnd=10)
+        h.sender.rwnd = 2 * MSS
+        h.sender.write(10 * MSS)
+        assert len(h.sent) == 2
+
+    def test_segments_are_mss_sized(self):
+        h = Harness(init_cwnd=5)
+        h.sender.write(2 * MSS + 500)
+        lengths = [s[2] for s in h.sent]
+        assert lengths == [MSS, MSS, 500]
+
+    def test_fin_piggybacks_on_last_segment(self):
+        h = Harness(init_cwnd=5)
+        h.sender.write(2 * MSS)
+        h.sender.close()
+        assert h.sent[-1][3]  # fin flag
+
+    def test_pure_fin_when_buffer_empty(self):
+        h = Harness(init_cwnd=5)
+        h.sender.write(MSS)
+        h.ack(1 + MSS)
+        h.sender.close()
+        assert h.sent[-1][2] == 0 and h.sent[-1][3]
+
+    def test_write_after_close_rejected(self):
+        h = Harness()
+        h.sender.close()
+        with pytest.raises(RuntimeError):
+            h.sender.write(100)
+
+    def test_negative_write_rejected(self):
+        h = Harness()
+        with pytest.raises(ValueError):
+            h.sender.write(-1)
+
+    def test_all_acked(self):
+        h = Harness(init_cwnd=5)
+        h.sender.write(2 * MSS)
+        assert not h.sender.all_acked
+        h.ack(1 + 2 * MSS)
+        assert h.sender.all_acked
+
+
+class TestFastRetransmit:
+    def _lose_first_segment(self, h):
+        h.sender.write(10 * MSS)  # cwnd 10: all out
+        # SACKs arrive for segments 2..4 — three dupacks.
+        base = 1
+        for i in range(2, 5):
+            h.ack(base, sack=[(base + (i - 1) * MSS, base + i * MSS)])
+
+    def test_enters_recovery_and_retransmits(self):
+        h = Harness(init_cwnd=10)
+        self._lose_first_segment(h)
+        assert h.sender.ca_state == SenderHalf.RECOVERY
+        retransmissions = [s for s in h.sent if s[4]]
+        assert len(retransmissions) == 1
+        assert retransmissions[0][1] == 1  # head
+
+    def test_disorder_before_threshold(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(10 * MSS)
+        h.ack(1, sack=[(1 + MSS, 1 + 2 * MSS)])
+        assert h.sender.ca_state == SenderHalf.DISORDER
+
+    def test_recovery_exit_restores_open(self):
+        h = Harness(init_cwnd=10)
+        self._lose_first_segment(h)
+        h.ack(1 + 10 * MSS)  # everything acked
+        assert h.sender.ca_state == SenderHalf.OPEN
+
+    def test_cwnd_reduced_after_recovery(self):
+        h = Harness(init_cwnd=10)
+        self._lose_first_segment(h)
+        before = h.sender.cwnd
+        h.ack(1 + 10 * MSS)
+        assert h.sender.cwnd <= max(before, 10) // 2 + 1
+
+    def test_no_second_fast_retransmit_of_same_segment(self):
+        """The f-double mechanism: once fast-retransmitted, only the
+        RTO can retransmit the segment again."""
+        h = Harness(init_cwnd=10)
+        self._lose_first_segment(h)
+        # More dupacks keep arriving; the head must not be sent again.
+        for i in range(5, 9):
+            h.ack(1, sack=[(1 + (i - 1) * MSS, 1 + i * MSS)])
+        retransmissions = [s for s in h.sent if s[4] and s[1] == 1]
+        assert len(retransmissions) == 1
+
+
+class TestTimeout:
+    def test_rto_enters_loss_and_resets_cwnd(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(5 * MSS)
+        h.engine.run(until=10.0)
+        assert h.sender.ca_state == SenderHalf.LOSS
+        assert h.sender.cwnd == 1
+        assert h.sender.stats.rto_timeouts >= 1
+
+    def test_rto_retransmits_head_first(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(5 * MSS)
+        sent_before = len(h.sent)
+        h.engine.run(until=2.0)
+        assert h.sent[sent_before][1] == 1
+        assert h.sent[sent_before][4]
+
+    def test_backoff_doubles_gap(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(MSS)
+        h.engine.run(until=5.0)
+        retx_times = [s[0] for s in h.sent if s[4]]
+        assert len(retx_times) >= 3
+        gap1 = retx_times[1] - retx_times[0]
+        gap2 = retx_times[2] - retx_times[1]
+        assert gap2 == pytest.approx(2 * gap1, rel=0.05)
+
+    def test_loss_recovery_completes_on_ack(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(3 * MSS)
+        h.engine.run(until=1.5)  # one timeout
+        h.ack(1 + 3 * MSS)
+        assert h.sender.ca_state == SenderHalf.OPEN
+
+    def test_gives_up_after_max_retries(self):
+        h = Harness(init_cwnd=5)
+        h.sender.write(MSS)
+        h.engine.run(until=3000.0)
+        assert h.sender.failed
+
+    def test_timeout_allows_re_retransmission_of_fast_retransmitted(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(10 * MSS)
+        base = 1
+        for i in range(2, 5):
+            h.ack(base, sack=[(base + (i - 1) * MSS, base + i * MSS)])
+        # The fast retransmission is lost too; only the RTO recovers.
+        retx_before = [s for s in h.sent if s[4] and s[1] == 1]
+        h.engine.run(until=5.0)
+        retx_after = [s for s in h.sent if s[4] and s[1] == 1]
+        assert len(retx_after) > len(retx_before)
+        assert h.sender.ca_state == SenderHalf.LOSS
+
+
+class TestZeroWindow:
+    def test_persist_probe_sent(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(MSS)
+        h.ack(1 + MSS, window=0)  # all acked, window closed
+        h.sender.write(5 * MSS)  # more data arrives, cannot send
+        h.engine.run(until=3.0)
+        assert h.sender.stats.zero_window_probes >= 1
+
+    def test_probe_is_old_byte(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(MSS)
+        h.ack(1 + MSS, window=0)
+        h.sender.write(5 * MSS)
+        h.engine.run(until=3.0)
+        probes = [s for s in h.sent if s[2] == 1 and s[4]]
+        assert probes
+        assert probes[0][1] == MSS  # snd_una - 1
+
+    def test_window_reopen_resumes(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(MSS)
+        h.ack(1 + MSS, window=0)
+        h.sender.write(5 * MSS)
+        h.engine.run(until=1.0)
+        h.ack(1 + MSS, window=1 << 20)
+        assert len([s for s in h.sent if not s[4]]) == 6
+
+
+class TestDupthresh:
+    def test_dsack_raises_dup_thresh(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(3 * MSS)
+        before = h.sender.dup_thresh
+        h.ack(1 + 3 * MSS, sack=[(1, 1 + MSS)])  # DSACK (below cumack)
+        assert h.sender.dup_thresh == before + 1
+
+    def test_dup_thresh_capped(self):
+        h = Harness(init_cwnd=10)
+        h.sender.dup_thresh = 10
+        h.sender.write(MSS)
+        h.ack(1 + MSS, sack=[(1, 1 + MSS)])
+        assert h.sender.dup_thresh == 10
+
+
+class TestStats:
+    def test_counters(self):
+        h = Harness(init_cwnd=5)
+        h.sender.write(3 * MSS)
+        h.ack(1 + 3 * MSS)
+        stats = h.sender.stats
+        assert stats.data_segments_sent == 3
+        assert stats.bytes_sent == 3 * MSS
+        assert stats.retransmissions == 0
+        assert stats.retransmission_ratio == 0.0
+
+    def test_retransmission_ratio(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(MSS)
+        h.engine.run(until=1.0)
+        assert h.sender.stats.retransmission_ratio > 0

@@ -1,0 +1,176 @@
+"""Tests for sender extensions: pacing, DSACK undo, early retransmit."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.packet.headers import FLAG_ACK
+from repro.packet.options import TCPOptions
+from repro.packet.packet import PacketRecord
+from repro.tcp.congestion import NewReno
+from repro.tcp.sender import SenderHalf
+
+MSS = 1000
+
+
+class Harness:
+    def __init__(self, **kwargs):
+        self.engine = EventLoop()
+        self.sent = []
+        kwargs.setdefault("mss", MSS)
+        kwargs.setdefault("iss", 0)
+        kwargs.setdefault("congestion", NewReno())
+        self.sender = SenderHalf(
+            self.engine,
+            transmit=lambda *a: self.sent.append((self.engine.now, *a)),
+            **kwargs,
+        )
+        self.sender.rwnd = 1 << 20
+        self.sender.rto_estimator.observe(0.1, now=0.0)
+
+    def ack(self, ack, sack=None, window=1 << 20):
+        self.sender.on_ack(
+            PacketRecord(
+                timestamp=self.engine.now,
+                src_ip=1,
+                dst_ip=2,
+                src_port=3,
+                dst_port=4,
+                seq=0,
+                ack=ack,
+                flags=FLAG_ACK,
+                window=window,
+                options=TCPOptions(sack_blocks=sack or []),
+            )
+        )
+
+
+class TestPacing:
+    def test_burst_without_pacing(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(10 * MSS)
+        assert len(h.sent) == 10
+        assert len({t for t, *_ in h.sent}) == 1  # all at once
+
+    def test_paced_segments_spread_over_time(self):
+        h = Harness(init_cwnd=10, pacing=True)
+        h.sender.write(10 * MSS)
+        assert len(h.sent) == 1  # only the first goes out immediately
+        h.engine.run(until=0.2)
+        assert len(h.sent) == 10
+        times = [t for t, *_ in h.sent]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        expected = 0.1 / 10  # srtt / cwnd
+        assert all(g == pytest.approx(expected, rel=0.3) for g in gaps)
+
+    def test_pacing_interval_tracks_cwnd(self):
+        h = Harness(init_cwnd=20, pacing=True)
+        h.sender.write(MSS)
+        assert h.sender._pacing_interval() == pytest.approx(0.1 / 20)
+
+    def test_paced_transfer_still_delivers_everything(self):
+        h = Harness(init_cwnd=4, pacing=True)
+        h.sender.write(8 * MSS)
+        h.engine.run(until=0.5)
+
+        def drain():
+            # Ack whatever is outstanding; repeat until all data sent.
+            while not h.sender.scoreboard.empty:
+                tail = h.sender.scoreboard.tail()
+                h.ack(tail.end_seq)
+                h.engine.run(until=h.engine.now + 0.5)
+
+        drain()
+        assert h.sender.all_acked
+        new_data = [s for s in h.sent if not s[4]]
+        assert len(new_data) == 8
+
+    def test_retransmissions_not_paced(self):
+        h = Harness(init_cwnd=10, pacing=True)
+        h.sender.write(5 * MSS)
+        h.engine.run(until=0.2)  # pace out the window
+        # Three dupacks -> fast retransmit happens immediately.
+        base = 1
+        for i in range(2, 5):
+            h.ack(base, sack=[(base + (i - 1) * MSS, base + i * MSS)])
+        retx = [s for s in h.sent if s[4]]
+        assert retx and retx[0][0] == h.engine.now
+
+
+class TestDsackUndo:
+    def _force_spurious_timeout(self, h):
+        """Write data, let the RTO fire, then deliver the ACKs for the
+        original transmissions plus DSACKs for the retransmissions."""
+        h.sender.write(3 * MSS)
+        h.engine.run(until=1.5)  # RTO fires, go-back-N retransmits
+        assert h.sender.ca_state == SenderHalf.LOSS
+
+    def test_undo_restores_cwnd(self):
+        h = Harness(init_cwnd=10)
+        self._force_spurious_timeout(h)
+        retransmitted = [s for s in h.sent if s[4]]
+        assert retransmitted
+        # The original packets arrive after all: cumulative ACK plus one
+        # DSACK per retransmission.
+        top = 1 + 3 * MSS
+        for seg in list(h.sender.scoreboard):
+            pass
+        h.ack(top, sack=[(1, 1 + MSS)])
+        h.ack(top, sack=[(1 + MSS, 1 + 2 * MSS)])
+        h.ack(top, sack=[(1 + 2 * MSS, 1 + 3 * MSS)])
+        assert h.sender.stats.undo_events >= 1
+        assert h.sender.cwnd >= 10
+        assert h.sender.ca_state == SenderHalf.OPEN
+
+    def test_no_undo_when_real_loss(self):
+        h = Harness(init_cwnd=10)
+        h.sender.write(3 * MSS)
+        h.engine.run(until=1.5)
+        h.ack(1 + 3 * MSS)  # plain ACK, no DSACK: the loss was real
+        assert h.sender.stats.undo_events == 0
+        assert h.sender.cwnd < 10
+
+    def test_marker_survives_exit_until_dsacks(self):
+        """DSACKs usually arrive after the cumulative ACK; the undo is
+        still owed then, so the marker outlives the episode exit."""
+        h = Harness(init_cwnd=10)
+        self._force_spurious_timeout(h)
+        h.ack(1 + 3 * MSS)  # exits Loss, no DSACK yet
+        assert h.sender._undo_marker is not None
+        cwnd_reduced = h.sender.cwnd
+        h.ack(1 + 3 * MSS, sack=[(1, 1 + MSS)])
+        h.ack(1 + 3 * MSS, sack=[(1, 1 + MSS)])
+        assert h.sender.stats.undo_events == 1
+        assert h.sender.cwnd >= cwnd_reduced
+        assert h.sender._undo_marker is None
+
+    def test_fresh_episode_resets_marker(self):
+        h = Harness(init_cwnd=10)
+        self._force_spurious_timeout(h)
+        h.ack(1 + 3 * MSS)  # exit to Open; marker survives
+        h.sender.write(3 * MSS)
+        h.engine.run(until=h.engine.now + 2.0)  # another timeout episode
+        assert h.sender._undo_marker == h.sender.snd_una
+
+
+class TestEarlyRetransmit:
+    def test_lowered_threshold_with_tiny_window(self):
+        h = Harness(init_cwnd=10, early_retransmit=True)
+        h.sender.write(3 * MSS)  # 3 packets out, no more data
+        # One dupack (packets_out - 1 = 2 would be the ER threshold;
+        # feed two SACKed segments).
+        h.ack(1, sack=[(1 + MSS, 1 + 3 * MSS)])
+        assert h.sender.ca_state == SenderHalf.RECOVERY
+        retx = [s for s in h.sent if s[4]]
+        assert retx and retx[0][1] == 1
+
+    def test_disabled_by_default(self):
+        h = Harness(init_cwnd=10, early_retransmit=False)
+        h.sender.write(3 * MSS)
+        h.ack(1, sack=[(1 + MSS, 1 + 3 * MSS)])
+        assert h.sender.ca_state == SenderHalf.DISORDER
+
+    def test_not_applied_when_more_data_waiting(self):
+        h = Harness(init_cwnd=3, early_retransmit=True)
+        h.sender.write(10 * MSS)  # plenty of unsent data
+        h.ack(1, sack=[(1 + MSS, 1 + 3 * MSS)])
+        assert h.sender.ca_state != SenderHalf.RECOVERY

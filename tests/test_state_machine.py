@@ -1,0 +1,193 @@
+"""Shadow congestion-state machine tests."""
+
+from repro.core.segments import SegmentTracker
+from repro.core.state_machine import FAST, PROBE, RTO, CaStateTracker
+from repro.core.stalls import CaState
+from repro.packet.headers import FLAG_ACK
+from repro.packet.packet import PacketRecord
+
+MSS = 1000
+
+
+def out_pkt(seq, length=MSS, ts=0.0):
+    return PacketRecord(
+        timestamp=ts,
+        src_ip=1,
+        dst_ip=2,
+        src_port=80,
+        dst_port=90,
+        seq=seq,
+        ack=0,
+        flags=FLAG_ACK,
+        payload_len=length,
+    )
+
+
+def setup(n=6):
+    tracker = SegmentTracker()
+    tracker.init_seq(0)
+    for i in range(n):
+        tracker.record_transmission(out_pkt(1 + i * MSS, ts=0.01 * i), 0.01 * i)
+    ca = CaStateTracker(init_cwnd=10)
+    return tracker, ca
+
+
+def feed_sacks(tracker, ca, count, start_index=1):
+    """Deliver `count` dupacks with progressing SACK blocks."""
+    for i in range(start_index, start_index + count):
+        tracker.apply_sack(
+            [(1 + i * MSS, 1 + (i + 1) * MSS)], ack=1, now=0.1 + 0.001 * i
+        )
+        ca.on_ack(
+            0.1 + 0.001 * i,
+            tracker,
+            new_ack=False,
+            acked_segments=0,
+            is_dupack=True,
+            dsack=False,
+        )
+
+
+class TestTransitions:
+    def test_initial_open(self):
+        _, ca = setup()
+        assert ca.state == CaState.OPEN
+
+    def test_dupack_enters_disorder(self):
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 1)
+        assert ca.state == CaState.DISORDER
+
+    def test_threshold_enters_recovery(self):
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 3)
+        assert ca.state == CaState.RECOVERY
+        assert ca.high_seq == tracker.transmitted_max
+
+    def test_recovery_exits_on_full_ack(self):
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 3)
+        acked = tracker.apply_ack(tracker.transmitted_max, 0.3)
+        ca.on_ack(0.3, tracker, True, len(acked), False, False)
+        assert ca.state == CaState.OPEN
+
+    def test_rto_enters_loss(self):
+        tracker, ca = setup()
+        ca.on_retransmission(RTO, 1.0, tracker)
+        assert ca.state == CaState.LOSS
+        assert ca.cwnd == 1
+
+    def test_loss_exits_on_full_ack(self):
+        tracker, ca = setup()
+        ca.on_retransmission(RTO, 1.0, tracker)
+        acked = tracker.apply_ack(tracker.transmitted_max, 2.0)
+        ca.on_ack(2.0, tracker, True, len(acked), False, False)
+        assert ca.state == CaState.OPEN
+
+    def test_fast_retransmission_event_enters_recovery(self):
+        tracker, ca = setup()
+        ca.dup_acks = 3
+        ca.on_retransmission(FAST, 0.5, tracker)
+        assert ca.state == CaState.RECOVERY
+
+    def test_probe_does_not_change_state(self):
+        tracker, ca = setup()
+        ca.on_retransmission(PROBE, 0.5, tracker)
+        assert ca.state == CaState.OPEN
+
+    def test_dsack_raises_dupthres(self):
+        tracker, ca = setup()
+        before = ca.dup_thresh
+        ca.on_ack(0.5, tracker, False, 0, False, dsack=True)
+        assert ca.dup_thresh == before + 1
+
+    def test_state_log_records_changes(self):
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 3)
+        states = [s for _, s in ca.state_log]
+        assert CaState.DISORDER in states
+        assert CaState.RECOVERY in states
+
+
+class TestShadowWindow:
+    def test_slow_start_growth(self):
+        tracker, ca = setup()
+        start = ca.cwnd
+        acked = tracker.apply_ack(1 + 2 * MSS, 0.2)
+        ca.on_ack(0.2, tracker, True, len(acked), False, False)
+        assert ca.cwnd == start + 2
+
+    def test_recovery_rate_halving(self):
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 3)
+        cwnd_at_entry = ca.cwnd
+        # Two partial acks shed one segment.
+        for i in (1, 2):
+            acked = tracker.apply_ack(1 + i * MSS, 0.3 + i * 0.01)
+            ca.on_ack(0.3 + i * 0.01, tracker, True, len(acked), False, False)
+        assert ca.cwnd == cwnd_at_entry - 1
+
+    def test_loss_resets_to_one(self):
+        tracker, ca = setup()
+        ca.on_retransmission(RTO, 1.0, tracker)
+        assert ca.cwnd == 1
+
+
+class TestRetransmissionClassification:
+    def classify(self, tracker, ca, seq, now, **kwargs):
+        segment = tracker.find_covering(seq)
+        segment.tx_times.append(now)
+        return ca.classify_retransmission(
+            segment,
+            now,
+            tracker,
+            rto=kwargs.get("rto", 0.5),
+            srtt=kwargs.get("srtt", 0.1),
+            last_new_ack=kwargs.get("last_new_ack"),
+            last_in_packet=kwargs.get("last_in_packet"),
+        )
+
+    def test_head_after_long_silence_is_rto(self):
+        tracker, ca = setup()
+        assert self.classify(tracker, ca, 1, now=1.0) == RTO
+
+    def test_head_with_dupacks_flowing_is_fast(self):
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 3)
+        kind = self.classify(
+            tracker, ca, 1, now=0.11, last_in_packet=0.103
+        )
+        assert kind == FAST
+
+    def test_non_head_in_recovery_is_fast_even_after_delay(self):
+        """Window-limited recovery retransmissions of non-head segments
+        must not be mistaken for timeouts."""
+        tracker, ca = setup()
+        feed_sacks(tracker, ca, 4, start_index=2)
+        assert ca.state == CaState.RECOVERY
+        kind = self.classify(tracker, ca, 1 + MSS, now=2.0)
+        assert kind == FAST
+
+    def test_loss_state_continuation_is_rto(self):
+        tracker, ca = setup()
+        ca.on_retransmission(RTO, 1.0, tracker)
+        kind = self.classify(tracker, ca, 1 + MSS, now=1.05)
+        assert kind == RTO
+
+    def test_tail_probe_detected(self):
+        tracker, ca = setup(n=3)
+        tail_seq = 1 + 2 * MSS
+        kind = self.classify(
+            tracker, ca, tail_seq, now=0.25, rto=0.6, srtt=0.1
+        )
+        assert kind == PROBE
+
+    def test_head_probe_timing(self):
+        """A head retransmission ~2*SRTT after the last event with few
+        dupacks looks like an S-RTO probe."""
+        tracker, ca = setup(n=3)
+        kind = self.classify(
+            tracker, ca, 1, now=0.25, rto=0.8, srtt=0.1,
+            last_new_ack=0.02,
+        )
+        assert kind == PROBE

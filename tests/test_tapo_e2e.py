@@ -1,0 +1,266 @@
+"""Ground-truth validation of TAPO: engineered scenarios per stall type.
+
+Each test constructs a scenario whose true stall cause is known by
+design (scripted losses, delays, pauses), runs the full simulator, and
+checks that TAPO's decision tree reaches the right leaf.
+"""
+
+import random
+
+import pytest
+
+from repro.app.client import ClientApp
+from repro.app.server import ServerApp
+from repro.app.session import Request, Session, SupplyChunk
+from repro.core import RetxCause, StallCause, Tapo
+from repro.experiments.illustrative import ScriptedDelay, ScriptedLoss
+from repro.netsim.loss import ScriptedDrop
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import PathConfig
+from repro.netsim.trace import CaptureTap
+from repro.packet.headers import ip_from_str
+from repro.tcp.endpoint import EndpointConfig, TcpConnection
+from repro.tcp.receiver import PausingReader
+
+CLIENT_IP = ip_from_str("100.64.0.5")
+SERVER_IP = ip_from_str("10.0.0.1")
+
+
+def run_scenario(
+    session,
+    path=None,
+    client_kwargs=None,
+    server_kwargs=None,
+    until=120.0,
+    seed=0,
+):
+    engine = EventLoop()
+    tap = CaptureTap(engine)
+    client_cfg = EndpointConfig(
+        ip=CLIENT_IP, port=44000, **(client_kwargs or {})
+    )
+    server_cfg = EndpointConfig(
+        ip=SERVER_IP, port=80, init_cwnd=10, **(server_kwargs or {})
+    )
+    conn = TcpConnection(
+        engine,
+        client_cfg,
+        server_cfg,
+        path or PathConfig(delay=0.05, rate_bps=10e6),
+        random.Random(seed),
+        tap=tap,
+    )
+    ServerApp(engine, conn.server, session)
+    ClientApp(engine, conn.client, session)
+    conn.open()
+    engine.run(until=until)
+    conn.teardown()
+    analyses = Tapo().analyze_packets(tap.packets)
+    assert len(analyses) == 1
+    return analyses[0]
+
+
+def single_request(response=80_000, **kwargs):
+    return Session(requests=[Request(request_bytes=400, response_bytes=response, **kwargs)])
+
+
+def causes(analysis):
+    return [s.cause for s in analysis.stalls]
+
+
+def retx_causes(analysis):
+    return [
+        s.retx_cause
+        for s in analysis.stalls
+        if s.cause == StallCause.RETRANSMISSION
+    ]
+
+
+class TestServerSideCauses:
+    def test_data_unavailable(self):
+        analysis = run_scenario(single_request(data_delay=1.2))
+        assert StallCause.DATA_UNAVAILABLE in causes(analysis)
+        stall = next(
+            s for s in analysis.stalls
+            if s.cause == StallCause.DATA_UNAVAILABLE
+        )
+        assert stall.duration == pytest.approx(1.2, abs=0.3)
+
+    def test_resource_constraint(self):
+        session = single_request(
+            response=60_000,
+            chunks=[SupplyChunk(30_000), SupplyChunk(30_000, delay=1.5)],
+        )
+        analysis = run_scenario(session)
+        assert StallCause.RESOURCE_CONSTRAINT in causes(analysis)
+
+    def test_clean_transfer_has_no_stalls(self):
+        analysis = run_scenario(single_request(response=40_000))
+        assert analysis.stalls == []
+
+
+class TestClientSideCauses:
+    def test_client_idle(self):
+        session = Session(
+            requests=[
+                Request(request_bytes=400, response_bytes=10_000),
+                Request(
+                    request_bytes=400, response_bytes=10_000, think_time=2.0
+                ),
+            ]
+        )
+        analysis = run_scenario(session)
+        assert StallCause.CLIENT_IDLE in causes(analysis)
+
+    def test_zero_rwnd(self):
+        analysis = run_scenario(
+            single_request(response=200_000),
+            client_kwargs=dict(
+                rcv_buf=16_000,
+                max_rcv_buf=16_000,
+                rcv_buf_auto_grow=False,
+                wscale=0,
+                reader=PausingReader(pauses=[(0.5, 1.5)]),
+            ),
+            path=PathConfig(delay=0.05, rate_bps=4e6),
+        )
+        assert StallCause.ZERO_RWND in causes(analysis)
+        assert analysis.zero_window_seen
+
+
+class TestNetworkCauses:
+    def test_packet_delay_without_retransmission(self):
+        """A delay epoch shorter than the RTO stalls the flow but the
+        sender never retransmits: packet delay."""
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=4e6,
+            data_jitter=ScriptedDelay([(0.5, 0.7, 0.45)]),
+        )
+        analysis = run_scenario(
+            single_request(response=300_000),
+            path=path,
+            server_kwargs=dict(init_srtt=0.12, init_rttvar=0.2),
+        )
+        assert StallCause.PACKET_DELAY in causes(analysis)
+        assert analysis.retransmissions == 0
+
+    def test_timeout_retransmission_from_burst(self):
+        # Drop ten consecutive segments mid-transfer: recovery needs a
+        # timeout, producing a retransmission stall.
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=10e6,
+            data_loss=ScriptedDrop(range(40, 200)),
+        )
+        analysis = run_scenario(
+            single_request(response=150_000),
+            path=path,
+            server_kwargs=dict(init_srtt=0.11, init_rttvar=0.15),
+        )
+        assert StallCause.RETRANSMISSION in causes(analysis)
+        assert analysis.timeouts >= 1
+
+
+class TestRetransmissionBreakdown:
+    def test_tail_retransmission(self):
+        """The last segments of the response are lost: no dupacks, a
+        timeout, and nothing above the hole -> tail."""
+        # 40 KB = 28 data segments (+1 server ACK counted separately);
+        # drop everything from segment 27 on, i.e. the flow's tail.
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=8e6,
+            data_loss=ScriptedDrop(range(27, 32)),
+        )
+        analysis = run_scenario(single_request(response=40_000), path=path)
+        assert RetxCause.TAIL in retx_causes(analysis)
+
+    def test_continuous_loss(self):
+        """A mid-transfer blackout kills a whole window (>= 4)."""
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=6e6,
+            data_loss=ScriptedDrop(range(30, 90)),
+        )
+        analysis = run_scenario(single_request(response=200_000), path=path)
+        assert RetxCause.CONTINUOUS_LOSS in retx_causes(analysis)
+
+    def test_double_retransmission(self):
+        """A segment is dropped twice: its retransmission is lost too,
+        so a second (timeout) retransmission ends the stall -> double."""
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=6e6,
+            data_loss=ScriptedDrop([40], extra_drops=1),
+        )
+        analysis = run_scenario(
+            single_request(response=200_000),
+            path=path,
+            until=240.0,
+            server_kwargs=dict(init_srtt=0.11, init_rttvar=0.15),
+        )
+        assert RetxCause.DOUBLE in retx_causes(analysis)
+
+    def test_ack_delay_spurious_retransmission(self):
+        """The data arrives but its ACK is held beyond the RTO: the
+        retransmission is spurious (DSACK) -> ACK delay/loss."""
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=4e6,
+            ack_jitter=ScriptedDelay([(0.35, 0.5, 1.2)]),
+        )
+        analysis = run_scenario(
+            single_request(response=120_000),
+            path=path,
+        )
+        assert analysis.spurious_retransmissions >= 1
+        assert RetxCause.ACK_DELAY_LOSS in retx_causes(analysis)
+
+    def test_small_rwnd(self):
+        """A 2-MSS window client loses a packet: no dupacks possible,
+        rwnd-limited timeout."""
+        path = PathConfig(
+            delay=0.05,
+            rate_bps=10e6,
+            data_loss=ScriptedDrop([20]),
+        )
+        analysis = run_scenario(
+            single_request(response=60_000),
+            path=path,
+            client_kwargs=dict(
+                rcv_buf=2896, max_rcv_buf=2896,
+                rcv_buf_auto_grow=False, wscale=0,
+            ),
+            server_kwargs=dict(init_srtt=0.11, init_rttvar=0.15),
+        )
+        assert RetxCause.SMALL_RWND in retx_causes(analysis) or (
+            StallCause.RETRANSMISSION in causes(analysis)
+        )
+
+
+class TestAnalyzerMetrics:
+    def test_rtt_close_to_path_rtt(self):
+        analysis = run_scenario(single_request(response=60_000))
+        assert analysis.avg_rtt == pytest.approx(0.11, abs=0.05)
+
+    def test_init_rwnd_extracted(self):
+        analysis = run_scenario(
+            single_request(response=5_000),
+            client_kwargs=dict(rcv_buf=2896, wscale=0),
+        )
+        assert analysis.init_rwnd == 2896
+
+    def test_bytes_and_packets_counted(self):
+        analysis = run_scenario(single_request(response=50_000))
+        assert analysis.bytes_out == pytest.approx(50_000, abs=2000)
+        assert analysis.data_packets >= 50_000 // 1448
+
+    def test_in_flight_samples_collected(self):
+        analysis = run_scenario(single_request(response=50_000))
+        assert analysis.in_flight_on_ack
+        assert max(analysis.in_flight_on_ack) >= 2
+
+    def test_stall_ratio_bounded(self):
+        analysis = run_scenario(single_request(data_delay=2.0))
+        assert 0 < analysis.stall_ratio <= 1

@@ -1,0 +1,63 @@
+"""Flow timeline extraction tests."""
+
+from repro.core import Tapo, build_timeline, write_timeline
+from repro.experiments.illustrative import run_illustrative_flow
+from repro.experiments.runner import run_flow
+from repro.workload.generator import generate_flows
+from repro.workload.services import get_profile
+
+
+def analyzed_flow(seed=3, service="cloud_storage"):
+    profile = get_profile(service)
+    result = run_flow(next(iter(generate_flows(profile, 1, seed=seed))))
+    return Tapo().analyze_packets(result.packets)[0]
+
+
+class TestBuildTimeline:
+    def test_series_populated(self):
+        timeline = build_timeline(analyzed_flow())
+        assert timeline.data_segments
+        assert timeline.acks
+        assert timeline.window_edge
+        assert timeline.duration > 0
+
+    def test_sequence_rebased_to_zero(self):
+        timeline = build_timeline(analyzed_flow())
+        first = timeline.data_segments[0]
+        assert first.value < 2000  # starts near zero regardless of ISN
+
+    def test_data_seq_monotone_nondecreasing(self):
+        timeline = build_timeline(analyzed_flow())
+        values = [p.value for p in timeline.data_segments]
+        assert values == sorted(values)
+
+    def test_retransmissions_split_out(self):
+        result = run_illustrative_flow()
+        timeline = build_timeline(result.analysis)
+        assert timeline.retransmissions  # the Fig. 2 flow has timeouts
+        data_seqs = {p.value for p in timeline.data_segments}
+        assert all(p.value in data_seqs for p in timeline.retransmissions)
+
+    def test_stalls_carried_over(self):
+        result = run_illustrative_flow()
+        timeline = build_timeline(result.analysis)
+        assert len(timeline.stalls) == len(result.analysis.stalls)
+        for start, end in timeline.stalled_intervals():
+            assert end > start
+
+    def test_acks_monotone(self):
+        timeline = build_timeline(analyzed_flow())
+        values = [p.value for p in timeline.acks]
+        assert values == sorted(values)
+
+
+class TestWriteTimeline:
+    def test_files_written(self, tmp_path):
+        result = run_illustrative_flow()
+        timeline = build_timeline(result.analysis)
+        paths = write_timeline(timeline, tmp_path, prefix="fig2")
+        names = {p.name for p in paths}
+        assert "fig2_data.dat" in names
+        assert "fig2_stalls.dat" in names
+        stall_lines = (tmp_path / "fig2_stalls.dat").read_text().splitlines()
+        assert len(stall_lines) == 1 + len(timeline.stalls)

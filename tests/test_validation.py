@@ -1,0 +1,96 @@
+"""Validation-harness tests and clean-network invariants."""
+
+import random
+
+import pytest
+
+from repro.app.client import ClientApp
+from repro.app.server import ServerApp
+from repro.app.session import Request, Session
+from repro.core import StallCause, Tapo
+from repro.experiments.validation import validate_inference
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import PathConfig
+from repro.netsim.trace import CaptureTap
+from repro.packet.headers import ip_from_str
+from repro.tcp.endpoint import EndpointConfig, TcpConnection
+from repro.workload.services import get_profile
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestValidateInference:
+    def test_web_search_perfect_agreement(self):
+        result = validate_inference(
+            get_profile("web_search"), flows=50, seed=3
+        )
+        assert result.flows == 50
+        assert result.retx_exact
+        assert result.exact_share >= 0.95
+
+    def test_cloud_storage_high_agreement(self):
+        result = validate_inference(
+            get_profile("cloud_storage"), flows=50, seed=3
+        )
+        assert result.retx_exact
+        assert result.exact_share >= 0.85
+        assert result.timeout_error < 0.25
+
+    def test_error_properties_handle_zero_truth(self):
+        from repro.experiments.validation import ValidationResult
+
+        empty = ValidationResult()
+        assert empty.timeout_error == 0.0
+        assert empty.fast_retx_error == 0.0
+        mismatch = ValidationResult(inferred_timeouts=3)
+        assert mismatch.timeout_error == 1.0
+
+
+class TestCleanNetworkInvariants:
+    """On a perfect network, the only possible stalls are application
+    or client caused — never network ones — and nothing retransmits."""
+
+    @given(
+        response=st.integers(min_value=500, max_value=150_000),
+        requests=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_loss_no_retransmissions(self, response, requests, seed):
+        engine = EventLoop()
+        tap = CaptureTap(engine)
+        connection = TcpConnection(
+            engine,
+            EndpointConfig(ip=ip_from_str("100.64.1.1"), port=40001),
+            EndpointConfig(ip=ip_from_str("10.0.0.1"), port=80, init_cwnd=10),
+            PathConfig(delay=0.03, rate_bps=50e6),
+            random.Random(seed),
+            tap=tap,
+        )
+        session = Session(
+            requests=[
+                Request(request_bytes=300, response_bytes=response)
+                for _ in range(requests)
+            ]
+        )
+        ServerApp(engine, connection.server, session)
+        app = ClientApp(engine, connection.client, session)
+        connection.open()
+        engine.run(until=120.0)
+        connection.teardown()
+
+        assert app.result.complete
+        assert connection.server.sender.stats.retransmissions == 0
+        assert (
+            connection.client.receiver.total_received
+            == session.total_response_bytes
+        )
+        analysis = Tapo().analyze_packets(tap.packets)[0]
+        assert analysis.retransmissions == 0
+        network_causes = {
+            StallCause.RETRANSMISSION,
+            StallCause.PACKET_DELAY,
+            StallCause.ZERO_RWND,
+        }
+        for stall in analysis.stalls:
+            assert stall.cause not in network_causes, stall.describe()

@@ -1,0 +1,211 @@
+"""Workload model tests: client populations, service profiles, generator."""
+
+import random
+
+import pytest
+
+from repro.tcp.receiver import BurstyReader, ImmediateReader
+from repro.workload.clients import (
+    ClientPopulation,
+    cloud_storage_clients,
+    software_download_clients,
+    web_search_clients,
+)
+from repro.workload.distributions import Choice, Constant
+from repro.workload.generator import SERVER_IP, SERVER_PORT, generate_flows
+from repro.workload.services import (
+    SERVICE_PROFILES,
+    cloud_storage_profile,
+    get_profile,
+    software_download_profile,
+    web_search_profile,
+)
+
+
+class TestClientPopulations:
+    def test_small_window_clients_get_frozen_buffers(self):
+        population = ClientPopulation(
+            name="test",
+            init_rwnd_mss=Constant(2),
+            frozen_buffer_prob=1.0,
+            slow_reader_prob=1.0,
+        )
+        config = population.make_config(random.Random(0), ip=1, port=2)
+        assert config.rcv_buf == 2 * population.mss
+        assert not config.rcv_buf_auto_grow
+        assert isinstance(config.reader, BurstyReader)
+        assert config.wscale == 0
+
+    def test_large_window_clients_healthy(self):
+        population = ClientPopulation(
+            name="test", init_rwnd_mss=Constant(1297)
+        )
+        config = population.make_config(random.Random(0), ip=1, port=2)
+        assert config.rcv_buf_auto_grow
+        assert isinstance(config.reader, ImmediateReader)
+        assert config.wscale == 7
+
+    def test_medium_tier_sometimes_frozen(self):
+        population = ClientPopulation(
+            name="test",
+            init_rwnd_mss=Constant(45),
+            medium_frozen_prob=1.0,
+        )
+        config = population.make_config(random.Random(0), ip=1, port=2)
+        assert not config.rcv_buf_auto_grow
+
+    def test_software_download_population_has_tiny_windows(self):
+        population = software_download_clients()
+        rng = random.Random(1)
+        values = [
+            population.init_rwnd_mss.sample(rng) for _ in range(2000)
+        ]
+        assert min(values) == 2
+        share_small = sum(1 for v in values if v < 12) / len(values)
+        assert 0.1 < share_small < 0.3  # the paper's ~18%
+
+    def test_cloud_population_floor_45(self):
+        population = cloud_storage_clients()
+        rng = random.Random(1)
+        assert all(
+            population.init_rwnd_mss.sample(rng) >= 45 for _ in range(500)
+        )
+
+    def test_web_population_mostly_healthy(self):
+        population = web_search_clients()
+        rng = random.Random(1)
+        small = sum(
+            population.init_rwnd_mss.sample(rng) < 12 for _ in range(2000)
+        )
+        assert small / 2000 < 0.1
+
+
+class TestServiceProfiles:
+    def test_registry(self):
+        assert set(SERVICE_PROFILES) == {
+            "cloud_storage",
+            "software_download",
+            "web_search",
+        }
+        assert get_profile("web_search").name == "web_search"
+
+    def test_unknown_service(self):
+        with pytest.raises(ValueError, match="unknown service"):
+            get_profile("dns")
+
+    def test_flow_size_ordering(self):
+        """cloud >> software download >> web search (Table 1)."""
+        rng = random.Random(2)
+        means = {}
+        for name in SERVICE_PROFILES:
+            profile = get_profile(name)
+            total = 0.0
+            for _ in range(800):
+                session = profile.make_session(random.Random(rng.random()))
+                total += session.total_response_bytes
+            means[name] = total / 800
+        assert (
+            means["cloud_storage"]
+            > means["software_download"]
+            > means["web_search"]
+        )
+
+    def test_cloud_storage_multi_request_sessions(self):
+        profile = cloud_storage_profile()
+        rng = random.Random(3)
+        counts = [
+            len(profile.make_session(rng).requests) for _ in range(300)
+        ]
+        assert max(counts) > 1
+
+    def test_web_search_single_request(self):
+        profile = web_search_profile()
+        rng = random.Random(3)
+        assert all(
+            len(profile.make_session(rng).requests) == 1 for _ in range(100)
+        )
+
+    def test_backend_delay_sampling(self):
+        profile = web_search_profile()
+        rng = random.Random(4)
+        delays = [
+            profile.make_session(rng).requests[0].data_delay
+            for _ in range(500)
+        ]
+        assert any(d > 0 for d in delays)
+        assert any(d == 0 for d in delays)
+
+    def test_supply_chunks_total_response(self):
+        profile = software_download_profile()
+        rng = random.Random(5)
+        for _ in range(200):
+            session = profile.make_session(rng)
+            for request in session.requests:
+                assert (
+                    sum(c.nbytes for c in request.chunks)
+                    == request.response_bytes
+                )
+
+    def test_path_sampling_positive(self):
+        profile = cloud_storage_profile()
+        rng = random.Random(6)
+        for _ in range(50):
+            path = profile.path.make_path(rng)
+            assert path.delay > 0
+            assert path.rate_bps > 0
+
+
+class TestGenerator:
+    def test_count(self):
+        profile = web_search_profile()
+        scenarios = list(generate_flows(profile, 25, seed=0))
+        assert len(scenarios) == 25
+
+    def test_deterministic_per_seed(self):
+        profile = web_search_profile()
+        a = list(generate_flows(profile, 10, seed=42))
+        b = list(generate_flows(profile, 10, seed=42))
+        for x, y in zip(a, b):
+            assert x.seed == y.seed
+            assert x.session.total_response_bytes == y.session.total_response_bytes
+            assert x.path_config.delay == y.path_config.delay
+
+    def test_different_seeds_differ(self):
+        profile = web_search_profile()
+        a = list(generate_flows(profile, 10, seed=1))
+        b = list(generate_flows(profile, 10, seed=2))
+        assert [x.seed for x in a] != [y.seed for y in b]
+
+    def test_server_address_fixed(self):
+        profile = web_search_profile()
+        for scenario in generate_flows(profile, 5, seed=0):
+            assert scenario.server_config.ip == SERVER_IP
+            assert scenario.server_config.port == SERVER_PORT
+
+    def test_clients_unique(self):
+        profile = web_search_profile()
+        addresses = {
+            (s.client_config.ip, s.client_config.port)
+            for s in generate_flows(profile, 50, seed=0)
+        }
+        assert len(addresses) == 50
+
+    def test_policy_propagates(self):
+        profile = web_search_profile()
+        scenario = next(
+            iter(
+                generate_flows(
+                    profile, 1, seed=0, policy="srto",
+                    policy_kwargs={"t1": 5, "t2": 3},
+                )
+            )
+        )
+        assert scenario.server_config.policy == "srto"
+        assert scenario.server_config.policy_kwargs == {"t1": 5, "t2": 3}
+
+    def test_destination_cache_seeded(self):
+        profile = web_search_profile()
+        scenario = next(iter(generate_flows(profile, 1, seed=0)))
+        assert scenario.server_config.init_srtt is not None
+        assert scenario.server_config.init_srtt > 0
+        assert scenario.server_config.init_rttvar > 0
