@@ -1,0 +1,198 @@
+"""Parallel-runner scaling: speedup at 1/2/4/8 workers + cache warmup.
+
+Emits a JSON speedup report (stdout, and optionally a file) so the
+bench trajectory tooling can track parallel efficiency over time::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        --flows 60 --workers 1 2 4 8 --json-out out/scaling.json
+
+Under pytest this runs at a small flow count as a smoke test: every
+worker count must produce byte-identical results, and the report must
+be well-formed.  Wall-clock assertions are deliberately absent — CI
+machines (and this one) may have a single core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.experiments.dataset import build_dataset, clear_cache
+from repro.experiments.parallel import run_flows_parallel
+from repro.workload.generator import generate_flows
+from repro.workload.services import get_profile
+
+DEFAULT_WORKERS = (1, 2, 4, 8)
+DEFAULT_FLOWS = 60
+DEFAULT_SEED = 20141222
+
+
+def _trace_signature(run) -> list:
+    return [
+        [
+            (p.timestamp, p.seq, p.ack, p.flags, p.payload_len, p.window)
+            for p in result.packets
+        ]
+        for result in run.results
+    ]
+
+
+def measure_scaling(
+    flows: int = DEFAULT_FLOWS,
+    seed: int = DEFAULT_SEED,
+    service: str = "web_search",
+    workers_list: tuple[int, ...] = DEFAULT_WORKERS,
+) -> dict:
+    """Run the same seeded batch at each worker count; report speedups.
+
+    Scenarios are regenerated per run (loss/jitter models are stateful),
+    which is exactly what every caller of the runner does.
+    """
+    profile = get_profile(service)
+    points = []
+    baseline_wall = None
+    baseline_signature = None
+    for workers in workers_list:
+        scenarios = generate_flows(profile, flows, seed=seed)
+        run = run_flows_parallel(scenarios, workers=workers)
+        metrics = run.metrics
+        signature = _trace_signature(run)
+        if baseline_signature is None:
+            baseline_wall = metrics.wall_time
+            baseline_signature = signature
+        identical = signature == baseline_signature
+        points.append(
+            {
+                "workers": workers,
+                "wall_time": metrics.wall_time,
+                "speedup": (
+                    baseline_wall / metrics.wall_time
+                    if metrics.wall_time > 0
+                    else 0.0
+                ),
+                "events_per_sec": metrics.events_per_sec,
+                "packets_per_sec": metrics.packets_per_sec,
+                "utilization": metrics.utilization,
+                "chunks": metrics.chunks,
+                "chunks_retried": metrics.chunks_retried,
+                "identical_to_serial": identical,
+            }
+        )
+    return {
+        "bench": "parallel_scaling",
+        "service": service,
+        "flows": flows,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "baseline_wall_time": baseline_wall,
+        "points": points,
+    }
+
+
+def measure_cache(flows: int = 20, seed: int = DEFAULT_SEED) -> dict:
+    """Cold build vs warm on-disk load, in a throwaway cache dir."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        saved = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            clear_cache()
+            started = time.perf_counter()
+            build_dataset(flows_per_service=flows, seed=seed)
+            cold = time.perf_counter() - started
+            clear_cache()  # drop the memo; disk entry remains
+            started = time.perf_counter()
+            build_dataset(flows_per_service=flows, seed=seed)
+            warm = time.perf_counter() - started
+        finally:
+            clear_cache()
+            if saved is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+    return {
+        "flows_per_service": flows,
+        "cold_wall_time": cold,
+        "warm_wall_time": warm,
+        "speedup": cold / warm if warm > 0 else 0.0,
+    }
+
+
+def build_report(
+    flows: int,
+    seed: int,
+    service: str,
+    workers_list: tuple[int, ...],
+    cache_flows: int,
+) -> dict:
+    report = measure_scaling(
+        flows=flows, seed=seed, service=service, workers_list=workers_list
+    )
+    report["cache"] = measure_cache(flows=cache_flows, seed=seed)
+    return report
+
+
+def test_parallel_scaling_smoke():
+    """Tiny-scale smoke run: report shape + cross-worker identity."""
+    flows = int(os.environ.get("REPRO_BENCH_SCALING_FLOWS", "8"))
+    report = build_report(
+        flows=flows,
+        seed=DEFAULT_SEED,
+        service="web_search",
+        workers_list=(1, 2, 4),
+        cache_flows=4,
+    )
+    assert report["points"][0]["workers"] == 1
+    assert all(point["identical_to_serial"] for point in report["points"])
+    assert all(point["wall_time"] > 0 for point in report["points"])
+    assert report["cache"]["warm_wall_time"] > 0
+    # Warm loads must beat re-simulating; huge margins on real machines,
+    # so 1x is a safe floor even for this tiny smoke size.
+    assert report["cache"]["speedup"] > 1.0
+    print()
+    print(json.dumps(report, indent=2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Parallel flow-runner scaling benchmark"
+    )
+    parser.add_argument("--flows", type=int, default=DEFAULT_FLOWS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--service", default="web_search")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKERS),
+        help="worker counts to measure (default: 1 2 4 8)",
+    )
+    parser.add_argument("--cache-flows", type=int, default=20)
+    parser.add_argument(
+        "--json-out", help="also write the JSON report to this path"
+    )
+    args = parser.parse_args(argv)
+    report = build_report(
+        flows=args.flows,
+        seed=args.seed,
+        service=args.service,
+        workers_list=tuple(args.workers),
+        cache_flows=args.cache_flows,
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json_out:
+        out_dir = os.path.dirname(args.json_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,9 +12,12 @@ from .ablation import (
     sweep_srto_parameters,
     tau_sensitivity,
 )
+from .cache import DatasetCache, dataset_cache_key, dataset_fingerprint
 from .dataset import SERVICES, Dataset, build_dataset, clear_cache
 from .export import export_all, export_illustrative, export_reports
 from .fairness import FairnessResult, run_fairness
+from .metrics import RunMetrics, WorkerStats
+from .parallel import resolve_workers, run_flows_parallel
 from .validation import ValidationResult, validate_inference
 from .illustrative import IllustrativeResult, run_illustrative_flow
 from .mitigation import (
@@ -48,6 +51,7 @@ from .tables import (
 __all__ = [
     "CacheAblation",
     "Dataset",
+    "DatasetCache",
     "DatasetRun",
     "FlowRunResult",
     "IllustrativeResult",
@@ -57,14 +61,18 @@ __all__ = [
     "GALLERY",
     "POLICIES",
     "PolicyOutcome",
+    "RunMetrics",
     "SERVICES",
     "SHORT_FLOW_MAX_BYTES",
     "SrtoSweepPoint",
     "TauPoint",
     "ValidationResult",
+    "WorkerStats",
     "build_dataset",
     "clear_cache",
     "compare_policies",
+    "dataset_cache_key",
+    "dataset_fingerprint",
     "destination_cache_ablation",
     "FairnessResult",
     "FrtoAblation",
@@ -87,8 +95,10 @@ __all__ = [
     "frto_ablation",
     "pacing_ablation",
     "make_short_flow_profile",
+    "resolve_workers",
     "run_flow",
     "run_flows",
+    "run_flows_parallel",
     "run_gallery",
     "run_fairness",
     "run_illustrative_flow",

@@ -45,11 +45,14 @@ def sweep_srto_parameters(
     seed: int = 5,
     t1_values: tuple[int, ...] = (3, 5, 10, 20),
     t2_values: tuple[int, ...] = (5,),
+    workers: int | None = 1,
 ) -> list[SrtoSweepPoint]:
     """Latency/cost of S-RTO across its T1/T2 design space, with the
     native baseline reported as ``t1 = 0`` (probe never armed)."""
     points = []
-    baseline = run_policy(profile, "native", flows, seed, short_flow_max=None)
+    baseline = run_policy(
+        profile, "native", flows, seed, short_flow_max=None, workers=workers
+    )
     points.append(
         SrtoSweepPoint(
             t1=0,
@@ -65,7 +68,7 @@ def sweep_srto_parameters(
         for t2 in t2_values:
             outcome = run_policy(
                 profile, "srto", flows, seed, t1=t1, t2=t2,
-                short_flow_max=None,
+                short_flow_max=None, workers=workers,
             )
             points.append(
                 SrtoSweepPoint(
@@ -105,7 +108,10 @@ def _analyze_run(run) -> ServiceReport:
 
 
 def pacing_ablation(
-    profile: ServiceProfile, flows: int = 150, seed: int = 9
+    profile: ServiceProfile,
+    flows: int = 150,
+    seed: int = 9,
+    workers: int | None = 1,
 ) -> PacingAblation:
     """Run the same workload with and without pacing."""
     result = PacingAblation()
@@ -116,7 +122,7 @@ def pacing_ablation(
             scenarios.append(
                 dataclasses.replace(scenario, server_config=server)
             )
-        run = run_flows(scenarios)
+        run = run_flows(scenarios, workers=workers)
         report = _analyze_run(run)
         total = report.total_stalls()
         continuous = sum(
@@ -161,7 +167,10 @@ class CacheAblation:
 
 
 def destination_cache_ablation(
-    profile: ServiceProfile, flows: int = 150, seed: int = 13
+    profile: ServiceProfile,
+    flows: int = 150,
+    seed: int = 13,
+    workers: int | None = 1,
 ) -> CacheAblation:
     """Same workload with and without cached SRTT/RTTVAR seeding."""
     result = CacheAblation()
@@ -176,7 +185,7 @@ def destination_cache_ablation(
             scenarios.append(
                 dataclasses.replace(scenario, server_config=server)
             )
-        run = run_flows(scenarios)
+        run = run_flows(scenarios, workers=workers)
         report = _analyze_run(run)
         rtos = [v for f in report.flows for v in f.rto_samples]
         spurious = sum(f.spurious_retransmissions for f in report.flows)
@@ -207,7 +216,10 @@ class FrtoAblation:
 
 
 def frto_ablation(
-    profile: ServiceProfile, flows: int = 150, seed: int = 21
+    profile: ServiceProfile,
+    flows: int = 150,
+    seed: int = 21,
+    workers: int | None = 1,
 ) -> FrtoAblation:
     """Same workload with and without F-RTO on the server."""
     result = FrtoAblation()
@@ -218,7 +230,7 @@ def frto_ablation(
             scenarios.append(
                 dataclasses.replace(scenario, server_config=server)
             )
-        run = run_flows(scenarios)
+        run = run_flows(scenarios, workers=workers)
         retx = sum(r.server_stats.retransmissions for r in run.results)
         sent = sum(r.server_stats.data_segments_sent for r in run.results)
         timeouts = sum(r.server_stats.rto_timeouts for r in run.results)
@@ -251,12 +263,13 @@ def tau_sensitivity(
     flows: int = 100,
     seed: int = 17,
     taus: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0),
+    workers: int | None = 1,
 ) -> list[TauPoint]:
     """Detection sensitivity to TAPO's threshold multiplier.
 
     The traces are simulated once; only the analyzer's tau changes.
     """
-    run = run_flows(generate_flows(profile, flows, seed=seed))
+    run = run_flows(generate_flows(profile, flows, seed=seed), workers=workers)
     points = []
     for tau in taus:
         tapo = Tapo(tau=tau)

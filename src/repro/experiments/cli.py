@@ -66,6 +66,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-dir",
         help="also write gnuplot-ready figure data files here",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "simulation worker processes (0 = one per core, 1 = serial; "
+            "results are identical either way; default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "bypass the dataset caches (in-process and on-disk) and "
+            "re-simulate from scratch"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runtime metrics (events/sec, workers, cache) to stderr",
+    )
     return parser
 
 
@@ -78,12 +100,19 @@ def main(argv: list[str] | None = None) -> int:
         f"(seed {args.seed})...",
         file=sys.stderr,
     )
-    dataset = build_dataset(flows_per_service=args.flows, seed=args.seed)
+    dataset = build_dataset(
+        flows_per_service=args.flows,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+    )
     print(
         f"  {dataset.total_packets} packets analyzed in "
         f"{time.time() - started:.1f}s",
         file=sys.stderr,
     )
+    if args.stats:
+        print(dataset.metrics.format(), file=sys.stderr)
     reports = dataset.reports
 
     sections = [
@@ -125,6 +154,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=5,
                 t1=5,
                 short_flow_max=None,
+                workers=args.workers,
             ),
             compare_policies(
                 make_short_flow_profile(get_profile("cloud_storage")),
@@ -132,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=5,
                 t1=10,
                 short_flow_max=None,
+                workers=args.workers,
             ),
         ]
         print(format_table8(comparisons))

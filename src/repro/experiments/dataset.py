@@ -4,23 +4,47 @@ The paper's measurement section is one dataset (Table 1) analyzed many
 ways (Figs. 1-12, Tables 3-7).  :func:`build_dataset` runs the
 simulator once per service, pushes every trace through TAPO, and
 returns per-service :class:`~repro.core.report.ServiceReport` objects.
-Results are memoized per (flows, seed) so the benchmark suite shares
-one simulation run across all table/figure targets.
+
+Two cache layers keep re-analysis cheap:
+
+* an in-process LRU memo (bounded to :data:`MEMO_MAX_ENTRIES` builds)
+  shares one dataset across all table/figure targets of a run;
+* a content-addressed on-disk cache (:mod:`repro.experiments.cache`)
+  shares simulations **across processes** — pytest, the benches, and
+  the CLI all reuse the same build.  Disable with ``use_cache=False``
+  or ``REPRO_DISK_CACHE=0``.
+
+``workers`` shards the simulation across processes (see
+:mod:`repro.experiments.parallel`); the result is byte-identical to a
+serial build with the same parameters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from ..core.report import ServiceReport
 from ..core.tapo import Tapo
 from ..workload.generator import generate_flows
 from ..workload.services import SERVICE_PROFILES, get_profile
+from .cache import (
+    DatasetCache,
+    dataset_cache_key,
+    dataset_fingerprint,
+    disk_cache_enabled,
+)
+from .metrics import RunMetrics
 from .runner import DatasetRun, run_flows
 
 SERVICES = tuple(sorted(SERVICE_PROFILES))
 
-_CACHE: dict[tuple, "Dataset"] = {}
+#: Upper bound on distinct (flows, seed, services) builds kept alive
+#: in-process; beyond this the least-recently-used build is dropped.
+MEMO_MAX_ENTRIES = 8
+
+_CACHE: OrderedDict[tuple, "Dataset"] = OrderedDict()
 
 
 @dataclass
@@ -31,6 +55,7 @@ class Dataset:
     seed: int
     runs: dict[str, DatasetRun]
     reports: dict[str, ServiceReport]
+    metrics: RunMetrics = field(default_factory=RunMetrics)
 
     @property
     def total_flows(self) -> int:
@@ -44,39 +69,89 @@ class Dataset:
         return self.reports[service]
 
 
+def _memoize(key: tuple, dataset: "Dataset") -> None:
+    _CACHE[key] = dataset
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > MEMO_MAX_ENTRIES:
+        _CACHE.popitem(last=False)
+
+
 def build_dataset(
     flows_per_service: int = 150,
     seed: int = 20141222,  # first day of the paper's collection window
     services: tuple[str, ...] = SERVICES,
     use_cache: bool = True,
+    workers: int | None = 1,
 ) -> Dataset:
-    """Simulate and analyze the dataset; memoized by parameters."""
-    key = (flows_per_service, seed, services)
+    """Simulate and analyze the dataset; cached by parameters.
+
+    Cache layers are consulted in order: in-process memo, then the
+    on-disk store, then a fresh (optionally parallel) simulation.
+    ``use_cache=False`` bypasses both layers entirely — nothing is
+    read or written.
+    """
+    key = dataset_cache_key(flows_per_service, seed, services)
     if use_cache and key in _CACHE:
-        return _CACHE[key]
+        _CACHE.move_to_end(key)
+        dataset = _CACHE[key]
+        dataset.metrics.cache_hits += 1
+        return dataset
+
+    disk = (
+        DatasetCache() if use_cache and disk_cache_enabled() else None
+    )
+    fingerprint = None
+    if disk is not None:
+        fingerprint = dataset_fingerprint(flows_per_service, seed, services)
+        started = time.perf_counter()
+        cached = disk.load(fingerprint)
+        if isinstance(cached, Dataset):
+            cached.metrics.cache_hits += 1
+            cached.metrics.wall_time = time.perf_counter() - started
+            _memoize(key, cached)
+            return cached
+
+    started = time.perf_counter()
     tapo = Tapo()
     runs: dict[str, DatasetRun] = {}
     reports: dict[str, ServiceReport] = {}
     for service in services:
         profile = get_profile(service)
-        run = run_flows(generate_flows(profile, flows_per_service, seed=seed))
+        run = run_flows(
+            generate_flows(profile, flows_per_service, seed=seed),
+            workers=workers,
+        )
         report = ServiceReport(service=service)
         for trace in run.traces:
             for analysis in tapo.analyze_packets(trace):
                 report.add(analysis)
         runs[service] = run
         reports[service] = report
+    metrics = RunMetrics.merged(
+        [run.metrics for run in runs.values() if run.metrics is not None]
+    )
+    metrics.wall_time = time.perf_counter() - started  # include analysis
+    metrics.cache_misses += 1
     dataset = Dataset(
         flows_per_service=flows_per_service,
         seed=seed,
         runs=runs,
         reports=reports,
+        metrics=metrics,
     )
+    if disk is not None and fingerprint is not None:
+        disk.store(fingerprint, dataset)
     if use_cache:
-        _CACHE[key] = dataset
+        _memoize(key, dataset)
     return dataset
 
 
-def clear_cache() -> None:
-    """Drop memoized datasets (tests use this to force re-simulation)."""
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoized datasets (tests use this to force re-simulation).
+
+    With ``disk=True`` the on-disk store is purged as well; by default
+    only the in-process memo is cleared.
+    """
     _CACHE.clear()
+    if disk:
+        DatasetCache().clear()

@@ -1,0 +1,166 @@
+"""Runtime metrics for experiment runs.
+
+The experiment layer can simulate hundreds of thousands of events per
+invocation; :class:`RunMetrics` makes that work observable.  Every
+:class:`~repro.experiments.runner.DatasetRun` carries one, the CLI
+prints them with ``--stats``, and the parallel-scaling bench consumes
+them to compute speedups.
+
+Metrics are plain data (picklable) so they survive the on-disk dataset
+cache and can be merged across services and worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting for one parallel run.
+
+    ``busy_time`` is the wall-clock time the worker spent inside
+    :func:`~repro.experiments.runner.run_flow`; dividing by the run's
+    total wall time gives that worker's utilization.
+    """
+
+    worker_id: int
+    flows: int = 0
+    chunks: int = 0
+    events: int = 0
+    busy_time: float = 0.0
+
+    def absorb(self, other: "WorkerStats") -> None:
+        self.flows += other.flows
+        self.chunks += other.chunks
+        self.events += other.events
+        self.busy_time += other.busy_time
+
+
+@dataclass
+class RunMetrics:
+    """What one experiment run cost and where the time went."""
+
+    wall_time: float = 0.0
+    flows: int = 0
+    events: int = 0
+    packets: int = 0
+    workers: int = 1
+    chunks: int = 0
+    chunks_retried: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    worker_stats: list[WorkerStats] = field(default_factory=list)
+
+    # -- derived rates ------------------------------------------------
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.events / self.wall_time
+
+    @property
+    def packets_per_sec(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.packets / self.wall_time
+
+    @property
+    def flows_per_sec(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.flows / self.wall_time
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's capacity spent simulating."""
+        if self.wall_time <= 0 or self.workers <= 0:
+            return 0.0
+        busy = sum(w.busy_time for w in self.worker_stats)
+        if not self.worker_stats:
+            busy = self.wall_time  # serial run: the one worker is us
+        return min(1.0, busy / (self.wall_time * self.workers))
+
+    # -- combination --------------------------------------------------
+    def merge(self, other: "RunMetrics") -> "RunMetrics":
+        """Fold ``other`` into this metrics object (in place)."""
+        self.wall_time += other.wall_time
+        self.flows += other.flows
+        self.events += other.events
+        self.packets += other.packets
+        self.workers = max(self.workers, other.workers)
+        self.chunks += other.chunks
+        self.chunks_retried += other.chunks_retried
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        mine = {w.worker_id: w for w in self.worker_stats}
+        for w in other.worker_stats:
+            if w.worker_id in mine:
+                mine[w.worker_id].absorb(w)
+            else:
+                self.worker_stats.append(
+                    WorkerStats(
+                        worker_id=w.worker_id,
+                        flows=w.flows,
+                        chunks=w.chunks,
+                        events=w.events,
+                        busy_time=w.busy_time,
+                    )
+                )
+        return self
+
+    @classmethod
+    def merged(cls, parts: list["RunMetrics"]) -> "RunMetrics":
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    # -- presentation -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "wall_time": self.wall_time,
+            "flows": self.flows,
+            "events": self.events,
+            "packets": self.packets,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "chunks_retried": self.chunks_retried,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "events_per_sec": self.events_per_sec,
+            "packets_per_sec": self.packets_per_sec,
+            "utilization": self.utilization,
+            "worker_stats": [
+                {
+                    "worker_id": w.worker_id,
+                    "flows": w.flows,
+                    "chunks": w.chunks,
+                    "events": w.events,
+                    "busy_time": w.busy_time,
+                }
+                for w in self.worker_stats
+            ],
+        }
+
+    def format(self) -> str:
+        """Multi-line human summary (the CLI's ``--stats`` output)."""
+        lines = [
+            (
+                f"wall {self.wall_time:.2f}s | {self.flows} flows | "
+                f"{self.events} events ({self.events_per_sec:,.0f}/s) | "
+                f"{self.packets} packets ({self.packets_per_sec:,.0f}/s)"
+            ),
+            (
+                f"workers {self.workers} | chunks {self.chunks} "
+                f"(retried {self.chunks_retried}) | "
+                f"utilization {self.utilization:.0%} | "
+                f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+            ),
+        ]
+        for w in sorted(self.worker_stats, key=lambda w: w.worker_id):
+            lines.append(
+                f"  worker {w.worker_id}: {w.flows} flows, "
+                f"{w.events} events, busy {w.busy_time:.2f}s"
+            )
+        return "\n".join(lines)

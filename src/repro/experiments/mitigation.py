@@ -107,6 +107,7 @@ def run_policy(
     t1: int = 10,
     t2: int = 5,
     short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
+    workers: int | None = 1,
 ) -> PolicyOutcome:
     """Run one service under one recovery policy.
 
@@ -119,7 +120,7 @@ def run_policy(
         profile, flows, seed=seed, policy=policy, policy_kwargs=kwargs
     )
     outcome = PolicyOutcome(policy=policy)
-    run = run_flows(scenarios)
+    run = run_flows(scenarios, workers=workers)
     for result in run.results:
         outcome.flows += 1
         outcome.retransmissions += result.server_stats.retransmissions
@@ -188,6 +189,7 @@ def compare_policies(
     t1: int = 10,
     t2: int = 5,
     short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
+    workers: int | None = 1,
 ) -> MitigationComparison:
     """Run all three policies over the same seeded workload."""
     outcomes = {}
@@ -200,5 +202,6 @@ def compare_policies(
             t1=t1,
             t2=t2,
             short_flow_max=short_flow_max,
+            workers=workers,
         )
     return MitigationComparison(service=profile.name, outcomes=outcomes)

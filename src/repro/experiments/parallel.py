@@ -1,0 +1,186 @@
+"""Parallel flow simulation across worker processes.
+
+Flows in the dataset are independent (no cross-flow coupling — see
+:mod:`repro.experiments.runner`), so a batch of scenarios shards
+cleanly across a process pool.  The contract of
+:func:`run_flows_parallel` is that its output is **byte-identical** to
+the serial path for the same scenarios: each flow carries its own
+derived seed, chunks preserve scenario order, and results are
+reassembled in submission order regardless of which worker finished
+first.
+
+Failure handling degrades rather than crashes: if a worker dies (OOM
+killer, interpreter crash) or a chunk raises, the affected chunks are
+re-simulated serially in the parent process and the retry is counted
+in :class:`~repro.experiments.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Iterable
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..workload.generator import FlowScenario
+from .metrics import RunMetrics, WorkerStats
+from .runner import DatasetRun, FlowRunResult, run_flow
+
+#: Target chunks per worker; >1 smooths load imbalance between
+#: fast (short-flow) and slow (stalled-flow) chunks.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request: ``None``/``0`` = all cores."""
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, int(workers))
+
+
+def chunk_scenarios(
+    scenarios: list[FlowScenario], workers: int, chunk_flows: int | None = None
+) -> list[list[FlowScenario]]:
+    """Split a scenario list into contiguous, order-preserving chunks."""
+    if not scenarios:
+        return []
+    if chunk_flows is None:
+        target = workers * _CHUNKS_PER_WORKER
+        chunk_flows = max(1, -(-len(scenarios) // target))
+    return [
+        scenarios[i : i + chunk_flows]
+        for i in range(0, len(scenarios), chunk_flows)
+    ]
+
+
+@dataclass
+class _ChunkResult:
+    index: int
+    results: list[FlowRunResult]
+    worker_id: int
+    busy_time: float
+
+
+def _simulate_chunk(
+    index: int, scenarios: list[FlowScenario], max_sim_time: float
+) -> _ChunkResult:
+    """Worker entry point: simulate one chunk of scenarios in order."""
+    start = time.perf_counter()
+    results = [run_flow(s, max_sim_time=max_sim_time) for s in scenarios]
+    return _ChunkResult(
+        index=index,
+        results=results,
+        worker_id=os.getpid(),
+        busy_time=time.perf_counter() - start,
+    )
+
+
+def _make_executor(workers: int) -> Executor:
+    """Process pool preferring the cheap ``fork`` start method."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def run_flows_parallel(
+    scenarios: Iterable[FlowScenario],
+    max_sim_time: float = 600.0,
+    workers: int | None = None,
+    chunk_flows: int | None = None,
+    executor_factory=None,
+) -> DatasetRun:
+    """Run a scenario batch across ``workers`` processes.
+
+    Returns the same :class:`DatasetRun` the serial path produces (same
+    result order, same per-flow contents), with
+    :class:`~repro.experiments.metrics.RunMetrics` attached.  With
+    ``workers=1``, no pool is created at all.
+    """
+    scenario_list = list(scenarios)
+    workers = min(
+        resolve_workers(workers), max(1, len(scenario_list))
+    )
+    started = time.perf_counter()
+    service = scenario_list[-1].service if scenario_list else ""
+
+    if workers <= 1 or len(scenario_list) <= 1:
+        results = [
+            run_flow(s, max_sim_time=max_sim_time) for s in scenario_list
+        ]
+        return _assemble(service, results, started, workers=1, chunks=1)
+
+    chunks = chunk_scenarios(scenario_list, workers, chunk_flows)
+    chunk_results: list[_ChunkResult | None] = [None] * len(chunks)
+    retried = 0
+    factory = executor_factory or _make_executor
+    failed: list[int] = []
+    try:
+        with factory(workers) as pool:
+            futures = {
+                index: pool.submit(
+                    _simulate_chunk, index, chunk, max_sim_time
+                )
+                for index, chunk in enumerate(chunks)
+            }
+            for index, future in futures.items():
+                try:
+                    chunk_results[index] = future.result()
+                except Exception:
+                    # Worker died or the chunk raised; re-run serially
+                    # below rather than losing the whole batch.
+                    failed.append(index)
+    except Exception:
+        failed = [i for i, r in enumerate(chunk_results) if r is None]
+
+    for index in failed:
+        if chunk_results[index] is not None:
+            continue
+        retried += 1
+        chunk_results[index] = _simulate_chunk(
+            index, chunks[index], max_sim_time
+        )
+
+    results: list[FlowRunResult] = []
+    worker_stats: dict[int, WorkerStats] = {}
+    for chunk_result in chunk_results:
+        assert chunk_result is not None  # every chunk ran or was retried
+        results.extend(chunk_result.results)
+        stats = worker_stats.setdefault(
+            chunk_result.worker_id, WorkerStats(chunk_result.worker_id)
+        )
+        stats.flows += len(chunk_result.results)
+        stats.chunks += 1
+        stats.events += sum(r.events for r in chunk_result.results)
+        stats.busy_time += chunk_result.busy_time
+
+    run = _assemble(
+        service,
+        results,
+        started,
+        workers=workers,
+        chunks=len(chunks),
+    )
+    run.metrics.chunks_retried = retried
+    run.metrics.worker_stats = list(worker_stats.values())
+    return run
+
+
+def _assemble(
+    service: str,
+    results: list[FlowRunResult],
+    started: float,
+    workers: int,
+    chunks: int,
+) -> DatasetRun:
+    metrics = RunMetrics(
+        wall_time=time.perf_counter() - started,
+        flows=len(results),
+        events=sum(r.events for r in results),
+        packets=sum(len(r.packets) for r in results),
+        workers=workers,
+        chunks=chunks,
+    )
+    return DatasetRun(service=service, results=results, metrics=metrics)

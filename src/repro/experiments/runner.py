@@ -11,6 +11,7 @@ statistics that the tests use to validate TAPO.
 from __future__ import annotations
 
 import random
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -23,6 +24,7 @@ from ..packet.packet import PacketRecord
 from ..tcp.endpoint import TcpConnection
 from ..tcp.sender import SenderStats
 from ..workload.generator import FlowScenario
+from .metrics import RunMetrics
 
 
 @dataclass
@@ -53,6 +55,25 @@ class FlowRunResult:
         return self.scenario.session.total_response_bytes
 
 
+#: Bounds for the adaptive completion-poll slice (simulated seconds).
+_MIN_POLL_SLICE = 0.25
+_MAX_POLL_SLICE = 30.0
+
+
+def _poll_slice(connection: TcpConnection) -> float:
+    """Simulated time between completion checks, scaled to the flow.
+
+    A few RTOs is long enough that polling is a rounding error in the
+    event count, and short enough that a finished flow stops within one
+    recovery timescale instead of a fixed 5-second grid.
+    """
+    sender = connection.server.sender
+    if sender is None:  # handshake not done yet; RTTs are sub-second
+        return 1.0
+    rto = sender.rto_estimator.rto
+    return min(max(4.0 * rto, _MIN_POLL_SLICE), _MAX_POLL_SLICE)
+
+
 def run_flow(
     scenario: FlowScenario, max_sim_time: float = 600.0
 ) -> FlowRunResult:
@@ -79,17 +100,22 @@ def run_flow(
     connection.open()
 
     # Run in slices so we can stop as soon as the session completes and
-    # the server has drained (FIN acked or sender gave up).
-    slice_len = 5.0
+    # the server has drained (FIN acked or sender gave up).  The slice
+    # is adaptive: a few RTOs of simulated time per completion check,
+    # jumping straight to the next pending event when the queue is
+    # sparse (deep RTO backoff), so short flows exit promptly and long
+    # stalls don't burn hundreds of no-op loop restarts.
     while engine.now < max_sim_time:
-        engine.run(until=min(engine.now + slice_len, max_sim_time))
+        next_time = engine.peek_time()
+        if next_time is None:
+            break
+        horizon = engine.now + _poll_slice(connection)
+        engine.run(until=min(max(horizon, next_time), max_sim_time))
         server_sender = connection.server.sender
         if done.get("finished") and (
             server_sender is None or server_sender.all_acked
             or server_sender.failed
         ):
-            break
-        if engine.peek_time() is None:
             break
 
     if connection.server.sender is not None and connection.server.sender.failed:
@@ -115,6 +141,7 @@ class DatasetRun:
 
     service: str
     results: list[FlowRunResult] = field(default_factory=list)
+    metrics: RunMetrics | None = None
 
     @property
     def traces(self) -> list[list[PacketRecord]]:
@@ -131,11 +158,34 @@ class DatasetRun:
 def run_flows(
     scenarios: Iterable[FlowScenario],
     max_sim_time: float = 600.0,
+    workers: int | None = 1,
 ) -> DatasetRun:
-    """Run a batch of scenarios; returns the collected results."""
+    """Run a batch of scenarios; returns the collected results.
+
+    ``workers`` selects the execution engine: ``1`` (the default) runs
+    serially in-process; any other value — including ``None``/``0`` for
+    "all cores" — shards the batch across a process pool via
+    :mod:`repro.experiments.parallel`.  Parallel output is
+    byte-identical to serial for the same scenarios.
+    """
+    if workers != 1:
+        from .parallel import run_flows_parallel
+
+        return run_flows_parallel(
+            scenarios, max_sim_time=max_sim_time, workers=workers
+        )
+    started = time.perf_counter()
     results = []
     service = ""
     for scenario in scenarios:
         service = scenario.service
         results.append(run_flow(scenario, max_sim_time=max_sim_time))
-    return DatasetRun(service=service, results=results)
+    metrics = RunMetrics(
+        wall_time=time.perf_counter() - started,
+        flows=len(results),
+        events=sum(r.events for r in results),
+        packets=sum(len(r.packets) for r in results),
+        workers=1,
+        chunks=1,
+    )
+    return DatasetRun(service=service, results=results, metrics=metrics)

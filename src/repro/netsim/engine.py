@@ -22,7 +22,7 @@ class SimulationError(RuntimeError):
     """Raised on engine misuse (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Event:
     time: float
     tie: int
@@ -57,6 +57,8 @@ class Timer:
 
 class EventLoop:
     """The simulation clock and event queue."""
+
+    __slots__ = ("now", "_heap", "_tie", "events_run")
 
     def __init__(self, start_time: float = 0.0):
         self.now = start_time
@@ -107,20 +109,31 @@ class EventLoop:
 
         With ``until``, events after that time stay queued and the clock
         is left at ``until``.
+
+        This is the simulator's hottest loop — every packet, timer and
+        app event passes through it — so the heap and ``heappop`` are
+        bound locally instead of being re-looked-up per event.
         """
         remaining = max_events
+        heap = self._heap
+        heappop = heapq.heappop
         while True:
             if remaining is not None and remaining <= 0:
                 return
-            next_time = self.peek_time()
-            if next_time is None:
+            while heap and heap[0].cancelled:
+                heappop(heap)
+            if not heap:
                 if until is not None:
                     self.now = max(self.now, until)
                 return
-            if until is not None and next_time > until:
+            event = heap[0]
+            if until is not None and event.time > until:
                 self.now = until
                 return
-            self.step()
+            heappop(heap)
+            self.now = event.time
+            self.events_run += 1
+            event.callback()
             if remaining is not None:
                 remaining -= 1
 

@@ -25,12 +25,16 @@ from .options import SackBlock, TCPOptions
 from .seqnum import seq_add
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketRecord:
     """One TCP/IPv4 packet as seen at a capture point.
 
     ``payload_len`` is the TCP payload length in bytes; SYN and FIN each
     consume one sequence number but carry no payload here.
+
+    Slotted: multi-million-packet traces are the norm once datasets are
+    cached on disk, and dropping the per-instance ``__dict__`` cuts the
+    record's footprint roughly in half.
     """
 
     timestamp: float

@@ -1,0 +1,223 @@
+"""Parallel runner determinism, worker-failure fallback, disk cache."""
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core.tapo import Tapo
+from repro.experiments import dataset as dataset_mod
+from repro.experiments.cache import DatasetCache
+from repro.experiments.dataset import build_dataset, clear_cache
+from repro.experiments.parallel import (
+    chunk_scenarios,
+    resolve_workers,
+    run_flows_parallel,
+)
+from repro.experiments.runner import run_flows
+from repro.workload.generator import generate_flows
+from repro.workload.services import get_profile
+
+SERVICE = "web_search"
+FLOWS = 12
+SEED = 31337
+
+
+def _scenarios(flows=FLOWS, seed=SEED):
+    return generate_flows(get_profile(SERVICE), flows, seed=seed)
+
+
+def _packet_signature(run):
+    return [
+        [
+            (p.timestamp, p.seq, p.ack, p.flags, p.payload_len, p.window)
+            for p in result.packets
+        ]
+        for result in run.results
+    ]
+
+
+def _stall_signature(run):
+    tapo = Tapo()
+    signature = []
+    for result in run.results:
+        flow_stalls = []
+        for analysis in tapo.analyze_packets(result.packets):
+            flow_stalls.extend(s.describe() for s in analysis.stalls)
+        signature.append(flow_stalls)
+    return signature
+
+
+class TestParallelDeterminism:
+    def test_workers4_byte_identical_to_serial(self):
+        serial = run_flows(_scenarios(), workers=1)
+        parallel = run_flows_parallel(_scenarios(), workers=4)
+        assert len(parallel.results) == FLOWS
+        # Same flows, same order, same packets, same transport stats,
+        # same stall classifications.
+        assert _packet_signature(serial) == _packet_signature(parallel)
+        assert [r.server_stats for r in serial.results] == [
+            r.server_stats for r in parallel.results
+        ]
+        assert [r.scenario.flow_id for r in parallel.results] == list(
+            range(FLOWS)
+        )
+        assert _stall_signature(serial) == _stall_signature(parallel)
+
+    def test_run_flows_dispatches_to_pool(self):
+        via_run_flows = run_flows(_scenarios(), workers=2)
+        assert via_run_flows.metrics is not None
+        assert via_run_flows.metrics.workers == 2
+        assert via_run_flows.metrics.flows == FLOWS
+        serial = run_flows(_scenarios(), workers=1)
+        assert _packet_signature(serial) == _packet_signature(via_run_flows)
+
+    def test_metrics_populated(self):
+        run = run_flows_parallel(_scenarios(flows=6), workers=2)
+        metrics = run.metrics
+        assert metrics.flows == 6
+        assert metrics.events > 0
+        assert metrics.packets > 0
+        assert metrics.wall_time > 0
+        assert metrics.events_per_sec > 0
+        assert sum(w.flows for w in metrics.worker_stats) == 6
+
+    def test_chunking_preserves_order_and_coverage(self):
+        scenarios = list(_scenarios(flows=10))
+        chunks = chunk_scenarios(scenarios, workers=3, chunk_flows=3)
+        flattened = [s for chunk in chunks for s in chunk]
+        assert flattened == scenarios
+        assert all(len(c) <= 3 for c in chunks)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(5) == 5
+        assert resolve_workers(-3) == 1
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class _FlakyExecutor:
+    """Executor stub whose first submission fails like a dead worker."""
+
+    def __init__(self):
+        self.submissions = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        future = Future()
+        self.submissions += 1
+        if self.submissions == 1:
+            future.set_exception(RuntimeError("worker died"))
+        else:
+            future.set_result(fn(*args))
+        return future
+
+
+class TestWorkerFailure:
+    def test_dead_chunk_retried_serially(self):
+        serial = run_flows(_scenarios(), workers=1)
+        flaky = _FlakyExecutor()
+        parallel = run_flows_parallel(
+            _scenarios(),
+            workers=4,
+            executor_factory=lambda workers: flaky,
+        )
+        assert flaky.submissions > 1
+        assert parallel.metrics.chunks_retried == 1
+        assert _packet_signature(serial) == _packet_signature(parallel)
+
+    def test_totally_broken_pool_falls_back(self):
+        def exploding_factory(workers):
+            raise RuntimeError("no processes for you")
+
+        serial = run_flows(_scenarios(flows=5), workers=1)
+        parallel = run_flows_parallel(
+            _scenarios(flows=5), workers=4, executor_factory=exploding_factory
+        )
+        assert parallel.metrics.chunks_retried == parallel.metrics.chunks
+        assert _packet_signature(serial) == _packet_signature(parallel)
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    clear_cache()
+    yield tmp_path
+    clear_cache()
+
+
+class TestDiskCache:
+    def test_warm_load_matches_cold_build(self, isolated_cache):
+        cold = build_dataset(flows_per_service=4, seed=77)
+        assert cold.metrics.cache_misses == 1
+        clear_cache()  # drop the memo; disk entry survives
+        warm = build_dataset(flows_per_service=4, seed=77)
+        assert warm is not cold  # fresh unpickle, not the memo
+        assert warm.metrics.cache_hits >= 1
+        assert warm.total_packets == cold.total_packets
+        assert warm.total_flows == cold.total_flows
+        for service in cold.reports:
+            assert (
+                warm.reports[service].total_stalls()
+                == cold.reports[service].total_stalls()
+            )
+
+    def test_corrupted_entry_detected_and_rebuilt(self, isolated_cache):
+        cold = build_dataset(flows_per_service=4, seed=78)
+        entries = list(isolated_cache.glob("ds_*.pkl"))
+        assert len(entries) == 1
+        # Flip payload bytes: checksum must catch it.
+        blob = bytearray(entries[0].read_bytes())
+        blob[60] ^= 0xFF
+        entries[0].write_bytes(bytes(blob))
+        clear_cache()
+        rebuilt = build_dataset(flows_per_service=4, seed=78)
+        assert rebuilt.metrics.cache_misses == 1  # re-simulated
+        assert rebuilt.total_packets == cold.total_packets
+
+    def test_truncated_entry_detected_and_rebuilt(self, isolated_cache):
+        cold = build_dataset(flows_per_service=4, seed=79)
+        entry = next(isolated_cache.glob("ds_*.pkl"))
+        entry.write_bytes(entry.read_bytes()[:50])
+        clear_cache()
+        rebuilt = build_dataset(flows_per_service=4, seed=79)
+        assert rebuilt.metrics.cache_misses == 1
+        assert rebuilt.total_packets == cold.total_packets
+
+    def test_no_cache_bypasses_disk(self, isolated_cache):
+        build_dataset(flows_per_service=2, seed=80, use_cache=False)
+        assert not list(isolated_cache.glob("ds_*.pkl"))
+
+    def test_entry_cap_evicts_oldest(self, tmp_path):
+        cache = DatasetCache(root=tmp_path, max_entries=2)
+        for index in range(5):
+            cache.store(f"{index:040d}", {"payload": index})
+        assert len(cache.entries()) <= 2
+
+    def test_load_missing_is_miss(self, tmp_path):
+        cache = DatasetCache(root=tmp_path)
+        assert cache.load("0" * 40) is None
+        assert cache.misses == 1
+
+
+class TestMemoLru:
+    def test_in_process_cache_bounded(self, isolated_cache, monkeypatch):
+        monkeypatch.setattr(dataset_mod, "MEMO_MAX_ENTRIES", 2)
+        services = ("web_search",)
+        for seed in (1, 2, 3, 4):
+            build_dataset(
+                flows_per_service=1, seed=seed, services=services
+            )
+        assert len(dataset_mod._CACHE) <= 2
+        # Most recent build is still memoized (same object back).
+        again = build_dataset(
+            flows_per_service=1, seed=4, services=services
+        )
+        key = (1, 4, services)
+        assert dataset_mod._CACHE[key] is again
