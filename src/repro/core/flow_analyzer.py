@@ -57,6 +57,12 @@ class FlowAnalysis:
     final_srtt: float | None = None
     final_rto: float = 0.0
     state_log: list[tuple[float, CaState]] = field(default_factory=list)
+    #: Per-ACK inferred kernel variables ``(time, cwnd, srtt, rto)`` —
+    #: only populated when the analyzer runs with ``record_series``
+    #: (the ``repro-paper trace`` inference-error path).
+    kernel_series: list[tuple[float, int, float | None, float]] = field(
+        default_factory=list
+    )
 
     @property
     def avg_rtt(self) -> float | None:
@@ -104,9 +110,10 @@ class FlowAnalyzer:
     """Replays one flow; produces a :class:`FlowAnalysis`."""
 
     def __init__(self, flow: FlowTrace, tau: float = STALL_TAU,
-                 init_cwnd: int = 3):
+                 init_cwnd: int = 3, record_series: bool = False):
         self.flow = flow
         self.tau = tau
+        self.record_series = record_series
         self.analysis = FlowAnalysis(flow=flow)
         self.tracker = SegmentTracker()
         self.ca = CaStateTracker(init_cwnd=init_cwnd)
@@ -299,6 +306,15 @@ class FlowAnalyzer:
         self.analysis.in_flight_on_ack.append(
             max(0, packets_out + retrans_out - (sacked_out + lost_out))
         )
+        if self.record_series:
+            # Inferred counterpart of the sender's per-ACK ``vars``
+            # flight-recorder snapshot, sampled at the same capture
+            # timestamps (the tap stamps an arriving ACK with the
+            # simulation time at which the sender processes it).
+            self.analysis.kernel_series.append(
+                (pkt.timestamp, self.ca.cwnd, self.rto_est.srtt,
+                 self.rto_est.rto)
+            )
 
     def _sample_rtts(self, pkt, acked_segments, newly_sacked) -> None:
         """RTT samples for an ACK carrying new information, exactly as

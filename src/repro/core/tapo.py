@@ -34,16 +34,27 @@ class Tapo:
         The stall-threshold multiplier on SRTT (paper uses 2).
     init_cwnd:
         Initial congestion window assumed for the shadow window.
+    record_series:
+        Also record the per-ACK inferred kernel-variable time-series
+        (``FlowAnalysis.kernel_series``) for comparison against the
+        simulator's flight-recorder ground truth.
     """
 
-    def __init__(self, tau: float = STALL_TAU, init_cwnd: int = 3):
+    def __init__(self, tau: float = STALL_TAU, init_cwnd: int = 3,
+                 record_series: bool = False):
         self.tau = tau
         self.init_cwnd = init_cwnd
+        self.record_series = record_series
 
     # -- single flow ------------------------------------------------------
     def analyze_flow(self, flow: FlowTrace) -> FlowAnalysis:
         """Analyze and classify one flow."""
-        analyzer = FlowAnalyzer(flow, tau=self.tau, init_cwnd=self.init_cwnd)
+        analyzer = FlowAnalyzer(
+            flow,
+            tau=self.tau,
+            init_cwnd=self.init_cwnd,
+            record_series=self.record_series,
+        )
         analysis = analyzer.run()
         classify_flow(analysis, analyzer.tracker)
         return analysis

@@ -98,6 +98,8 @@ class DatasetCache:
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        #: Entries dropped because the checksum or unpickle failed.
+        self.corruptions = 0
 
     # -- paths --------------------------------------------------------
     def path_for(self, fingerprint: str) -> Path:
@@ -125,6 +127,7 @@ class DatasetCache:
         if payload is None:
             # Corrupted or truncated: drop the entry so it is rebuilt.
             self.misses += 1
+            self.corruptions += 1
             try:
                 path.unlink()
             except OSError:
@@ -134,6 +137,7 @@ class DatasetCache:
             obj = pickle.loads(payload)
         except Exception:
             self.misses += 1
+            self.corruptions += 1
             try:
                 path.unlink()
             except OSError:

@@ -41,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate the evaluation of 'Demystifying and Mitigating "
             "TCP Stalls at the Server Side' (CoNEXT'15)."
         ),
+        epilog=(
+            "Subcommand: 'repro-paper trace --flow N' re-simulates one "
+            "flow with the flight recorder on and dumps its "
+            "kernel-variable time-series (see 'repro-paper trace -h')."
+        ),
     )
     parser.add_argument(
         "--flows",
@@ -88,10 +93,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print runtime metrics (events/sec, workers, cache) to stderr",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PREFIX",
+        help=(
+            "write run metrics to PREFIX.json and PREFIX.prom "
+            "(Prometheus text exposition)"
+        ),
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # ``repro-paper trace``: flight-recorder deep dive on one flow.
+        from ..obs.export import trace_main
+
+        return trace_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     started = time.time()
 
@@ -113,6 +134,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.stats:
         print(dataset.metrics.format(), file=sys.stderr)
+    if args.metrics_out:
+        from pathlib import Path
+
+        registry = dataset.metrics.to_registry()
+        prefix = Path(args.metrics_out)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        json_path = prefix.with_suffix(".json")
+        prom_path = prefix.with_suffix(".prom")
+        json_path.write_text(registry.to_json(indent=2))
+        prom_path.write_text(registry.render_prometheus())
+        print(
+            f"wrote metrics to {json_path} and {prom_path}",
+            file=sys.stderr,
+        )
     reports = dataset.reports
 
     sections = [

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..core.report import ServiceReport
 from ..core.tapo import Tapo
+from ..obs.metrics import phase_span
 from ..workload.generator import generate_flows
 from ..workload.services import SERVICE_PROFILES, get_profile
 from .cache import (
@@ -101,13 +102,17 @@ def build_dataset(
         DatasetCache() if use_cache and disk_cache_enabled() else None
     )
     fingerprint = None
+    phases: dict[str, float] = {}
     if disk is not None:
         fingerprint = dataset_fingerprint(flows_per_service, seed, services)
         started = time.perf_counter()
-        cached = disk.load(fingerprint)
+        with phase_span(phases, "cache_load"):
+            cached = disk.load(fingerprint)
         if isinstance(cached, Dataset):
             cached.metrics.cache_hits += 1
+            cached.metrics.cache_corruptions += disk.corruptions
             cached.metrics.wall_time = time.perf_counter() - started
+            cached.metrics.phases = dict(phases)
             _memoize(key, cached)
             return cached
 
@@ -117,14 +122,16 @@ def build_dataset(
     reports: dict[str, ServiceReport] = {}
     for service in services:
         profile = get_profile(service)
-        run = run_flows(
-            generate_flows(profile, flows_per_service, seed=seed),
-            workers=workers,
-        )
+        with phase_span(phases, "simulate"):
+            run = run_flows(
+                generate_flows(profile, flows_per_service, seed=seed),
+                workers=workers,
+            )
         report = ServiceReport(service=service)
-        for trace in run.traces:
-            for analysis in tapo.analyze_packets(trace):
-                report.add(analysis)
+        with phase_span(phases, "analyze"):
+            for trace in run.traces:
+                for analysis in tapo.analyze_packets(trace):
+                    report.add(analysis)
         runs[service] = run
         reports[service] = report
     metrics = RunMetrics.merged(
@@ -140,7 +147,15 @@ def build_dataset(
         metrics=metrics,
     )
     if disk is not None and fingerprint is not None:
-        disk.store(fingerprint, dataset)
+        with phase_span(phases, "cache_store"):
+            disk.store(fingerprint, dataset)
+        # Surface the disk layer's own accounting (including corrupted
+        # entries it detected and dropped) in the run's metrics.
+        metrics.cache_corruptions += disk.corruptions
+    # The per-service runs already contributed their "simulate" span
+    # via merge(); replace with the dataset-level phase map, which
+    # additionally covers analysis and cache traffic.
+    metrics.phases = dict(phases)
     if use_cache:
         _memoize(key, dataset)
     return dataset

@@ -50,6 +50,14 @@ class RunMetrics:
     chunks_retried: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Corrupted/truncated on-disk cache entries detected and dropped.
+    cache_corruptions: int = 0
+    #: Flight-recorder totals for traced runs (0 when tracing is off).
+    trace_events: int = 0
+    trace_events_dropped: int = 0
+    #: Wall time by pipeline phase (simulate/analyze/cache_load/...),
+    #: accumulated via :func:`repro.obs.metrics.phase_span`.
+    phases: dict[str, float] = field(default_factory=dict)
     worker_stats: list[WorkerStats] = field(default_factory=list)
 
     # -- derived rates ------------------------------------------------
@@ -93,6 +101,11 @@ class RunMetrics:
         self.chunks_retried += other.chunks_retried
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_corruptions += other.cache_corruptions
+        self.trace_events += other.trace_events
+        self.trace_events_dropped += other.trace_events_dropped
+        for phase, seconds in other.phases.items():
+            self.phases[phase] = self.phases.get(phase, 0.0) + seconds
         mine = {w.worker_id: w for w in self.worker_stats}
         for w in other.worker_stats:
             if w.worker_id in mine:
@@ -116,6 +129,14 @@ class RunMetrics:
             total.merge(part)
         return total
 
+    def to_registry(self, prefix: str = "repro_"):
+        """Absorb this object into a fresh
+        :class:`~repro.obs.metrics.MetricsRegistry` (JSON/Prometheus
+        rendering lives there)."""
+        from ..obs.metrics import registry_from_run_metrics
+
+        return registry_from_run_metrics(self, prefix=prefix)
+
     # -- presentation -------------------------------------------------
     def to_dict(self) -> dict:
         return {
@@ -128,6 +149,10 @@ class RunMetrics:
             "chunks_retried": self.chunks_retried,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_corruptions": self.cache_corruptions,
+            "trace_events": self.trace_events,
+            "trace_events_dropped": self.trace_events_dropped,
+            "phases": dict(sorted(self.phases.items())),
             "events_per_sec": self.events_per_sec,
             "packets_per_sec": self.packets_per_sec,
             "utilization": self.utilization,
@@ -155,9 +180,23 @@ class RunMetrics:
                 f"workers {self.workers} | chunks {self.chunks} "
                 f"(retried {self.chunks_retried}) | "
                 f"utilization {self.utilization:.0%} | "
-                f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+                f"cache {self.cache_hits} hit / {self.cache_misses} miss "
+                f"/ {self.cache_corruptions} corrupt"
             ),
         ]
+        if self.phases:
+            lines.append(
+                "phases: "
+                + " | ".join(
+                    f"{name} {seconds:.2f}s"
+                    for name, seconds in sorted(self.phases.items())
+                )
+            )
+        if self.trace_events:
+            lines.append(
+                f"trace: {self.trace_events} events "
+                f"({self.trace_events_dropped} dropped)"
+            )
         for w in sorted(self.worker_stats, key=lambda w: w.worker_id):
             lines.append(
                 f"  worker {w.worker_id}: {w.flows} flows, "

@@ -64,11 +64,17 @@ class _ChunkResult:
 
 
 def _simulate_chunk(
-    index: int, scenarios: list[FlowScenario], max_sim_time: float
+    index: int,
+    scenarios: list[FlowScenario],
+    max_sim_time: float,
+    trace: bool | str = False,
 ) -> _ChunkResult:
     """Worker entry point: simulate one chunk of scenarios in order."""
     start = time.perf_counter()
-    results = [run_flow(s, max_sim_time=max_sim_time) for s in scenarios]
+    results = [
+        run_flow(s, max_sim_time=max_sim_time, trace=trace)
+        for s in scenarios
+    ]
     return _ChunkResult(
         index=index,
         results=results,
@@ -91,6 +97,7 @@ def run_flows_parallel(
     workers: int | None = None,
     chunk_flows: int | None = None,
     executor_factory=None,
+    trace: bool | str = False,
 ) -> DatasetRun:
     """Run a scenario batch across ``workers`` processes.
 
@@ -108,7 +115,8 @@ def run_flows_parallel(
 
     if workers <= 1 or len(scenario_list) <= 1:
         results = [
-            run_flow(s, max_sim_time=max_sim_time) for s in scenario_list
+            run_flow(s, max_sim_time=max_sim_time, trace=trace)
+            for s in scenario_list
         ]
         return _assemble(service, results, started, workers=1, chunks=1)
 
@@ -121,7 +129,7 @@ def run_flows_parallel(
         with factory(workers) as pool:
             futures = {
                 index: pool.submit(
-                    _simulate_chunk, index, chunk, max_sim_time
+                    _simulate_chunk, index, chunk, max_sim_time, trace
                 )
                 for index, chunk in enumerate(chunks)
             }
@@ -140,7 +148,7 @@ def run_flows_parallel(
             continue
         retried += 1
         chunk_results[index] = _simulate_chunk(
-            index, chunks[index], max_sim_time
+            index, chunks[index], max_sim_time, trace
         )
 
     results: list[FlowRunResult] = []
@@ -182,5 +190,8 @@ def _assemble(
         packets=sum(len(r.packets) for r in results),
         workers=workers,
         chunks=chunks,
+        trace_events=sum(len(r.trace_events or ()) for r in results),
+        trace_events_dropped=sum(r.trace_dropped for r in results),
     )
+    metrics.phases["simulate"] = metrics.wall_time
     return DatasetRun(service=service, results=results, metrics=metrics)

@@ -20,6 +20,12 @@ from ..app.server import ServerApp
 from ..app.session import SessionResult
 from ..netsim.engine import EventLoop
 from ..netsim.trace import CaptureTap
+from ..obs.recorder import (
+    DEFAULT_RING_CAPACITY,
+    EngineProbe,
+    FlightRecorder,
+    TraceEvent,
+)
 from ..packet.packet import PacketRecord
 from ..tcp.endpoint import TcpConnection
 from ..tcp.sender import SenderStats
@@ -37,6 +43,11 @@ class FlowRunResult:
     server_stats: SenderStats
     sim_time: float
     events: int
+    #: Flight-recorder events (``None`` unless the flow ran with
+    #: ``trace`` enabled); ordered by record time within the flow.
+    trace_events: list[TraceEvent] | None = None
+    #: Events evicted from the full recorder ring during the run.
+    trace_dropped: int = 0
 
     @property
     def complete(self) -> bool:
@@ -75,12 +86,29 @@ def _poll_slice(connection: TcpConnection) -> float:
 
 
 def run_flow(
-    scenario: FlowScenario, max_sim_time: float = 600.0
+    scenario: FlowScenario,
+    max_sim_time: float = 600.0,
+    trace: bool | str = False,
+    trace_capacity: int = DEFAULT_RING_CAPACITY,
 ) -> FlowRunResult:
-    """Simulate one flow scenario to completion (or the time cap)."""
+    """Simulate one flow scenario to completion (or the time cap).
+
+    ``trace`` opts the flow into the flight recorder
+    (:mod:`repro.obs.recorder`): truthy attaches a recorder to the
+    server's sender; the string ``"engine"`` additionally records raw
+    event-loop activity.  Tracing is purely observational — the packet
+    trace is byte-identical with it on or off.
+    """
     engine = EventLoop()
     rng = random.Random(scenario.seed ^ 0x5EED)
     tap = CaptureTap(engine)
+    recorder = (
+        FlightRecorder(flow_id=scenario.flow_id, capacity=trace_capacity)
+        if trace
+        else None
+    )
+    if recorder is not None and trace == "engine":
+        engine.observer = EngineProbe(recorder)
     connection = TcpConnection(
         engine,
         client_config=scenario.client_config,
@@ -88,6 +116,7 @@ def run_flow(
         path_config=scenario.path_config,
         rng=rng,
         tap=tap,
+        recorder=recorder,
     )
     ServerApp(engine, connection.server, scenario.session)
     done: dict[str, bool] = {}
@@ -132,6 +161,8 @@ def run_flow(
         ),
         sim_time=engine.now,
         events=engine.events_run,
+        trace_events=recorder.dump() if recorder is not None else None,
+        trace_dropped=recorder.dropped if recorder is not None else 0,
     )
 
 
@@ -154,11 +185,19 @@ class DatasetRun:
     def total_packets(self) -> int:
         return sum(len(result.packets) for result in self.results)
 
+    def merged_trace_events(self) -> list[TraceEvent]:
+        """All flows' flight-recorder events, deterministically ordered
+        by (flow, sim-time, record index)."""
+        from ..obs.recorder import merge_events
+
+        return merge_events(result.trace_events for result in self.results)
+
 
 def run_flows(
     scenarios: Iterable[FlowScenario],
     max_sim_time: float = 600.0,
     workers: int | None = 1,
+    trace: bool | str = False,
 ) -> DatasetRun:
     """Run a batch of scenarios; returns the collected results.
 
@@ -167,19 +206,28 @@ def run_flows(
     "all cores" — shards the batch across a process pool via
     :mod:`repro.experiments.parallel`.  Parallel output is
     byte-identical to serial for the same scenarios.
+
+    ``trace`` attaches a flight recorder to every flow (see
+    :func:`run_flow`); merged events come back on each result's
+    ``trace_events`` and are deterministic across worker counts.
     """
     if workers != 1:
         from .parallel import run_flows_parallel
 
         return run_flows_parallel(
-            scenarios, max_sim_time=max_sim_time, workers=workers
+            scenarios,
+            max_sim_time=max_sim_time,
+            workers=workers,
+            trace=trace,
         )
     started = time.perf_counter()
     results = []
     service = ""
     for scenario in scenarios:
         service = scenario.service
-        results.append(run_flow(scenario, max_sim_time=max_sim_time))
+        results.append(
+            run_flow(scenario, max_sim_time=max_sim_time, trace=trace)
+        )
     metrics = RunMetrics(
         wall_time=time.perf_counter() - started,
         flows=len(results),
@@ -187,5 +235,8 @@ def run_flows(
         packets=sum(len(r.packets) for r in results),
         workers=1,
         chunks=1,
+        trace_events=sum(len(r.trace_events or ()) for r in results),
+        trace_events_dropped=sum(r.trace_dropped for r in results),
     )
+    metrics.phases["simulate"] = metrics.wall_time
     return DatasetRun(service=service, results=results, metrics=metrics)

@@ -52,19 +52,32 @@ class Timer:
         return self._event.time
 
     def cancel(self) -> None:
+        if not self._event.cancelled:
+            observer = self._engine.observer
+            if observer is not None:
+                observer.on_cancel(self._event.time)
         self._event.cancelled = True
 
 
 class EventLoop:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
 
-    __slots__ = ("now", "_heap", "_tie", "events_run")
+    ``observer`` is the engine's tracing hook: an object with
+    ``on_schedule(time, callback)``, ``on_fire(time, callback)`` and
+    ``on_cancel(time)`` methods (see
+    :class:`repro.obs.recorder.EngineProbe`).  It defaults to ``None``
+    and costs one ``is None`` check per operation when unset, so the
+    untraced simulation is unchanged.
+    """
+
+    __slots__ = ("now", "_heap", "_tie", "events_run", "observer")
 
     def __init__(self, start_time: float = 0.0):
         self.now = start_time
         self._heap: list[_Event] = []
         self._tie = itertools.count()
         self.events_run = 0
+        self.observer = None
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
         """Run ``callback`` at absolute simulation time ``time``."""
@@ -74,6 +87,8 @@ class EventLoop:
             )
         event = _Event(time, next(self._tie), callback)
         heapq.heappush(self._heap, event)
+        if self.observer is not None:
+            self.observer.on_schedule(time, callback)
         return Timer(self, event)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
@@ -96,6 +111,8 @@ class EventLoop:
                 continue
             self.now = event.time
             self.events_run += 1
+            if self.observer is not None:
+                self.observer.on_fire(event.time, event.callback)
             event.callback()
             return True
         return False
@@ -117,6 +134,7 @@ class EventLoop:
         remaining = max_events
         heap = self._heap
         heappop = heapq.heappop
+        observer = self.observer
         while True:
             if remaining is not None and remaining <= 0:
                 return
@@ -133,6 +151,8 @@ class EventLoop:
             heappop(heap)
             self.now = event.time
             self.events_run += 1
+            if observer is not None:
+                observer.on_fire(event.time, event.callback)
             event.callback()
             if remaining is not None:
                 remaining -= 1

@@ -1,0 +1,46 @@
+"""Observability for the reproduction: flight recorder, metrics, export.
+
+The paper's whole method depends on seeing inside the sender — TAPO
+re-derives ``cwnd``, ``in_flight``, SRTT/RTO and the congestion state
+machine from a passive trace precisely because production kernels hide
+them.  This package keeps the simulator's ground truth instead of
+throwing it away:
+
+* :mod:`repro.obs.recorder` — an opt-in, bounded flight recorder of
+  structured trace events (state transitions, kernel-variable changes,
+  timer arm/fire/cancel, retransmissions, zero-window episodes) fed by
+  hook points in :mod:`repro.tcp.sender`, :mod:`repro.tcp.rto`,
+  :mod:`repro.tcp.policies` and :mod:`repro.netsim.engine`;
+* :mod:`repro.obs.metrics` — a picklable, mergeable counter/gauge
+  registry with JSON and Prometheus-style text rendering, plus
+  wall-time phase spans for profiling;
+* :mod:`repro.obs.export` — per-flow kernel-variable time-series
+  (CSV/JSON) aligned with TAPO's inferred variables, the
+  TAPO-vs-ground-truth inference-error report, and the
+  ``repro-paper trace`` subcommand.
+
+With tracing disabled (the default) every hook is a single
+``is None`` check: simulator output stays byte-identical and the
+overhead is bounded by the trace-overhead bench.
+"""
+
+from .metrics import Counter, Gauge, MetricsRegistry, phase_span
+from .recorder import (
+    DEFAULT_RING_CAPACITY,
+    EngineProbe,
+    FlightRecorder,
+    TraceEvent,
+    merge_events,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RING_CAPACITY",
+    "EngineProbe",
+    "FlightRecorder",
+    "Gauge",
+    "MetricsRegistry",
+    "TraceEvent",
+    "merge_events",
+    "phase_span",
+]

@@ -1,0 +1,426 @@
+"""Exporters: kernel-variable time-series, events, inference report.
+
+This is the payoff of the flight recorder: the simulator *is* the
+kernel, so for every flow we hold both the true per-ACK kernel
+variables (recorded by :mod:`repro.obs.recorder` hooks in the sender)
+and the variables TAPO *infers* from the passive packet trace
+(:class:`~repro.core.flow_analyzer.FlowAnalysis.kernel_series`).
+Aligning the two quantifies the paper's Sec. 3.3 "mimic the TCP stack"
+claim directly: how far do the inferred cwnd, SRTT and RTO drift from
+ground truth?
+
+The module provides:
+
+* :func:`ground_truth_series` / :func:`align_series` — build and join
+  the two per-ACK series on capture timestamps (both sides sample at
+  the instant an ACK reaches the server, so the join is exact);
+* :class:`FlowInferenceError` / :func:`inference_error` — per-flow
+  max/mean divergence of cwnd (segments) and SRTT/RTO (seconds);
+* CSV/JSON writers for the aligned series, the raw event stream, and
+  the report;
+* :func:`trace_main` — the ``repro-paper trace`` subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from .recorder import TraceEvent
+
+#: Column order of the aligned per-flow time-series exports.
+SERIES_COLUMNS = (
+    "time",
+    "cwnd_true",
+    "cwnd_tapo",
+    "srtt_true",
+    "srtt_tapo",
+    "rto_true",
+    "rto_tapo",
+    "in_flight_true",
+)
+
+#: Exact-match tolerance when joining on capture timestamps (both
+#: series quote the same simulation clock, so this only absorbs float
+#: formatting round trips).
+ALIGN_TOLERANCE = 1e-9
+
+
+def ground_truth_series(
+    events: list[TraceEvent] | None,
+) -> list[tuple[float, int, int, float | None, float, int]]:
+    """Extract ``(time, cwnd, ssthresh, srtt, rto, in_flight)`` rows
+    from a flow's per-ACK ``vars`` flight-recorder snapshots."""
+    if not events:
+        return []
+    return [
+        (e.time, e.cwnd, e.ssthresh, e.srtt, e.rto, e.in_flight)
+        for e in events
+        if e.kind == "vars" and e.detail == "ack"
+    ]
+
+
+def align_series(
+    truth: list[tuple[float, int, int, float | None, float, int]],
+    inferred: list[tuple[float, int, float | None, float]],
+    tolerance: float = ALIGN_TOLERANCE,
+) -> list[dict]:
+    """Join ground-truth and inferred per-ACK rows on timestamps.
+
+    Both series are time-ordered; a two-pointer sweep pairs rows whose
+    timestamps agree within ``tolerance`` and skips unmatched rows
+    (e.g. stale ACKs the sender short-circuits before snapshotting).
+    """
+    joined: list[dict] = []
+    i = j = 0
+    while i < len(truth) and j < len(inferred):
+        t_true = truth[i][0]
+        t_inf = inferred[j][0]
+        if abs(t_true - t_inf) <= tolerance:
+            _, cwnd_t, _ssthresh, srtt_t, rto_t, in_flight = truth[i]
+            _, cwnd_i, srtt_i, rto_i = inferred[j]
+            joined.append(
+                {
+                    "time": t_true,
+                    "cwnd_true": cwnd_t,
+                    "cwnd_tapo": cwnd_i,
+                    "srtt_true": srtt_t,
+                    "srtt_tapo": srtt_i,
+                    "rto_true": rto_t,
+                    "rto_tapo": rto_i,
+                    "in_flight_true": in_flight,
+                }
+            )
+            i += 1
+            j += 1
+        elif t_true < t_inf:
+            i += 1
+        else:
+            j += 1
+    return joined
+
+
+@dataclass
+class FlowInferenceError:
+    """Per-flow divergence between TAPO's inference and ground truth."""
+
+    flow_id: int
+    service: str
+    truth_samples: int
+    inferred_samples: int
+    aligned_samples: int
+    cwnd_mean_err: float = 0.0
+    cwnd_max_err: float = 0.0
+    srtt_mean_err: float = 0.0
+    srtt_max_err: float = 0.0
+    rto_mean_err: float = 0.0
+    rto_max_err: float = 0.0
+    stalls: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "flow_id": self.flow_id,
+            "service": self.service,
+            "truth_samples": self.truth_samples,
+            "inferred_samples": self.inferred_samples,
+            "aligned_samples": self.aligned_samples,
+            "cwnd_mean_err_segments": self.cwnd_mean_err,
+            "cwnd_max_err_segments": self.cwnd_max_err,
+            "srtt_mean_err_seconds": self.srtt_mean_err,
+            "srtt_max_err_seconds": self.srtt_max_err,
+            "rto_mean_err_seconds": self.rto_mean_err,
+            "rto_max_err_seconds": self.rto_max_err,
+            "stalls": self.stalls,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"flow {self.flow_id} ({self.service}): "
+            f"{self.aligned_samples} aligned samples | "
+            f"cwnd err mean {self.cwnd_mean_err:.2f} "
+            f"max {self.cwnd_max_err:.0f} seg | "
+            f"SRTT err mean {self.srtt_mean_err * 1000:.1f} "
+            f"max {self.srtt_max_err * 1000:.1f} ms | "
+            f"RTO err mean {self.rto_mean_err * 1000:.1f} "
+            f"max {self.rto_max_err * 1000:.1f} ms"
+        )
+
+
+def inference_error(
+    flow_id: int,
+    service: str,
+    truth: list[tuple[float, int, int, float | None, float, int]],
+    inferred: list[tuple[float, int, float | None, float]],
+    stalls: int = 0,
+) -> FlowInferenceError:
+    """Summarize cwnd/SRTT/RTO divergence over the aligned samples."""
+    joined = align_series(truth, inferred)
+    report = FlowInferenceError(
+        flow_id=flow_id,
+        service=service,
+        truth_samples=len(truth),
+        inferred_samples=len(inferred),
+        aligned_samples=len(joined),
+        stalls=stalls,
+    )
+    if not joined:
+        return report
+    cwnd_errs = [abs(r["cwnd_true"] - r["cwnd_tapo"]) for r in joined]
+    srtt_errs = [
+        abs(r["srtt_true"] - r["srtt_tapo"])
+        for r in joined
+        if r["srtt_true"] is not None and r["srtt_tapo"] is not None
+    ]
+    rto_errs = [abs(r["rto_true"] - r["rto_tapo"]) for r in joined]
+    report.cwnd_mean_err = sum(cwnd_errs) / len(cwnd_errs)
+    report.cwnd_max_err = max(cwnd_errs)
+    if srtt_errs:
+        report.srtt_mean_err = sum(srtt_errs) / len(srtt_errs)
+        report.srtt_max_err = max(srtt_errs)
+    report.rto_mean_err = sum(rto_errs) / len(rto_errs)
+    report.rto_max_err = max(rto_errs)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+def write_series_csv(path: str | Path, rows: list[dict]) -> Path:
+    """Aligned time-series as CSV (empty cells for unknown SRTT)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SERIES_COLUMNS)
+        for row in rows:
+            writer.writerow(
+                [
+                    "" if row[col] is None else row[col]
+                    for col in SERIES_COLUMNS
+                ]
+            )
+    return path
+
+
+def write_series_json(
+    path: str | Path, rows: list[dict], flow_id: int, service: str
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "flow_id": flow_id,
+        "service": service,
+        "columns": list(SERIES_COLUMNS),
+        "rows": [[row[col] for col in SERIES_COLUMNS] for row in rows],
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def write_events_json(
+    path: str | Path, events: list[TraceEvent] | None
+) -> Path:
+    """Raw flight-recorder dump (one object per event)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps([e.as_dict() for e in (events or [])], indent=2)
+    )
+    return path
+
+
+def write_inference_report(
+    path: str | Path, reports: list[FlowInferenceError]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    aligned = [r for r in reports if r.aligned_samples]
+    summary = {
+        "flows": len(reports),
+        "flows_aligned": len(aligned),
+        "cwnd_mean_err_segments": (
+            sum(r.cwnd_mean_err for r in aligned) / len(aligned)
+            if aligned
+            else 0.0
+        ),
+        "cwnd_max_err_segments": max(
+            (r.cwnd_max_err for r in aligned), default=0.0
+        ),
+        "rto_mean_err_seconds": (
+            sum(r.rto_mean_err for r in aligned) / len(aligned)
+            if aligned
+            else 0.0
+        ),
+        "rto_max_err_seconds": max(
+            (r.rto_max_err for r in aligned), default=0.0
+        ),
+    }
+    path.write_text(
+        json.dumps(
+            {
+                "summary": summary,
+                "flows": [r.to_dict() for r in reports],
+            },
+            indent=2,
+        )
+    )
+    return path
+
+
+# ----------------------------------------------------------------------
+# ``repro-paper trace`` subcommand
+# ----------------------------------------------------------------------
+def _trace_one_flow(scenario, capacity: int, max_sim_time: float):
+    """Simulate one scenario with tracing and analyze it with TAPO."""
+    from ..core.tapo import Tapo
+    from ..experiments.runner import run_flow
+
+    result = run_flow(
+        scenario,
+        max_sim_time=max_sim_time,
+        trace=True,
+        trace_capacity=capacity,
+    )
+    # Match the scenario's actual initial window so the report measures
+    # inference drift, not a known configuration offset.
+    tapo = Tapo(
+        init_cwnd=scenario.server_config.init_cwnd, record_series=True
+    )
+    analyses = tapo.analyze_packets(result.packets)
+    analysis = analyses[0] if analyses else None
+    truth = ground_truth_series(result.trace_events)
+    inferred = analysis.kernel_series if analysis is not None else []
+    report = inference_error(
+        scenario.flow_id,
+        scenario.service,
+        truth,
+        inferred,
+        stalls=len(analysis.stalls) if analysis is not None else 0,
+    )
+    return result, truth, inferred, report
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper trace",
+        description=(
+            "Re-simulate one dataset flow with the flight recorder on, "
+            "dump its kernel-variable time-series (CSV + JSON) aligned "
+            "with TAPO's inferred variables, and report the per-flow "
+            "inference error."
+        ),
+    )
+    parser.add_argument(
+        "--flow",
+        type=int,
+        default=0,
+        help="flow index within the service's dataset (default 0)",
+    )
+    parser.add_argument(
+        "--service",
+        default="web_search",
+        help="service profile the flow belongs to (default web_search)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=20141222,
+        help="dataset seed (must match the run being debugged)",
+    )
+    parser.add_argument(
+        "--all-flows",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "also compute the inference-error report over the first N "
+            "flows of the service (series files are still written only "
+            "for --flow)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default="trace-out",
+        help="output directory (default ./trace-out)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1 << 16,
+        help="flight-recorder ring size in events (default 65536)",
+    )
+    parser.add_argument(
+        "--max-sim-time",
+        type=float,
+        default=600.0,
+        help="per-flow simulated-time cap in seconds (default 600)",
+    )
+    return parser
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-paper trace``."""
+    from ..workload.generator import generate_flows
+    from ..workload.services import get_profile
+
+    args = build_trace_parser().parse_args(argv)
+    profile = get_profile(args.service)
+    count = max(args.flow + 1, args.all_flows)
+    scenarios = list(generate_flows(profile, count, seed=args.seed))
+    if args.flow >= len(scenarios):
+        print(f"no flow {args.flow} in a {len(scenarios)}-flow dataset",
+              file=sys.stderr)
+        return 2
+
+    out = Path(args.out)
+    reports: list[FlowInferenceError] = []
+    written: list[Path] = []
+    target_ids = (
+        range(args.all_flows) if args.all_flows else [args.flow]
+    )
+    for flow_id in target_ids:
+        scenario = scenarios[flow_id]
+        result, truth, inferred, report = _trace_one_flow(
+            scenario, args.capacity, args.max_sim_time
+        )
+        reports.append(report)
+        if flow_id == args.flow:
+            stem = f"flow_{args.service}_{flow_id}"
+            joined = align_series(truth, inferred)
+            written.append(
+                write_series_csv(out / f"{stem}_series.csv", joined)
+            )
+            written.append(
+                write_series_json(
+                    out / f"{stem}_series.json",
+                    joined,
+                    flow_id,
+                    args.service,
+                )
+            )
+            written.append(
+                write_events_json(
+                    out / f"{stem}_events.json", result.trace_events
+                )
+            )
+            print(
+                f"flow {flow_id} ({args.service}): "
+                f"{len(result.packets)} packets, "
+                f"{len(result.trace_events or [])} trace events "
+                f"({result.trace_dropped} dropped), "
+                f"{report.stalls} stalls"
+            )
+
+    written.append(
+        write_inference_report(out / "inference_report.json", reports)
+    )
+    for report in reports:
+        print(report.describe())
+    print(
+        f"wrote {len(written)} files to {out}/", file=sys.stderr
+    )
+    return 0

@@ -81,11 +81,15 @@ class TcpEndpoint:
         config: EndpointConfig,
         rng: random.Random,
         tap: CaptureTap | None = None,
+        recorder=None,
     ):
         self.engine = engine
         self.config = config
         self.rng = rng
         self.tap = tap
+        #: Optional :class:`~repro.obs.recorder.FlightRecorder` handed
+        #: to the sender half when it is created.
+        self.recorder = recorder
         self.link: Link | None = None  # outgoing link, set by wiring
         self.peer: tuple[int, int] | None = None
         self.established = False
@@ -119,6 +123,8 @@ class TcpEndpoint:
             pacing=self.config.pacing,
             frto=self.config.frto,
         )
+        if self.recorder is not None:
+            self.sender.attach_recorder(self.recorder)
         self.receiver = ReceiverHalf(
             self.engine,
             send_ack=self._send_pure_ack,
@@ -394,11 +400,16 @@ class TcpConnection:
         path_config: PathConfig,
         rng: random.Random,
         tap: CaptureTap | None = None,
+        recorder=None,
     ):
         self.engine = engine
         self.tap = tap if tap is not None else CaptureTap(engine)
         self.client = TcpEndpoint(engine, client_config, rng)
-        self.server = TcpEndpoint(engine, server_config, rng, tap=self.tap)
+        # The flight recorder, like the tap, observes the *server* side
+        # — the vantage point the paper's analysis takes.
+        self.server = TcpEndpoint(
+            engine, server_config, rng, tap=self.tap, recorder=recorder
+        )
         self.path = path_config.build(
             engine,
             to_client=self.client.receive,

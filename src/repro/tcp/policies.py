@@ -97,6 +97,8 @@ class TLPPolicy(RecoveryPolicy):
         self._probe_outstanding = True
         tail = sender.scoreboard.tail()
         if tail is not None:
+            if sender.recorder is not None:
+                sender.trace_event("probe", self.name, seq=tail.seq)
             sender.retransmit_segment(tail, probe=True)
 
     def on_ack(self, sender: "SenderHalf", new_data_acked: bool) -> None:
@@ -160,6 +162,10 @@ class SRTOPolicy(RecoveryPolicy):
         head = sender.scoreboard.head()
         if head is None:
             return
+        if sender.recorder is not None:
+            # trigger_srto (Algorithm 1): the event that lets a trace
+            # distinguish an S-RTO recovery from a native timeout.
+            sender.trace_event("probe", self.name, seq=head.seq)
         sender.retransmit_segment(head, probe=True)
         if sender.cwnd > self.t2 and sender.ca_state != sender.RECOVERY:
             sender.cwnd = max(sender.cwnd // 2, 1)

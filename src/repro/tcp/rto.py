@@ -26,9 +26,15 @@ both must compute identical SRTT/RTO values from the same samples.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from .constants import INITIAL_RTO, MAX_RTO, MIN_RTO
+
+#: Estimator-update observer: ``(kind, value)`` where ``kind`` is
+#: ``"seed"``, ``"sample"`` or ``"timeout"`` and ``value`` the RTT
+#: sample (or seeded SRTT) in seconds; 0.0 for timeouts.
+RTOObserver = Callable[[str, float], None]
 
 
 @dataclass
@@ -38,6 +44,12 @@ class RTOEstimator:
     min_rto: float = MIN_RTO
     max_rto: float = MAX_RTO
     initial_rto: float = INITIAL_RTO
+
+    #: Flight-recorder hook, called after every estimator update.
+    #: ``None`` (the default) keeps the estimator observer-free.
+    on_update: RTOObserver | None = field(
+        default=None, repr=False, compare=False
+    )
 
     srtt: float | None = None
     #: Mean deviation (true units, the kernel's ``mdev / 4``).
@@ -61,6 +73,8 @@ class RTOEstimator:
         self.rttvar4 = max(rttvar4, self.min_rto)
         self.mdev = self.rttvar4 / 4
         self.mdev_max = self.min_rto
+        if self.on_update is not None:
+            self.on_update("seed", self.srtt)
 
     def observe(self, rtt: float, now: float | None = None) -> None:
         """Fold one RTT sample (seconds) into the estimator.
@@ -78,6 +92,8 @@ class RTOEstimator:
             self.rttvar4 = max(2 * rtt, self.min_rto)
             self.mdev_max = self.rttvar4
             self._advance_window(now)
+            if self.on_update is not None:
+                self.on_update("sample", rtt)
             return
         err = rtt - self.srtt
         self.srtt += self.ALPHA * err
@@ -93,6 +109,8 @@ class RTOEstimator:
             if self.mdev_max > self.rttvar4:
                 self.rttvar4 = self.mdev_max
         self._maybe_close_window(now)
+        if self.on_update is not None:
+            self.on_update("sample", rtt)
 
     def _advance_window(self, now: float | None) -> None:
         if now is not None and self.srtt is not None:
@@ -135,6 +153,8 @@ class RTOEstimator:
         """Record an expiry: double the RTO (bounded)."""
         if self.base_rto * (1 << self.backoff) < self.max_rto:
             self.backoff += 1
+        if self.on_update is not None:
+            self.on_update("timeout", 0.0)
 
     def on_ack(self) -> None:
         """An ACK of new data clears the backoff."""

@@ -154,6 +154,57 @@ class SenderHalf:
         self._undo_ssthresh = 0
         self.failed = False
         self.on_all_acked: Callable[[], None] | None = None
+        # Flight recorder (repro.obs): None means tracing is off and
+        # every hook below is a single attribute test.
+        self._recorder = None
+
+    # ------------------------------------------------------------------
+    # Flight-recorder hooks
+    # ------------------------------------------------------------------
+    @property
+    def recorder(self):
+        """The attached :class:`~repro.obs.recorder.FlightRecorder`."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, recorder) -> None:
+        self._recorder = recorder
+        # Mirror estimator updates into the trace (tcp/rto.py hook).
+        self.rto_estimator.on_update = (
+            self._trace_rtt_update if recorder is not None else None
+        )
+
+    def trace_event(
+        self, kind: str, detail: str = "", seq: int = 0, value: float = 0.0
+    ) -> None:
+        """Record one event with a kernel-variable snapshot attached.
+
+        Callers guard with ``if sender.recorder is not None`` so the
+        tracing-off path never pays for the snapshot.
+        """
+        est = self.rto_estimator
+        self._recorder.record(
+            self.engine.now,
+            kind,
+            detail,
+            seq=seq,
+            cwnd=self.cwnd,
+            ssthresh=self.ssthresh,
+            srtt=est.srtt,
+            rto=est.rto,
+            in_flight=self.scoreboard.in_flight,
+            value=value,
+        )
+
+    def _trace_rtt_update(self, kind: str, value: float) -> None:
+        self.trace_event("rtt", kind, value=value)
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach and record the initial kernel-variable snapshot."""
+        self.recorder = recorder
+        if recorder is not None:
+            self.trace_event("state", self.ca_state)
+            self.trace_event("vars", "init")
 
     # ------------------------------------------------------------------
     # Application interface
@@ -235,6 +286,10 @@ class SenderHalf:
         self.policy.on_ack(self, new_data_acked)
         self.try_send()
         self._rearm_after_ack(new_data_acked)
+        if self._recorder is not None:
+            # Per-ACK ground-truth snapshot: the exact counterpart of
+            # the per-ACK series TAPO infers from the passive trace.
+            self.trace_event("vars", "ack", seq=ack)
 
         if self.all_acked and self.on_all_acked is not None:
             self.on_all_acked()
@@ -429,6 +484,8 @@ class SenderHalf:
         if state != self.ca_state:
             self.stats.state_log.append((self.engine.now, state))
             self.ca_state = state
+            if self._recorder is not None:
+                self.trace_event("state", state)
 
     def _enter_recovery(self) -> None:
         self.stats.enter_recovery += 1
@@ -486,9 +543,13 @@ class SenderHalf:
         delay, kind = self.policy.timer_duration(self)
         self._retx_kind = kind
         self._retx_timer = self.engine.schedule(delay, self._on_retx_timer)
+        if self._recorder is not None:
+            self.trace_event("timer", f"arm:{kind}", value=delay)
 
     def _cancel_retx_timer(self) -> None:
         if self._retx_timer is not None:
+            if self._recorder is not None and self._retx_timer.pending:
+                self.trace_event("timer", "cancel")
             self._retx_timer.cancel()
             self._retx_timer = None
 
@@ -497,6 +558,8 @@ class SenderHalf:
         if self.scoreboard.empty or self.failed:
             return
         if self._retx_kind == PROBE:
+            if self._recorder is not None:
+                self.trace_event("timer", "fire:probe")
             self.policy.on_probe_fire(self)
             self.stats.probe_retransmissions += 1
             self._arm_retx_timer()
@@ -505,6 +568,8 @@ class SenderHalf:
 
     def _on_rto(self) -> None:
         """Native retransmission timeout: enter the Loss state."""
+        if self._recorder is not None:
+            self.trace_event("timer", "fire:rto")
         self.stats.rto_timeouts += 1
         self._consecutive_timeouts += 1
         if self._consecutive_timeouts > MAX_RETRIES:
@@ -555,10 +620,14 @@ class SenderHalf:
         )
         if window_blocked:
             if self._persist_timer is None or not self._persist_timer.pending:
+                if self._recorder is not None and self._persist_backoff == 0:
+                    self.trace_event("zwnd", "enter")
                 self._arm_persist_timer()
         else:
             self._persist_backoff = 0
             if self._persist_timer is not None:
+                if self._recorder is not None:
+                    self.trace_event("zwnd", "exit")
                 self._persist_timer.cancel()
                 self._persist_timer = None
 
@@ -581,6 +650,8 @@ class SenderHalf:
         # space.
         self.stats.zero_window_probes += 1
         probe_seq = seq_add(self.snd_una, -1 % (1 << 32))
+        if self._recorder is not None:
+            self.trace_event("zwnd", "probe", seq=probe_seq)
         self.transmit(probe_seq, 1, False, True)
         if self._persist_backoff < 8:
             self._persist_backoff += 1
@@ -713,4 +784,11 @@ class SenderHalf:
         self.stats.data_segments_sent += 1
         length = seg.length - (1 if seg.is_fin else 0)
         self.stats.bytes_sent += length
+        if self._recorder is not None:
+            detail = (
+                "fast"
+                if fast
+                else "rto" if rto else "probe" if probe else "recovery"
+            )
+            self.trace_event("retx", detail, seq=seg.seq)
         self.transmit(seg.seq, length, seg.is_fin, True)
