@@ -22,6 +22,7 @@ import os
 
 import pytest
 
+from repro.config import RunConfig
 from repro.experiments.dataset import build_dataset
 from repro.experiments.mitigation import (
     compare_policies,
@@ -47,7 +48,7 @@ def dataset():
     return build_dataset(
         flows_per_service=FLOWS_PER_SERVICE,
         seed=DATASET_SEED,
-        workers=bench_workers(),
+        run=RunConfig(workers=bench_workers()),
     )
 
 

@@ -3,6 +3,9 @@ the Server Side" (Zhou et al., CoNEXT 2015).
 
 The package provides:
 
+* :mod:`repro.api` — the supported public surface (``analyze``,
+  ``analyze_stream``, ``simulate``, ``report``);
+* :mod:`repro.config` — frozen ``AnalysisConfig`` / ``RunConfig``;
 * :mod:`repro.core` — TAPO, the passive TCP stall classifier;
 * :mod:`repro.tcp` — a Linux-2.6.32-style TCP stack simulator with
   pluggable recovery policies (native RTO, TLP, and the paper's S-RTO);
@@ -14,40 +17,77 @@ The package provides:
 
 Quick start::
 
-    from repro import Tapo, analyze_pcap
-    for flow in analyze_pcap("trace.pcap"):
+    from repro import api
+    for flow in api.analyze("trace.pcap"):
         for stall in flow.stalls:
             print(stall.describe())
+
+Attributes are imported lazily (PEP 562): ``import repro`` loads
+nothing but this module, and ``repro.Tapo`` or ``from repro import
+analyze`` pulls in just the subsystems they need.
 """
 
-from .core import (
-    CaState,
-    DoubleKind,
-    FlowAnalysis,
-    RetxCause,
-    ServiceReport,
-    Stall,
-    StallCause,
-    Tapo,
-    analyze_pcap,
-)
-from .tcp import EndpointConfig, SRTOPolicy, TcpConnection, TLPPolicy
+from __future__ import annotations
 
-__version__ = "1.0.0"
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "CaState",
-    "DoubleKind",
-    "EndpointConfig",
-    "FlowAnalysis",
-    "RetxCause",
-    "SRTOPolicy",
-    "ServiceReport",
-    "Stall",
-    "StallCause",
-    "TLPPolicy",
-    "Tapo",
-    "TcpConnection",
-    "analyze_pcap",
-    "__version__",
-]
+__version__ = "1.1.0"
+
+#: Public attribute -> providing submodule.  Everything here is
+#: importable both as ``repro.<name>`` and ``from repro import <name>``.
+_EXPORTS = {
+    # facade verbs + configs
+    "analyze": "repro.api",
+    "analyze_stream": "repro.api",
+    "simulate": "repro.api",
+    "report": "repro.api",
+    "AnalysisConfig": "repro.config",
+    "RunConfig": "repro.config",
+    # analyzer surface
+    "CaState": "repro.core",
+    "DoubleKind": "repro.core",
+    "FlowAnalysis": "repro.core",
+    "RetxCause": "repro.core",
+    "ServiceReport": "repro.core",
+    "Stall": "repro.core",
+    "StallCause": "repro.core",
+    "Tapo": "repro.core",
+    "analyze_pcap": "repro.core",
+    # simulator surface
+    "EndpointConfig": "repro.tcp",
+    "SRTOPolicy": "repro.tcp",
+    "TLPPolicy": "repro.tcp",
+    "TcpConnection": "repro.tcp",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__", "api", "config"]
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from .api import analyze, analyze_stream, report, simulate
+    from .config import AnalysisConfig, RunConfig
+    from .core import (
+        CaState,
+        DoubleKind,
+        FlowAnalysis,
+        RetxCause,
+        ServiceReport,
+        Stall,
+        StallCause,
+        Tapo,
+        analyze_pcap,
+    )
+    from .tcp import EndpointConfig, SRTOPolicy, TcpConnection, TLPPolicy
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: resolve each name once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

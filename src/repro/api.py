@@ -1,0 +1,167 @@
+"""The supported public surface of :mod:`repro`, in one place.
+
+Four verbs cover the pipeline, all configured through the two frozen
+dataclasses in :mod:`repro.config`:
+
+=====================  ==================================================
+:func:`analyze`        pcap/packets -> list of classified flow analyses
+:func:`analyze_stream` unbounded source -> analyses as flows complete,
+                       memory bounded by open-flow state
+:func:`simulate`       service workloads -> simulated, analyzed dataset
+:func:`report`         analyses / packet traces -> one ServiceReport
+=====================  ==================================================
+
+Quickstart::
+
+    from repro import api
+
+    # Batch: small trace, everything in memory.
+    for flow in api.analyze("trace.pcap"):
+        print(flow.stall_ratio, [s.cause for s in flow.stalls])
+
+    # Streaming: arbitrarily large trace, flat memory, 8 workers.
+    from repro.config import RunConfig
+    for flow in api.analyze_stream("huge.pcap",
+                                   run=RunConfig(workers=8)):
+        ...
+
+Everything re-exported here (plus the exceptions and enums) is the
+stable API; other modules are implementation detail and may move.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .config import AnalysisConfig, RunConfig
+from .core.flow_analyzer import FlowAnalysis
+from .core.report import ServiceReport
+from .core.stalls import CaState, DoubleKind, RetxCause, Stall, StallCause
+from .core.tapo import Tapo
+from .packet.flow import (
+    ServerPredicate,
+    StreamStats,
+    server_by_ip,
+    server_by_port,
+)
+from .packet.packet import PacketRecord
+
+__all__ = [
+    "AnalysisConfig",
+    "CaState",
+    "DoubleKind",
+    "FlowAnalysis",
+    "PacketRecord",
+    "RetxCause",
+    "RunConfig",
+    "ServiceReport",
+    "Stall",
+    "StallCause",
+    "StreamStats",
+    "Tapo",
+    "analyze",
+    "analyze_stream",
+    "report",
+    "server_by_ip",
+    "server_by_port",
+    "simulate",
+]
+
+
+def analyze(
+    source: str | Path | Iterable[PacketRecord],
+    server_side: ServerPredicate | None = None,
+    config: AnalysisConfig | None = None,
+) -> list[FlowAnalysis]:
+    """Analyze every flow of a pcap file or packet iterable (batch).
+
+    Results are sorted by first packet time.  For traces that do not
+    fit in memory, use :func:`analyze_stream`.
+    """
+    tapo = Tapo(config=config)
+    if isinstance(source, (str, Path)):
+        return tapo.analyze_pcap(source, server_side)
+    return tapo.analyze_packets(source, server_side)
+
+
+def analyze_stream(
+    source,
+    server_side: ServerPredicate | None = None,
+    config: AnalysisConfig | None = None,
+    *,
+    run: RunConfig | None = None,
+    stats: StreamStats | None = None,
+    registry=None,
+) -> Iterator[FlowAnalysis]:
+    """Analyze an unbounded packet source with bounded memory.
+
+    Yields each flow's analysis as the flow *completes* (FIN/RST close
+    or idle timeout).  ``run`` controls eviction bounds, worker
+    processes, and backpressure; classifications are identical to
+    :func:`analyze` on the same trace.  See
+    :meth:`repro.core.tapo.Tapo.analyze_stream`.
+    """
+    return Tapo(config=config).analyze_stream(
+        source, server_side, run=run, stats=stats, registry=registry
+    )
+
+
+def simulate(
+    flows_per_service: int = 150,
+    seed: int = 20141222,
+    services: tuple[str, ...] | None = None,
+    *,
+    run: RunConfig | None = None,
+):
+    """Simulate the paper's service workloads and analyze them.
+
+    Returns a :class:`repro.experiments.dataset.Dataset` with one
+    simulated+analyzed :class:`ServiceReport` per service.  ``run``
+    controls worker processes and cache usage.
+    """
+    from .experiments.dataset import SERVICES, build_dataset
+
+    return build_dataset(
+        flows_per_service=flows_per_service,
+        seed=seed,
+        services=services if services is not None else SERVICES,
+        run=run,
+    )
+
+
+def report(
+    source,
+    service: str = "trace",
+    server_side: ServerPredicate | None = None,
+    config: AnalysisConfig | None = None,
+    *,
+    run: RunConfig | None = None,
+) -> ServiceReport:
+    """Aggregate a packet source or analyses into one ServiceReport.
+
+    ``source`` may be anything :func:`analyze_stream` accepts, or an
+    iterable of already-computed :class:`FlowAnalysis` objects.  Packet
+    sources stream through the bounded-memory pipeline; partial
+    reports merge associatively, so the result equals a batch pass.
+    """
+    if not isinstance(source, (str, Path)):
+        source = iter(source)
+        first = next(source, None)
+        if first is None:
+            return ServiceReport(service=service)
+        if isinstance(first, FlowAnalysis):
+            result = ServiceReport(service=service)
+            result.add(first)
+            for analysis in source:
+                result.add(analysis)
+            return result
+        source = _chain_one(first, source)
+    return Tapo(config=config).report_stream(
+        source, service=service, server_side=server_side, run=run
+    )
+
+
+def _chain_one(first, rest):
+    yield first
+    yield from rest

@@ -1,0 +1,112 @@
+"""Frozen configuration objects for the public API.
+
+Historically every entry point grew its own keyword soup — ``tau``,
+``init_cwnd``, ``record_series`` on the analyzer side; ``workers``,
+``use_cache``, chunking knobs on the experiment side.  The supported
+surface now takes two value objects instead:
+
+* :class:`AnalysisConfig` — how TAPO mimics the server's stack
+  (stall threshold, shadow window, optional kernel-variable series);
+* :class:`RunConfig` — how work is executed (worker processes, cache
+  usage, chunk sizing, streaming backpressure).
+
+Both are frozen dataclasses: hashable, comparable, safe to share
+across worker processes, and usable as cache-key components.  The old
+keyword arguments keep working everywhere through shims that emit
+:class:`DeprecationWarning` (see :func:`warn_deprecated_kwargs`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+
+def warn_deprecated_kwargs(where: str, names: list[str], instead: str) -> None:
+    """Emit the standard deprecation warning for legacy keyword soup.
+
+    ``stacklevel=3`` points at the caller of the shimmed entry point
+    (user code), not at the shim itself.
+    """
+    warnings.warn(
+        f"{where}({', '.join(sorted(names))}=...) is deprecated; "
+        f"pass {instead} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """How TAPO analyzes a flow (the paper's Sec. 3 knobs).
+
+    Parameters
+    ----------
+    tau:
+        Stall-threshold multiplier on SRTT; a gap longer than
+        ``min(tau * SRTT, RTO)`` is a stall (paper uses 2).
+    init_cwnd:
+        Initial congestion window assumed for the shadow window, in
+        segments (Linux 2.6.32 default is 3).
+    record_series:
+        Also record the per-ACK inferred kernel-variable time-series
+        (``FlowAnalysis.kernel_series``) for comparison against the
+        simulator's flight-recorder ground truth.
+    """
+
+    tau: float = 2.0
+    init_cwnd: int = 3
+    record_series: bool = False
+
+    def replace(self, **changes) -> "AnalysisConfig":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How work is executed: parallelism, caching, and backpressure.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``1`` = serial in-process (the default);
+        ``0``/``None`` = one per core.  Results are identical for any
+        worker count.
+    use_cache:
+        Consult/populate the dataset caches (in-process memo and the
+        content-addressed on-disk store).
+    chunk_flows:
+        Flows per work unit shipped to a worker.  ``None`` picks a
+        size automatically.
+    max_in_flight_chunks:
+        Backpressure bound for streaming analysis: at most this many
+        chunks may be queued or executing at once; submission blocks
+        (and upstream packet reading pauses) when the bound is hit.
+        ``None`` derives ``2 * workers``.
+    idle_timeout:
+        Streaming demux: a flow with no packets for this many seconds
+        (trace time) is considered finished and evicted.
+    close_linger:
+        Streaming demux: seconds of trace time a flow lingers after a
+        clean close (FIN in both directions, or RST) before eviction,
+        so straggling retransmissions still attach to it.
+    """
+
+    workers: int | None = 1
+    use_cache: bool = True
+    chunk_flows: int | None = None
+    max_in_flight_chunks: int | None = None
+    idle_timeout: float = 60.0
+    close_linger: float = 5.0
+
+    def replace(self, **changes) -> "RunConfig":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def resolved_workers(self) -> int:
+        """Concrete worker count (``0``/``None`` = one per core)."""
+        from .experiments.parallel import resolve_workers
+
+        return resolve_workers(self.workers)

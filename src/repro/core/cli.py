@@ -11,6 +11,7 @@ import argparse
 import json
 import sys
 
+from ..config import AnalysisConfig, RunConfig
 from ..packet.flow import server_by_ip, server_by_port
 from ..packet.headers import ip_from_str
 from .report import ServiceReport
@@ -63,6 +64,47 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write tcptrace-style .dat series (data/retx/acks/window/"
             "rtt/stalls) for every flow into this directory"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "analyze through the bounded-memory streaming pipeline "
+            "(identical classifications; memory stays flat on huge traces)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "analysis worker processes (implies --stream; 0 = one per "
+            "core, 1 = serial; default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        help=(
+            "with --stream, evict flows idle for this many trace-seconds "
+            "(default 60)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print streaming/runtime counters to stderr (implies --stream)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PREFIX",
+        help=(
+            "write streaming metrics to PREFIX.json and PREFIX.prom "
+            "(Prometheus text exposition; implies --stream)"
         ),
     )
     return parser
@@ -146,12 +188,61 @@ def main(argv: list[str] | None = None) -> int:
     elif args.server_port:
         server_side = server_by_port(args.server_port)
 
-    tapo = Tapo(tau=args.tau)
+    tapo = Tapo(config=AnalysisConfig(tau=args.tau))
+    streaming = (
+        args.stream
+        or args.stats
+        or bool(args.metrics_out)
+        or args.workers != 1
+    )
     try:
-        analyses = tapo.analyze_pcap(args.pcap, server_side)
+        if streaming:
+            from ..obs.metrics import MetricsRegistry
+            from ..packet.flow import StreamStats
+
+            registry = MetricsRegistry()
+            stats = StreamStats()
+            run = RunConfig(
+                workers=args.workers, idle_timeout=args.idle_timeout
+            )
+            analyses = list(
+                tapo.analyze_stream(
+                    args.pcap,
+                    server_side,
+                    run=run,
+                    stats=stats,
+                    registry=registry,
+                )
+            )
+            # Restore batch presentation order (first packet time) so
+            # --json/--csv output is byte-identical to the batch path.
+            analyses.sort(key=lambda a: a.flow.first_time)
+        else:
+            analyses = tapo.analyze_pcap(args.pcap, server_side)
     except OSError as exc:
         print(f"tapo: cannot read {args.pcap}: {exc}", file=sys.stderr)
         return 1
+
+    if streaming:
+        if args.stats:
+            print(
+                f"stream: {stats.packets} packets, "
+                f"{stats.flows_total} flows "
+                f"({stats.flows_evicted_idle} idle-evicted), "
+                f"peak buffered {stats.peak_buffered_packets} packets, "
+                f"peak active {stats.peak_active_flows} flows",
+                file=sys.stderr,
+            )
+        if args.metrics_out:
+            from ..obs.metrics import write_registry
+
+            json_path, prom_path = write_registry(
+                registry, args.metrics_out
+            )
+            print(
+                f"wrote metrics to {json_path} and {prom_path}",
+                file=sys.stderr,
+            )
 
     report = ServiceReport(service=args.pcap)
     for analysis in analyses:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import AnalysisConfig
 from ..packet.flow import Direction, FlowTrace
 from ..packet.packet import PacketRecord
 from ..packet.seqnum import seq_before, seq_leq
@@ -110,7 +111,12 @@ class FlowAnalyzer:
     """Replays one flow; produces a :class:`FlowAnalysis`."""
 
     def __init__(self, flow: FlowTrace, tau: float = STALL_TAU,
-                 init_cwnd: int = 3, record_series: bool = False):
+                 init_cwnd: int = 3, record_series: bool = False,
+                 config: "AnalysisConfig | None" = None):
+        if config is not None:
+            tau = config.tau
+            init_cwnd = config.init_cwnd
+            record_series = config.record_series
         self.flow = flow
         self.tau = tau
         self.record_series = record_series
@@ -130,24 +136,44 @@ class FlowAnalyzer:
         self._last_new_ack_time: float | None = None
         self._last_in_packet_time: float | None = None
         self._counted_recovery_point: int | None = None
+        self._prev_time: float | None = None
+        self._fed = 0
 
     # -- public API -------------------------------------------------------
     def run(self) -> FlowAnalysis:
-        packets = self.flow.packets
-        if not packets:
+        """Replay the whole flow: feed every packet, then finish."""
+        if not self.flow.packets:
             return self.analysis
-        prev_time: float | None = None
-        for index, (pkt, direction) in enumerate(packets):
-            if prev_time is not None and self.established and not pkt.syn:
-                # Handshake retransmissions (SYN / SYN+ACK) are not
-                # data-transfer stalls; the paper's analysis starts at
-                # established connections.
-                gap = pkt.timestamp - prev_time
-                threshold = self.rto_est.stall_threshold(self.tau)
-                if gap > threshold:
-                    self._record_stall(index, pkt, direction, prev_time, threshold)
-            self._process(pkt, direction)
-            prev_time = pkt.timestamp
+        for pkt, direction in self.flow.packets:
+            self.feed(pkt, direction)
+        return self.finish()
+
+    def feed(self, pkt: PacketRecord, direction: Direction) -> None:
+        """Process one packet incrementally.
+
+        The analyzer's own state is O(window) — the segment tracker
+        and estimators drop segments as they are cumulatively acked —
+        so a caller that feeds packets as they arrive (instead of
+        materializing the flow first and calling :meth:`run`) holds no
+        per-trace state here.  Feeding the whole flow in order then
+        calling :meth:`finish` is exactly :meth:`run`.
+        """
+        if self._prev_time is not None and self.established and not pkt.syn:
+            # Handshake retransmissions (SYN / SYN+ACK) are not
+            # data-transfer stalls; the paper's analysis starts at
+            # established connections.
+            gap = pkt.timestamp - self._prev_time
+            threshold = self.rto_est.stall_threshold(self.tau)
+            if gap > threshold:
+                self._record_stall(
+                    self._fed, pkt, direction, self._prev_time, threshold
+                )
+        self._process(pkt, direction)
+        self._prev_time = pkt.timestamp
+        self._fed += 1
+
+    def finish(self) -> FlowAnalysis:
+        """Finalize after the last packet and return the analysis."""
         self._finalize()
         return self.analysis
 

@@ -26,6 +26,7 @@ method                         paper content
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from .flow_analyzer import FlowAnalysis
@@ -52,7 +53,10 @@ def percentile(values: list[float], q: float) -> float:
     low = int(pos)
     high = min(low + 1, len(ordered) - 1)
     frac = pos - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    # lerp anchored at ordered[low]: the naive weighted sum
+    # a*(1-frac) + b*frac underflows to 0.0 for denormal inputs.
+    value = ordered[low] + (ordered[high] - ordered[low]) * frac
+    return min(max(value, ordered[low]), ordered[high])
 
 
 @dataclass
@@ -74,6 +78,30 @@ class ServiceReport:
 
     def add(self, analysis: FlowAnalysis) -> None:
         self.flows.append(analysis)
+
+    # -- combination ------------------------------------------------------
+    def merge(self, other: "ServiceReport") -> "ServiceReport":
+        """Fold ``other``'s flows into this report (in place).
+
+        Every aggregate this class computes is a fold over
+        ``self.flows``, so merging is associative: partial reports
+        built from disjoint chunks of a stream combine into exactly
+        the report a single pass would have produced.
+        """
+        self.flows.extend(other.flows)
+        return self
+
+    @classmethod
+    def merged(
+        cls, reports: "Iterable[ServiceReport]", service: str | None = None
+    ) -> "ServiceReport":
+        """Combine partial reports (e.g. one per streamed chunk)."""
+        total: ServiceReport | None = None
+        for report in reports:
+            if total is None:
+                total = cls(service=service or report.service)
+            total.merge(report)
+        return total if total is not None else cls(service=service or "")
 
     # -- Table 1 ----------------------------------------------------------
     def table1_row(self) -> dict[str, float]:

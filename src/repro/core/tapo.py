@@ -9,20 +9,55 @@ The facade ties the three components of Sec. 3.3 together:
 Inputs can be a pcap file, an in-memory packet list, or pre-demuxed
 flows; output is a list of classified :class:`FlowAnalysis` objects or
 a per-service :class:`ServiceReport`.
+
+The engine underneath is *streaming*: packets flow through an
+incremental demuxer (:func:`repro.packet.flow.demux_stream`) that
+evicts flows as they close, and completed flows fan out to analyzer
+workers with bounded in-flight chunks
+(:class:`repro.experiments.parallel.AnalysisPool`).  Memory is bounded
+by open-flow state, never by trace length.  The batch entry points
+(:meth:`Tapo.analyze_packets`, :meth:`Tapo.analyze_pcap`) are thin
+wrappers over the same core with eviction disabled, which makes them
+byte-identical to the historical all-in-memory implementation.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
-from ..packet.flow import FlowTrace, ServerPredicate, demux
+from ..config import AnalysisConfig, RunConfig, warn_deprecated_kwargs
+from ..packet.flow import (
+    FlowTrace,
+    ServerPredicate,
+    StreamStats,
+    demux_stream,
+)
 from ..packet.packet import PacketRecord
 from ..packet.pcap import PcapReader
 from .classifier import classify_flow
 from .flow_analyzer import FlowAnalysis, FlowAnalyzer
 from .report import ServiceReport
-from .stalls import STALL_TAU
+
+#: Anything :meth:`Tapo.analyze_stream` accepts as a packet source: a
+#: pcap path, an open reader, an iterable of records, or an iterable
+#: of record chunks (lists) as produced by ``PcapReader.iter_chunks``.
+PacketSource = (
+    "str | Path | PcapReader | Iterable[PacketRecord] "
+    "| Iterable[list[PacketRecord]]"
+)
+
+
+def _iter_source(source) -> Iterator[PacketRecord]:
+    """Flatten any accepted packet source into one record stream."""
+    if isinstance(source, PcapReader):
+        yield from source.iter_records()
+        return
+    for item in source:
+        if isinstance(item, PacketRecord):
+            yield item
+        else:  # a chunk (any iterable of records)
+            yield from item
 
 
 class Tapo:
@@ -30,31 +65,52 @@ class Tapo:
 
     Parameters
     ----------
-    tau:
-        The stall-threshold multiplier on SRTT (paper uses 2).
-    init_cwnd:
-        Initial congestion window assumed for the shadow window.
-    record_series:
-        Also record the per-ACK inferred kernel-variable time-series
-        (``FlowAnalysis.kernel_series``) for comparison against the
-        simulator's flight-recorder ground truth.
+    config:
+        An :class:`repro.config.AnalysisConfig` with the paper's
+        knobs: ``tau`` (stall-threshold multiplier on SRTT),
+        ``init_cwnd`` (initial shadow congestion window), and
+        ``record_series`` (keep the per-ACK inferred kernel-variable
+        time-series).
+    tau, init_cwnd, record_series:
+        Deprecated keyword equivalents; they still work but emit
+        :class:`DeprecationWarning`.  Pass an ``AnalysisConfig``.
     """
 
-    def __init__(self, tau: float = STALL_TAU, init_cwnd: int = 3,
-                 record_series: bool = False):
-        self.tau = tau
-        self.init_cwnd = init_cwnd
-        self.record_series = record_series
+    def __init__(
+        self,
+        config: AnalysisConfig | None = None,
+        tau: float | None = None,
+        init_cwnd: int | None = None,
+        record_series: bool | None = None,
+    ):
+        if config is not None and not isinstance(config, AnalysisConfig):
+            # Legacy positional tau: Tapo(2.0).
+            warn_deprecated_kwargs("Tapo", ["tau"], "AnalysisConfig(tau=...)")
+            tau, config = float(config), None
+        legacy = {
+            name: value
+            for name, value in (
+                ("tau", tau),
+                ("init_cwnd", init_cwnd),
+                ("record_series", record_series),
+            )
+            if value is not None
+        }
+        if legacy:
+            warn_deprecated_kwargs(
+                "Tapo", list(legacy), "an AnalysisConfig"
+            )
+            config = (config or AnalysisConfig()).replace(**legacy)
+        self.config = config or AnalysisConfig()
+        # Plain attributes kept for backward compatibility.
+        self.tau = self.config.tau
+        self.init_cwnd = self.config.init_cwnd
+        self.record_series = self.config.record_series
 
     # -- single flow ------------------------------------------------------
     def analyze_flow(self, flow: FlowTrace) -> FlowAnalysis:
         """Analyze and classify one flow."""
-        analyzer = FlowAnalyzer(
-            flow,
-            tau=self.tau,
-            init_cwnd=self.init_cwnd,
-            record_series=self.record_series,
-        )
+        analyzer = FlowAnalyzer(flow, config=self.config)
         analysis = analyzer.run()
         classify_flow(analysis, analyzer.tracker)
         return analysis
@@ -65,9 +121,18 @@ class Tapo:
         packets: Iterable[PacketRecord],
         server_side: ServerPredicate | None = None,
     ) -> list[FlowAnalysis]:
-        """Demux a packet stream into flows and analyze each."""
-        flows = demux(packets, server_side)
-        return [self.analyze_flow(flow) for flow in flows]
+        """Demux a packet stream into flows and analyze each.
+
+        Batch semantics: every flow is held until end of stream and
+        results come back sorted by first packet time — the streaming
+        core with eviction disabled.
+        """
+        return [
+            self.analyze_flow(flow)
+            for flow in demux_stream(
+                packets, server_side, idle_timeout=None, close_linger=None
+            )
+        ]
 
     def analyze_pcap(
         self,
@@ -76,7 +141,99 @@ class Tapo:
     ) -> list[FlowAnalysis]:
         """Analyze every flow in a pcap file."""
         with PcapReader(path) as reader:
-            return self.analyze_packets(reader, server_side)
+            return self.analyze_packets(reader.iter_records(), server_side)
+
+    # -- streaming --------------------------------------------------------
+    def analyze_stream(
+        self,
+        source,
+        server_side: ServerPredicate | None = None,
+        *,
+        run: RunConfig | None = None,
+        stats: StreamStats | None = None,
+        registry=None,
+    ) -> Iterator[FlowAnalysis]:
+        """Analyze an unbounded packet source with bounded memory.
+
+        ``source`` may be a pcap path, an open :class:`PcapReader`, an
+        iterable of :class:`PacketRecord`, or an iterable of record
+        chunks.  Flows are yielded as they *complete* (FIN/RST close
+        or ``run.idle_timeout`` of trace-time silence), not at end of
+        stream; classifications are identical to
+        :meth:`analyze_pcap` on the same trace, modulo yield order.
+
+        With ``run.workers > 1``, completed flows fan out to a worker
+        pool in chunks of ``run.chunk_flows``, with at most
+        ``run.max_in_flight_chunks`` outstanding — when the bound is
+        hit, the packet source is not read further until a chunk
+        retires (backpressure).  Results arrive in flow-completion
+        order for any worker count.
+
+        ``stats`` (a :class:`~repro.packet.flow.StreamStats`) and
+        ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`)
+        expose flows-evicted / in-flight-chunk / peak-buffered-packet
+        counters for observability.
+        """
+        from ..experiments.parallel import AnalysisPool
+
+        run = run or RunConfig()
+        opened: PcapReader | None = None
+        if isinstance(source, (str, Path)):
+            opened = PcapReader(source)
+            source = opened
+        stream_stats = stats if stats is not None else StreamStats()
+        pool = AnalysisPool(
+            config=self.config,
+            workers=run.workers,
+            chunk_flows=run.chunk_flows,
+            max_in_flight=run.max_in_flight_chunks,
+        )
+        flows = demux_stream(
+            _iter_source(source),
+            server_side,
+            idle_timeout=run.idle_timeout,
+            close_linger=run.close_linger,
+            stats=stream_stats,
+        )
+        try:
+            yield from pool.map_stream(flows)
+        finally:
+            if registry is not None:
+                stream_stats.to_registry(registry)
+                pool.stats.to_registry(registry)
+            if opened is not None:
+                opened.close()
+
+    def report_stream(
+        self,
+        source,
+        service: str = "trace",
+        server_side: ServerPredicate | None = None,
+        *,
+        run: RunConfig | None = None,
+        stats: StreamStats | None = None,
+        registry=None,
+    ) -> ServiceReport:
+        """Stream-analyze ``source`` into one :class:`ServiceReport`.
+
+        Partial reports are built per analysis chunk and combined with
+        :meth:`ServiceReport.merge`; merging is associative, so the
+        result equals a single-pass batch report over the same flows.
+        """
+        run = run or RunConfig()
+        part_size = run.chunk_flows or 32
+        parts: list[ServiceReport] = []
+        part = ServiceReport(service=service)
+        for analysis in self.analyze_stream(
+            source, server_side, run=run, stats=stats, registry=registry
+        ):
+            part.add(analysis)
+            if len(part.flows) >= part_size:
+                parts.append(part)
+                part = ServiceReport(service=service)
+        if part.flows:
+            parts.append(part)
+        return ServiceReport.merged(parts, service=service)
 
     # -- services --------------------------------------------------------------
     def report(
@@ -97,6 +254,14 @@ class Tapo:
         return report
 
 
-def analyze_pcap(path: str | Path, **kwargs) -> list[FlowAnalysis]:
-    """Module-level convenience wrapper around :class:`Tapo`."""
-    return Tapo(**kwargs).analyze_pcap(path)
+def analyze_pcap(
+    path: str | Path,
+    config: AnalysisConfig | None = None,
+    **kwargs,
+) -> list[FlowAnalysis]:
+    """Module-level convenience wrapper around :class:`Tapo`.
+
+    Legacy ``tau=...``-style keywords are forwarded to :class:`Tapo`'s
+    deprecation shim.
+    """
+    return Tapo(config=config, **kwargs).analyze_pcap(path)

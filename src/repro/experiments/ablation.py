@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from ..config import AnalysisConfig
 from ..core.report import ServiceReport, percentile
 from ..core.stalls import RetxCause, StallCause
 from ..core.tapo import Tapo
@@ -272,7 +273,7 @@ def tau_sensitivity(
     run = run_flows(generate_flows(profile, flows, seed=seed), workers=workers)
     points = []
     for tau in taus:
-        tapo = Tapo(tau=tau)
+        tapo = Tapo(config=AnalysisConfig(tau=tau))
         report = ServiceReport(service=f"tau={tau}")
         for trace in run.traces:
             for analysis in tapo.analyze_packets(trace):

@@ -14,6 +14,7 @@ import argparse
 import sys
 import time
 
+from ..config import RunConfig
 from ..workload.services import get_profile
 from .dataset import build_dataset
 from .illustrative import run_illustrative_flow
@@ -124,8 +125,7 @@ def main(argv: list[str] | None = None) -> int:
     dataset = build_dataset(
         flows_per_service=args.flows,
         seed=args.seed,
-        use_cache=not args.no_cache,
-        workers=args.workers,
+        run=RunConfig(workers=args.workers, use_cache=not args.no_cache),
     )
     print(
         f"  {dataset.total_packets} packets analyzed in "
@@ -135,15 +135,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.stats:
         print(dataset.metrics.format(), file=sys.stderr)
     if args.metrics_out:
-        from pathlib import Path
+        from ..obs.metrics import write_registry
 
-        registry = dataset.metrics.to_registry()
-        prefix = Path(args.metrics_out)
-        prefix.parent.mkdir(parents=True, exist_ok=True)
-        json_path = prefix.with_suffix(".json")
-        prom_path = prefix.with_suffix(".prom")
-        json_path.write_text(registry.to_json(indent=2))
-        prom_path.write_text(registry.render_prometheus())
+        json_path, prom_path = write_registry(
+            dataset.metrics.to_registry(), args.metrics_out
+        )
         print(
             f"wrote metrics to {json_path} and {prom_path}",
             file=sys.stderr,

@@ -25,6 +25,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..config import RunConfig, warn_deprecated_kwargs
 from ..core.report import ServiceReport
 from ..core.tapo import Tapo
 from ..obs.metrics import phase_span
@@ -81,16 +82,37 @@ def build_dataset(
     flows_per_service: int = 150,
     seed: int = 20141222,  # first day of the paper's collection window
     services: tuple[str, ...] = SERVICES,
-    use_cache: bool = True,
-    workers: int | None = 1,
+    use_cache: bool | None = None,
+    workers: int | None = None,
+    run: RunConfig | None = None,
 ) -> Dataset:
     """Simulate and analyze the dataset; cached by parameters.
+
+    Execution knobs (worker processes, cache usage) come from ``run``,
+    a :class:`repro.config.RunConfig`.  The ``use_cache``/``workers``
+    keywords are deprecated shims for it.
 
     Cache layers are consulted in order: in-process memo, then the
     on-disk store, then a fresh (optionally parallel) simulation.
     ``use_cache=False`` bypasses both layers entirely — nothing is
     read or written.
     """
+    legacy = [
+        name
+        for name, value in (("use_cache", use_cache), ("workers", workers))
+        if value is not None
+    ]
+    if legacy:
+        warn_deprecated_kwargs(
+            "build_dataset", legacy, "a RunConfig (run=...)"
+        )
+    run = run or RunConfig()
+    if use_cache is not None:
+        run = run.replace(use_cache=use_cache)
+    if workers is not None:
+        run = run.replace(workers=workers)
+    use_cache = run.use_cache
+    workers = run.workers
     key = dataset_cache_key(flows_per_service, seed, services)
     if use_cache and key in _CACHE:
         _CACHE.move_to_end(key)

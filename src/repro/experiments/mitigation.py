@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from ..config import RunConfig
 from ..core.report import percentile
 from ..workload.distributions import Constant, LogNormal
 from ..workload.generator import generate_flows
@@ -190,8 +191,15 @@ def compare_policies(
     t2: int = 5,
     short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
     workers: int | None = 1,
+    run: "RunConfig | None" = None,
 ) -> MitigationComparison:
-    """Run all three policies over the same seeded workload."""
+    """Run all three policies over the same seeded workload.
+
+    ``run`` (a :class:`repro.config.RunConfig`) overrides ``workers``
+    when given.
+    """
+    if run is not None:
+        workers = run.workers
     outcomes = {}
     for policy, _label in POLICIES:
         outcomes[policy] = run_policy(

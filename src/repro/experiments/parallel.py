@@ -20,10 +20,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from collections.abc import Iterable
-from concurrent.futures import Executor, ProcessPoolExecutor
-from dataclasses import dataclass
+from collections import deque
+from collections.abc import Iterable, Iterator
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
 
+from ..config import AnalysisConfig
+from ..packet.flow import FlowTrace
 from ..workload.generator import FlowScenario
 from .metrics import RunMetrics, WorkerStats
 from .runner import DatasetRun, FlowRunResult, run_flow
@@ -174,6 +177,133 @@ def run_flows_parallel(
     run.metrics.chunks_retried = retried
     run.metrics.worker_stats = list(worker_stats.values())
     return run
+
+
+# -- streaming flow analysis ----------------------------------------------
+
+#: Flows per analysis work unit; TAPO analysis of one flow is much
+#: cheaper than simulating it, so chunks are bigger than simulation's.
+_ANALYZE_CHUNK_FLOWS = 32
+
+
+def _analyze_chunk(flows: list[FlowTrace], config: AnalysisConfig) -> list:
+    """Worker entry point: run TAPO over one chunk of completed flows."""
+    from ..core.tapo import Tapo
+
+    tapo = Tapo(config=config)
+    return [tapo.analyze_flow(flow) for flow in flows]
+
+
+@dataclass
+class AnalysisPoolStats:
+    """Accounting for one :class:`AnalysisPool` pass."""
+
+    flows: int = 0
+    chunks: int = 0
+    chunks_retried: int = 0
+    in_flight_chunks: int = 0
+    peak_in_flight_chunks: int = 0
+
+    def to_registry(self, registry, prefix: str = "repro_stream_") -> None:
+        registry.counter(
+            prefix + "analysis_chunks_total", "Analysis chunks dispatched"
+        ).inc(self.chunks)
+        registry.counter(
+            prefix + "analysis_chunks_retried_total",
+            "Analysis chunks re-run serially after a worker failure",
+        ).inc(self.chunks_retried)
+        registry.counter(
+            prefix + "analyzed_flows_total", "Flows analyzed"
+        ).inc(self.flows)
+        registry.gauge(
+            prefix + "peak_in_flight_chunks",
+            "Most analysis chunks queued or executing at once",
+        ).set(float(self.peak_in_flight_chunks))
+
+
+@dataclass
+class AnalysisPool:
+    """Fan completed flows out to analyzer workers with backpressure.
+
+    :meth:`map_stream` pulls flows from an iterator, ships them to the
+    pool in chunks, and yields :class:`~repro.core.flow_analyzer.FlowAnalysis`
+    results **in submission order**.  At most ``max_in_flight`` chunks
+    are queued or executing at once; when the bound is hit, no further
+    flows are pulled from upstream until a chunk completes — the
+    backpressure that keeps a streaming pipeline's memory flat no
+    matter how fast the packet source is.
+
+    ``workers=1`` analyzes inline with no pool and no pickling.  A
+    worker death re-runs the lost chunk serially in the parent, same
+    as the simulation pool.
+    """
+
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    workers: int | None = 1
+    chunk_flows: int | None = None
+    max_in_flight: int | None = None
+    executor_factory: object = None
+    stats: AnalysisPoolStats = field(default_factory=AnalysisPoolStats)
+
+    def map_stream(self, flows: Iterable[FlowTrace]) -> Iterator:
+        workers = resolve_workers(self.workers)
+        chunk_flows = self.chunk_flows or _ANALYZE_CHUNK_FLOWS
+        if workers <= 1:
+            yield from self._map_serial(flows)
+            return
+        max_in_flight = self.max_in_flight or 2 * workers
+        factory = self.executor_factory or _make_executor
+        in_flight: deque[tuple[Future, list[FlowTrace]]] = deque()
+        with factory(workers) as pool:
+            chunk: list[FlowTrace] = []
+            for flow in flows:
+                chunk.append(flow)
+                if len(chunk) >= chunk_flows:
+                    if len(in_flight) >= max_in_flight:
+                        yield from self._drain_one(in_flight)
+                    self._submit(pool, in_flight, chunk)
+                    chunk = []
+            if chunk:
+                if len(in_flight) >= max_in_flight:
+                    yield from self._drain_one(in_flight)
+                self._submit(pool, in_flight, chunk)
+            while in_flight:
+                yield from self._drain_one(in_flight)
+
+    def _map_serial(self, flows: Iterable[FlowTrace]) -> Iterator:
+        from ..core.tapo import Tapo
+
+        tapo = Tapo(config=self.config)
+        stats = self.stats
+        for flow in flows:
+            stats.flows += 1
+            yield tapo.analyze_flow(flow)
+        stats.chunks = 1 if stats.flows else 0
+
+    def _submit(
+        self,
+        pool: Executor,
+        in_flight: deque,
+        chunk: list[FlowTrace],
+    ) -> None:
+        in_flight.append((pool.submit(_analyze_chunk, chunk, self.config), chunk))
+        stats = self.stats
+        stats.chunks += 1
+        stats.in_flight_chunks = len(in_flight)
+        if stats.in_flight_chunks > stats.peak_in_flight_chunks:
+            stats.peak_in_flight_chunks = stats.in_flight_chunks
+
+    def _drain_one(self, in_flight: deque) -> Iterator:
+        future, chunk = in_flight.popleft()
+        try:
+            results = future.result()
+        except Exception:
+            # Worker died or the chunk raised; recover serially.
+            self.stats.chunks_retried += 1
+            results = _analyze_chunk(chunk, self.config)
+        self.stats.in_flight_chunks = len(in_flight)
+        self.stats.flows += len(results)
+        yield from results
 
 
 def _assemble(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..app.client import ClientApp
 from ..app.server import ServerApp
 from ..app.session import SessionResult
+from ..config import RunConfig
 from ..netsim.engine import EventLoop
 from ..netsim.trace import CaptureTap
 from ..obs.recorder import (
@@ -198,8 +199,12 @@ def run_flows(
     max_sim_time: float = 600.0,
     workers: int | None = 1,
     trace: bool | str = False,
+    run: "RunConfig | None" = None,
 ) -> DatasetRun:
     """Run a batch of scenarios; returns the collected results.
+
+    ``run`` (a :class:`repro.config.RunConfig`) overrides ``workers``
+    when given.
 
     ``workers`` selects the execution engine: ``1`` (the default) runs
     serially in-process; any other value — including ``None``/``0`` for
@@ -211,6 +216,8 @@ def run_flows(
     :func:`run_flow`); merged events come back on each result's
     ``trace_events`` and are deterministic across worker counts.
     """
+    if run is not None:
+        workers = run.workers
     if workers != 1:
         from .parallel import run_flows_parallel
 

@@ -276,6 +276,7 @@ def write_inference_report(
 # ----------------------------------------------------------------------
 def _trace_one_flow(scenario, capacity: int, max_sim_time: float):
     """Simulate one scenario with tracing and analyze it with TAPO."""
+    from ..config import AnalysisConfig
     from ..core.tapo import Tapo
     from ..experiments.runner import run_flow
 
@@ -288,7 +289,9 @@ def _trace_one_flow(scenario, capacity: int, max_sim_time: float):
     # Match the scenario's actual initial window so the report measures
     # inference drift, not a known configuration offset.
     tapo = Tapo(
-        init_cwnd=scenario.server_config.init_cwnd, record_series=True
+        config=AnalysisConfig(
+            init_cwnd=scenario.server_config.init_cwnd, record_series=True
+        )
     )
     analyses = tapo.analyze_packets(result.packets)
     analysis = analyses[0] if analyses else None

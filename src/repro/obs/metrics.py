@@ -221,6 +221,22 @@ def registry_from_run_metrics(
     return reg
 
 
+def write_registry(registry: MetricsRegistry, prefix) -> tuple:
+    """Write a registry to ``PREFIX.json`` and ``PREFIX.prom`` (the
+    ``--metrics-out`` contract shared by every CLI); returns the two
+    paths."""
+    from pathlib import Path
+
+    prefix = Path(prefix)
+    if prefix.parent != Path("."):
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+    json_path = prefix.with_suffix(".json")
+    prom_path = prefix.with_suffix(".prom")
+    json_path.write_text(registry.to_json(indent=2))
+    prom_path.write_text(registry.render_prometheus())
+    return json_path, prom_path
+
+
 @contextmanager
 def phase_span(phases: MutableMapping[str, float], name: str):
     """Accumulate the wall time of the enclosed block into

@@ -1,0 +1,287 @@
+"""Public-facade tests: ``repro.api`` verbs, frozen configs,
+deprecation shims, lazy imports, and the unified CLI dispatcher."""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.config import AnalysisConfig, RunConfig
+from repro.core.flow_analyzer import FlowAnalysis
+from repro.core.report import ServiceReport
+from repro.core.tapo import Tapo
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.packet.packet import PacketRecord
+from repro.packet.pcap import write_pcap
+
+SERVER = (0x0A000001, 80)
+CLIENT = (0x64400001, 31000)
+
+
+def pkt(src, dst, flags=FLAG_ACK, payload=0, ts=0.0, seq=0, ack=0):
+    return PacketRecord(
+        timestamp=ts,
+        src_ip=src[0],
+        src_port=src[1],
+        dst_ip=dst[0],
+        dst_port=dst[1],
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        payload_len=payload,
+    )
+
+
+def small_trace() -> list[PacketRecord]:
+    return [
+        pkt(CLIENT, SERVER, flags=FLAG_SYN, ts=0.0, seq=100),
+        pkt(SERVER, CLIENT, flags=FLAG_SYN | FLAG_ACK, ts=0.01, seq=300),
+        pkt(CLIENT, SERVER, ts=0.02, seq=101, ack=301),
+        pkt(CLIENT, SERVER, payload=50, ts=0.03, seq=101, ack=301),
+        pkt(SERVER, CLIENT, payload=1000, ts=0.05, seq=301, ack=151),
+        pkt(CLIENT, SERVER, ts=0.07, seq=151, ack=1301),
+        pkt(SERVER, CLIENT, flags=FLAG_FIN | FLAG_ACK, ts=0.08, seq=1301),
+        pkt(CLIENT, SERVER, flags=FLAG_FIN | FLAG_ACK, ts=0.09, seq=151,
+            ack=1302),
+    ]
+
+
+class TestConfigs:
+    def test_analysis_config_frozen(self):
+        config = AnalysisConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.tau = 3.0
+
+    def test_run_config_frozen(self):
+        run = RunConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            run.workers = 8
+
+    def test_replace(self):
+        config = AnalysisConfig().replace(tau=3.0)
+        assert config.tau == 3.0
+        assert AnalysisConfig().tau == 2.0  # original untouched
+        run = RunConfig().replace(workers=4, use_cache=False)
+        assert (run.workers, run.use_cache) == (4, False)
+
+    def test_defaults_match_paper(self):
+        config = AnalysisConfig()
+        assert config.tau == 2.0
+        assert config.init_cwnd == 3
+        assert config.record_series is False
+        run = RunConfig()
+        assert run.workers == 1
+        assert run.use_cache is True
+        assert run.idle_timeout == 60.0
+        assert run.close_linger == 5.0
+
+    def test_hashable(self):
+        assert hash(AnalysisConfig()) == hash(AnalysisConfig())
+        assert AnalysisConfig() != AnalysisConfig(tau=3.0)
+
+
+class TestDeprecationShims:
+    def test_tapo_tau_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="tau"):
+            tapo = Tapo(tau=1.5)
+        assert tapo.config.tau == 1.5
+        assert tapo.tau == 1.5
+
+    def test_tapo_positional_tau_warns(self):
+        with pytest.warns(DeprecationWarning, match="tau"):
+            tapo = Tapo(2.5)
+        assert tapo.config.tau == 2.5
+
+    def test_tapo_multiple_legacy_kwargs(self):
+        with pytest.warns(DeprecationWarning):
+            tapo = Tapo(init_cwnd=10, record_series=True)
+        assert tapo.config.init_cwnd == 10
+        assert tapo.config.record_series is True
+
+    def test_tapo_config_object_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            tapo = Tapo(config=AnalysisConfig(tau=1.5))
+        assert tapo.tau == 1.5
+
+    def test_build_dataset_legacy_kwargs_warn(self):
+        from repro.experiments.dataset import build_dataset
+
+        with pytest.warns(DeprecationWarning, match="workers"):
+            dataset = build_dataset(
+                flows_per_service=1,
+                seed=1,
+                services=("web_search",),
+                workers=1,
+                use_cache=False,
+            )
+        assert len(dataset.reports) == 1
+
+    def test_build_dataset_run_config_does_not_warn(self):
+        from repro.experiments.dataset import build_dataset
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_dataset(
+                flows_per_service=1,
+                seed=1,
+                services=("web_search",),
+                run=RunConfig(workers=1, use_cache=False),
+            )
+
+
+class TestFacade:
+    def test_analyze_packets(self):
+        analyses = api.analyze(small_trace())
+        assert len(analyses) == 1
+        assert isinstance(analyses[0], FlowAnalysis)
+
+    def test_analyze_path(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, small_trace())
+        analyses = api.analyze(str(path))
+        assert len(analyses) == 1
+
+    def test_analyze_stream_matches_analyze(self):
+        batch = api.analyze(small_trace())
+        stream = list(api.analyze_stream(small_trace()))
+        assert [a.flow.key for a in stream] == [a.flow.key for a in batch]
+        assert [len(a.stalls) for a in stream] == [
+            len(a.stalls) for a in batch
+        ]
+
+    def test_analyze_stream_accepts_config_and_run(self):
+        stream = list(
+            api.analyze_stream(
+                small_trace(),
+                config=AnalysisConfig(tau=3.0),
+                run=RunConfig(workers=1, chunk_flows=1),
+            )
+        )
+        assert len(stream) == 1
+
+    def test_report_from_packets(self):
+        report = api.report(small_trace(), service="svc")
+        assert isinstance(report, ServiceReport)
+        assert report.service == "svc"
+        assert len(report.flows) == 1
+
+    def test_report_from_analyses(self):
+        analyses = api.analyze(small_trace())
+        report = api.report(analyses, service="svc")
+        assert len(report.flows) == len(analyses)
+
+    def test_report_from_empty_iterable(self):
+        report = api.report([], service="empty")
+        assert report.flows == []
+
+    def test_simulate(self):
+        dataset = api.simulate(
+            flows_per_service=1,
+            seed=3,
+            services=("web_search",),
+            run=RunConfig(use_cache=False),
+        )
+        assert list(dataset.reports) and dataset.total_packets > 0
+
+    def test_facade_all_resolvable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+
+class TestLazyPackage:
+    def test_top_level_reexports(self):
+        assert repro.Tapo is Tapo
+        assert repro.AnalysisConfig is AnalysisConfig
+        assert repro.analyze is api.analyze
+        assert "Tapo" in dir(repro)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="nope"):
+            repro.nope
+
+    def test_import_is_lazy(self):
+        # A fresh interpreter must not pull in the heavy subsystems on
+        # a bare ``import repro``.
+        code = (
+            "import sys, repro; "
+            "heavy = [m for m in sys.modules if m.startswith("
+            "('repro.core', 'repro.tcp', 'repro.experiments'))]; "
+            "assert not heavy, heavy; "
+            "repro.Tapo; "
+            "assert 'repro.core.tapo' in sys.modules"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, timeout=60
+        )
+
+
+class TestUnifiedCli:
+    def test_help(self, capsys):
+        from repro.cli import main
+
+        assert main(["help"]) == 0
+        assert "subcommands" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_analyze_dispatch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.pcap"
+        write_pcap(path, small_trace())
+        assert main(["analyze", str(path)]) == 0
+        assert "flows analyzed" in capsys.readouterr().out
+
+    def test_tapo_alias(self, tmp_path, capsys):
+        from repro.cli import tapo_main
+
+        path = tmp_path / "t.pcap"
+        write_pcap(path, small_trace())
+        assert tapo_main([str(path)]) == 0
+        assert "flows analyzed" in capsys.readouterr().out
+
+    def test_analyze_stream_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.pcap"
+        write_pcap(path, small_trace())
+        metrics = tmp_path / "metrics"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(path),
+                    "--stream",
+                    "--stats",
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "stream:" in err
+        assert metrics.with_suffix(".json").exists()
+        assert metrics.with_suffix(".prom").exists()
+
+    def test_stream_output_matches_batch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.pcap"
+        write_pcap(path, small_trace())
+        assert main(["analyze", str(path), "--json"]) == 0
+        batch = capsys.readouterr().out
+        assert main(["analyze", str(path), "--json", "--stream"]) == 0
+        stream = capsys.readouterr().out
+        assert stream == batch

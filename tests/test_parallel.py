@@ -4,6 +4,7 @@ from concurrent.futures import Future
 
 import pytest
 
+from repro.config import RunConfig
 from repro.core.tapo import Tapo
 from repro.experiments import dataset as dataset_mod
 from repro.experiments.cache import DatasetCache
@@ -191,7 +192,9 @@ class TestDiskCache:
         assert rebuilt.total_packets == cold.total_packets
 
     def test_no_cache_bypasses_disk(self, isolated_cache):
-        build_dataset(flows_per_service=2, seed=80, use_cache=False)
+        build_dataset(
+            flows_per_service=2, seed=80, run=RunConfig(use_cache=False)
+        )
         assert not list(isolated_cache.glob("ds_*.pkl"))
 
     def test_entry_cap_evicts_oldest(self, tmp_path):

@@ -1,0 +1,468 @@
+"""Streaming pipeline tests: bounded-memory demux, eviction, and
+batch/stream equivalence.
+
+The contract under test (ISSUE: streaming bounded-memory TAPO
+pipeline): ``Tapo.analyze_stream`` must produce classifications
+identical to ``Tapo.analyze_pcap`` / ``analyze_packets`` on the same
+trace, for any chunking of the input and any worker count, while
+evicting flows as soon as the stream shows they are over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig, RunConfig
+from repro.core.report import ServiceReport
+from repro.core.tapo import Tapo
+from repro.obs.metrics import MetricsRegistry
+from repro.packet.flow import (
+    FlowKey,
+    StreamStats,
+    demux,
+    demux_stream,
+)
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN
+from repro.packet.packet import PacketRecord
+from repro.packet.pcap import PcapReader, write_pcap
+
+SERVER = (0x0A000001, 80)
+
+
+def client(i: int) -> tuple[int, int]:
+    return (0x64400001 + i, 31000 + i)
+
+
+def pkt(src, dst, flags=FLAG_ACK, payload=0, ts=0.0, seq=0, ack=0):
+    return PacketRecord(
+        timestamp=ts,
+        src_ip=src[0],
+        src_port=src[1],
+        dst_ip=dst[0],
+        dst_port=dst[1],
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        payload_len=payload,
+    )
+
+
+def tiny_flow(i: int, start: float, close: str = "fin") -> list[PacketRecord]:
+    """A handshake, one data exchange, and a close at ``start``."""
+    c = client(i)
+    packets = [
+        pkt(c, SERVER, flags=FLAG_SYN, ts=start, seq=100),
+        pkt(SERVER, c, flags=FLAG_SYN | FLAG_ACK, ts=start + 0.01, seq=300),
+        pkt(c, SERVER, ts=start + 0.02, seq=101, ack=301),
+        pkt(c, SERVER, payload=50, ts=start + 0.03, seq=101, ack=301),
+        pkt(SERVER, c, payload=1000, ts=start + 0.05, seq=301, ack=151),
+        pkt(c, SERVER, ts=start + 0.07, seq=151, ack=1301),
+    ]
+    if close == "fin":
+        packets += [
+            pkt(SERVER, c, flags=FLAG_FIN | FLAG_ACK, ts=start + 0.08,
+                seq=1301, ack=151),
+            pkt(c, SERVER, flags=FLAG_FIN | FLAG_ACK, ts=start + 0.09,
+                seq=151, ack=1302),
+            pkt(SERVER, c, ts=start + 0.10, seq=1302, ack=152),
+        ]
+    elif close == "rst":
+        packets.append(
+            pkt(SERVER, c, flags=FLAG_RST, ts=start + 0.08, seq=1301)
+        )
+    return packets
+
+
+def interleave(flows: list[list[PacketRecord]]) -> list[PacketRecord]:
+    merged = [p for flow in flows for p in flow]
+    merged.sort(key=lambda p: p.timestamp)
+    return merged
+
+
+def simulated_packets(flows: int = 5, seed: int = 7, spread: float = 0.8):
+    """Realistic packets: simulate web-search flows, offset each flow
+    by ``spread`` seconds so closes happen mid-stream."""
+    from repro.experiments.runner import run_flows
+    from repro.workload.generator import generate_flows
+    from repro.workload.services import get_profile
+
+    scenarios = list(
+        generate_flows(get_profile("web_search"), flows, seed=seed)
+    )
+    result = run_flows(scenarios, workers=1)
+    packets = [
+        dataclasses.replace(p, timestamp=p.timestamp + i * spread)
+        for i, trace in enumerate(result.traces)
+        for p in trace
+    ]
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+def by_key(analyses):
+    return {a.flow.key: a for a in analyses}
+
+
+def assert_breakdowns_close(a, b):
+    """Breakdowns fold floats in flow order, which streaming permutes;
+    counts must match exactly, times/shares to float tolerance."""
+    assert set(a) == set(b)
+    for cause in a:
+        assert a[cause].count == b[cause].count, cause
+        assert a[cause].time == pytest.approx(b[cause].time)
+        assert a[cause].volume_share == pytest.approx(b[cause].volume_share)
+        assert a[cause].time_share == pytest.approx(b[cause].time_share)
+
+
+def signature(analysis):
+    """Everything the classifier decided about one flow."""
+    return (
+        analysis.flow.key,
+        analysis.data_packets,
+        analysis.retransmissions,
+        analysis.timeouts,
+        round(analysis.duration, 9),
+        tuple(
+            (
+                round(s.start_time, 9),
+                round(s.duration, 9),
+                s.cause,
+                s.retx_cause,
+                s.double_kind,
+            )
+            for s in analysis.stalls
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def sim_packets():
+    return simulated_packets()
+
+
+class TestDemuxStream:
+    def test_batch_mode_equals_demux(self):
+        packets = interleave([tiny_flow(i, i * 0.2) for i in range(4)])
+        batch = demux(packets)
+        streamed = list(
+            demux_stream(packets, idle_timeout=None, close_linger=None)
+        )
+        assert [f.key for f in streamed] == [f.key for f in batch]
+        assert [f.packets for f in streamed] == [f.packets for f in batch]
+
+    def test_fin_close_evicts_mid_stream(self):
+        # Flow 0 closes at t~0.1; flow 1 keeps the stream alive past
+        # the close linger, so flow 0 must be yielded before the end.
+        flows = [tiny_flow(0, 0.0)]
+        c = client(1)
+        keepalive = [
+            pkt(c, SERVER, flags=FLAG_SYN, ts=0.0, seq=1)
+        ] + [
+            pkt(c, SERVER, payload=10, ts=t, seq=1, ack=1)
+            for t in (1.0, 3.0, 6.0, 9.0)
+        ]
+        packets = interleave(flows + [keepalive])
+        stats = StreamStats()
+        yielded_before_end = []
+        gen = demux_stream(packets, close_linger=1.0, stats=stats)
+        for trace in gen:
+            yielded_before_end.append((trace.key, stats.packets))
+        key0 = FlowKey.from_packet(flows[0][0])
+        # First yield is flow 0, before the stream was fully consumed.
+        assert yielded_before_end[0][0] == key0
+        assert yielded_before_end[0][1] < len(packets)
+        assert stats.flows_closed == 1
+        assert stats.flows_finalized == 1
+        assert stats.flows_total == 2
+
+    def test_rst_close_evicts(self):
+        flows = [tiny_flow(0, 0.0, close="rst")]
+        c = client(1)
+        keepalive = [
+            pkt(c, SERVER, payload=10, ts=t, seq=1) for t in (0.0, 5.0, 9.0)
+        ]
+        stats = StreamStats()
+        list(
+            demux_stream(
+                interleave(flows + [keepalive]),
+                close_linger=1.0,
+                stats=stats,
+            )
+        )
+        assert stats.flows_closed == 1
+
+    def test_idle_timeout_evicts(self):
+        # Flow 0 goes silent after 0.1s (no FIN); flow 1 advances the
+        # clock far past the idle timeout.
+        c0 = client(0)
+        silent = [
+            pkt(c0, SERVER, flags=FLAG_SYN, ts=0.0, seq=9),
+            pkt(c0, SERVER, payload=10, ts=0.1, seq=10),
+        ]
+        c1 = client(1)
+        keepalive = [
+            pkt(c1, SERVER, payload=10, ts=t, seq=1)
+            for t in (0.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+        ]
+        stats = StreamStats()
+        yielded = []
+        for trace in demux_stream(
+            interleave([silent, keepalive]), idle_timeout=5.0, stats=stats
+        ):
+            yielded.append((trace.key, stats.packets))
+        assert stats.flows_evicted_idle == 1
+        assert yielded[0][0] == FlowKey.from_packet(silent[0])
+        assert yielded[0][1] < stats.packets  # evicted before the end
+
+    def test_buffered_packets_bounded_by_eviction(self):
+        # 20 sequential flows that each close before the next starts:
+        # the demuxer should never buffer much more than one flow.
+        flows = [tiny_flow(i, i * 10.0) for i in range(20)]
+        packets = interleave(flows)
+        one_flow = len(flows[0])
+        stats = StreamStats()
+        traces = list(
+            demux_stream(packets, close_linger=1.0, stats=stats)
+        )
+        assert len(traces) == 20
+        assert stats.peak_buffered_packets <= 2 * one_flow
+        assert stats.peak_active_flows <= 2
+        # Batch demux, by contrast, holds everything.
+        assert stats.packets == len(packets)
+
+    def test_stats_to_registry(self):
+        stats = StreamStats()
+        list(demux_stream(tiny_flow(0, 0.0), stats=stats))
+        registry = MetricsRegistry()
+        stats.to_registry(registry)
+        assert registry["repro_stream_packets_total"].value == stats.packets
+        assert "repro_stream_peak_buffered_packets" in registry
+
+
+class TestBatchStreamEquivalence:
+    def test_serial_equivalence(self, sim_packets):
+        tapo = Tapo()
+        batch = by_key(tapo.analyze_packets(sim_packets))
+        stream = by_key(
+            tapo.analyze_stream(
+                sim_packets, run=RunConfig(workers=1, idle_timeout=5.0)
+            )
+        )
+        assert set(stream) == set(batch)
+        for key in batch:
+            assert signature(stream[key]) == signature(batch[key])
+
+    def test_parallel_equivalence_and_order(self, sim_packets):
+        tapo = Tapo()
+        batch = tapo.analyze_packets(sim_packets)
+        stream = list(
+            tapo.analyze_stream(
+                sim_packets,
+                run=RunConfig(
+                    workers=2, chunk_flows=2, max_in_flight_chunks=2
+                ),
+            )
+        )
+        assert len(stream) == len(batch)
+        assert {signature(a) for a in stream} == {
+            signature(a) for a in batch
+        }
+
+    def test_pcap_path_source(self, sim_packets, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sim_packets)
+        tapo = Tapo()
+        batch = by_key(tapo.analyze_pcap(path))
+        stream = by_key(tapo.analyze_stream(str(path)))
+        assert set(stream) == set(batch)
+        for key in batch:
+            assert signature(stream[key]) == signature(batch[key])
+
+    def test_chunked_source(self, sim_packets):
+        tapo = Tapo()
+        batch = by_key(tapo.analyze_packets(sim_packets))
+        chunks = [
+            sim_packets[i : i + 37] for i in range(0, len(sim_packets), 37)
+        ]
+        stream = by_key(tapo.analyze_stream(chunks))
+        assert {signature(a) for a in stream.values()} == {
+            signature(a) for a in batch.values()
+        }
+
+    def test_stream_registry_counters(self, sim_packets):
+        registry = MetricsRegistry()
+        stats = StreamStats()
+        analyses = list(
+            Tapo().analyze_stream(
+                sim_packets, stats=stats, registry=registry
+            )
+        )
+        assert (
+            registry["repro_stream_analyzed_flows_total"].value
+            == len(analyses)
+        )
+        assert registry["repro_stream_packets_total"].value == len(
+            sim_packets
+        )
+        assert registry["repro_stream_analysis_chunks_total"].value >= 1
+
+    def test_report_stream_matches_batch_report(self, sim_packets):
+        tapo = Tapo()
+        batch = ServiceReport(service="s")
+        for analysis in tapo.analyze_packets(sim_packets):
+            batch.add(analysis)
+        streamed = tapo.report_stream(
+            sim_packets, service="s", run=RunConfig(chunk_flows=2)
+        )
+        assert len(streamed.flows) == len(batch.flows)
+        assert streamed.total_stalls() == batch.total_stalls()
+        assert_breakdowns_close(
+            streamed.cause_breakdown(), batch.cause_breakdown()
+        )
+
+
+class TestChunkInvariance:
+    @settings(deadline=None, max_examples=20)
+    @given(chunk=st.integers(min_value=1, max_value=64))
+    def test_analysis_invariant_under_chunk_size(self, chunk):
+        packets = interleave(
+            [tiny_flow(i, i * 0.1, close="fin" if i % 2 else "rst")
+             for i in range(5)]
+        )
+        tapo = Tapo()
+        expected = {signature(a) for a in tapo.analyze_packets(packets)}
+        chunks = [
+            packets[i : i + chunk] for i in range(0, len(packets), chunk)
+        ]
+        got = {
+            signature(a)
+            for a in tapo.analyze_stream(
+                chunks, run=RunConfig(chunk_flows=chunk)
+            )
+        }
+        assert got == expected
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        idle=st.one_of(st.none(), st.floats(min_value=0.5, max_value=50.0)),
+        linger=st.one_of(
+            st.none(), st.floats(min_value=0.1, max_value=10.0)
+        ),
+    )
+    def test_eviction_bounds_never_change_results(self, idle, linger):
+        packets = interleave([tiny_flow(i, i * 3.0) for i in range(4)])
+        expected = {signature(a) for a in Tapo().analyze_packets(packets)}
+        got = {
+            signature(a)
+            for a in Tapo().analyze_stream(
+                packets,
+                run=RunConfig(idle_timeout=idle, close_linger=linger),
+            )
+        }
+        assert got == expected
+
+
+class TestServiceReportMerge:
+    def _reports(self, sim_packets):
+        analyses = Tapo().analyze_packets(sim_packets)
+        parts = []
+        for i in range(0, len(analyses), 2):
+            part = ServiceReport(service="s")
+            for analysis in analyses[i : i + 2]:
+                part.add(analysis)
+            parts.append(part)
+        return analyses, parts
+
+    def test_merged_equals_single_pass(self, sim_packets):
+        analyses, parts = self._reports(sim_packets)
+        single = ServiceReport(service="s")
+        for analysis in analyses:
+            single.add(analysis)
+        merged = ServiceReport.merged(parts, service="s")
+        assert merged.cause_breakdown() == single.cause_breakdown()
+        assert merged.total_stalls() == single.total_stalls()
+        assert [f.flow.key for f in merged.flows] == [
+            f.flow.key for f in single.flows
+        ]
+
+    def test_merge_is_associative(self, sim_packets):
+        _, parts = self._reports(sim_packets)
+        if len(parts) < 3:
+            pytest.skip("need >= 3 partial reports")
+        a = ServiceReport.merged(
+            [ServiceReport.merged(parts[:2], service="s")] + parts[2:],
+            service="s",
+        )
+        b = ServiceReport.merged(
+            parts[:1]
+            + [ServiceReport.merged(parts[1:], service="s")],
+            service="s",
+        )
+        assert a.cause_breakdown() == b.cause_breakdown()
+        assert a.total_stalls() == b.total_stalls()
+
+    def test_merged_empty(self):
+        merged = ServiceReport.merged([], service="empty")
+        assert merged.service == "empty"
+        assert merged.flows == []
+
+
+class TestPcapChunking:
+    def test_iter_records_matches_iter(self, sim_packets, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, sim_packets)
+        with PcapReader(path) as reader:
+            via_iter = list(reader)
+        with PcapReader(path) as reader:
+            via_records = list(reader.iter_records(buffer_bytes=4096))
+        assert via_records == via_iter
+        assert len(via_records) == len(sim_packets)
+
+    def test_iter_chunks_flattens_to_records(self, sim_packets, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, sim_packets)
+        with PcapReader(path) as reader:
+            chunks = list(reader.iter_chunks(chunk_packets=17))
+        with PcapReader(path) as reader:
+            records = list(reader.iter_records())
+        assert all(len(c) <= 17 for c in chunks)
+        assert all(len(c) == 17 for c in chunks[:-1])
+        assert [p for c in chunks for p in c] == records
+
+    def test_tiny_buffer_still_parses(self, tmp_path):
+        packets = tiny_flow(0, 0.0)
+        path = tmp_path / "small.pcap"
+        write_pcap(path, packets)
+        with PcapReader(path) as reader:
+            # Smaller than one record: forces every top-up path.
+            got = list(reader.iter_records(buffer_bytes=8))
+        with PcapReader(path) as reader:
+            whole = list(reader.iter_records())
+        assert got == whole
+        assert [(p.seq, p.flags, p.payload_len) for p in got] == [
+            (p.seq, p.flags, p.payload_len) for p in packets
+        ]
+
+
+class TestAnalyzerFeedPath:
+    def test_feed_finish_equals_run(self):
+        from repro.core.flow_analyzer import FlowAnalyzer
+
+        flows = list(
+            demux_stream(
+                interleave([tiny_flow(i, i * 0.2) for i in range(3)]),
+                idle_timeout=None,
+                close_linger=None,
+            )
+        )
+        for flow in flows:
+            batch = FlowAnalyzer(flow, config=AnalysisConfig()).run()
+            incremental = FlowAnalyzer(flow, config=AnalysisConfig())
+            for packet, direction in flow.packets:
+                incremental.feed(packet, direction)
+            streamed = incremental.finish()
+            assert signature(streamed) == signature(batch)
