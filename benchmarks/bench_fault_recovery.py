@@ -1,0 +1,243 @@
+"""Fault-recovery gate: 1% corruption must not cost 1% of the report.
+
+The robustness contract (ISSUE: fault-tolerant ingestion & analysis)
+is that a trace with ~1% of its pcap records damaged, analyzed under a
+lenient error budget, still yields **>= 99% of its flows analyzed**,
+with flows untouched by the damage classified byte-identically to the
+clean baseline, and with every loss accounted for (skipped-flow
+records + fault counters — nothing silent).
+
+The trace is synthetic and deterministic; corruption comes from the
+seedable harness (:func:`repro.testing.faults.corrupt_pcap_records`),
+so a seed fully reproduces a run.  CI runs a fixed 3-seed matrix.
+
+Standalone::
+
+    python benchmarks/bench_fault_recovery.py [--seed N] [--json-out f]
+
+or via pytest (the CI fault-smoke job)::
+
+    pytest benchmarks/bench_fault_recovery.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+FLOWS = 150
+DATA_SEGMENTS = 8
+CORRUPT_FRACTION = 0.01
+DEFAULT_SEED = 20141222  # first day of the paper's collection window
+
+#: The gate: fraction of baseline flows that must still be analyzed.
+COVERAGE_FLOOR = 0.99
+#: Flows whose packets were untouched must classify identically.
+CLEAN_MATCH_FLOOR = 1.0
+
+
+def synthetic_packets(flows: int = FLOWS):
+    """Deterministic request/response flows, one second apart."""
+    from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+    from repro.packet.packet import PacketRecord
+
+    server = (0x0A000001, 80)
+    mss = 1448
+    for i in range(flows):
+        start = i * 1.0
+        client = (0x64400001 + i, 20000 + (i % 40000))
+
+        def pkt(src, dst, flags=FLAG_ACK, payload=0, dt=0.0, seq=0, ack=0):
+            return PacketRecord(
+                timestamp=start + dt,
+                src_ip=src[0],
+                src_port=src[1],
+                dst_ip=dst[0],
+                dst_port=dst[1],
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                payload_len=payload,
+            )
+
+        yield pkt(client, server, flags=FLAG_SYN, seq=100)
+        yield pkt(server, client, flags=FLAG_SYN | FLAG_ACK, dt=0.01,
+                  seq=300, ack=101)
+        yield pkt(client, server, payload=80, dt=0.02, seq=101, ack=301)
+        seq = 301
+        for j in range(DATA_SEGMENTS):
+            dt = 0.03 + j * 0.002
+            yield pkt(server, client, payload=mss, dt=dt, seq=seq, ack=181)
+            yield pkt(client, server, dt=dt + 0.001, seq=181, ack=seq + mss)
+            seq += mss
+        dt = 0.03 + DATA_SEGMENTS * 0.002
+        yield pkt(server, client, flags=FLAG_FIN | FLAG_ACK, dt=dt,
+                  seq=seq, ack=181)
+        yield pkt(client, server, flags=FLAG_FIN | FLAG_ACK, dt=dt + 0.001,
+                  seq=181, ack=seq + 1)
+        yield pkt(server, client, dt=dt + 0.002, seq=seq + 1, ack=182)
+
+
+def _signature(analysis):
+    return (
+        analysis.data_packets,
+        analysis.retransmissions,
+        round(analysis.duration, 9),
+        tuple(
+            (round(s.start_time, 9), s.cause, s.retx_cause)
+            for s in analysis.stalls
+        ),
+    )
+
+
+def run_recovery(seed: int = DEFAULT_SEED, flows: int = FLOWS) -> dict:
+    """Corrupt, analyze, and score one seed; returns the JSON record."""
+    from repro.config import AnalysisConfig
+    from repro.core.tapo import Tapo
+    from repro.errors import ErrorBudget, ReproError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.packet.flow import FlowKey
+    from repro.packet.pcap import PcapReader, write_pcap
+    from repro.testing.faults import corrupt_pcap_records
+
+    with tempfile.TemporaryDirectory(prefix="repro_fault_") as tmp:
+        clean = Path(tmp) / "clean.pcap"
+        packets = list(synthetic_packets(flows))
+        write_pcap(clean, packets)
+        bad = Path(tmp) / "bad.pcap"
+        plan = corrupt_pcap_records(
+            clean, bad, fraction=CORRUPT_FRACTION, seed=seed
+        )
+        # Which flows own a damaged record (clean record order == packet
+        # order): those are allowed to diverge; the rest must not.
+        damaged_keys = {
+            FlowKey.from_packet(packets[index]) for index in plan.damaged
+        }
+
+        baseline = {
+            a.flow.key: _signature(a)
+            for a in Tapo().analyze_pcap(str(clean))
+        }
+
+        registry = MetricsRegistry()
+        tapo = Tapo(AnalysisConfig(errors=ErrorBudget.lenient()))
+        report = tapo.report_stream(str(bad), service="bench", registry=registry)
+
+        got = {a.flow.key: _signature(a) for a in report.flows}
+        clean_keys = [k for k in baseline if k not in damaged_keys]
+        matched = sum(
+            1 for k in clean_keys if got.get(k) == baseline[k]
+        )
+        strict_raised = False
+        try:
+            with PcapReader(bad) as reader:
+                list(reader)
+        except ReproError:
+            strict_raised = True
+
+        return {
+            "seed": seed,
+            "flows_total": len(baseline),
+            "records_total": plan.records_total,
+            "records_damaged": plan.records_damaged,
+            "damage_plan": plan.describe(),
+            "flows_analyzed": len(report.flows),
+            "flows_skipped": len(report.skipped),
+            "coverage": len(report.flows) / max(1, len(baseline)),
+            "clean_flows": len(clean_keys),
+            "clean_flows_matched": matched,
+            "clean_match_rate": matched / max(1, len(clean_keys)),
+            "corrupt_records_counted": registry[
+                "repro_fault_corrupt_records_total"
+            ].value,
+            "resyncs": registry["repro_fault_resyncs_total"].value,
+            "strict_raised_typed": strict_raised,
+        }
+
+
+def _gate(result: dict) -> list[str]:
+    """Return the list of violated acceptance criteria (empty = pass)."""
+    failures = []
+    if result["coverage"] < COVERAGE_FLOOR:
+        failures.append(
+            f"coverage {result['coverage']:.4f} < {COVERAGE_FLOOR}"
+        )
+    if result["clean_match_rate"] < CLEAN_MATCH_FLOOR:
+        failures.append(
+            f"clean-flow match rate {result['clean_match_rate']:.4f} "
+            f"< {CLEAN_MATCH_FLOOR}"
+        )
+    if not result["strict_raised_typed"]:
+        failures.append("strict mode did not raise a typed ReproError")
+    if result["corrupt_records_counted"] < 1:
+        failures.append("framing damage left no trace in the registry")
+    return failures
+
+
+def _print_report(result: dict) -> None:
+    print()
+    print(f"Fault recovery (seed {result['seed']}):")
+    print(
+        f"  damaged {result['records_damaged']}/{result['records_total']} "
+        f"records -> analyzed {result['flows_analyzed']}/"
+        f"{result['flows_total']} flows "
+        f"(coverage {result['coverage']:.2%}, "
+        f"{result['flows_skipped']} quarantined)"
+    )
+    print(
+        f"  untouched flows identical to baseline: "
+        f"{result['clean_flows_matched']}/{result['clean_flows']} "
+        f"({result['clean_match_rate']:.2%})"
+    )
+    print(
+        f"  counters: {result['corrupt_records_counted']} corrupt records, "
+        f"{result['resyncs']} resyncs; strict raised typed error: "
+        f"{result['strict_raised_typed']}"
+    )
+
+
+def test_fault_recovery_gate():
+    """CI gate: 1% corruption, >=99% coverage, clean flows identical."""
+    seed = int(os.environ.get("REPRO_FAULT_SEED", str(DEFAULT_SEED)))
+    result = run_recovery(seed=seed)
+    failures = _gate(result)
+    assert not failures, f"{failures}: {result}"
+    _print_report(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Prove >=99% flow coverage on a 1%-corrupted trace."
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--flows", type=int, default=FLOWS)
+    parser.add_argument("--json-out", help="write the result record here")
+    args = parser.parse_args(argv)
+
+    result = run_recovery(seed=args.seed, flows=args.flows)
+    _print_report(result)
+    if args.json_out:
+        out_dir = os.path.dirname(args.json_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json_out, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    failures = _gate(result)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0,
+        os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        ),
+    )
+    sys.exit(main())

@@ -44,6 +44,17 @@ _EXPORTS = {
     "report": "repro.api",
     "AnalysisConfig": "repro.config",
     "RunConfig": "repro.config",
+    # error taxonomy + fault accounting
+    "CacheError": "repro.errors",
+    "ErrorBudget": "repro.errors",
+    "ErrorBudgetExceeded": "repro.errors",
+    "FaultStats": "repro.errors",
+    "FlowAnalysisError": "repro.errors",
+    "ParseError": "repro.errors",
+    "PoisonTaskError": "repro.errors",
+    "ReproError": "repro.errors",
+    "SkippedFlow": "repro.errors",
+    "WorkerError": "repro.errors",
     # analyzer surface
     "CaState": "repro.core",
     "DoubleKind": "repro.core",
@@ -66,6 +77,18 @@ __all__ = sorted(_EXPORTS) + ["__version__", "api", "config"]
 if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
     from .api import analyze, analyze_stream, report, simulate
     from .config import AnalysisConfig, RunConfig
+    from .errors import (
+        CacheError,
+        ErrorBudget,
+        ErrorBudgetExceeded,
+        FaultStats,
+        FlowAnalysisError,
+        ParseError,
+        PoisonTaskError,
+        ReproError,
+        SkippedFlow,
+        WorkerError,
+    )
     from .core import (
         CaState,
         DoubleKind,

@@ -39,6 +39,18 @@ from .core.flow_analyzer import FlowAnalysis
 from .core.report import ServiceReport
 from .core.stalls import CaState, DoubleKind, RetxCause, Stall, StallCause
 from .core.tapo import Tapo
+from .errors import (
+    CacheError,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+    FaultStats,
+    FlowAnalysisError,
+    ParseError,
+    PoisonTaskError,
+    ReproError,
+    SkippedFlow,
+    WorkerError,
+)
 from .packet.flow import (
     ServerPredicate,
     StreamStats,
@@ -50,16 +62,26 @@ from .packet.packet import PacketRecord
 __all__ = [
     "AnalysisConfig",
     "CaState",
+    "CacheError",
     "DoubleKind",
+    "ErrorBudget",
+    "ErrorBudgetExceeded",
+    "FaultStats",
     "FlowAnalysis",
+    "FlowAnalysisError",
     "PacketRecord",
+    "ParseError",
+    "PoisonTaskError",
+    "ReproError",
     "RetxCause",
     "RunConfig",
     "ServiceReport",
+    "SkippedFlow",
     "Stall",
     "StallCause",
     "StreamStats",
     "Tapo",
+    "WorkerError",
     "analyze",
     "analyze_stream",
     "report",

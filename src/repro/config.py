@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from .errors import ErrorBudget
 
 
 def warn_deprecated_kwargs(where: str, names: list[str], instead: str) -> None:
@@ -53,11 +55,20 @@ class AnalysisConfig:
         Also record the per-ACK inferred kernel-variable time-series
         (``FlowAnalysis.kernel_series``) for comparison against the
         simulator's flight-recorder ground truth.
+    errors:
+        An :class:`~repro.errors.ErrorBudget` governing how ingestion
+        and analysis react to dirty input.  ``strict`` (the default)
+        raises a typed :class:`~repro.errors.ReproError` at the first
+        fault; ``lenient`` recovers from corrupt pcap records and
+        quarantines crashing flows as
+        :class:`~repro.errors.SkippedFlow` records; ``budget(...)``
+        tolerates a bounded amount of damage.
     """
 
     tau: float = 2.0
     init_cwnd: int = 3
     record_series: bool = False
+    errors: ErrorBudget = field(default_factory=ErrorBudget.strict)
 
     def replace(self, **changes) -> "AnalysisConfig":
         """Return a copy with ``changes`` applied."""
@@ -92,6 +103,12 @@ class RunConfig:
         Streaming demux: seconds of trace time a flow lingers after a
         clean close (FIN in both directions, or RST) before eviction,
         so straggling retransmissions still attach to it.
+    max_retries:
+        How many times a chunk whose worker *died* (not merely raised)
+        is retried in a fresh worker before being declared poisoned.
+    retry_backoff:
+        Base delay in seconds before the second and later retries of a
+        dead chunk; doubles per attempt.
     """
 
     workers: int | None = 1
@@ -100,6 +117,8 @@ class RunConfig:
     max_in_flight_chunks: int | None = None
     idle_timeout: float = 60.0
     close_linger: float = 5.0
+    max_retries: int = 2
+    retry_backoff: float = 0.1
 
     def replace(self, **changes) -> "RunConfig":
         """Return a copy with ``changes`` applied."""

@@ -12,11 +12,19 @@ import json
 import sys
 
 from ..config import AnalysisConfig, RunConfig
+from ..errors import ErrorBudget, ReproError
 from ..packet.flow import server_by_ip, server_by_port
 from ..packet.headers import ip_from_str
 from .report import ServiceReport
 from .stalls import RetxCause, StallCause
 from .tapo import Tapo
+
+
+def _error_budget(spec: str) -> ErrorBudget:
+    try:
+        return ErrorBudget.parse(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--errors",
+        type=_error_budget,
+        default="strict",
+        metavar="POLICY",
+        help=(
+            "error budget for damaged input: 'strict' (fail on the "
+            "first fault), 'lenient' (skip, count, keep going), "
+            "'budget:N' or 'budget:X%%' (lenient until N faults or "
+            "X%% of units); default strict"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help=(
@@ -147,13 +167,21 @@ def _flow_to_dict(analysis) -> dict:
     }
 
 
-def _emit_json(report: ServiceReport, analyses) -> None:
+def _emit_json(report: ServiceReport, analyses, faults) -> None:
     breakdown = report.cause_breakdown()
     retx = report.retx_breakdown()
     payload = {
         "flows": len(analyses),
         "flows_with_stalls": report.flows_with_stalls(),
         "stalls": report.total_stalls(),
+        "faults": {
+            "corrupt_records": faults.corrupt_records,
+            "resyncs": faults.resyncs,
+            "option_errors": faults.option_errors,
+            "flows_skipped": faults.flows_skipped,
+            "tasks_retried": faults.tasks_retried,
+            "tasks_poisoned": faults.tasks_poisoned,
+        },
         "causes": {
             cause.value: {
                 "count": entry.count,
@@ -188,7 +216,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.server_port:
         server_side = server_by_port(args.server_port)
 
-    tapo = Tapo(config=AnalysisConfig(tau=args.tau))
+    tapo = Tapo(config=AnalysisConfig(tau=args.tau, errors=args.errors))
     streaming = (
         args.stream
         or args.stats
@@ -219,10 +247,18 @@ def main(argv: list[str] | None = None) -> int:
             analyses.sort(key=lambda a: a.flow.first_time)
         else:
             analyses = tapo.analyze_pcap(args.pcap, server_side)
+    except ReproError as exc:
+        print(
+            f"tapo: {args.pcap}: {type(exc).__name__}: {exc} "
+            f"(budget: {args.errors.describe()})",
+            file=sys.stderr,
+        )
+        return 2
     except OSError as exc:
         print(f"tapo: cannot read {args.pcap}: {exc}", file=sys.stderr)
         return 1
 
+    faults = tapo.faults
     if streaming:
         if args.stats:
             print(
@@ -231,6 +267,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"({stats.flows_evicted_idle} idle-evicted), "
                 f"peak buffered {stats.peak_buffered_packets} packets, "
                 f"peak active {stats.peak_active_flows} flows",
+                file=sys.stderr,
+            )
+            print(
+                f"faults: {faults.corrupt_records} corrupt records "
+                f"({faults.resyncs} resyncs), "
+                f"{faults.option_errors} option errors, "
+                f"{faults.flows_skipped} flows quarantined, "
+                f"{faults.tasks_retried} tasks retried, "
+                f"{faults.tasks_poisoned} poisoned",
                 file=sys.stderr,
             )
         if args.metrics_out:
@@ -276,12 +321,18 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.json:
-        _emit_json(report, analyses)
+        _emit_json(report, analyses, faults)
         return 0
 
     print(f"flows analyzed:    {len(analyses)}")
     print(f"flows with stalls: {report.flows_with_stalls()}")
     print(f"stalls detected:   {report.total_stalls()}")
+    if faults.flows_skipped or faults.corrupt_records:
+        print(
+            f"faults tolerated:  {faults.corrupt_records} corrupt "
+            f"records, {faults.flows_skipped} flows quarantined "
+            f"(budget: {args.errors.describe()})"
+        )
 
     if args.per_flow:
         for analysis in analyses:

@@ -29,6 +29,7 @@ from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..errors import SkippedFlow
 from .flow_analyzer import FlowAnalysis
 from .stalls import CaState, DoubleKind, RetxCause, StallCause
 
@@ -71,13 +72,25 @@ class BreakdownEntry:
 
 @dataclass
 class ServiceReport:
-    """All analyzed flows of one service."""
+    """All analyzed flows of one service.
+
+    ``skipped`` holds the :class:`~repro.errors.SkippedFlow` records of
+    flows quarantined under a tolerant error budget — dirty input never
+    silently shrinks a report; every missing flow is accounted for
+    here.  Aggregate methods operate on ``flows`` only.
+    """
 
     service: str
     flows: list[FlowAnalysis] = field(default_factory=list)
+    skipped: list[SkippedFlow] = field(default_factory=list)
 
     def add(self, analysis: FlowAnalysis) -> None:
         self.flows.append(analysis)
+
+    def coverage(self) -> float:
+        """Fraction of demuxed flows that produced an analysis."""
+        total = len(self.flows) + len(self.skipped)
+        return len(self.flows) / total if total else 1.0
 
     # -- combination ------------------------------------------------------
     def merge(self, other: "ServiceReport") -> "ServiceReport":
@@ -89,6 +102,7 @@ class ServiceReport:
         the report a single pass would have produced.
         """
         self.flows.extend(other.flows)
+        self.skipped.extend(other.skipped)
         return self
 
     @classmethod

@@ -27,6 +27,12 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from ..config import AnalysisConfig, RunConfig, warn_deprecated_kwargs
+from ..errors import (
+    FaultStats,
+    FlowAnalysisError,
+    ReproError,
+    SkippedFlow,
+)
 from ..packet.flow import (
     FlowTrace,
     ServerPredicate,
@@ -46,6 +52,12 @@ PacketSource = (
     "str | Path | PcapReader | Iterable[PacketRecord] "
     "| Iterable[list[PacketRecord]]"
 )
+
+#: Fault-injection seam (see :mod:`repro.testing.faults`): when set,
+#: called as ``FLOW_HOOK(flow)`` before each flow's analysis and may
+#: raise to simulate an analyzer crash.  Module state, so fork-based
+#: worker pools inherit it.  Never set outside tests.
+FLOW_HOOK = None
 
 
 def _iter_source(source) -> Iterator[PacketRecord]:
@@ -106,14 +118,73 @@ class Tapo:
         self.tau = self.config.tau
         self.init_cwnd = self.config.init_cwnd
         self.record_series = self.config.record_series
+        #: Fault accounting for the most recent multi-flow entry-point
+        #: call (reset per call); quarantined flows live in
+        #: ``faults.skipped``.
+        self.faults = FaultStats()
+
+    @property
+    def skipped_flows(self) -> list[SkippedFlow]:
+        """Flows quarantined during the most recent analysis call."""
+        return self.faults.skipped
 
     # -- single flow ------------------------------------------------------
     def analyze_flow(self, flow: FlowTrace) -> FlowAnalysis:
-        """Analyze and classify one flow."""
+        """Analyze and classify one flow.
+
+        Any analyzer crash surfaces as a typed
+        :class:`~repro.errors.FlowAnalysisError` carrying the flow key
+        and the packet index the analyzer had reached; the multi-flow
+        entry points turn that into a quarantined
+        :class:`~repro.errors.SkippedFlow` under tolerant budgets.
+        """
         analyzer = FlowAnalyzer(flow, config=self.config)
-        analysis = analyzer.run()
-        classify_flow(analysis, analyzer.tracker)
+        try:
+            if FLOW_HOOK is not None:
+                FLOW_HOOK(flow)
+            analysis = analyzer.run()
+            classify_flow(analysis, analyzer.tracker)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise FlowAnalysisError(
+                f"flow {flow.key} crashed the analyzer: "
+                f"{type(exc).__name__}: {exc}",
+                key=flow.key,
+                packet_index=getattr(analyzer, "_fed", None),
+            ) from exc
         return analysis
+
+    def _analyze_flows(
+        self, flows: Iterable[FlowTrace], faults: FaultStats,
+        enforce: bool = True,
+    ) -> Iterator[FlowAnalysis]:
+        """Analyze flows under the configured error budget.
+
+        Strict budgets propagate the first
+        :class:`~repro.errors.ReproError`; tolerant budgets quarantine
+        the crashing flow into ``faults`` and continue.  ``enforce``
+        applies ``budget:`` caps here — analyzer workers pass ``False``
+        because only the parent sees run-wide fault totals.
+        """
+        budget = self.config.errors
+        done = 0
+        for flow in flows:
+            done += 1
+            try:
+                yield self.analyze_flow(flow)
+            except ReproError as exc:
+                if not budget.tolerant:
+                    raise
+                faults.record_skip(
+                    SkippedFlow.from_exception(
+                        flow, exc, getattr(exc, "packet_index", None)
+                    )
+                )
+                if enforce:
+                    budget.check(
+                        faults.flows_skipped, done, "quarantined flows"
+                    )
 
     # -- packet streams ------------------------------------------------------
     def analyze_packets(
@@ -127,12 +198,18 @@ class Tapo:
         results come back sorted by first packet time — the streaming
         core with eviction disabled.
         """
-        return [
-            self.analyze_flow(flow)
-            for flow in demux_stream(
-                packets, server_side, idle_timeout=None, close_linger=None
+        self.faults = FaultStats()
+        return list(
+            self._analyze_flows(
+                demux_stream(
+                    packets,
+                    server_side,
+                    idle_timeout=None,
+                    close_linger=None,
+                ),
+                self.faults,
             )
-        ]
+        )
 
     def analyze_pcap(
         self,
@@ -140,8 +217,10 @@ class Tapo:
         server_side: ServerPredicate | None = None,
     ) -> list[FlowAnalysis]:
         """Analyze every flow in a pcap file."""
-        with PcapReader(path) as reader:
-            return self.analyze_packets(reader.iter_records(), server_side)
+        with PcapReader(path, errors=self.config.errors) as reader:
+            analyses = self.analyze_packets(reader.iter_records(), server_side)
+            reader.fold_faults(self.faults)
+            return analyses
 
     # -- streaming --------------------------------------------------------
     def analyze_stream(
@@ -177,9 +256,10 @@ class Tapo:
         from ..experiments.parallel import AnalysisPool
 
         run = run or RunConfig()
+        self.faults = FaultStats()
         opened: PcapReader | None = None
         if isinstance(source, (str, Path)):
-            opened = PcapReader(source)
+            opened = PcapReader(source, errors=self.config.errors)
             source = opened
         stream_stats = stats if stats is not None else StreamStats()
         pool = AnalysisPool(
@@ -187,6 +267,9 @@ class Tapo:
             workers=run.workers,
             chunk_flows=run.chunk_flows,
             max_in_flight=run.max_in_flight_chunks,
+            max_retries=run.max_retries,
+            retry_backoff=run.retry_backoff,
+            faults=self.faults,
         )
         flows = demux_stream(
             _iter_source(source),
@@ -198,9 +281,12 @@ class Tapo:
         try:
             yield from pool.map_stream(flows)
         finally:
+            if isinstance(source, PcapReader):
+                source.fold_faults(self.faults)
             if registry is not None:
                 stream_stats.to_registry(registry)
                 pool.stats.to_registry(registry)
+                self.faults.to_registry(registry)
             if opened is not None:
                 opened.close()
 
@@ -233,7 +319,9 @@ class Tapo:
                 part = ServiceReport(service=service)
         if part.flows:
             parts.append(part)
-        return ServiceReport.merged(parts, service=service)
+        report = ServiceReport.merged(parts, service=service)
+        report.skipped.extend(self.faults.skipped)
+        return report
 
     # -- services --------------------------------------------------------------
     def report(
@@ -247,10 +335,15 @@ class Tapo:
         packet lists (the shape the simulator produces); mixed streams
         should go through :meth:`analyze_packets` instead.
         """
+        self.faults = FaultStats()
         report = ServiceReport(service=service)
         for packets in traces:
-            for analysis in self.analyze_packets(packets):
+            flows = demux_stream(
+                packets, None, idle_timeout=None, close_linger=None
+            )
+            for analysis in self._analyze_flows(flows, self.faults):
                 report.add(analysis)
+        report.skipped.extend(self.faults.skipped)
         return report
 
 

@@ -30,7 +30,32 @@ import pickle
 import tempfile
 from pathlib import Path
 
+from ..errors import CacheError
+
 _MAGIC = b"REPRODS1"
+
+#: What ``pickle.loads`` raises on damaged or version-skewed payloads.
+#: Anything outside this set is a real bug and should propagate.
+_UNPICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    MemoryError,
+    ValueError,
+    TypeError,
+)
+
+#: What serializing + atomically writing an entry can legitimately
+#: raise; the cache is an accelerator, so these become a counted no-op.
+_STORE_ERRORS = (
+    OSError,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    RecursionError,
+)
 _PREFIX = "ds_"
 _SUFFIX = ".pkl"
 
@@ -100,6 +125,8 @@ class DatasetCache:
         self.misses = 0
         #: Entries dropped because the checksum or unpickle failed.
         self.corruptions = 0
+        #: Writes that failed (disk full, unpicklable payload, ...).
+        self.store_failures = 0
 
     # -- paths --------------------------------------------------------
     def path_for(self, fingerprint: str) -> Path:
@@ -123,19 +150,12 @@ class DatasetCache:
         except OSError:
             self.misses += 1
             return None
-        payload = self._verify(blob)
-        if payload is None:
-            # Corrupted or truncated: drop the entry so it is rebuilt.
-            self.misses += 1
-            self.corruptions += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
         try:
-            obj = pickle.loads(payload)
-        except Exception:
+            obj = self._decode(blob)
+        except CacheError:
+            # Corrupted, truncated, or version-skewed: drop the entry
+            # so it is rebuilt.  Corruption is always a recoverable
+            # miss, never a failure.
             self.misses += 1
             self.corruptions += 1
             try:
@@ -161,6 +181,24 @@ class DatasetCache:
             return None
         return payload
 
+    @classmethod
+    def _decode(cls, blob: bytes):
+        """Verify and unpickle an entry blob.
+
+        Raises :class:`~repro.errors.CacheError` on any damage so the
+        caller has exactly one recovery path (treat as miss).
+        """
+        payload = cls._verify(blob)
+        if payload is None:
+            raise CacheError("cache entry failed checksum verification")
+        try:
+            return pickle.loads(payload)
+        except _UNPICKLE_ERRORS as exc:
+            raise CacheError(
+                f"cache entry failed to unpickle: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
     def store(self, fingerprint: str, obj) -> Path | None:
         """Atomically write ``obj``; best-effort (None on any error)."""
         try:
@@ -183,7 +221,8 @@ class DatasetCache:
                 raise
             self._evict()
             return path
-        except Exception:
+        except _STORE_ERRORS:
+            self.store_failures += 1
             return None
 
     # -- bounds -------------------------------------------------------

@@ -130,7 +130,17 @@ def build_dataset(
         started = time.perf_counter()
         with phase_span(phases, "cache_load"):
             cached = disk.load(fingerprint)
-        if isinstance(cached, Dataset):
+        if cached is not None and not isinstance(cached, Dataset):
+            # The entry unpickled cleanly but isn't a Dataset — some
+            # other writer landed on our fingerprint.  Treat it like
+            # any other corruption: invalidate and rebuild.
+            disk.corruptions += 1
+            try:
+                disk.path_for(fingerprint).unlink()
+            except OSError:
+                pass
+            cached = None
+        if cached is not None:
             cached.metrics.cache_hits += 1
             cached.metrics.cache_corruptions += disk.corruptions
             cached.metrics.wall_time = time.perf_counter() - started
@@ -174,6 +184,7 @@ def build_dataset(
         # Surface the disk layer's own accounting (including corrupted
         # entries it detected and dropped) in the run's metrics.
         metrics.cache_corruptions += disk.corruptions
+        metrics.cache_store_failures += disk.store_failures
     # The per-service runs already contributed their "simulate" span
     # via merge(); replace with the dataset-level phase map, which
     # additionally covers analysis and cache traffic.

@@ -48,10 +48,16 @@ class RunMetrics:
     workers: int = 1
     chunks: int = 0
     chunks_retried: int = 0
+    #: Chunks quarantined after killing every worker that ran them.
+    chunks_poisoned: int = 0
+    #: Flows quarantined under a tolerant error budget.
+    flows_skipped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     #: Corrupted/truncated on-disk cache entries detected and dropped.
     cache_corruptions: int = 0
+    #: Cache writes that failed (disk errors, unpicklable payloads).
+    cache_store_failures: int = 0
     #: Flight-recorder totals for traced runs (0 when tracing is off).
     trace_events: int = 0
     trace_events_dropped: int = 0
@@ -99,9 +105,12 @@ class RunMetrics:
         self.workers = max(self.workers, other.workers)
         self.chunks += other.chunks
         self.chunks_retried += other.chunks_retried
+        self.chunks_poisoned += other.chunks_poisoned
+        self.flows_skipped += other.flows_skipped
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_corruptions += other.cache_corruptions
+        self.cache_store_failures += other.cache_store_failures
         self.trace_events += other.trace_events
         self.trace_events_dropped += other.trace_events_dropped
         for phase, seconds in other.phases.items():
@@ -147,9 +156,12 @@ class RunMetrics:
             "workers": self.workers,
             "chunks": self.chunks,
             "chunks_retried": self.chunks_retried,
+            "chunks_poisoned": self.chunks_poisoned,
+            "flows_skipped": self.flows_skipped,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_corruptions": self.cache_corruptions,
+            "cache_store_failures": self.cache_store_failures,
             "trace_events": self.trace_events,
             "trace_events_dropped": self.trace_events_dropped,
             "phases": dict(sorted(self.phases.items())),
@@ -178,12 +190,15 @@ class RunMetrics:
             ),
             (
                 f"workers {self.workers} | chunks {self.chunks} "
-                f"(retried {self.chunks_retried}) | "
+                f"(retried {self.chunks_retried}, "
+                f"poisoned {self.chunks_poisoned}) | "
                 f"utilization {self.utilization:.0%} | "
                 f"cache {self.cache_hits} hit / {self.cache_misses} miss "
                 f"/ {self.cache_corruptions} corrupt"
             ),
         ]
+        if self.flows_skipped:
+            lines.append(f"skipped: {self.flows_skipped} flows quarantined")
         if self.phases:
             lines.append(
                 "phases: "

@@ -26,6 +26,7 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..config import AnalysisConfig
+from ..errors import FaultStats, PoisonTaskError, ReproError, SkippedFlow
 from ..packet.flow import FlowTrace
 from ..workload.generator import FlowScenario
 from .metrics import RunMetrics, WorkerStats
@@ -125,9 +126,8 @@ def run_flows_parallel(
 
     chunks = chunk_scenarios(scenario_list, workers, chunk_flows)
     chunk_results: list[_ChunkResult | None] = [None] * len(chunks)
-    retried = 0
     factory = executor_factory or _make_executor
-    failed: list[int] = []
+    recovered: set[int] = set()  # chunks that needed any retry
     try:
         with factory(workers) as pool:
             futures = {
@@ -139,20 +139,40 @@ def run_flows_parallel(
             for index, future in futures.items():
                 try:
                     chunk_results[index] = future.result()
+                except ReproError:
+                    # Deterministic, typed: the simulation itself
+                    # rejected its input.  Retrying cannot help.
+                    raise
                 except Exception:
-                    # Worker died or the chunk raised; re-run serially
-                    # below rather than losing the whole batch.
-                    failed.append(index)
+                    recovered.add(index)
+            # Resubmit failed chunks to the pool once before falling
+            # back to the parent: one transient worker death should
+            # not serialize the recovery.
+            for index in sorted(recovered):
+                try:
+                    chunk_results[index] = pool.submit(
+                        _simulate_chunk,
+                        index,
+                        chunks[index],
+                        max_sim_time,
+                        trace,
+                    ).result()
+                except ReproError:
+                    raise
+                except Exception:
+                    pass  # re-run serially below
+    except ReproError:
+        raise
     except Exception:
-        failed = [i for i, r in enumerate(chunk_results) if r is None]
+        pass  # pool never came up or died wholesale; recover below
 
-    for index in failed:
-        if chunk_results[index] is not None:
-            continue
-        retried += 1
-        chunk_results[index] = _simulate_chunk(
-            index, chunks[index], max_sim_time, trace
-        )
+    for index, result in enumerate(chunk_results):
+        if result is None:
+            recovered.add(index)
+            chunk_results[index] = _simulate_chunk(
+                index, chunks[index], max_sim_time, trace
+            )
+    retried = len(recovered)
 
     results: list[FlowRunResult] = []
     worker_stats: dict[int, WorkerStats] = {}
@@ -186,12 +206,22 @@ def run_flows_parallel(
 _ANALYZE_CHUNK_FLOWS = 32
 
 
-def _analyze_chunk(flows: list[FlowTrace], config: AnalysisConfig) -> list:
-    """Worker entry point: run TAPO over one chunk of completed flows."""
+def _analyze_chunk(
+    flows: list[FlowTrace], config: AnalysisConfig
+) -> tuple[list, list[SkippedFlow]]:
+    """Worker entry point: run TAPO over one chunk of completed flows.
+
+    Returns ``(analyses, skipped)``.  Under a tolerant
+    ``config.errors`` budget a crashing flow is quarantined into the
+    ``skipped`` list instead of failing the chunk; budget caps are
+    *not* enforced here (``enforce=False``) because only the parent
+    sees run-wide fault totals.
+    """
     from ..core.tapo import Tapo
 
     tapo = Tapo(config=config)
-    return [tapo.analyze_flow(flow) for flow in flows]
+    analyses = list(tapo._analyze_flows(flows, tapo.faults, enforce=False))
+    return analyses, list(tapo.faults.skipped)
 
 
 @dataclass
@@ -199,8 +229,10 @@ class AnalysisPoolStats:
     """Accounting for one :class:`AnalysisPool` pass."""
 
     flows: int = 0
+    flows_skipped: int = 0
     chunks: int = 0
     chunks_retried: int = 0
+    chunks_poisoned: int = 0
     in_flight_chunks: int = 0
     peak_in_flight_chunks: int = 0
 
@@ -210,11 +242,19 @@ class AnalysisPoolStats:
         ).inc(self.chunks)
         registry.counter(
             prefix + "analysis_chunks_retried_total",
-            "Analysis chunks re-run serially after a worker failure",
+            "Analysis chunks re-run after a worker failure",
         ).inc(self.chunks_retried)
+        registry.counter(
+            prefix + "analysis_chunks_poisoned_total",
+            "Analysis chunks quarantined after repeated worker deaths",
+        ).inc(self.chunks_poisoned)
         registry.counter(
             prefix + "analyzed_flows_total", "Flows analyzed"
         ).inc(self.flows)
+        registry.counter(
+            prefix + "flows_skipped_total",
+            "Flows quarantined under a tolerant error budget",
+        ).inc(self.flows_skipped)
         registry.gauge(
             prefix + "peak_in_flight_chunks",
             "Most analysis chunks queued or executing at once",
@@ -233,9 +273,20 @@ class AnalysisPool:
     backpressure that keeps a streaming pipeline's memory flat no
     matter how fast the packet source is.
 
-    ``workers=1`` analyzes inline with no pool and no pickling.  A
-    worker death re-runs the lost chunk serially in the parent, same
-    as the simulation pool.
+    ``workers=1`` analyzes inline with no pool and no pickling.
+
+    Failure handling distinguishes *deterministic* faults from
+    *transient* ones.  A :class:`~repro.errors.ReproError` escaping a
+    worker is deterministic — the analyzer itself rejected the input —
+    so it propagates (strict budgets) rather than being retried; under
+    tolerant budgets workers quarantine such flows internally and the
+    error never escapes.  Anything else (a dead worker, a broken pool)
+    is treated as transient: the chunk is retried up to ``max_retries``
+    times in fresh single-worker pools with exponential backoff, then
+    re-run serially in the parent, and only if *that* also dies is the
+    chunk declared poisoned — strict budgets raise
+    :class:`~repro.errors.PoisonTaskError`, tolerant budgets quarantine
+    the chunk's flows as :class:`~repro.errors.SkippedFlow` records.
     """
 
     config: AnalysisConfig = field(default_factory=AnalysisConfig)
@@ -243,7 +294,10 @@ class AnalysisPool:
     chunk_flows: int | None = None
     max_in_flight: int | None = None
     executor_factory: object = None
+    max_retries: int = 2
+    retry_backoff: float = 0.1
     stats: AnalysisPoolStats = field(default_factory=AnalysisPoolStats)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     def map_stream(self, flows: Iterable[FlowTrace]) -> Iterator:
         workers = resolve_workers(self.workers)
@@ -253,7 +307,7 @@ class AnalysisPool:
             return
         max_in_flight = self.max_in_flight or 2 * workers
         factory = self.executor_factory or _make_executor
-        in_flight: deque[tuple[Future, list[FlowTrace]]] = deque()
+        in_flight: deque[tuple[Future | None, list[FlowTrace]]] = deque()
         with factory(workers) as pool:
             chunk: list[FlowTrace] = []
             for flow in flows:
@@ -275,9 +329,11 @@ class AnalysisPool:
 
         tapo = Tapo(config=self.config)
         stats = self.stats
-        for flow in flows:
+        before = self.faults.flows_skipped
+        for analysis in tapo._analyze_flows(flows, self.faults):
             stats.flows += 1
-            yield tapo.analyze_flow(flow)
+            yield analysis
+        stats.flows_skipped += self.faults.flows_skipped - before
         stats.chunks = 1 if stats.flows else 0
 
     def _submit(
@@ -286,7 +342,14 @@ class AnalysisPool:
         in_flight: deque,
         chunk: list[FlowTrace],
     ) -> None:
-        in_flight.append((pool.submit(_analyze_chunk, chunk, self.config), chunk))
+        try:
+            future = pool.submit(_analyze_chunk, chunk, self.config)
+        except Exception:
+            # The pool is broken (e.g. a previous chunk killed a
+            # worker).  Queue the chunk anyway; _drain_one recovers it
+            # through the retry path.
+            future = None
+        in_flight.append((future, chunk))
         stats = self.stats
         stats.chunks += 1
         stats.in_flight_chunks = len(in_flight)
@@ -295,15 +358,78 @@ class AnalysisPool:
 
     def _drain_one(self, in_flight: deque) -> Iterator:
         future, chunk = in_flight.popleft()
-        try:
-            results = future.result()
-        except Exception:
-            # Worker died or the chunk raised; recover serially.
-            self.stats.chunks_retried += 1
-            results = _analyze_chunk(chunk, self.config)
+        if future is None:
+            results, skipped = self._retry_chunk(chunk)
+        else:
+            try:
+                results, skipped = future.result()
+            except ReproError:
+                # Deterministic: the analyzer itself refused the input
+                # under a strict budget.  Retrying cannot help.
+                raise
+            except Exception:
+                results, skipped = self._retry_chunk(chunk)
         self.stats.in_flight_chunks = len(in_flight)
         self.stats.flows += len(results)
+        self.stats.flows_skipped += len(skipped)
+        for record in skipped:
+            self.faults.record_skip(record)
+        self.config.errors.check(
+            self.faults.flows_skipped,
+            self.stats.flows + self.faults.flows_skipped,
+            "quarantined flows",
+        )
         yield from results
+
+    def _retry_chunk(
+        self, chunk: list[FlowTrace]
+    ) -> tuple[list, list[SkippedFlow]]:
+        """Recover a chunk whose worker died or whose pool broke.
+
+        Fresh single-worker pools isolate each attempt from the (very
+        possibly broken) main pool; the final attempt runs serially in
+        the parent.  A chunk that outlives every attempt is poison.
+        """
+        self.stats.chunks_retried += 1
+        self.faults.tasks_retried += 1
+        factory = self.executor_factory or _make_executor
+        delay = self.retry_backoff
+        for attempt in range(max(0, self.max_retries)):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                with factory(1) as rescue:
+                    return rescue.submit(
+                        _analyze_chunk, chunk, self.config
+                    ).result()
+            except ReproError:
+                raise
+            except Exception:
+                continue
+        try:
+            return _analyze_chunk(chunk, self.config)
+        except ReproError:
+            raise
+        except Exception as exc:
+            return self._poison_chunk(chunk, exc)
+
+    def _poison_chunk(
+        self, chunk: list[FlowTrace], cause: Exception
+    ) -> tuple[list, list[SkippedFlow]]:
+        """Quarantine a chunk that killed every worker that ran it."""
+        self.stats.chunks_poisoned += 1
+        self.faults.tasks_poisoned += 1
+        error = PoisonTaskError(
+            f"chunk of {len(chunk)} flows failed every worker "
+            f"({self.max_retries} retries): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        if not self.config.errors.tolerant:
+            raise error from cause
+        return [], [
+            SkippedFlow.from_exception(flow, error) for flow in chunk
+        ]
 
 
 def _assemble(

@@ -181,6 +181,14 @@ def registry_from_run_metrics(
             run_metrics.chunks_retried,
             "Chunks re-run serially after a worker failure",
         ),
+        "chunks_poisoned_total": (
+            run_metrics.chunks_poisoned,
+            "Chunks that failed every retry, serial parent included",
+        ),
+        "flows_skipped_total": (
+            run_metrics.flows_skipped,
+            "Flows quarantined under a tolerant error budget",
+        ),
         "cache_hits_total": (run_metrics.cache_hits, "Dataset cache hits"),
         "cache_misses_total": (
             run_metrics.cache_misses,
@@ -189,6 +197,10 @@ def registry_from_run_metrics(
         "cache_corruptions_total": (
             run_metrics.cache_corruptions,
             "Corrupted dataset cache entries dropped",
+        ),
+        "cache_store_failures_total": (
+            run_metrics.cache_store_failures,
+            "Dataset cache writes that failed (best-effort store)",
         ),
         "trace_events_total": (
             run_metrics.trace_events,

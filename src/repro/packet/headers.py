@@ -11,6 +11,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..errors import ParseError
 from .checksum import checksum, tcp_checksum
 from .options import TCPOptions
 
@@ -25,7 +26,7 @@ FLAG_ACK = 0x10
 FLAG_URG = 0x20
 
 
-class HeaderDecodeError(ValueError):
+class HeaderDecodeError(ParseError):
     """Raised when a packet cannot be parsed."""
 
 
@@ -171,8 +172,15 @@ class TCPHeader:
         return segment[:16] + struct.pack("!H", csum) + segment[18:]
 
     @classmethod
-    def decode(cls, data: bytes) -> tuple["TCPHeader", int]:
-        """Parse a TCP header; return (header, header_length)."""
+    def decode(
+        cls, data: bytes, lenient: bool = False
+    ) -> tuple["TCPHeader", int]:
+        """Parse a TCP header; return (header, header_length).
+
+        ``lenient`` tolerates a malformed option area (partial options
+        are kept) instead of raising
+        :class:`~repro.packet.options.OptionDecodeError`.
+        """
         if len(data) < cls.BASE_LEN:
             raise HeaderDecodeError("TCP header truncated")
         (
@@ -189,7 +197,9 @@ class TCPHeader:
         header_len = (offset_reserved >> 4) * 4
         if header_len < cls.BASE_LEN or header_len > len(data):
             raise HeaderDecodeError("bad TCP data offset %d" % header_len)
-        options = TCPOptions.decode(data[cls.BASE_LEN : header_len])
+        options = TCPOptions.decode(
+            data[cls.BASE_LEN : header_len], lenient=lenient
+        )
         header = cls(
             src_port=src_port,
             dst_port=dst_port,

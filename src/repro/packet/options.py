@@ -19,6 +19,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..errors import ParseError
+
 KIND_EOL = 0
 KIND_NOP = 1
 KIND_MSS = 2
@@ -31,7 +33,7 @@ KIND_TIMESTAMP = 8
 SackBlock = tuple[int, int]
 
 
-class OptionDecodeError(ValueError):
+class OptionDecodeError(ParseError):
     """Raised when a TCP option area is malformed."""
 
 
@@ -48,6 +50,9 @@ class TCPOptions:
     sack_blocks: list[SackBlock] = field(default_factory=list)
     ts_val: int | None = None
     ts_ecr: int | None = None
+    #: Lenient decode hit a malformed option and stopped early; the
+    #: fields above hold whatever parsed cleanly before the damage.
+    truncated_options: bool = False
 
     def encode(self) -> bytes:
         """Serialize to wire format, padded to a 4-byte boundary."""
@@ -72,11 +77,14 @@ class TCPOptions:
         return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes) -> "TCPOptions":
+    def decode(cls, data: bytes, lenient: bool = False) -> "TCPOptions":
         """Parse a TCP option area.
 
         Raises :class:`OptionDecodeError` on truncated or malformed
-        options rather than silently guessing.
+        options rather than silently guessing.  With ``lenient=True``
+        a malformed option instead *ends* parsing — everything decoded
+        up to that point is kept, as real stacks behave — and the
+        partial result is flagged via :attr:`truncated_options`.
         """
         opts = cls()
         i = 0
@@ -89,9 +97,15 @@ class TCPOptions:
                 i += 1
                 continue
             if i + 1 >= n:
+                if lenient:
+                    opts.truncated_options = True
+                    break
                 raise OptionDecodeError("option kind %d truncated" % kind)
             length = data[i + 1]
             if length < 2 or i + length > n:
+                if lenient:
+                    opts.truncated_options = True
+                    break
                 raise OptionDecodeError(
                     "option kind %d has bad length %d" % (kind, length)
                 )
@@ -106,6 +120,9 @@ class TCPOptions:
                 opts.ts_val, opts.ts_ecr = struct.unpack("!II", body)
             elif kind == KIND_SACK:
                 if (length - 2) % 8:
+                    if lenient:
+                        opts.truncated_options = True
+                        break
                     raise OptionDecodeError("SACK option length %d" % length)
                 for off in range(0, length - 2, 8):
                     left, right = struct.unpack("!II", body[off : off + 8])

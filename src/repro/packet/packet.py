@@ -122,14 +122,20 @@ class PacketRecord:
         return ip.encode() + segment
 
     @classmethod
-    def decode(cls, data: bytes, timestamp: float = 0.0) -> "PacketRecord":
-        """Parse a raw IPv4 packet into a record."""
+    def decode(
+        cls, data: bytes, timestamp: float = 0.0, lenient: bool = False
+    ) -> "PacketRecord":
+        """Parse a raw IPv4 packet into a record.
+
+        ``lenient`` tolerates a malformed TCP option area (keeping the
+        cleanly-parsed prefix) instead of raising.
+        """
         ip, ip_len = IPv4Header.decode(data)
         if ip.protocol != 6:
             raise HeaderDecodeError("not TCP (protocol=%d)" % ip.protocol)
         end = min(len(data), ip_len + max(ip.total_length - ip_len, 0))
         tcp_bytes = data[ip_len:end] if ip.total_length else data[ip_len:]
-        tcp, tcp_len = TCPHeader.decode(tcp_bytes)
+        tcp, tcp_len = TCPHeader.decode(tcp_bytes, lenient=lenient)
         payload_len = len(tcp_bytes) - tcp_len
         return cls(
             timestamp=timestamp,

@@ -14,6 +14,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import BinaryIO
 
+from ..errors import ErrorBudget, ParseError
 from .headers import HeaderDecodeError
 from .packet import PacketRecord
 
@@ -27,8 +28,18 @@ _GLOBAL_HEADER = struct.Struct("IHHiIII")
 _RECORD_HEADER = struct.Struct("IIII")
 ETHERTYPE_IPV4 = 0x0800
 
+#: Lenient-mode framing sanity bound: no sane capture carries a record
+#: this large (the classic snaplen cap is 65535), so a bigger
+#: ``incl_len`` means the record header itself is damaged.
+_MAX_RECORD_BYTES = 1 << 20
 
-class PcapFormatError(ValueError):
+#: Lenient-mode resync heuristic: a candidate record header whose
+#: ``ts_sec`` jumps more than this from the last good record is
+#: treated as garbage rather than a one-day capture gap.
+_RESYNC_TS_WINDOW = 86_400
+
+
+class PcapFormatError(ParseError):
     """Raised when a pcap file is malformed."""
 
 
@@ -103,13 +114,29 @@ class PcapReader:
     and counted in :attr:`skipped` — production traces always contain
     ARP and other noise, and the analyzer should not die on it.
 
+    Framing damage is governed by ``errors``, an
+    :class:`~repro.errors.ErrorBudget` (or its string spec).  Strict —
+    the default — raises a typed :class:`PcapFormatError` at the first
+    truncated or corrupt record, exactly the historical behavior.
+    Tolerant budgets instead *recover*: a record with an implausible
+    header is skipped and the reader scans forward for the next
+    plausible record boundary (resync), a truncated tail is dropped,
+    and malformed TCP option areas are parsed partially.  Every
+    recovery is counted (:attr:`corrupt_records`, :attr:`resyncs`,
+    :attr:`bytes_skipped`, :attr:`option_errors`) so dirty input is
+    visible, never silent.
+
     Iteration is streaming: the file is read in
     :data:`READ_BUFFER_BYTES` slabs and decoded one record at a time,
     so traces never need to fit in memory.  :meth:`iter_chunks` groups
     the same stream into bounded lists for fan-out to workers.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(
+        self,
+        path: str | Path,
+        errors: "ErrorBudget | str | None" = None,
+    ):
         self._file: BinaryIO = open(path, "rb")
         raw = self._file.read(_GLOBAL_HEADER.size)
         if len(raw) < _GLOBAL_HEADER.size:
@@ -125,7 +152,18 @@ class PcapReader:
         self.linktype = fields[6]
         if self.linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
             raise PcapFormatError("unsupported linktype %d" % self.linktype)
+        self.errors = ErrorBudget.parse(errors)
         self.skipped = 0
+        self.records_read = 0
+        #: Records lost to framing damage (skipped over or truncated).
+        self.corrupt_records = 0
+        #: Times the reader had to scan for the next record boundary.
+        self.resyncs = 0
+        #: Bytes discarded while resyncing or dropping a corrupt tail.
+        self.bytes_skipped = 0
+        #: Packets whose TCP option area was malformed and parsed
+        #: partially (tolerant budgets only).
+        self.option_errors = 0
 
     def __iter__(self) -> Iterator[PacketRecord]:
         return self.iter_records()
@@ -140,36 +178,115 @@ class PcapReader:
         header_size = record_struct.size
         unpack_header = record_struct.unpack_from
         ethernet = self.linktype == LINKTYPE_ETHERNET
+        budget = self.errors
+        tolerant = budget.tolerant
         buffer = b""
         offset = 0
         eof = False
-        while True:
-            # Top up the buffer until it holds one full record (or EOF).
-            while not eof and len(buffer) - offset < header_size:
+        last_ts: int | None = None
+
+        def fill(need: int) -> bool:
+            """Top up the buffer to ``need`` bytes past ``offset``."""
+            nonlocal buffer, offset, eof
+            while not eof and len(buffer) - offset < need:
                 slab = self._file.read(buffer_bytes)
                 if not slab:
                     eof = True
                     break
                 buffer = buffer[offset:] + slab
                 offset = 0
-            if len(buffer) - offset < header_size:
+            return len(buffer) - offset >= need
+
+        def plausible(pos: int) -> bool:
+            """Sanity-check a candidate record header at ``pos``."""
+            ts_sec, ts_usec, incl_len, orig_len = unpack_header(buffer, pos)
+            if ts_usec >= 1_000_000 or incl_len > _MAX_RECORD_BYTES:
+                return False
+            # No record can be smaller than one IPv4 header.
+            if incl_len < 20 or incl_len > orig_len:
+                return False
+            if orig_len > _MAX_RECORD_BYTES:
+                return False
+            if (
+                last_ts is not None
+                and abs(ts_sec - last_ts) > _RESYNC_TS_WINDOW
+            ):
+                return False
+            return True
+
+        def chain_ok(pos: int) -> bool:
+            """A resync candidate must also be followed by a plausible
+            header (when the next one is in the buffer) — a single
+            16-byte check syncs on garbage too easily."""
+            if not plausible(pos):
+                return False
+            incl_len = unpack_header(buffer, pos)[2]
+            nxt = pos + header_size + incl_len
+            if nxt + header_size <= len(buffer):
+                return plausible(nxt)
+            return True
+
+        def corrupt(reason: str) -> None:
+            """Count one framing fault; raise unless the budget allows."""
+            if not tolerant:
+                raise PcapFormatError(reason)
+            self.corrupt_records += 1
+            budget.check(
+                self.corrupt_records,
+                self.records_read + self.corrupt_records,
+                "corrupt pcap records",
+            )
+
+        def resync() -> bool:
+            """Advance to the next plausible record header, skipping
+            at least one byte; False when the rest of the file holds
+            none."""
+            nonlocal buffer, offset
+            offset += 1
+            self.bytes_skipped += 1
+            while True:
+                if not fill(header_size):
+                    self.bytes_skipped += len(buffer) - offset
+                    offset = len(buffer)
+                    return False
+                limit = len(buffer) - header_size
+                while offset <= limit:
+                    if chain_ok(offset):
+                        return True
+                    offset += 1
+                    self.bytes_skipped += 1
+                # Exhausted this buffer; fill() will compact and read
+                # the next slab (or report EOF on the next pass).
+
+        while True:
+            if not fill(header_size):
                 if len(buffer) - offset > 0:
-                    raise PcapFormatError("pcap record header truncated")
+                    corrupt("pcap record header truncated")
+                    self.bytes_skipped += len(buffer) - offset
                 return
+            if tolerant and not plausible(offset):
+                corrupt("pcap record framing implausible")
+                self.resyncs += 1
+                if not resync():
+                    return
+                continue
             ts_sec, ts_usec, incl_len, _orig_len = unpack_header(
                 buffer, offset
             )
-            while not eof and len(buffer) - offset < header_size + incl_len:
-                slab = self._file.read(buffer_bytes)
-                if not slab:
-                    eof = True
-                    break
-                buffer = buffer[offset:] + slab
-                offset = 0
-            if len(buffer) - offset < header_size + incl_len:
-                raise PcapFormatError("pcap packet body truncated")
+            if not fill(header_size + incl_len):
+                # Strict raises here.  Lenient resyncs instead of
+                # dropping the tail outright: a "truncated body" can
+                # also be a corrupt length field swallowing real
+                # records behind it.
+                corrupt("pcap packet body truncated")
+                self.resyncs += 1
+                if not resync():
+                    return
+                continue
             data = buffer[offset + header_size : offset + header_size + incl_len]
             offset += header_size + incl_len
+            last_ts = ts_sec
+            self.records_read += 1
             if ethernet:
                 if len(data) < 14:
                     self.skipped += 1
@@ -181,9 +298,13 @@ class PcapReader:
                 data = data[14:]
             timestamp = ts_sec + ts_usec / 1_000_000
             try:
-                yield PacketRecord.decode(data, timestamp)
+                record = PacketRecord.decode(data, timestamp, lenient=tolerant)
             except HeaderDecodeError:
                 self.skipped += 1
+                continue
+            if record.options.truncated_options:
+                self.option_errors += 1
+            yield record
 
     def iter_chunks(
         self,
@@ -203,6 +324,13 @@ class PcapReader:
                 chunk = []
         if chunk:
             yield chunk
+
+    def fold_faults(self, faults) -> None:
+        """Fold this reader's recovery counters into a
+        :class:`repro.errors.FaultStats`."""
+        faults.corrupt_records += self.corrupt_records
+        faults.resyncs += self.resyncs
+        faults.option_errors += self.option_errors
 
     def close(self) -> None:
         self._file.close()
@@ -224,7 +352,9 @@ def write_pcap(
         return writer.write_all(records)
 
 
-def read_pcap(path: str | Path) -> list[PacketRecord]:
+def read_pcap(
+    path: str | Path, errors: "ErrorBudget | str | None" = None
+) -> list[PacketRecord]:
     """Read every packet record from ``path``."""
-    with PcapReader(path) as reader:
+    with PcapReader(path, errors=errors) as reader:
         return list(reader)

@@ -1,0 +1,26 @@
+"""Test support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the seedable fault-injection harness
+used by ``tests/test_faults.py`` and
+``benchmarks/bench_fault_recovery.py`` to prove the pipeline's
+recovery guarantees.  Nothing here is imported by production code
+paths; importing it has no side effects.
+"""
+
+from .faults import (
+    FaultPlan,
+    corrupt_cache_entry,
+    corrupt_pcap_bytes,
+    corrupt_pcap_records,
+    inject_flow_crash,
+    kill_worker_once,
+)
+
+__all__ = [
+    "FaultPlan",
+    "corrupt_cache_entry",
+    "corrupt_pcap_bytes",
+    "corrupt_pcap_records",
+    "inject_flow_crash",
+    "kill_worker_once",
+]

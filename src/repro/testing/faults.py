@@ -1,0 +1,272 @@
+"""Seedable fault-injection harness.
+
+Every injector is deterministic given its ``seed``: the same seed
+produces the same corrupted bytes, the same crashing flows, and the
+same worker deaths, so recovery tests are reproducible and CI can run
+a fixed seed matrix.
+
+Injection points mirror the failure domains the robustness layer
+covers:
+
+==============================  =====================================
+injector                        exercises
+==============================  =====================================
+:func:`corrupt_pcap_bytes`      raw byte damage (fuzzing primitive)
+:func:`corrupt_pcap_records`    record-aware framing damage →
+                                :class:`~repro.packet.pcap.PcapReader`
+                                resync / skip-and-count
+:func:`inject_flow_crash`       analyzer crashes → per-flow
+                                quarantine into
+                                :class:`~repro.errors.SkippedFlow`
+:func:`kill_worker_once`        worker process death → pool retry
+                                with backoff
+:func:`corrupt_cache_entry`     cache damage → corruption-as-miss
+==============================  =====================================
+
+Process-crossing injectors (:func:`inject_flow_crash`,
+:func:`kill_worker_once`) work by setting module-level hooks that
+fork-based worker pools inherit; both are context managers that always
+restore the previous hook.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import random
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_GLOBAL_HEADER_LEN = 24
+_RECORD_HEADER = struct.Struct("<IIII")
+
+#: ``incl_len`` value planted by the ``length`` damage mode — far over
+#: the reader's ``_MAX_RECORD_BYTES`` bound, so framing recovery (not
+#: packet decoding) must handle it.
+_BOGUS_INCL_LEN = 0x00FF_FFFF
+
+
+@dataclass
+class FaultPlan:
+    """What :func:`corrupt_pcap_records` did to a capture file."""
+
+    seed: int
+    records_total: int = 0
+    damaged: list[int] = field(default_factory=list)  # record indices
+    modes: list[str] = field(default_factory=list)    # mode per index
+
+    @property
+    def records_damaged(self) -> int:
+        return len(self.damaged)
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"#{index}:{mode}"
+            for index, mode in zip(self.damaged, self.modes)
+        )
+        return (
+            f"seed {self.seed}: damaged {self.records_damaged}/"
+            f"{self.records_total} records ({pairs})"
+        )
+
+
+def corrupt_pcap_bytes(
+    data: bytes,
+    seed: int,
+    flips: int = 0,
+    truncate_to: int | None = None,
+    skip_global_header: bool = True,
+) -> bytes:
+    """Fuzzing primitive: flip ``flips`` random bits, then truncate.
+
+    Bit positions are drawn from ``random.Random(seed)``.  With
+    ``skip_global_header`` (default) the 24-byte pcap global header is
+    left intact so the damage lands in record space — flipping the
+    magic just makes every budget reject the file at open, which is a
+    separate (and far less interesting) test.
+    """
+    rng = random.Random(seed)
+    out = bytearray(data)
+    lo = _GLOBAL_HEADER_LEN if skip_global_header else 0
+    if len(out) > lo:
+        for _ in range(flips):
+            pos = rng.randrange(lo, len(out))
+            out[pos] ^= 1 << rng.randrange(8)
+    if truncate_to is not None:
+        del out[max(0, truncate_to):]
+    return bytes(out)
+
+
+def _iter_record_spans(data: bytes) -> list[tuple[int, int]]:
+    """(header_offset, incl_len) for each record of a classic pcap."""
+    spans: list[tuple[int, int]] = []
+    offset = _GLOBAL_HEADER_LEN
+    while offset + _RECORD_HEADER.size <= len(data):
+        incl_len = _RECORD_HEADER.unpack_from(data, offset)[2]
+        if offset + _RECORD_HEADER.size + incl_len > len(data):
+            break
+        spans.append((offset, incl_len))
+        offset += _RECORD_HEADER.size + incl_len
+    return spans
+
+
+#: Damage modes applied round-robin by :func:`corrupt_pcap_records`.
+DAMAGE_MODES = ("length", "zero_header", "flip_body", "garbage_body")
+
+
+def corrupt_pcap_records(
+    src: str | Path,
+    dst: str | Path,
+    fraction: float = 0.01,
+    seed: int = 0,
+    modes: tuple[str, ...] = DAMAGE_MODES,
+) -> FaultPlan:
+    """Damage a deterministic ~``fraction`` of the records in ``src``.
+
+    Writes the corrupted capture to ``dst`` and returns the
+    :class:`FaultPlan` describing exactly which records were hit and
+    how.  Damage modes:
+
+    * ``length`` — overwrite ``incl_len`` with an implausibly large
+      value (framing recovery must resync past the stale body);
+    * ``zero_header`` — zero the 16-byte record header;
+    * ``flip_body`` — flip a few random bits inside the packet body
+      (frame stays intact; packet decoding must cope);
+    * ``garbage_body`` — overwrite the body with random bytes
+      (decoding fails; the reader skips and counts).
+    """
+    src, dst = Path(src), Path(dst)
+    data = bytearray(src.read_bytes())
+    spans = _iter_record_spans(bytes(data))
+    plan = FaultPlan(seed=seed, records_total=len(spans))
+    if not spans:
+        dst.write_bytes(bytes(data))
+        return plan
+    rng = random.Random(seed)
+    count = max(1, round(fraction * len(spans)))
+    plan.damaged = sorted(rng.sample(range(len(spans)), min(count, len(spans))))
+    for position, index in enumerate(plan.damaged):
+        offset, incl_len = spans[index]
+        body = offset + _RECORD_HEADER.size
+        mode = modes[position % len(modes)]
+        plan.modes.append(mode)
+        if mode == "length":
+            struct.pack_into("<I", data, offset + 8, _BOGUS_INCL_LEN)
+        elif mode == "zero_header":
+            data[offset:body] = bytes(_RECORD_HEADER.size)
+        elif mode == "flip_body" and incl_len:
+            for _ in range(3):
+                pos = body + rng.randrange(incl_len)
+                data[pos] ^= 1 << rng.randrange(8)
+        elif mode == "garbage_body" and incl_len:
+            data[body : body + incl_len] = rng.randbytes(incl_len)
+    dst.write_bytes(bytes(data))
+    return plan
+
+
+# -- analyzer crashes ---------------------------------------------------
+
+
+def _key_hash(key: object, seed: int) -> float:
+    """Stable per-flow uniform in [0, 1) — identical in every worker."""
+    digest = hashlib.sha256(f"{seed}:{key!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class InjectedFault(RuntimeError):
+    """The exception :func:`inject_flow_crash` raises by default."""
+
+
+@contextlib.contextmanager
+def inject_flow_crash(
+    fraction: float | None = None,
+    seed: int = 0,
+    keys: set | None = None,
+    error: Exception | None = None,
+):
+    """Make the analyzer crash on a deterministic subset of flows.
+
+    Selection is by a stable hash of the flow key (``fraction`` +
+    ``seed``) and/or an explicit ``keys`` set, so the same flows crash
+    no matter how the stream is chunked or which worker analyzes them.
+    The crash is raised from inside :meth:`Tapo.analyze_flow
+    <repro.core.tapo.Tapo.analyze_flow>` via the module's ``FLOW_HOOK``
+    seam, which fork-based pools inherit.
+    """
+    from ..core import tapo as tapo_module
+
+    fault = error if error is not None else InjectedFault(
+        "injected analyzer fault"
+    )
+
+    def hook(flow) -> None:
+        if keys is not None and flow.key in keys:
+            raise fault
+        if fraction is not None and _key_hash(flow.key, seed) < fraction:
+            raise fault
+
+    previous = tapo_module.FLOW_HOOK
+    tapo_module.FLOW_HOOK = hook
+    try:
+        yield hook
+    finally:
+        tapo_module.FLOW_HOOK = previous
+
+
+@contextlib.contextmanager
+def kill_worker_once(sentinel_dir: str | Path, exit_code: int = 42):
+    """Kill the first *worker* process that analyzes a flow.
+
+    The kill fires at most once — a sentinel file created with
+    ``O_CREAT | O_EXCL`` arbitrates between racing workers — and never
+    in the parent process, so the pool's retry path (not the caller)
+    has to absorb the death.  The sentinel lives in ``sentinel_dir``;
+    use a fresh temp dir per test.
+    """
+    from ..core import tapo as tapo_module
+
+    sentinel = Path(sentinel_dir) / "kill_worker_once.sentinel"
+    parent = os.getpid()
+
+    def hook(flow) -> None:
+        if os.getpid() == parent:
+            return
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        os._exit(exit_code)
+
+    previous = tapo_module.FLOW_HOOK
+    tapo_module.FLOW_HOOK = hook
+    try:
+        yield sentinel
+    finally:
+        tapo_module.FLOW_HOOK = previous
+
+
+# -- cache damage -------------------------------------------------------
+
+
+def corrupt_cache_entry(
+    path: str | Path, seed: int = 0, flips: int = 16
+) -> int:
+    """Flip ``flips`` random bits inside a cache entry file.
+
+    Returns the number of bits flipped (0 for an empty file).  The
+    entry's payload checksum guarantees the cache detects the damage
+    and treats the entry as a recoverable miss.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return 0
+    rng = random.Random(seed)
+    for _ in range(flips):
+        pos = rng.randrange(len(data))
+        data[pos] ^= 1 << rng.randrange(8)
+    path.write_bytes(bytes(data))
+    return flips

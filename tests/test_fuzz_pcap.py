@@ -1,0 +1,195 @@
+"""Seed-driven fuzzing of the pcap parser and the analysis pipeline.
+
+Contract under fuzz: random byte damage to a capture must never make
+the pipeline raise anything **outside the ReproError hierarchy**, and
+must never hang.  In lenient mode a typed :class:`ReproError` is
+itself a bug for record-space damage (the budget says "never fail");
+damage to the global header — an unreadable *file*, not a bad record —
+is the one place a typed error is still the right answer.
+
+Each case is derived from a base seed, so a failure prints the exact
+``(base_seed, case)`` pair needed to replay it.  CI runs a fixed seed
+matrix via ``REPRO_FUZZ_SEED``; locally the default matrix is
+``(0, 1, 2)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import signal
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.core.tapo import Tapo
+from repro.errors import ErrorBudget, ReproError
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.packet.packet import PacketRecord
+from repro.packet.pcap import PcapReader, write_pcap
+from repro.testing.faults import corrupt_pcap_bytes
+
+CASES_PER_SEED = 25
+MAX_FLIPS = 64
+#: Per-case wall-clock bound; a mutation that stalls the parser is a
+#: hang bug, not a slow test.
+CASE_TIMEOUT = 10.0
+
+
+def _seed_matrix() -> tuple[int, ...]:
+    env = os.environ.get("REPRO_FUZZ_SEED")
+    if env is not None:
+        return (int(env),)
+    return (0, 1, 2)
+
+
+class FuzzTimeout(Exception):
+    """Raised by the watchdog; deliberately NOT a ReproError."""
+
+
+@contextlib.contextmanager
+def time_limit(seconds: float):
+    def handler(signum, frame):
+        raise FuzzTimeout(f"fuzz case exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+SERVER = (0x0A000001, 80)
+
+
+def _capture_bytes(tmp_path) -> bytes:
+    """A small valid capture: 12 complete request/response flows."""
+    packets = []
+    for i in range(12):
+        start = i * 0.5
+        client = (0x64400001 + i, 30000 + i)
+
+        def pkt(src, dst, flags=FLAG_ACK, payload=0, dt=0.0, seq=0, ack=0):
+            return PacketRecord(
+                timestamp=start + dt,
+                src_ip=src[0],
+                src_port=src[1],
+                dst_ip=dst[0],
+                dst_port=dst[1],
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                payload_len=payload,
+            )
+
+        packets.append(pkt(client, SERVER, flags=FLAG_SYN, seq=1))
+        packets.append(
+            pkt(SERVER, client, flags=FLAG_SYN | FLAG_ACK, dt=0.01, seq=9, ack=2)
+        )
+        packets.append(pkt(client, SERVER, payload=50, dt=0.02, seq=2, ack=10))
+        packets.append(pkt(SERVER, client, payload=1448, dt=0.03, seq=10, ack=52))
+        packets.append(pkt(client, SERVER, dt=0.04, seq=52, ack=1458))
+        packets.append(
+            pkt(SERVER, client, flags=FLAG_FIN | FLAG_ACK, dt=0.05, seq=1458, ack=52)
+        )
+        packets.append(
+            pkt(client, SERVER, flags=FLAG_FIN | FLAG_ACK, dt=0.06, seq=52, ack=1459)
+        )
+        packets.append(pkt(SERVER, client, dt=0.07, seq=1459, ack=53))
+    path = tmp_path / "valid.pcap"
+    write_pcap(path, packets)
+    return path.read_bytes()
+
+
+def _mutate(data: bytes, rng: random.Random, record_space_only: bool) -> bytes:
+    flips = rng.randrange(1, MAX_FLIPS)
+    truncate_to = None
+    if rng.random() < 0.3:
+        truncate_to = rng.randrange(0, len(data))
+    return corrupt_pcap_bytes(
+        data,
+        seed=rng.randrange(2**32),
+        flips=flips,
+        truncate_to=truncate_to,
+        skip_global_header=record_space_only,
+    )
+
+
+def _run_pipeline(path, budget: ErrorBudget) -> int:
+    """Parser + full analysis over one mutated capture; returns flows."""
+    with PcapReader(path, errors=budget) as reader:
+        packets = list(reader)
+    tapo = Tapo(AnalysisConfig(errors=budget))
+    return sum(1 for _ in tapo.analyze_packets(packets))
+
+
+@pytest.mark.parametrize("base_seed", _seed_matrix())
+class TestFuzzPcap:
+    def test_lenient_never_raises_on_record_damage(self, base_seed, tmp_path):
+        """Record-space damage + lenient budget: zero exceptions."""
+        data = _capture_bytes(tmp_path)
+        rng = random.Random(base_seed)
+        target = tmp_path / "mutated.pcap"
+        for case in range(CASES_PER_SEED):
+            target.write_bytes(_mutate(data, rng, record_space_only=True))
+            try:
+                with time_limit(CASE_TIMEOUT):
+                    _run_pipeline(target, ErrorBudget.lenient())
+            except Exception as exc:  # noqa: BLE001 - the assertion itself
+                pytest.fail(
+                    f"lenient pipeline raised {type(exc).__name__}: {exc} "
+                    f"(base_seed={base_seed}, case={case})"
+                )
+
+    def test_only_typed_errors_escape_anywhere(self, base_seed, tmp_path):
+        """Any damage, any budget: escapes must be ReproError, no hangs."""
+        data = _capture_bytes(tmp_path)
+        rng = random.Random(base_seed)
+        target = tmp_path / "mutated.pcap"
+        budgets = (
+            ErrorBudget.strict(),
+            ErrorBudget.lenient(),
+            ErrorBudget.parse("budget:2"),
+            ErrorBudget.parse("budget:10%"),
+        )
+        for case in range(CASES_PER_SEED):
+            target.write_bytes(_mutate(data, rng, record_space_only=False))
+            budget = budgets[case % len(budgets)]
+            try:
+                with time_limit(CASE_TIMEOUT):
+                    _run_pipeline(target, budget)
+            except ReproError:
+                pass  # typed failure: allowed for any budget here
+            except Exception as exc:  # noqa: BLE001 - the assertion itself
+                pytest.fail(
+                    f"untyped {type(exc).__name__} escaped: {exc} "
+                    f"(base_seed={base_seed}, case={case}, "
+                    f"budget={budget.describe()})"
+                )
+
+    def test_lenient_survivors_are_analyzable(self, base_seed, tmp_path):
+        """Whatever the lenient reader salvages, analysis must accept."""
+        data = _capture_bytes(tmp_path)
+        rng = random.Random(base_seed)
+        target = tmp_path / "mutated.pcap"
+        analyzed_any = False
+        for case in range(CASES_PER_SEED):
+            target.write_bytes(_mutate(data, rng, record_space_only=True))
+            with time_limit(CASE_TIMEOUT):
+                flows = _run_pipeline(target, ErrorBudget.lenient())
+            analyzed_any = analyzed_any or flows > 0
+        # Sanity: the corpus isn't vacuous — most mutations leave the
+        # bulk of the capture intact, so flows must survive somewhere.
+        assert analyzed_any
+
+
+def test_fuzz_timeout_watchdog_fires():
+    """The watchdog itself works (and is not a ReproError)."""
+    with pytest.raises(FuzzTimeout):
+        with time_limit(0.05):
+            while True:
+                pass
+    assert not issubclass(FuzzTimeout, ReproError)

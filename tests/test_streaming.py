@@ -466,3 +466,149 @@ class TestAnalyzerFeedPath:
                 incremental.feed(packet, direction)
             streamed = incremental.finish()
             assert signature(streamed) == signature(batch)
+
+
+class TestEvictionEdgeCases:
+    """Regression tests for the demuxer's eviction caveats: the same
+    4-tuple reappearing after eviction, and stragglers around the
+    close linger (ISSUE: fault-tolerant ingestion, satellite f)."""
+
+    @staticmethod
+    def clock(i: int, ticks: int, step: float = 1.0) -> list[PacketRecord]:
+        """A long-lived flow whose packets advance trace time so the
+        demuxer's sweeps actually fire between the interesting events."""
+        c = client(i)
+        packets = [pkt(c, SERVER, flags=FLAG_SYN, ts=0.0, seq=1)]
+        packets += [
+            pkt(c, SERVER, ts=(t + 1) * step, seq=2, ack=1)
+            for t in range(ticks)
+        ]
+        return packets
+
+    def test_tuple_reappearing_after_idle_eviction(self):
+        c = client(0)
+        tail = [
+            pkt(c, SERVER, payload=10, ts=10.0, seq=200, ack=400),
+            pkt(SERVER, c, ts=10.1, seq=400, ack=210),
+        ]
+        packets = interleave(
+            [tiny_flow(0, 0.0, close="none"), tail, self.clock(99, 12)]
+        )
+        stats = StreamStats()
+        flows = list(
+            demux_stream(
+                packets, idle_timeout=5.0, close_linger=1.0, stats=stats
+            )
+        )
+        key = FlowKey.from_packet(tail[0])
+        segments = [f for f in flows if f.key == key]
+        # The idle gap split the flow: one evicted segment mid-stream,
+        # one fresh segment for the reappearing tuple.
+        assert len(segments) == 2
+        assert stats.flows_evicted_idle >= 1
+        assert stats.flows_reopened == 1  # the SYN-less restart
+        assert sum(len(f.packets) for f in flows) == len(packets)
+
+    def test_fin_then_retransmit_after_linger(self):
+        c = client(0)
+        # A retransmission of the last data segment, arriving well
+        # after the close linger expired.
+        straggler = [pkt(SERVER, c, payload=1000, ts=6.0, seq=301, ack=151)]
+        packets = interleave(
+            [tiny_flow(0, 0.0), straggler, self.clock(99, 8)]
+        )
+        stats = StreamStats()
+        flows = list(
+            demux_stream(
+                packets, idle_timeout=60.0, close_linger=1.0, stats=stats
+            )
+        )
+        key = FlowKey.from_packet(straggler[0])
+        segments = [f for f in flows if f.key == key]
+        assert len(segments) == 2
+        assert len(segments[1].packets) == 1  # just the straggler
+        assert stats.flows_closed == 1
+        assert stats.flows_reopened == 1
+        assert sum(len(f.packets) for f in flows) == len(packets)
+
+    def test_straggler_within_linger_attaches(self):
+        c = client(0)
+        straggler = [pkt(SERVER, c, payload=1000, ts=0.5, seq=301, ack=151)]
+        packets = interleave(
+            [tiny_flow(0, 0.0), straggler, self.clock(99, 8)]
+        )
+        stats = StreamStats()
+        flows = list(
+            demux_stream(
+                packets, idle_timeout=60.0, close_linger=2.0, stats=stats
+            )
+        )
+        key = FlowKey.from_packet(straggler[0])
+        segments = [f for f in flows if f.key == key]
+        # Within the linger the retransmit still belongs to the flow.
+        assert len(segments) == 1
+        assert len(segments[0].packets) == len(tiny_flow(0, 0.0)) + 1
+        assert stats.flows_reopened == 0
+        assert stats.flows_closed == 1
+
+    def test_port_reuse_with_syn_not_counted_reopened(self):
+        reuse = tiny_flow(0, 10.0)  # same 4-tuple, brand-new SYN
+        packets = interleave(
+            [tiny_flow(0, 0.0, close="none"), reuse, self.clock(99, 14)]
+        )
+        stats = StreamStats()
+        flows = list(
+            demux_stream(
+                packets, idle_timeout=5.0, close_linger=1.0, stats=stats
+            )
+        )
+        key = FlowKey.from_packet(reuse[0])
+        segments = [f for f in flows if f.key == key]
+        assert len(segments) == 2
+        # A SYN means a genuinely new connection, not a reopen.
+        assert stats.flows_reopened == 0
+
+    def test_eviction_disabled_merges_reappearance(self):
+        """With both bounds off the demuxer matches batch demux: the
+        reappearing tuple merges into the original flow."""
+        c = client(0)
+        tail = [pkt(c, SERVER, payload=10, ts=10.0, seq=200, ack=400)]
+        packets = interleave([tiny_flow(0, 0.0, close="none"), tail])
+        stats = StreamStats()
+        flows = list(
+            demux_stream(
+                packets, idle_timeout=None, close_linger=None, stats=stats
+            )
+        )
+        key = FlowKey.from_packet(tail[0])
+        segments = [f for f in flows if f.key == key]
+        assert len(segments) == 1
+        assert len(segments[0].packets) == len(packets)
+        batch = [f for f in demux(packets) if f.key == key]
+        assert [p.timestamp for p, _ in segments[0].packets] == [
+            p.timestamp for p, _ in batch[0].packets
+        ]
+
+    def test_reopened_segments_still_analyzable(self):
+        """Both segments of a split flow survive analysis (the second
+        has no handshake — exactly the shape lenient mode must take)."""
+        c = client(0)
+        tail = [
+            pkt(c, SERVER, payload=10, ts=10.0, seq=200, ack=400),
+            pkt(SERVER, c, payload=500, ts=10.1, seq=400, ack=210),
+            pkt(c, SERVER, ts=10.2, seq=210, ack=900),
+        ]
+        packets = interleave(
+            [tiny_flow(0, 0.0, close="none"), tail, self.clock(99, 12)]
+        )
+        tapo = Tapo()
+        analyses = list(
+            tapo.analyze_stream(
+                packets,
+                run=RunConfig(idle_timeout=5.0, close_linger=1.0),
+            )
+        )
+        key = FlowKey.from_packet(tail[0])
+        got = [a for a in analyses if a.flow.key == key]
+        assert len(got) == 2
+        assert all(a.duration >= 0 for a in got)
