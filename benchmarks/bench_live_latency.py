@@ -1,0 +1,275 @@
+"""Latency and memory bounds for the live monitoring daemon.
+
+Two claims back ``repro-paper watch`` as a long-running monitor:
+
+* **bounded ingest-to-report lag** — while a capture file grows under
+  the daemon, the time from "batch of flows appended and flushed" to
+  "those flows visible in the daemon's report" stays under a fixed
+  bound (poll interval + analysis time), independent of how much the
+  daemon has already ingested;
+* **flat memory** — tailing a trace 10x longer leaves peak RSS
+  essentially unchanged (the rolling windows retire into a cumulative
+  tail and open-flow state is bounded), so the daemon can follow a
+  capture far larger than memory.
+
+Each measurement runs in a fresh subprocess (clean RSS baseline): a
+writer thread appends flows to a pcap in batches while a
+:class:`repro.live.daemon.LiveDaemon` tails it; after every batch the
+measurement spin-waits until the daemon's report reflects the batch
+(minus the streaming pipeline's small completion buffer) and records
+the wall-clock lag.
+
+Standalone::
+
+    python benchmarks/bench_live_latency.py [--json-out out.json]
+
+or via pytest (the CI live-smoke job)::
+
+    pytest benchmarks/bench_live_latency.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+FLOWS_1X = 60
+BATCHES = 6
+SCALE = 10
+
+#: Worst-case observed ingest-to-report lag per batch (seconds).  The
+#: daemon polls every POLL_INTERVAL and analyzes a batch in well under
+#: a second; generous headroom for loaded CI machines.
+LAG_LIMIT_SECONDS = 5.0
+#: Trailing flows a batch may leave buffered inside the streaming
+#: pipeline (they complete when later packets or the final flush
+#: arrive); the lag wait excludes them.
+COMPLETION_SLACK_FLOWS = 16
+#: RSS at 10x must stay under this multiple of RSS at 1x.
+RSS_RATIO_LIMIT = 2.0
+POLL_INTERVAL = 0.02
+#: Rolling retention used by the measurement daemon: live windows are
+#: capped at RETENTION + 1 (the open window plus the kept history) no
+#: matter how long the trace runs.
+RETENTION = 8
+
+
+def flow_packets(i: int, start: float):
+    """One short request/response flow ending ~0.15s after ``start``."""
+    from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+    from repro.packet.packet import PacketRecord
+
+    server = (0x0A000001, 80)
+    client = (0x64400001 + (i % 0xFFFF), 20000 + (i % 40000))
+
+    def pkt(src, dst, flags=FLAG_ACK, payload=0, dt=0.0, seq=0, ack=0):
+        return PacketRecord(
+            timestamp=start + dt,
+            src_ip=src[0],
+            src_port=src[1],
+            dst_ip=dst[0],
+            dst_port=dst[1],
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            payload_len=payload,
+        )
+
+    stall = 0.8 if i % 5 == 0 else 0.0
+    return [
+        pkt(client, server, flags=FLAG_SYN, seq=100),
+        pkt(server, client, flags=FLAG_SYN | FLAG_ACK, dt=0.01,
+            seq=300, ack=101),
+        pkt(client, server, payload=80, dt=0.02, seq=101, ack=301),
+        pkt(server, client, payload=1448, dt=0.05 + stall, seq=301,
+            ack=181),
+        pkt(client, server, dt=0.07 + stall, seq=181, ack=1749),
+        pkt(server, client, flags=FLAG_FIN | FLAG_ACK, dt=0.08 + stall,
+            seq=1749, ack=181),
+        pkt(client, server, flags=FLAG_FIN | FLAG_ACK, dt=0.09 + stall,
+            seq=181, ack=1750),
+        pkt(server, client, dt=0.10 + stall, seq=1750, ack=182),
+    ]
+
+
+def _measure(flows: int) -> dict:
+    """Subprocess body: tail a growing pcap, record per-batch lag."""
+    import resource
+    import threading
+
+    from repro.live.daemon import LiveDaemon
+    from repro.live.sources import PcapTailSource
+    from repro.packet.pcap import PcapWriter
+
+    tmp = tempfile.mkdtemp(prefix="bench-live-")
+    path = os.path.join(tmp, "grow.pcap")
+    writer = PcapWriter(path)
+    writer.flush()
+
+    daemon = LiveDaemon(
+        PcapTailSource(path),
+        window_seconds=10.0,
+        retention=RETENTION,  # force expiry: live windows stay bounded
+        poll_interval=POLL_INTERVAL,
+    )
+    result = {}
+    thread = threading.Thread(
+        target=lambda: result.update(report=daemon.run()), daemon=True
+    )
+    thread.start()
+
+    batch_size = flows // BATCHES
+    lags = []
+    written = 0
+    for batch in range(BATCHES):
+        for j in range(batch_size):
+            i = written + j
+            for record in flow_packets(i, i * 1.0):
+                writer.write(record)
+        written += batch_size
+        writer.flush()
+        appended_at = time.monotonic()
+        target = max(0, written - COMPLETION_SLACK_FLOWS)
+        while True:
+            if daemon.report()["runtime"]["flows"] >= target:
+                break
+            if time.monotonic() - appended_at > 60:
+                raise RuntimeError(
+                    f"daemon never caught up to {target} flows"
+                )
+            time.sleep(0.005)
+        lags.append(time.monotonic() - appended_at)
+    writer.close()
+
+    daemon.stop()
+    thread.join(timeout=60)
+    report = result["report"]
+    size = os.path.getsize(path)
+    os.unlink(path)
+    os.rmdir(tmp)
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "flows_written": written,
+        "flows_reported": report["runtime"]["flows"],
+        "records_in": report["runtime"]["records_in"],
+        "pcap_bytes": size,
+        "live_windows": len(report["windows"]["windows"]),
+        "expired_windows": report["windows"]["expired_windows"],
+        "max_lag_seconds": max(lags),
+        "mean_lag_seconds": sum(lags) / len(lags),
+        "max_rss_kb": rss_kb,
+    }
+
+
+def run_measure(flows: int) -> dict:
+    """Run one measurement in a fresh interpreter (clean RSS baseline)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--measure",
+         str(flows)],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    return json.loads(out.stdout)
+
+
+def compare(flows_1x: int = FLOWS_1X) -> dict:
+    one = run_measure(flows_1x)
+    ten = run_measure(flows_1x * SCALE)
+    return {
+        "live_1x": one,
+        "live_10x": ten,
+        "rss_ratio_10x_over_1x": ten["max_rss_kb"] / one["max_rss_kb"],
+    }
+
+
+def test_live_lag_and_memory_bounded():
+    """CI gate: per-batch lag bounded, RSS flat at 10x, windows capped."""
+    result = compare()
+    one, ten = result["live_1x"], result["live_10x"]
+    assert ten["flows_reported"] == SCALE * one["flows_written"]
+    for label, run in (("1x", one), ("10x", ten)):
+        assert run["flows_reported"] == run["flows_written"]
+        assert (
+            run["max_lag_seconds"] <= LAG_LIMIT_SECONDS
+        ), f"ingest-to-report lag unbounded at {label}: {run}"
+    assert ten["live_windows"] <= RETENTION + 1, (
+        "rolling retention failed to cap live windows"
+    )
+    assert ten["expired_windows"] > one["expired_windows"]
+    assert (
+        result["rss_ratio_10x_over_1x"] <= RSS_RATIO_LIMIT
+    ), f"daemon RSS grew with trace length: {result}"
+    _print_report(result)
+
+
+def _print_report(result: dict) -> None:
+    one, ten = result["live_1x"], result["live_10x"]
+    print()
+    print("Live daemon lag + memory (peak RSS via getrusage):")
+    for label, run in (("1x ", one), ("10x", ten)):
+        print(
+            f"  {label}: {run['records_in']:>6} records "
+            f"({run['pcap_bytes'] / 1024:7.1f} KiB)  "
+            f"lag max {run['max_lag_seconds'] * 1000:6.1f} ms / "
+            f"mean {run['mean_lag_seconds'] * 1000:6.1f} ms  "
+            f"RSS {run['max_rss_kb'] / 1024:6.1f} MiB  "
+            f"windows {run['live_windows']} live "
+            f"+{run['expired_windows']} expired"
+        )
+    print(
+        f"  RSS ratio 10x/1x: {result['rss_ratio_10x_over_1x']:.2f} "
+        f"(limit {RSS_RATIO_LIMIT}), lag limit {LAG_LIMIT_SECONDS}s"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Prove the live daemon's bounded report lag and flat memory."
+        )
+    )
+    parser.add_argument("--flows", type=int, default=FLOWS_1X)
+    parser.add_argument("--json-out", help="write the comparison here")
+    parser.add_argument(
+        "--measure",
+        type=int,
+        metavar="FLOWS",
+        help="(internal) measure one size in this process and print JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.measure is not None:
+        json.dump(_measure(args.measure), sys.stdout)
+        print()
+        return 0
+
+    result = compare(args.flows)
+    _print_report(result)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    one, ten = result["live_1x"], result["live_10x"]
+    ok = (
+        one["max_lag_seconds"] <= LAG_LIMIT_SECONDS
+        and ten["max_lag_seconds"] <= LAG_LIMIT_SECONDS
+        and result["rss_ratio_10x_over_1x"] <= RSS_RATIO_LIMIT
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for ``repro-paper watch`` (the CI live-smoke job).
+
+Drives the daemon the way production would, as a real subprocess:
+
+1. generate rotating capture files from the workload generator and
+   damage one of them with :func:`repro.testing.faults.corrupt_pcap_records`;
+2. start ``repro-paper watch <dir>`` with an HTTP endpoint, alerts, and
+   a checkpoint; drop one more rotated file in while it runs;
+3. poll ``/healthz`` until ingestion catches up, assert ``/metrics``
+   and ``/report.json`` respond;
+4. SIGTERM the daemon and assert its final flushed report is
+   byte-identical to a one-shot batch run over the concatenated
+   input — corruption, rotation, and all.
+
+Usage::
+
+    python examples/live_smoke.py [--outdir smoke-out] [--flows 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from dataclasses import replace
+from pathlib import Path
+
+from repro.config import AnalysisConfig
+from repro.errors import ErrorBudget
+from repro.experiments.runner import run_flows
+from repro.live.daemon import batch_report
+from repro.packet.pcap import PcapReader, PcapWriter
+from repro.testing.faults import corrupt_pcap_records
+from repro.workload import generate_flows, get_profile
+
+WINDOW_SECONDS = 1.0
+
+
+def generate_rotation(capdir: Path, flows: int, seed: int) -> list[Path]:
+    """Simulate one service run and split it, in trace-time order, into
+    three rotated capture files; the middle one gets corrupted."""
+    profile = get_profile("web_search")
+    run = run_flows(generate_flows(profile, flows, seed=seed))
+    # The simulator starts every flow at t=0; stagger arrivals so the
+    # trace spans several rolling windows like a real capture.
+    packets = sorted(
+        (
+            replace(p, timestamp=p.timestamp + i * 0.7)
+            for i, trace in enumerate(run.traces)
+            for p in trace
+        ),
+        key=lambda p: p.timestamp,
+    )
+    thirds = [
+        packets[: len(packets) // 3],
+        packets[len(packets) // 3 : 2 * len(packets) // 3],
+        packets[2 * len(packets) // 3 :],
+    ]
+    paths = []
+    for i, chunk in enumerate(thirds):
+        path = capdir / f"cap-{i:03d}.pcap"
+        with PcapWriter(path) as writer:
+            writer.write_all(chunk)
+        paths.append(path)
+    clean = capdir / "cap-001.clean"
+    paths[1].rename(clean)
+    corrupt_pcap_records(clean, paths[1], fraction=0.02, seed=seed)
+    clean.unlink()
+    return paths
+
+
+def lenient_record_count(paths: list[Path]) -> int:
+    total = 0
+    for path in paths:
+        with PcapReader(path, errors="lenient") as reader:
+            total += sum(1 for _ in reader)
+    return total
+
+
+def get_json(url: str, timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                return json.loads(response.read().decode())
+        except Exception:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--outdir", default="smoke-out")
+    parser.add_argument("--flows", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=20141222)
+    args = parser.parse_args(argv)
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    capdir = outdir / "captures"
+    capdir.mkdir(exist_ok=True)
+
+    paths = generate_rotation(capdir, args.flows, args.seed)
+    late = paths.pop()  # cap-002 arrives while the daemon runs
+    staged = capdir / "cap-002.staged"
+    late.rename(staged)
+
+    port = free_port()
+    report_path = outdir / "final_report.json"
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "watch", str(capdir),
+            "--window", str(WINDOW_SECONDS),
+            "--errors", "lenient",
+            "--poll-interval", "0.1",
+            "--http", f"127.0.0.1:{port}",
+            "--alert", "present: flows >= 1",
+            "--alert-log", str(outdir / "alerts.jsonl"),
+            "--checkpoint", str(outdir / "watch.ckpt"),
+            "--report-out", str(report_path),
+        ],
+        stderr=(outdir / "daemon.log").open("w"),
+    )
+    base = f"http://127.0.0.1:{port}"
+    try:
+        health = get_json(base + "/healthz")
+        assert health["status"] == "ok", health
+        print(f"healthz ok: {health['records_in']} records ingested")
+
+        staged.rename(late)  # rotation happens under the daemon
+        paths.append(late)
+        expected = lenient_record_count(paths)
+        deadline = time.monotonic() + 60
+        while True:
+            health = get_json(base + "/healthz")
+            if health["records_in"] == expected:
+                break
+            assert time.monotonic() < deadline, (health, expected)
+            time.sleep(0.2)
+        print(f"caught up: all {expected} records ingested after rotation")
+
+        with urllib.request.urlopen(base + "/metrics", timeout=5) as resp:
+            prom = resp.read().decode()
+            assert resp.headers["Content-Type"].startswith("text/plain")
+        for name in ("repro_live_records_total", "repro_live_flows_total"):
+            assert name in prom, name
+        (outdir / "metrics.prom").write_text(prom)
+        served = get_json(base + "/report.json")
+        assert served["windows"]["window_seconds"] == WINDOW_SECONDS
+        print("metrics + report endpoints ok")
+    except BaseException:
+        daemon.kill()
+        daemon.wait()
+        raise
+
+    daemon.send_signal(signal.SIGTERM)
+    code = daemon.wait(timeout=60)
+    assert code == 0, f"daemon exited {code}"
+
+    flushed = json.loads(report_path.read_text())
+    want = batch_report(
+        sorted(capdir.glob("*.pcap")),
+        window_seconds=WINDOW_SECONDS,
+        analysis=AnalysisConfig(errors=ErrorBudget.lenient()),
+    )
+    got_text = json.dumps(flushed["windows"], sort_keys=True)
+    want_text = json.dumps(want, sort_keys=True)
+    assert got_text == want_text, "flushed report diverged from batch run"
+    (outdir / "batch_report.json").write_text(want_text)
+
+    alerts = [
+        json.loads(line)
+        for line in (outdir / "alerts.jsonl").read_text().splitlines()
+    ]
+    assert any(e["state"] == "firing" for e in alerts), alerts
+    assert (outdir / "watch.ckpt").exists()
+
+    totals = flushed["windows"]["totals"]
+    print(
+        f"PASS: flushed report == batch report "
+        f"({totals['flows']} flows, {totals['skipped']} quarantined, "
+        f"{totals['stalls']} stalls, "
+        f"{len(flushed['windows']['windows'])} windows; "
+        f"SIGTERM flush, rotation, and corruption all exercised)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

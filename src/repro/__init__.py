@@ -70,6 +70,11 @@ _EXPORTS = {
     "SRTOPolicy": "repro.tcp",
     "TLPPolicy": "repro.tcp",
     "TcpConnection": "repro.tcp",
+    # live monitoring surface
+    "AlertRule": "repro.live",
+    "LiveDaemon": "repro.live",
+    "WindowStore": "repro.live",
+    "watch_directory": "repro.live",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__", "api", "config"]
@@ -100,6 +105,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
         Tapo,
         analyze_pcap,
     )
+    from .live import AlertRule, LiveDaemon, WindowStore, watch_directory
     from .tcp import EndpointConfig, SRTOPolicy, TcpConnection, TLPPolicy
 
 

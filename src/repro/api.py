@@ -11,6 +11,11 @@ dataclasses in :mod:`repro.config`:
 :func:`report`         analyses / packet traces -> one ServiceReport
 =====================  ==================================================
 
+Continuous monitoring (the ``repro-paper watch`` subsystem) is also
+re-exported: :func:`repro.live.watch_directory`,
+:class:`repro.live.LiveDaemon`, :class:`repro.live.WindowStore`, and
+:class:`repro.live.AlertRule`.
+
 Quickstart::
 
     from repro import api
@@ -51,6 +56,7 @@ from .errors import (
     SkippedFlow,
     WorkerError,
 )
+from .live import AlertRule, LiveDaemon, WindowStore, watch_directory
 from .packet.flow import (
     ServerPredicate,
     StreamStats,
@@ -60,6 +66,7 @@ from .packet.flow import (
 from .packet.packet import PacketRecord
 
 __all__ = [
+    "AlertRule",
     "AnalysisConfig",
     "CaState",
     "CacheError",
@@ -69,6 +76,7 @@ __all__ = [
     "FaultStats",
     "FlowAnalysis",
     "FlowAnalysisError",
+    "LiveDaemon",
     "PacketRecord",
     "ParseError",
     "PoisonTaskError",
@@ -81,6 +89,7 @@ __all__ = [
     "StallCause",
     "StreamStats",
     "Tapo",
+    "WindowStore",
     "WorkerError",
     "analyze",
     "analyze_stream",
@@ -88,6 +97,7 @@ __all__ = [
     "server_by_ip",
     "server_by_port",
     "simulate",
+    "watch_directory",
 ]
 
 

@@ -9,6 +9,8 @@ One binary fronts every layer of the pipeline:
                (:mod:`repro.core.cli`; also installed as ``tapo``)
 ``trace``      flight-recorder deep dive on one simulated flow
                (:mod:`repro.obs.export`)
+``watch``      continuous stall monitoring of a live/rotating capture
+               (:mod:`repro.live.cli`)
 =============  =====================================================
 
 The shared flags mean the same thing everywhere they apply:
@@ -34,7 +36,7 @@ from __future__ import annotations
 
 import sys
 
-_SUBCOMMANDS = ("run", "analyze", "trace")
+_SUBCOMMANDS = ("run", "analyze", "trace", "watch")
 
 _USAGE = """\
 usage: repro-paper <subcommand> [options]
@@ -43,10 +45,24 @@ subcommands:
   run        simulate services and regenerate the paper's evaluation
   analyze    classify TCP stalls in a pcap trace (batch or --stream)
   trace      re-simulate one flow with the flight recorder on
+  watch      continuously monitor stalls in a live/rotating capture
 
 Run 'repro-paper <subcommand> -h' for subcommand options.
 Flags without a subcommand are forwarded to 'run' (legacy form).
 """
+
+
+def version_string() -> str:
+    """The installed package version (falls back to the source tree's
+    ``repro.__version__`` when running uninstalled)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,6 +70,9 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] in ("help", "--help", "-h"):
         print(_USAGE, end="")
+        return 0
+    if argv and argv[0] in ("--version", "version"):
+        print(f"repro-paper {version_string()}")
         return 0
     command, rest = (argv[0], argv[1:]) if argv else ("run", [])
     if command == "analyze":
@@ -64,6 +83,10 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.export import trace_main
 
         return trace_main(rest)
+    if command == "watch":
+        from .live.cli import main as watch_main
+
+        return watch_main(rest)
     if command == "run":
         from .experiments.cli import main as run_main
 

@@ -28,9 +28,16 @@ def _error_budget(spec: str) -> ErrorBudget:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from ..cli import version_string
+
     parser = argparse.ArgumentParser(
         prog="tapo",
         description="Classify TCP stall causes in a server-side pcap trace.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {version_string()}",
     )
     parser.add_argument("pcap", help="path to a pcap file (raw-IP or Ethernet)")
     parser.add_argument(

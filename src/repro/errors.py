@@ -248,6 +248,10 @@ class SkippedFlow:
     error: str
     packets: int = 0
     packet_index: int | None = None
+    #: Trace time of the flow's last packet — lets time-windowed
+    #: aggregation (:mod:`repro.live.windows`) place the quarantined
+    #: flow in the window its analysis would have landed in.
+    last_time: float | None = None
 
     @classmethod
     def from_exception(
@@ -259,6 +263,7 @@ class SkippedFlow:
             error=str(exc) or type(exc).__name__,
             packets=len(flow.packets),
             packet_index=packet_index,
+            last_time=flow.last_time,
         )
 
     def describe(self) -> str:

@@ -1,0 +1,49 @@
+"""repro.live: continuous stall monitoring over live captures.
+
+The online counterpart of the one-shot analyzer — the paper frames
+TAPO as an always-on, server-side passive monitor, and this subsystem
+makes the reproduction run that way:
+
+* :mod:`repro.live.sources` — capture sources (growing-pcap tail,
+  rotating-directory watcher, stdin) built on the same incremental
+  scanner as the batch reader;
+* :mod:`repro.live.windows` — rolling trace-time windows with
+  order-independent (hence batch-byte-identical) aggregation;
+* :mod:`repro.live.alerts` — declarative threshold rules with
+  hysteresis and cooldown;
+* :mod:`repro.live.http` — stdlib HTTP endpoint (``/healthz``,
+  ``/metrics``, ``/report.json``);
+* :mod:`repro.live.daemon` — the orchestrator behind
+  ``repro-paper watch``, with graceful shutdown and
+  checkpoint/resume.
+"""
+
+from .alerts import AlertEngine, AlertRule, JsonlSink
+from .daemon import LiveDaemon, batch_report, open_source, watch_directory
+from .http import LiveHTTPServer
+from .sources import (
+    LiveSource,
+    PcapTailSource,
+    RotatingDirectorySource,
+    SourceCounters,
+    StdinSource,
+)
+from .windows import WindowStore, WindowSummary
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "JsonlSink",
+    "LiveDaemon",
+    "LiveHTTPServer",
+    "LiveSource",
+    "PcapTailSource",
+    "RotatingDirectorySource",
+    "SourceCounters",
+    "StdinSource",
+    "WindowStore",
+    "WindowSummary",
+    "batch_report",
+    "open_source",
+    "watch_directory",
+]

@@ -1,0 +1,249 @@
+"""Declarative threshold alerting over rolling windows.
+
+An :class:`AlertRule` is a comparison against a window metric (the
+selectors of :meth:`repro.live.windows.WindowSummary.metric`),
+evaluated over the newest ``over`` windows merged.  The engine adds
+the two stabilizers every production alert needs:
+
+* **hysteresis** — once firing, a rule resolves only when the metric
+  crosses back past its ``clear`` threshold (default: the firing
+  threshold), so values oscillating around the line don't flap;
+* **cooldown** — after resolving, a rule may not re-fire within
+  ``cooldown`` seconds of *trace time* (wall clocks would make alert
+  streams non-reproducible across replays of the same capture).
+
+Rules parse from a one-line spec (CLI ``--alert``, one per flag)::
+
+    [name:] METRIC OP VALUE [over N] [clear V] [cooldown S]
+
+    stall_surge: stall_ratio > 0.25 over 5 clear 0.15 cooldown 300
+    coverage < 0.9
+    tail_share: retx_time_share:tail_retrans > 0.3
+
+``METRIC`` may itself contain a colon (``cause_share:client_idle``);
+the optional leading name is recognized by its trailing colon *token*
+(``name:`` followed by whitespace), so the two never collide.
+
+Events are plain dicts, emitted to an optional sink (any callable;
+:class:`JsonlSink` appends one JSON object per line) and returned from
+:meth:`AlertEngine.evaluate` for the daemon to log.  Engine state
+(active flags, last-fired times) checkpoints alongside the window
+store, so resume does not re-fire alerts that were already active.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .windows import WindowStore, WindowSummary
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule: ``metric OP threshold`` over recent windows."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    #: Evaluate over the newest N windows merged into one summary.
+    over: int = 1
+    #: Hysteresis: resolve only once the metric crosses back past this
+    #: (defaults to the firing threshold — no hysteresis band).
+    clear: float | None = None
+    #: Minimum trace-time seconds between a resolve and the next fire.
+    cooldown: float = 0.0
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        if self.over < 1:
+            raise ValueError("'over' must be >= 1 window")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        # Validates the selector shape: unknown selectors raise KeyError
+        # on an empty summary just as they would on a live one.
+        WindowSummary().metric(self.metric)
+
+    @property
+    def clear_threshold(self) -> float:
+        return self.threshold if self.clear is None else self.clear
+
+    def breaches(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def cleared(self, value: float) -> bool:
+        """Whether ``value`` is back past the clear threshold (on the
+        non-firing side, strictly outside the hysteresis band)."""
+        return not _OPS[self.op](value, self.clear_threshold)
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.metric} {self.op} {self.threshold:g}"]
+        if self.over != 1:
+            parts.append(f"over {self.over}")
+        if self.clear is not None:
+            parts.append(f"clear {self.clear:g}")
+        if self.cooldown:
+            parts.append(f"cooldown {self.cooldown:g}")
+        return " ".join(parts)
+
+    @classmethod
+    def parse(cls, spec: str) -> "AlertRule":
+        """Parse the one-line rule grammar (see module docstring)."""
+        tokens = spec.split()
+        if not tokens:
+            raise ValueError("empty alert rule")
+        name = None
+        if tokens[0].endswith(":") and len(tokens[0]) > 1:
+            name = tokens[0][:-1]
+            tokens = tokens[1:]
+        if len(tokens) < 3:
+            raise ValueError(
+                f"bad alert rule {spec!r}: expected "
+                "'[name:] METRIC OP VALUE [over N] [clear V] [cooldown S]'"
+            )
+        metric, op = tokens[0], tokens[1]
+        try:
+            threshold = float(tokens[2])
+        except ValueError:
+            raise ValueError(
+                f"bad alert threshold {tokens[2]!r} in {spec!r}"
+            ) from None
+        options: dict[str, float] = {}
+        rest = tokens[3:]
+        if len(rest) % 2:
+            raise ValueError(f"dangling option token in alert rule {spec!r}")
+        for key, raw in zip(rest[::2], rest[1::2]):
+            if key not in ("over", "clear", "cooldown"):
+                raise ValueError(
+                    f"unknown alert option {key!r} in {spec!r}"
+                )
+            if key in options:
+                raise ValueError(f"duplicate option {key!r} in {spec!r}")
+            try:
+                options[key] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad value {raw!r} for {key!r} in {spec!r}"
+                ) from None
+        try:
+            return cls(
+                name=name if name is not None else metric,
+                metric=metric,
+                op=op,
+                threshold=threshold,
+                over=int(options.get("over", 1)),
+                clear=options.get("clear"),
+                cooldown=options.get("cooldown", 0.0),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"bad alert rule {spec!r}: {exc}") from None
+
+
+class JsonlSink:
+    """Append alert events to a file, one JSON object per line."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = self.path.open("a", encoding="utf-8")
+
+    def __call__(self, event: dict) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class AlertEngine:
+    """Evaluate rules against a window store, tracking firing state."""
+
+    def __init__(self, rules, sink=None):
+        self.rules = list(rules)
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names in {names}")
+        self.sink = sink
+        self._state = {
+            rule.name: {"active": False, "last_fired": None}
+            for rule in self.rules
+        }
+        self.events_emitted = 0
+
+    def evaluate(self, store: WindowStore) -> list[dict]:
+        """Run every rule against the store's newest windows; emit and
+        return state-change events (firing/resolved), in rule order."""
+        if store.max_bucket is None:
+            return []
+        # Trace clock: the end of the newest window seen so far.
+        now = (store.max_bucket + 1) * store.window_seconds
+        events: list[dict] = []
+        for rule in self.rules:
+            value = store.last(rule.over).metric(rule.metric)
+            state = self._state[rule.name]
+            if state["active"]:
+                if rule.cleared(value):
+                    state["active"] = False
+                    events.append(self._event(rule, "resolved", value, now))
+            elif rule.breaches(value):
+                cooled = (
+                    state["last_fired"] is None
+                    or now - state["last_fired"] >= rule.cooldown
+                )
+                if cooled:
+                    state["active"] = True
+                    state["last_fired"] = now
+                    events.append(self._event(rule, "firing", value, now))
+        for event in events:
+            self.events_emitted += 1
+            if self.sink is not None:
+                self.sink(event)
+        return events
+
+    def _event(
+        self, rule: AlertRule, state: str, value: float, now: float
+    ) -> dict:
+        return {
+            "alert": rule.name,
+            "state": state,
+            "metric": rule.metric,
+            "value": value,
+            "threshold": rule.threshold,
+            "clear": rule.clear_threshold,
+            "over": rule.over,
+            "trace_time": now,
+            "rule": rule.describe(),
+        }
+
+    def active(self) -> list[str]:
+        """Names of currently-firing rules, in rule order."""
+        return [
+            rule.name
+            for rule in self.rules
+            if self._state[rule.name]["active"]
+        ]
+
+    # -- checkpoint ----------------------------------------------------
+    def checkpoint(self) -> dict:
+        return {
+            name: dict(state) for name, state in sorted(self._state.items())
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt checkpointed firing state for rules that still exist
+        (rules added since the checkpoint start inactive)."""
+        for name, rule_state in state.items():
+            if name in self._state:
+                self._state[name] = {
+                    "active": bool(rule_state["active"]),
+                    "last_fired": rule_state["last_fired"],
+                }

@@ -1,0 +1,324 @@
+"""Command-line interface: ``repro-paper watch <source>``.
+
+Runs the continuous stall-monitoring daemon over a growing pcap file,
+a rotating-capture directory, or stdin (``-``), with rolling windows,
+alert rules, an optional HTTP endpoint, and checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+
+from ..config import AnalysisConfig, RunConfig
+from ..errors import ErrorBudget, ReproError
+from ..packet.flow import server_by_ip, server_by_port
+from ..packet.headers import ip_from_str
+from .alerts import AlertRule, JsonlSink
+from .daemon import LiveDaemon, open_source
+
+
+def _error_budget(spec: str) -> ErrorBudget:
+    try:
+        return ErrorBudget.parse(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _alert_rule(spec: str) -> AlertRule:
+    try:
+        return AlertRule.parse(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _endpoint(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", spec
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad HTTP endpoint {spec!r}; expected [HOST:]PORT"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper watch",
+        description=(
+            "Continuously monitor TCP stalls in a live capture: a "
+            "growing pcap file, a rotating-capture directory, or "
+            "stdin ('-')."
+        ),
+    )
+    from ..cli import version_string
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {version_string()}",
+    )
+    parser.add_argument(
+        "source",
+        help="pcap file to tail, directory of rotating pcaps, or '-'",
+    )
+    parser.add_argument(
+        "--pattern",
+        default="*.pcap",
+        help="glob for rotating-directory sources (default '*.pcap')",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="rolling window length in trace seconds (default 60)",
+    )
+    parser.add_argument(
+        "--retention",
+        type=int,
+        default=120,
+        metavar="N",
+        help=(
+            "windows kept individually; older ones fold into one "
+            "cumulative summary (default 120)"
+        ),
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        metavar="K",
+        help="most-stalled flows tracked per window (default 10)",
+    )
+    parser.add_argument(
+        "--service",
+        default="live",
+        help="service label on reports (default 'live')",
+    )
+    parser.add_argument(
+        "--server-ip",
+        help="IP address of the server endpoint (otherwise inferred)",
+    )
+    parser.add_argument(
+        "--server-port",
+        type=int,
+        help="TCP port of the server endpoint (otherwise inferred)",
+    )
+    parser.add_argument(
+        "--tau",
+        type=float,
+        default=2.0,
+        help="stall threshold multiplier on SRTT (default 2)",
+    )
+    parser.add_argument(
+        "--errors",
+        type=_error_budget,
+        default=ErrorBudget.lenient(),
+        metavar="POLICY",
+        help=(
+            "error budget for damaged input: 'strict', 'lenient', "
+            "'budget:N', 'budget:X%%' (default lenient — a monitor "
+            "should survive dirty captures)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="analysis worker processes (0 = one per core; default 1)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        help=(
+            "evict flows idle for this many trace-seconds (default 60)"
+        ),
+    )
+    parser.add_argument(
+        "--alert",
+        dest="alerts",
+        type=_alert_rule,
+        action="append",
+        default=[],
+        metavar="RULE",
+        help=(
+            "alert rule '[name:] METRIC OP VALUE [over N] [clear V] "
+            "[cooldown S]', e.g. 'surge: stall_ratio > 0.25 over 5 "
+            "clear 0.15 cooldown 300'; repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--alert-log",
+        metavar="PATH",
+        help="append alert events to this JSONL file",
+    )
+    parser.add_argument(
+        "--http",
+        type=_endpoint,
+        metavar="[HOST:]PORT",
+        help=(
+            "serve /healthz, /metrics, /report.json here (port 0 = "
+            "ephemeral; the bound address is logged)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="persist source offsets + window state to this file",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds between periodic checkpoints (default 30)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between polls when the source is idle (default 0.5)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help=(
+            "drain everything currently available, flush the report, "
+            "and exit (no waiting for growth)"
+        ),
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the final flushed report (JSON) here on exit",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PREFIX",
+        help=(
+            "write final metrics to PREFIX.json and PREFIX.prom (the "
+            "same serialization /metrics serves)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the final flushed report to stdout as JSON",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="daemon log verbosity on stderr (default info)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    server_side = None
+    if args.server_ip:
+        server_side = server_by_ip(ip_from_str(args.server_ip))
+    elif args.server_port:
+        server_side = server_by_port(args.server_port)
+
+    sink = JsonlSink(args.alert_log) if args.alert_log else None
+    host, port = args.http if args.http else (None, None)
+    try:
+        source = open_source(
+            args.source, pattern=args.pattern, errors=args.errors
+        )
+        daemon = LiveDaemon(
+            source,
+            window_seconds=args.window,
+            retention=args.retention,
+            top_k=args.top_k,
+            service=args.service,
+            analysis=AnalysisConfig(tau=args.tau, errors=args.errors),
+            run=RunConfig(
+                workers=args.workers, idle_timeout=args.idle_timeout
+            ),
+            server_side=server_side,
+            rules=args.alerts,
+            alert_sink=sink,
+            http_host=host,
+            http_port=port,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+            poll_interval=args.poll_interval,
+            once=args.once,
+            resume=args.resume,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 2
+
+    daemon.install_signal_handlers()
+    try:
+        report = daemon.run()
+    except ReproError as exc:
+        print(
+            f"watch: {type(exc).__name__}: {exc} "
+            f"(budget: {args.errors.describe()})",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        if sink is not None:
+            sink.close()
+
+    if args.report_out:
+        from pathlib import Path
+
+        out = Path(args.report_out)
+        if out.parent != Path("."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, sort_keys=True, indent=2))
+        print(f"wrote final report to {out}", file=sys.stderr)
+    if args.metrics_out:
+        from ..obs.metrics import write_registry
+
+        json_path, prom_path = write_registry(
+            daemon.metrics_registry(), args.metrics_out
+        )
+        print(
+            f"wrote metrics to {json_path} and {prom_path}",
+            file=sys.stderr,
+        )
+    if args.json:
+        json.dump(report, sys.stdout, sort_keys=True, indent=2)
+        print()
+    else:
+        totals = report["windows"]["totals"]
+        runtime = report["runtime"]
+        print(
+            f"watch: {runtime['records_in']} records, "
+            f"{totals['flows']} flows "
+            f"({totals['skipped']} quarantined), "
+            f"{totals['stalls']} stalls over "
+            f"{len(report['windows']['windows'])} live windows "
+            f"(+{report['windows']['expired_windows']} expired)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,474 @@
+"""The live monitoring daemon: sources -> analysis -> windows -> serving.
+
+:class:`LiveDaemon` wires the subsystem together around the existing
+streaming analyzer:
+
+* a :class:`~repro.live.sources.LiveSource` is pumped through
+  :meth:`repro.core.tapo.Tapo.analyze_stream` by a generator that
+  polls for new bytes, sleeps briefly when there are none, and — on
+  stop/exhaustion — finalizes the source so the demuxer flushes every
+  open flow (backpressure is inherited from the streaming pipeline:
+  the pump is only pulled when the analyzer wants packets);
+* each completed :class:`~repro.core.flow_analyzer.FlowAnalysis` and
+  each quarantined :class:`~repro.errors.SkippedFlow` folds into a
+  :class:`~repro.live.windows.WindowStore` under a lock the HTTP
+  snapshot handlers share;
+* an :class:`~repro.live.alerts.AlertEngine` re-evaluates after every
+  absorbed flow; state-change events go to the log and the alert sink.
+
+**Shutdown.** SIGTERM/SIGINT (or :meth:`LiveDaemon.stop`) makes the
+pump finalize the source instead of waiting for growth: remaining
+bytes drain, the demuxer evicts every open flow, the analyzer yields
+them, and the final all-windows report — plus a checkpoint — is
+flushed.  A graceful shutdown therefore loses nothing, and the
+flushed ``windows`` report is byte-identical to :func:`batch_report`
+over the same packets.
+
+**Checkpoint/resume.** A checkpoint atomically (tmp + rename) pairs
+the source's consumed offsets with the window-store and alert-engine
+state.  After a crash, resume re-reads from the checkpointed offsets:
+no completed window is lost and no record is replayed into a window
+twice.  The one caveat: flows *open* in the demuxer at checkpoint
+time straddle the cut — their pre-checkpoint packets were consumed,
+so after a hard crash those flows are analyzed from their
+post-checkpoint tail only.  Completed-window data is never affected.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import threading
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..config import AnalysisConfig, RunConfig
+from ..core.tapo import Tapo
+from ..errors import FaultStats
+from ..obs.metrics import MetricsRegistry
+from ..packet.flow import StreamStats
+from ..packet.pcap import PcapReader
+from .alerts import AlertEngine, AlertRule
+from .http import LiveHTTPServer
+from .sources import (
+    LiveSource,
+    PcapTailSource,
+    RotatingDirectorySource,
+    StdinSource,
+)
+from .windows import WindowStore
+
+logger = logging.getLogger("repro.live")
+
+#: Checkpoint schema version (the daemon-level envelope).
+CHECKPOINT_VERSION = 1
+
+_SOURCE_TYPES = {
+    PcapTailSource.name: PcapTailSource,
+    RotatingDirectorySource.name: RotatingDirectorySource,
+}
+
+
+class LiveDaemon:
+    """Continuous stall monitoring over a live capture source.
+
+    Parameters mirror the batch pipeline where they overlap
+    (``analysis``, ``run``, ``server_side``); the rest are the live
+    knobs: window geometry, alert rules, HTTP serving, checkpointing,
+    and pacing.  ``http_port``/``http_host`` of ``None`` disables the
+    endpoint; port ``0`` binds an ephemeral port (see
+    :attr:`http.port <repro.live.http.LiveHTTPServer.port>`).
+    """
+
+    def __init__(
+        self,
+        source: LiveSource,
+        *,
+        window_seconds: float = 60.0,
+        retention: int = 120,
+        top_k: int = 10,
+        service: str = "live",
+        analysis: AnalysisConfig | None = None,
+        run: RunConfig | None = None,
+        server_side=None,
+        rules: "list[AlertRule] | tuple[AlertRule, ...]" = (),
+        alert_sink=None,
+        http_host: str | None = None,
+        http_port: int | None = None,
+        checkpoint_path: "str | Path | None" = None,
+        checkpoint_interval: float = 30.0,
+        poll_interval: float = 0.5,
+        once: bool = False,
+        resume: bool = False,
+    ):
+        self.source = source
+        self.analysis = analysis or AnalysisConfig()
+        self.run_config = run or RunConfig()
+        self.server_side = server_side
+        self.tapo = Tapo(config=self.analysis)
+        self.store = WindowStore(
+            window_seconds=window_seconds,
+            retention=retention,
+            top_k=top_k,
+            service=service,
+        )
+        self.engine = AlertEngine(rules, sink=alert_sink)
+        self.stats = StreamStats()
+        self.poll_interval = poll_interval
+        self.once = once
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_interval = checkpoint_interval
+        self._last_checkpoint = 0.0
+        self.records_in = 0
+        self.flows_seen = 0
+        self.checkpoints_written = 0
+        self._skips_absorbed = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started_at: float | None = None
+        self._finished = False
+        self.http: LiveHTTPServer | None = None
+        if http_port is not None or http_host is not None:
+            self.http = LiveHTTPServer(
+                self,
+                host=http_host or "127.0.0.1",
+                port=http_port or 0,
+            )
+        if resume:
+            self._try_resume()
+
+    # -- resume --------------------------------------------------------
+    def _try_resume(self) -> None:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return
+        state = json.loads(self.checkpoint_path.read_text())
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {state.get('version')!r}"
+            )
+        self.store = WindowStore.restore(state["windows"])
+        self.engine.restore(state["alerts"])
+        counters = state["counters"]
+        self.records_in = counters["records_in"]
+        self.flows_seen = counters["flows_seen"]
+        source_state = state["source"]
+        source_cls = _SOURCE_TYPES.get(source_state.get("type"))
+        if source_cls is not None and source_state["type"] == self.source.name:
+            self.source.close()
+            self.source = source_cls.restore(
+                source_state, errors=self.analysis.errors
+            )
+        logger.info(
+            "resumed from %s: %d records, %d flows, %d live windows",
+            self.checkpoint_path,
+            self.records_in,
+            self.flows_seen,
+            len(self.store.windows()),
+        )
+
+    # -- control -------------------------------------------------------
+    def stop(self) -> None:
+        """Request graceful shutdown (idempotent, signal-safe)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to :meth:`stop` (main thread only)."""
+
+        def handler(signum, frame):
+            logger.info(
+                "received %s; flushing final report",
+                signal.Signals(signum).name,
+            )
+            self.stop()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+
+    # -- the pump ------------------------------------------------------
+    def _records(self) -> Iterator:
+        """Feed the analyzer: poll for growth, sleep when idle, and on
+        stop/exhaustion finalize the source (drains its tail)."""
+        source = self.source
+        while True:
+            produced = False
+            for record in source.poll():
+                produced = True
+                self.records_in += 1
+                yield record
+            if self._stop.is_set() or self.once or source.exhausted:
+                for record in source.finish():
+                    self.records_in += 1
+                    yield record
+                return
+            self._maybe_checkpoint()
+            if not produced:
+                # Nothing new; wait in short slices so stop() is
+                # honored promptly even mid-sleep.
+                deadline = time.monotonic() + self.poll_interval
+                while (
+                    not self._stop.is_set()
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(min(0.05, self.poll_interval))
+
+    # -- absorption ----------------------------------------------------
+    def _absorb_locked(self, analysis=None) -> list[dict]:
+        """Fold new results into the store; returns alert events."""
+        if analysis is not None:
+            self.store.add(analysis)
+            self.flows_seen += 1
+        skipped = self.tapo.faults.skipped
+        while self._skips_absorbed < len(skipped):
+            self.store.add_skip(skipped[self._skips_absorbed])
+            self._skips_absorbed += 1
+        return self.engine.evaluate(self.store)
+
+    def _log_events(self, events: list[dict]) -> None:
+        for event in events:
+            level = (
+                logging.WARNING
+                if event["state"] == "firing"
+                else logging.INFO
+            )
+            logger.log(
+                level,
+                "alert %s %s: %s = %.6g (threshold %s %g)",
+                event["alert"],
+                event["state"],
+                event["metric"],
+                event["value"],
+                "breach" if event["state"] == "firing" else "clear",
+                event["threshold"],
+            )
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> dict:
+        """Run until stopped (or, with ``once=True``, until the source
+        is drained); returns the final flushed report."""
+        self._started_at = time.monotonic()
+        if self.http is not None:
+            self.http.start()
+            logger.info("serving on %s", self.http.url)
+        try:
+            stream = self.tapo.analyze_stream(
+                self._records(),
+                self.server_side,
+                run=self.run_config,
+                stats=self.stats,
+            )
+            for analysis in stream:
+                with self._lock:
+                    events = self._absorb_locked(analysis)
+                self._log_events(events)
+                self._maybe_checkpoint()
+            with self._lock:
+                events = self._absorb_locked()
+            self._log_events(events)
+        finally:
+            self._finished = True
+            self.write_checkpoint()
+            report = self.report()
+            if self.http is not None:
+                self.http.stop()
+            self.source.close()
+        return report
+
+    # -- checkpointing -------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        now = time.monotonic()
+        if now - self._last_checkpoint >= self.checkpoint_interval:
+            self.write_checkpoint()
+
+    def write_checkpoint(self) -> None:
+        """Atomically persist source offsets + window + alert state."""
+        if self.checkpoint_path is None:
+            return
+        with self._lock:
+            state = {
+                "version": CHECKPOINT_VERSION,
+                "source": self.source.checkpoint(),
+                "windows": self.store.checkpoint(),
+                "alerts": self.engine.checkpoint(),
+                "counters": {
+                    "records_in": self.records_in,
+                    "flows_seen": self.flows_seen,
+                },
+            }
+        tmp = self.checkpoint_path.with_suffix(
+            self.checkpoint_path.suffix + ".tmp"
+        )
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(state, sort_keys=True))
+        os.replace(tmp, self.checkpoint_path)
+        self._last_checkpoint = time.monotonic()
+        self.checkpoints_written += 1
+
+    # -- snapshot surface (shared with the HTTP handlers) --------------
+    def _faults_snapshot(self) -> FaultStats:
+        faults = FaultStats()
+        faults.merge(self.tapo.faults)
+        self.source.fold_faults(faults)
+        return faults
+
+    def health(self) -> dict:
+        with self._lock:
+            return {
+                "status": "ok",
+                "finished": self._finished,
+                "stopping": self._stop.is_set(),
+                "source": self.source.name,
+                "records_in": self.records_in,
+                "flows": self.flows_seen,
+                "flows_skipped": self._skips_absorbed,
+                "windows_active": len(self.store.windows()),
+                "max_bucket": self.store.max_bucket,
+                "alerts_active": self.engine.active(),
+                "uptime_seconds": (
+                    time.monotonic() - self._started_at
+                    if self._started_at is not None
+                    else 0.0
+                ),
+            }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """One registry for both ``/metrics`` and ``--metrics-out``."""
+        registry = MetricsRegistry()
+        with self._lock:
+            self.stats.to_registry(registry)
+            self._faults_snapshot().to_registry(registry)
+            self.store.to_registry(registry)
+            registry.counter(
+                "repro_live_records_total", "Packet records ingested"
+            ).inc(self.records_in)
+            registry.counter(
+                "repro_live_checkpoints_total", "Checkpoints written"
+            ).inc(self.checkpoints_written)
+            registry.counter(
+                "repro_live_alert_events_total",
+                "Alert state-change events emitted",
+            ).inc(self.engine.events_emitted)
+            registry.gauge(
+                "repro_live_alerts_active", "Alert rules currently firing"
+            ).set(float(len(self.engine.active())))
+            registry.gauge(
+                "repro_live_source_offset_bytes",
+                "Consumed byte offset of the current capture file",
+            ).set(float(getattr(self.source, "offset", 0)))
+            registry.gauge(
+                "repro_live_files_completed",
+                "Rotated capture files fully processed",
+            ).set(float(getattr(self.source, "files_completed", 0)))
+        return registry
+
+    def report(self) -> dict:
+        """The serving/flush shape: a deterministic ``windows`` section
+        (pure trace state — what :func:`batch_report` reproduces
+        byte-for-byte) plus a ``runtime`` section of process facts."""
+        with self._lock:
+            faults = self._faults_snapshot()
+            return {
+                "windows": self.store.report(),
+                "runtime": {
+                    "source": self.source.name,
+                    "records_in": self.records_in,
+                    "flows": self.flows_seen,
+                    "flows_skipped": self._skips_absorbed,
+                    "corrupt_records": faults.corrupt_records,
+                    "resyncs": faults.resyncs,
+                    "option_errors": faults.option_errors,
+                    "alerts_active": self.engine.active(),
+                    "alert_events": self.engine.events_emitted,
+                    "checkpoints_written": self.checkpoints_written,
+                    "finished": self._finished,
+                },
+            }
+
+
+def batch_report(
+    paths,
+    *,
+    window_seconds: float = 60.0,
+    retention: int = 120,
+    top_k: int = 10,
+    service: str = "live",
+    analysis: AnalysisConfig | None = None,
+    run: RunConfig | None = None,
+    server_side=None,
+) -> dict:
+    """One-shot batch equivalent of the daemon's ``windows`` report.
+
+    Reads the finished capture files (in the given order — pass them
+    sorted by rotation name to mirror the directory watcher), streams
+    them through one analyzer exactly like the daemon's single demux
+    stream, and folds the results into an identically-configured
+    :class:`~repro.live.windows.WindowStore`.  Because every window
+    aggregate is order-independent (integer arithmetic, total-order
+    top-K), the returned dict is byte-identical to what a daemon run
+    over the same packets flushes — the equivalence the live-smoke CI
+    job asserts.
+    """
+    analysis = analysis or AnalysisConfig()
+    tapo = Tapo(config=analysis)
+    store = WindowStore(
+        window_seconds=window_seconds,
+        retention=retention,
+        top_k=top_k,
+        service=service,
+    )
+
+    def records():
+        for path in paths:
+            with PcapReader(path, errors=analysis.errors) as reader:
+                yield from reader.iter_records()
+
+    for flow_analysis in tapo.analyze_stream(
+        records(), server_side, run=run or RunConfig()
+    ):
+        store.add(flow_analysis)
+    for skipped in tapo.faults.skipped:
+        store.add_skip(skipped)
+    return store.report()
+
+
+def watch_directory(
+    directory,
+    pattern: str = "*.pcap",
+    *,
+    errors=None,
+    **daemon_kwargs,
+) -> LiveDaemon:
+    """Convenience constructor: a daemon watching a rotating-capture
+    directory.  ``errors`` (an :class:`~repro.errors.ErrorBudget` or
+    spec string) applies to both parsing and analysis; remaining
+    keywords go to :class:`LiveDaemon`."""
+    analysis = daemon_kwargs.pop("analysis", None) or AnalysisConfig()
+    if errors is not None:
+        from ..errors import ErrorBudget
+
+        analysis = analysis.replace(errors=ErrorBudget.parse(errors))
+    source = RotatingDirectorySource(
+        directory, pattern=pattern, errors=analysis.errors
+    )
+    return LiveDaemon(source, analysis=analysis, **daemon_kwargs)
+
+
+def open_source(spec, *, pattern: str = "*.pcap", errors=None) -> LiveSource:
+    """Resolve a CLI source spec: ``-`` = stdin, a directory = rotating
+    watcher, anything else = follow-mode tail of a single pcap."""
+    if spec == "-":
+        return StdinSource(errors=errors)
+    path = Path(spec)
+    if path.is_dir():
+        return RotatingDirectorySource(path, pattern=pattern, errors=errors)
+    return PcapTailSource(path, errors=errors)

@@ -1,0 +1,138 @@
+"""Stdlib HTTP endpoint for the live monitoring daemon.
+
+Serves three read-only routes off a *provider* object (the daemon),
+each a snapshot taken under the daemon's lock:
+
+``/healthz``
+    Liveness/progress JSON: records and flows processed, source
+    offsets, active alerts.  Always ``200`` while the process serves.
+``/metrics``
+    Prometheus text exposition — the exact string
+    :func:`repro.obs.metrics.render_exports` produces, i.e. the same
+    serialization ``--metrics-out`` writes to ``PREFIX.prom``
+    (``/metrics.json`` serves the JSON flavor).
+``/report.json``
+    The current rolling-window report
+    (:meth:`repro.live.windows.WindowStore.report` plus daemon
+    run-state).
+
+The server is a ``ThreadingHTTPServer`` on a background thread; every
+handler only reads snapshots the provider assembles, so slow scrapers
+never block ingestion.  Bind port ``0`` to let the OS pick (the bound
+port is on :attr:`LiveHTTPServer.port`) — tests and CI do this to
+avoid collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs.metrics import (
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_PROMETHEUS,
+    render_exports,
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The provider is attached to the server instance by LiveHTTPServer.
+    server_version = "repro-live/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # scrapes are routine; the daemon logs what matters
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        self._send(
+            status, CONTENT_TYPE_JSON, json.dumps(payload, sort_keys=True)
+        )
+
+    def do_GET(self):  # noqa: N802 - stdlib handler name
+        provider = self.server.provider  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                self._send_json(provider.health())
+            elif path in ("/metrics", "/metrics.json"):
+                exports = render_exports(provider.metrics_registry())
+                if path == "/metrics":
+                    self._send(
+                        200, CONTENT_TYPE_PROMETHEUS, exports["prom"]
+                    )
+                else:
+                    self._send(200, CONTENT_TYPE_JSON, exports["json"])
+            elif path == "/report.json":
+                self._send_json(provider.report())
+            else:
+                self._send_json(
+                    {
+                        "error": "not found",
+                        "routes": ["/healthz", "/metrics", "/report.json"],
+                    },
+                    status=404,
+                )
+        except Exception as exc:  # surface, don't kill the thread
+            self._send_json(
+                {"error": type(exc).__name__, "detail": str(exc)},
+                status=500,
+            )
+
+
+class LiveHTTPServer:
+    """Background-thread HTTP server bound to a snapshot provider.
+
+    ``provider`` must expose ``health() -> dict``,
+    ``metrics_registry() -> MetricsRegistry``, and ``report() -> dict``;
+    all three are called from handler threads and must be safe to call
+    concurrently with ingestion (the daemon snapshots under a lock).
+    """
+
+    def __init__(self, provider, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.provider = provider  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful when constructed with 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "LiveHTTPServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-live-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "LiveHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

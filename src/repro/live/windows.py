@@ -1,0 +1,528 @@
+"""Rolling time-window aggregation of flow analyses.
+
+A :class:`WindowStore` buckets completed flows into fixed-length
+*trace-time* windows (keyed by each flow's last packet timestamp) and
+keeps a bounded number of recent windows; older windows are folded
+into one cumulative "expired" summary, so memory is O(retention), not
+O(run length).
+
+Determinism is a design requirement, not an accident: the daemon's
+final flushed report must be byte-identical to a one-shot batch run
+over the same packets, and the two feed flows in different orders
+(stream-completion order vs. batch order).  Every aggregate here is
+therefore order-independent:
+
+* all durations accumulate as **integer nanoseconds** (exact,
+  commutative, associative — no float-summation order sensitivity);
+* counts are plain integers;
+* the top-K stalled flows are selected by a total order
+  ``(-stalled_ns, flow, first_ns)``, so any feeding order picks the
+  same K;
+* window membership depends only on packet timestamps, and expiry
+  depends only on the highest bucket seen — which is the same for any
+  permutation of the same flows.
+
+Shares and ratios are computed from the integers at render time, so
+:meth:`WindowStore.report` is a pure function of the multiset of
+flows fed in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.flow_analyzer import FlowAnalysis
+from ..core.stalls import RetxCause, StallCause
+from ..errors import SkippedFlow
+from ..packet.headers import ip_to_str
+
+#: Checkpoint schema version (bump on incompatible state changes).
+STATE_VERSION = 1
+
+
+def _ns(seconds: float) -> int:
+    """Exact-summation representation: seconds -> integer nanoseconds."""
+    return round(seconds * 1_000_000_000)
+
+
+def _seconds(ns: int) -> float:
+    return ns / 1_000_000_000
+
+
+def flow_label(key) -> str:
+    """Human-readable flow identity: ``ip:port<->ip:port``."""
+    try:
+        return (
+            f"{ip_to_str(key.ip_a)}:{key.port_a}"
+            f"<->{ip_to_str(key.ip_b)}:{key.port_b}"
+        )
+    except AttributeError:
+        return str(key)
+
+
+@dataclass
+class WindowSummary:
+    """Order-independent aggregate of the flows of one time window.
+
+    ``bucket`` is the window index (``floor(last_time / window)``);
+    a ``bucket`` of ``None`` marks a cumulative summary (expired
+    windows, totals).  All ``*_ns`` fields are integer nanoseconds.
+    """
+
+    bucket: int | None = None
+    window_seconds: float = 60.0
+    top_k: int = 10
+
+    flows: int = 0
+    flows_with_stalls: int = 0
+    stalls: int = 0
+    stalled_ns: int = 0
+    duration_ns: int = 0
+    bytes_out: int = 0
+    data_packets: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    skipped: int = 0
+    #: StallCause.value -> [count, total_ns]
+    causes: dict[str, list[int]] = field(default_factory=dict)
+    #: RetxCause.value -> [count, total_ns]
+    retx_causes: dict[str, list[int]] = field(default_factory=dict)
+    #: Top-K most-stalled flows: [stalled_ns, label, first_ns, nstalls]
+    top: list[list] = field(default_factory=list)
+
+    # -- time span -----------------------------------------------------
+    @property
+    def start(self) -> float | None:
+        if self.bucket is None:
+            return None
+        return self.bucket * self.window_seconds
+
+    @property
+    def end(self) -> float | None:
+        if self.bucket is None:
+            return None
+        return (self.bucket + 1) * self.window_seconds
+
+    # -- accumulation --------------------------------------------------
+    def add(self, analysis: FlowAnalysis) -> None:
+        """Fold one completed flow into this window."""
+        self.flows += 1
+        if analysis.stalls:
+            self.flows_with_stalls += 1
+        self.stalls += len(analysis.stalls)
+        self.duration_ns += _ns(analysis.duration)
+        self.bytes_out += analysis.bytes_out
+        self.data_packets += analysis.data_packets
+        self.retransmissions += analysis.retransmissions
+        self.timeouts += analysis.timeouts
+        stalled_ns = 0
+        for stall in analysis.stalls:
+            dur = _ns(stall.duration)
+            stalled_ns += dur
+            cell = self.causes.setdefault(stall.cause.value, [0, 0])
+            cell[0] += 1
+            cell[1] += dur
+            if stall.cause is StallCause.RETRANSMISSION:
+                name = (
+                    stall.retx_cause.value
+                    if stall.retx_cause is not None
+                    else RetxCause.UNDETERMINED.value
+                )
+                cell = self.retx_causes.setdefault(name, [0, 0])
+                cell[0] += 1
+                cell[1] += dur
+        self.stalled_ns += stalled_ns
+        if stalled_ns > 0 and self.top_k > 0:
+            self._push_top(
+                [
+                    stalled_ns,
+                    flow_label(analysis.flow.key),
+                    _ns(analysis.flow.first_time),
+                    len(analysis.stalls),
+                ]
+            )
+
+    def add_skip(self, skipped: SkippedFlow) -> None:
+        """Account one quarantined flow (coverage denominator)."""
+        self.skipped += 1
+
+    def _push_top(self, entry: list) -> None:
+        self.top.append(entry)
+        # Total order: most stalled first, then label, then start time.
+        self.top.sort(key=lambda e: (-e[0], e[1], e[2]))
+        del self.top[self.top_k :]
+
+    # -- combination ---------------------------------------------------
+    def merge(self, other: "WindowSummary") -> "WindowSummary":
+        """Fold ``other`` in (in place).  Exact: integer sums only."""
+        self.flows += other.flows
+        self.flows_with_stalls += other.flows_with_stalls
+        self.stalls += other.stalls
+        self.stalled_ns += other.stalled_ns
+        self.duration_ns += other.duration_ns
+        self.bytes_out += other.bytes_out
+        self.data_packets += other.data_packets
+        self.retransmissions += other.retransmissions
+        self.timeouts += other.timeouts
+        self.skipped += other.skipped
+        for name, (count, ns) in other.causes.items():
+            cell = self.causes.setdefault(name, [0, 0])
+            cell[0] += count
+            cell[1] += ns
+        for name, (count, ns) in other.retx_causes.items():
+            cell = self.retx_causes.setdefault(name, [0, 0])
+            cell[0] += count
+            cell[1] += ns
+        for entry in other.top:
+            self._push_top(list(entry))
+        return self
+
+    # -- derived metrics -----------------------------------------------
+    def coverage(self) -> float:
+        total = self.flows + self.skipped
+        return self.flows / total if total else 1.0
+
+    def stall_ratio(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return min(1.0, self.stalled_ns / self.duration_ns)
+
+    def metric(self, name: str) -> float:
+        """Resolve an alert-rule metric selector against this summary.
+
+        Plain selectors: ``flows``, ``stalls``, ``skipped``,
+        ``flows_with_stalls``, ``coverage``, ``stall_ratio``,
+        ``stall_time`` (seconds), ``loss``.  Qualified selectors take a
+        cause name after a colon: ``cause_share:<stall-cause>``,
+        ``cause_time_share:<stall-cause>``, ``retx_share:<retx-cause>``,
+        ``retx_time_share:<retx-cause>``.
+        """
+        if ":" in name:
+            kind, _, cause = name.partition(":")
+            table = (
+                self.causes
+                if kind in ("cause_share", "cause_time_share")
+                else self.retx_causes
+                if kind in ("retx_share", "retx_time_share")
+                else None
+            )
+            if table is None:
+                raise KeyError(f"unknown metric {name!r}")
+            count, ns = table.get(cause, (0, 0))
+            if kind.endswith("time_share"):
+                total = sum(cell[1] for cell in table.values())
+                return ns / total if total else 0.0
+            total = sum(cell[0] for cell in table.values())
+            return count / total if total else 0.0
+        plain = {
+            "flows": float(self.flows),
+            "stalls": float(self.stalls),
+            "skipped": float(self.skipped),
+            "flows_with_stalls": float(self.flows_with_stalls),
+            "coverage": self.coverage(),
+            "stall_ratio": self.stall_ratio(),
+            "stall_time": _seconds(self.stalled_ns),
+            "loss": (
+                self.retransmissions / self.data_packets
+                if self.data_packets
+                else 0.0
+            ),
+        }
+        try:
+            return plain[name]
+        except KeyError:
+            raise KeyError(f"unknown metric {name!r}") from None
+
+    # -- rendering / state ---------------------------------------------
+    def _share_table(self, table: dict[str, list[int]]) -> dict:
+        total_count = sum(cell[0] for cell in table.values())
+        total_ns = sum(cell[1] for cell in table.values())
+        return {
+            name: {
+                "count": count,
+                "time": _seconds(ns),
+                "volume_share": count / total_count if total_count else 0.0,
+                "time_share": ns / total_ns if total_ns else 0.0,
+            }
+            for name, (count, ns) in sorted(table.items())
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (the /report.json window shape)."""
+        return {
+            "bucket": self.bucket,
+            "start": self.start,
+            "end": self.end,
+            "flows": self.flows,
+            "flows_with_stalls": self.flows_with_stalls,
+            "skipped": self.skipped,
+            "coverage": self.coverage(),
+            "stalls": self.stalls,
+            "stall_time": _seconds(self.stalled_ns),
+            "stall_ratio": self.stall_ratio(),
+            "transmission_time": _seconds(self.duration_ns),
+            "bytes_out": self.bytes_out,
+            "data_packets": self.data_packets,
+            "retransmissions": self.retransmissions,
+            "timeouts": self.timeouts,
+            "causes": self._share_table(self.causes),
+            "retransmission_causes": self._share_table(self.retx_causes),
+            "top_stalled_flows": [
+                {
+                    "flow": label,
+                    "stalled_time": _seconds(ns),
+                    "first_time": _seconds(first_ns),
+                    "stalls": nstalls,
+                }
+                for ns, label, first_ns, nstalls in self.top
+            ],
+        }
+
+    def to_state(self) -> dict:
+        """Exact checkpoint state (integer fields preserved)."""
+        return {
+            "bucket": self.bucket,
+            "window_seconds": self.window_seconds,
+            "top_k": self.top_k,
+            "flows": self.flows,
+            "flows_with_stalls": self.flows_with_stalls,
+            "stalls": self.stalls,
+            "stalled_ns": self.stalled_ns,
+            "duration_ns": self.duration_ns,
+            "bytes_out": self.bytes_out,
+            "data_packets": self.data_packets,
+            "retransmissions": self.retransmissions,
+            "timeouts": self.timeouts,
+            "skipped": self.skipped,
+            "causes": {k: list(v) for k, v in sorted(self.causes.items())},
+            "retx_causes": {
+                k: list(v) for k, v in sorted(self.retx_causes.items())
+            },
+            "top": [list(e) for e in self.top],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowSummary":
+        summary = cls(
+            bucket=state["bucket"],
+            window_seconds=state["window_seconds"],
+            top_k=state["top_k"],
+        )
+        for name in (
+            "flows", "flows_with_stalls", "stalls", "stalled_ns",
+            "duration_ns", "bytes_out", "data_packets",
+            "retransmissions", "timeouts", "skipped",
+        ):
+            setattr(summary, name, state[name])
+        summary.causes = {k: list(v) for k, v in state["causes"].items()}
+        summary.retx_causes = {
+            k: list(v) for k, v in state["retx_causes"].items()
+        }
+        summary.top = [list(e) for e in state["top"]]
+        return summary
+
+
+class WindowStore:
+    """Bounded collection of rolling windows plus a cumulative tail.
+
+    Flows land in the window of their *last packet's trace time*.  The
+    newest ``retention`` windows are kept individually; anything older
+    (relative to the highest bucket seen) is folded into one
+    ``expired`` summary, so the all-time total —
+    ``expired + live windows`` — is always available and exact.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 60.0,
+        retention: int = 120,
+        top_k: int = 10,
+        service: str = "live",
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        if retention < 1:
+            raise ValueError("retention must be >= 1")
+        self.window_seconds = float(window_seconds)
+        self.retention = int(retention)
+        self.top_k = int(top_k)
+        self.service = service
+        self._windows: dict[int, WindowSummary] = {}
+        self._expired = self._cumulative()
+        #: Buckets whose data has been folded into the expired summary.
+        #: A *set* so the count is order-independent: a straggler folded
+        #: directly into the tail marks its bucket exactly as if its
+        #: window had existed and expired.
+        self._expired_buckets: set[int] = set()
+        self._max_bucket: int | None = None
+
+    @property
+    def expired_windows(self) -> int:
+        """Distinct window buckets folded into the cumulative tail."""
+        return len(self._expired_buckets)
+
+    def _cumulative(self) -> WindowSummary:
+        return WindowSummary(
+            bucket=None,
+            window_seconds=self.window_seconds,
+            top_k=self.top_k,
+        )
+
+    # -- feeding -------------------------------------------------------
+    def bucket_of(self, trace_time: float) -> int:
+        return math.floor(trace_time / self.window_seconds)
+
+    def _target(self, bucket: int) -> WindowSummary:
+        """The summary a flow of ``bucket`` folds into, creating or
+        expiring windows as needed."""
+        if self._max_bucket is None or bucket > self._max_bucket:
+            self._max_bucket = bucket
+            self._expire()
+        if self._max_bucket - bucket >= self.retention:
+            # Straggler beyond the horizon: same place its window would
+            # have been folded into had it existed.
+            self._expired_buckets.add(bucket)
+            return self._expired
+        window = self._windows.get(bucket)
+        if window is None:
+            window = WindowSummary(
+                bucket=bucket,
+                window_seconds=self.window_seconds,
+                top_k=self.top_k,
+            )
+            self._windows[bucket] = window
+        return window
+
+    def add(self, analysis: FlowAnalysis) -> None:
+        """Fold one completed flow analysis into its window."""
+        self._target(self.bucket_of(analysis.flow.last_time)).add(analysis)
+
+    def add_skip(self, skipped: SkippedFlow) -> None:
+        """Fold one quarantined flow into its window (by last packet
+        time when known, else the newest window seen)."""
+        if skipped.last_time is not None:
+            bucket = self.bucket_of(skipped.last_time)
+        else:
+            bucket = self._max_bucket if self._max_bucket is not None else 0
+        self._target(bucket).add_skip(skipped)
+
+    def _expire(self) -> None:
+        horizon = self._max_bucket - self.retention
+        for bucket in sorted(self._windows):
+            if bucket <= horizon:
+                self._expired.merge(self._windows.pop(bucket))
+                self._expired_buckets.add(bucket)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def max_bucket(self) -> int | None:
+        return self._max_bucket
+
+    def windows(self) -> list[WindowSummary]:
+        """Live (retained) windows, oldest first."""
+        return [self._windows[b] for b in sorted(self._windows)]
+
+    def last(self, count: int = 1) -> WindowSummary:
+        """Merged summary of the newest ``count`` live windows."""
+        merged = self._cumulative()
+        for window in self.windows()[-count:]:
+            merged.merge(window)
+        return merged
+
+    def total(self) -> WindowSummary:
+        """All-time summary: expired tail plus every live window."""
+        merged = self._cumulative()
+        merged.merge(self._expired)
+        for window in self.windows():
+            merged.merge(window)
+        return merged
+
+    def report(self) -> dict:
+        """The pure trace-state report (deterministic for a given
+        multiset of flows; no wall-clock fields)."""
+        return {
+            "service": self.service,
+            "window_seconds": self.window_seconds,
+            "retention": self.retention,
+            "top_k": self.top_k,
+            "expired_windows": self.expired_windows,
+            "windows": [w.to_dict() for w in self.windows()],
+            "expired": self._expired.to_dict(),
+            "totals": self.total().to_dict(),
+        }
+
+    def to_registry(self, registry, prefix: str = "repro_live_") -> None:
+        """Fold live gauges/counters into a
+        :class:`repro.obs.metrics.MetricsRegistry` (the /metrics and
+        ``--metrics-out`` surface share these names)."""
+        total = self.total()
+        registry.counter(
+            prefix + "flows_total", "Flows aggregated into windows"
+        ).inc(total.flows)
+        registry.counter(
+            prefix + "flows_skipped_total",
+            "Quarantined flows aggregated into windows",
+        ).inc(total.skipped)
+        registry.counter(
+            prefix + "stalls_total", "Stalls aggregated into windows"
+        ).inc(total.stalls)
+        registry.counter(
+            prefix + "stalled_seconds_total", "Total stalled time"
+        ).inc(_seconds(total.stalled_ns))
+        registry.counter(
+            prefix + "windows_expired_total",
+            "Windows folded into the cumulative tail",
+        ).inc(self.expired_windows)
+        registry.gauge(
+            prefix + "windows_active", "Windows currently retained"
+        ).set(float(len(self._windows)))
+        registry.gauge(
+            prefix + "coverage", "All-time analyzed/total flow fraction"
+        ).set(total.coverage())
+        last = self.last(1)
+        registry.gauge(
+            prefix + "last_window_stall_ratio",
+            "Stall ratio of the newest window",
+        ).set(last.stall_ratio())
+        registry.gauge(
+            prefix + "last_window_flows", "Flows in the newest window"
+        ).set(float(last.flows))
+
+    # -- checkpoint ----------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Exact, JSON-serializable state; round-trips through
+        :meth:`restore` byte-identically."""
+        return {
+            "version": STATE_VERSION,
+            "window_seconds": self.window_seconds,
+            "retention": self.retention,
+            "top_k": self.top_k,
+            "service": self.service,
+            "max_bucket": self._max_bucket,
+            "expired_buckets": sorted(self._expired_buckets),
+            "expired": self._expired.to_state(),
+            "windows": [
+                self._windows[b].to_state() for b in sorted(self._windows)
+            ],
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "WindowStore":
+        if state.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"unsupported window-state version {state.get('version')!r}"
+            )
+        store = cls(
+            window_seconds=state["window_seconds"],
+            retention=state["retention"],
+            top_k=state["top_k"],
+            service=state["service"],
+        )
+        store._max_bucket = state["max_bucket"]
+        store._expired_buckets = set(state["expired_buckets"])
+        store._expired = WindowSummary.from_state(state["expired"])
+        for window_state in state["windows"]:
+            summary = WindowSummary.from_state(window_state)
+            store._windows[summary.bucket] = summary
+        return store

@@ -233,6 +233,27 @@ def registry_from_run_metrics(
     return reg
 
 
+#: HTTP content types of the two export formats (the ``/metrics``
+#: endpoint and any scraper agree on these).
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+
+def render_exports(registry: MetricsRegistry) -> dict[str, str]:
+    """Render every supported export format in one place.
+
+    The single source of truth for metric serialization: the
+    ``--metrics-out`` files (:func:`write_registry`) and the live
+    daemon's ``/metrics`` endpoint both serve exactly these strings,
+    so names and formatting can never drift between the two surfaces.
+    Returns ``{"json": ..., "prom": ...}``.
+    """
+    return {
+        "json": registry.to_json(indent=2),
+        "prom": registry.render_prometheus(),
+    }
+
+
 def write_registry(registry: MetricsRegistry, prefix) -> tuple:
     """Write a registry to ``PREFIX.json`` and ``PREFIX.prom`` (the
     ``--metrics-out`` contract shared by every CLI); returns the two
@@ -242,10 +263,11 @@ def write_registry(registry: MetricsRegistry, prefix) -> tuple:
     prefix = Path(prefix)
     if prefix.parent != Path("."):
         prefix.parent.mkdir(parents=True, exist_ok=True)
+    exports = render_exports(registry)
     json_path = prefix.with_suffix(".json")
     prom_path = prefix.with_suffix(".prom")
-    json_path.write_text(registry.to_json(indent=2))
-    prom_path.write_text(registry.render_prometheus())
+    json_path.write_text(exports["json"])
+    prom_path.write_text(exports["prom"])
     return json_path, prom_path
 
 

@@ -92,6 +92,10 @@ class PcapWriter:
             count += 1
         return count
 
+    def flush(self) -> None:
+        """Push buffered records to the OS (visible to live tailers)."""
+        self._file.flush()
+
     def close(self) -> None:
         self._file.close()
 
@@ -105,6 +109,232 @@ class PcapWriter:
 #: Default file-read granularity for :meth:`PcapReader.iter_records`.
 #: One syscall per buffer instead of two per packet.
 READ_BUFFER_BYTES = 1 << 20
+
+
+def parse_global_header(raw: bytes) -> tuple[str, int]:
+    """Validate a 24-byte pcap global header; return (endian, linktype).
+
+    Shared by :class:`PcapReader` and the follow-mode tail source in
+    :mod:`repro.live.sources`, so both accept exactly the same files.
+    """
+    if len(raw) < _GLOBAL_HEADER.size:
+        raise PcapFormatError("pcap global header truncated")
+    magic = struct.unpack("<I", raw[:4])[0]
+    if magic == PCAP_MAGIC:
+        endian = "<"
+    elif magic == PCAP_MAGIC_SWAPPED:
+        endian = ">"
+    else:
+        raise PcapFormatError("bad pcap magic %#010x" % magic)
+    fields = struct.unpack(endian + "IHHiIII", raw)
+    linktype = fields[6]
+    if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
+        raise PcapFormatError("unsupported linktype %d" % linktype)
+    return endian, linktype
+
+
+class PcapScanner:
+    """Incremental pcap record scanner: push bytes in, drain records out.
+
+    The framing/recovery state machine behind :class:`PcapReader`,
+    factored into push form so a *growing* capture can be scanned too:
+    :meth:`push` appends whatever bytes are available, :meth:`drain`
+    yields every record that is complete so far and stops (without
+    error) at a partial record, and :meth:`finish` marks end-of-input
+    so the tail is then judged — truncated records become faults
+    instead of "wait for more data".
+
+    ``counters`` is the object that carries the public fault/progress
+    attributes (``records_read``, ``skipped``, ``corrupt_records``,
+    ``resyncs``, ``bytes_skipped``, ``option_errors``) —
+    :class:`PcapReader` passes itself, so its counter surface is
+    unchanged.  Recovery semantics (plausibility, chain-checked
+    resync, budget accounting) are identical between batch reads and
+    incremental tails because this is the only implementation.
+    """
+
+    def __init__(
+        self,
+        endian: str,
+        linktype: int,
+        errors: ErrorBudget,
+        counters,
+    ):
+        self._struct = struct.Struct(endian + "IIII")
+        self._ethernet = linktype == LINKTYPE_ETHERNET
+        self._budget = errors
+        self._counters = counters
+        self._buffer = b""
+        self._offset = 0
+        self._last_ts: int | None = None
+        self._final = False
+        self._resyncing = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes pushed but not yet consumed by a parse decision.
+
+        A resumable source offset is ``bytes_pushed - pending_bytes``:
+        re-reading from there replays no already-parsed record.
+        """
+        return len(self._buffer) - self._offset
+
+    def push(self, data: bytes) -> None:
+        """Append newly available capture bytes."""
+        if not data:
+            return
+        if self._offset:
+            self._buffer = self._buffer[self._offset :]
+            self._offset = 0
+        self._buffer += data
+
+    def finish(self) -> None:
+        """Mark end-of-input: the next :meth:`drain` judges the tail."""
+        self._final = True
+
+    # -- framing heuristics (identical to the historical reader) ------
+    def _plausible(self, pos: int) -> bool:
+        """Sanity-check a candidate record header at ``pos``."""
+        ts_sec, ts_usec, incl_len, orig_len = self._struct.unpack_from(
+            self._buffer, pos
+        )
+        if ts_usec >= 1_000_000 or incl_len > _MAX_RECORD_BYTES:
+            return False
+        # No record can be smaller than one IPv4 header.
+        if incl_len < 20 or incl_len > orig_len:
+            return False
+        if orig_len > _MAX_RECORD_BYTES:
+            return False
+        if (
+            self._last_ts is not None
+            and abs(ts_sec - self._last_ts) > _RESYNC_TS_WINDOW
+        ):
+            return False
+        return True
+
+    def _chain_ok(self, pos: int) -> bool | None:
+        """A resync candidate must also be followed by a plausible
+        header — a single 16-byte check syncs on garbage too easily.
+        ``None`` means undecidable yet: the next header lies beyond the
+        bytes pushed so far."""
+        if not self._plausible(pos):
+            return False
+        incl_len = self._struct.unpack_from(self._buffer, pos)[2]
+        nxt = pos + self._struct.size + incl_len
+        if nxt + self._struct.size <= len(self._buffer):
+            return self._plausible(nxt)
+        return None
+
+    def _corrupt(self, reason: str) -> None:
+        """Count one framing fault; raise unless the budget allows."""
+        if not self._budget.tolerant:
+            raise PcapFormatError(reason)
+        counters = self._counters
+        counters.corrupt_records += 1
+        self._budget.check(
+            counters.corrupt_records,
+            counters.records_read + counters.corrupt_records,
+            "corrupt pcap records",
+        )
+
+    def _begin_resync(self) -> None:
+        """Skip at least one byte and start scanning for a boundary."""
+        self._offset += 1
+        self._counters.bytes_skipped += 1
+        self._resyncing = True
+
+    def _scan_resync(self) -> bool:
+        """Advance to the next plausible record header.
+
+        True: positioned on a boundary (resync over).  False: need
+        more pushed bytes, or — after :meth:`finish` — the rest of the
+        input holds no boundary and was discarded.
+        """
+        counters = self._counters
+        limit = len(self._buffer) - self._struct.size
+        while self._offset <= limit:
+            ok = self._chain_ok(self._offset)
+            if ok is None and not self._final:
+                return False  # candidate needs the next header's bytes
+            if ok is not False:  # True, or undecidable at end of input
+                self._resyncing = False
+                return True
+            self._offset += 1
+            counters.bytes_skipped += 1
+        if not self._final:
+            return False
+        counters.bytes_skipped += len(self._buffer) - self._offset
+        self._offset = len(self._buffer)
+        return False
+
+    # -- record extraction ---------------------------------------------
+    def drain(self) -> Iterator[PacketRecord]:
+        """Yield every record decodable from the bytes pushed so far.
+
+        Stops silently at a partial record until :meth:`finish` is
+        called; after that, a partial tail is a framing fault handled
+        under the error budget.
+        """
+        header_size = self._struct.size
+        unpack_header = self._struct.unpack_from
+        counters = self._counters
+        tolerant = self._budget.tolerant
+        while True:
+            if self._resyncing and not self._scan_resync():
+                return
+            available = len(self._buffer) - self._offset
+            if available < header_size:
+                if not self._final:
+                    return
+                if available > 0:
+                    self._corrupt("pcap record header truncated")
+                    counters.bytes_skipped += available
+                    self._offset = len(self._buffer)
+                return
+            if tolerant and not self._plausible(self._offset):
+                self._corrupt("pcap record framing implausible")
+                counters.resyncs += 1
+                self._begin_resync()
+                continue
+            ts_sec, ts_usec, incl_len, _orig_len = unpack_header(
+                self._buffer, self._offset
+            )
+            if available < header_size + incl_len:
+                if not self._final:
+                    return  # body still being written; wait for bytes
+                # Strict raises here.  Lenient resyncs instead of
+                # dropping the tail outright: a "truncated body" can
+                # also be a corrupt length field swallowing real
+                # records behind it.
+                self._corrupt("pcap packet body truncated")
+                counters.resyncs += 1
+                self._begin_resync()
+                continue
+            start = self._offset + header_size
+            data = self._buffer[start : start + incl_len]
+            self._offset = start + incl_len
+            self._last_ts = ts_sec
+            counters.records_read += 1
+            if self._ethernet:
+                if len(data) < 14:
+                    counters.skipped += 1
+                    continue
+                ethertype = struct.unpack("!H", data[12:14])[0]
+                if ethertype != ETHERTYPE_IPV4:
+                    counters.skipped += 1
+                    continue
+                data = data[14:]
+            timestamp = ts_sec + ts_usec / 1_000_000
+            try:
+                record = PacketRecord.decode(
+                    data, timestamp, lenient=tolerant
+                )
+            except HeaderDecodeError:
+                counters.skipped += 1
+                continue
+            if record.options.truncated_options:
+                counters.option_errors += 1
+            yield record
 
 
 class PcapReader:
@@ -139,19 +369,7 @@ class PcapReader:
     ):
         self._file: BinaryIO = open(path, "rb")
         raw = self._file.read(_GLOBAL_HEADER.size)
-        if len(raw) < _GLOBAL_HEADER.size:
-            raise PcapFormatError("pcap global header truncated")
-        magic = struct.unpack("<I", raw[:4])[0]
-        if magic == PCAP_MAGIC:
-            self._endian = "<"
-        elif magic == PCAP_MAGIC_SWAPPED:
-            self._endian = ">"
-        else:
-            raise PcapFormatError("bad pcap magic %#010x" % magic)
-        fields = struct.unpack(self._endian + "IHHiIII", raw)
-        self.linktype = fields[6]
-        if self.linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
-            raise PcapFormatError("unsupported linktype %d" % self.linktype)
+        self._endian, self.linktype = parse_global_header(raw)
         self.errors = ErrorBudget.parse(errors)
         self.skipped = 0
         self.records_read = 0
@@ -174,137 +392,17 @@ class PcapReader:
         """Yield records one at a time, reading the file in
         ``buffer_bytes`` slabs (constant memory regardless of trace
         size)."""
-        record_struct = struct.Struct(self._endian + "IIII")
-        header_size = record_struct.size
-        unpack_header = record_struct.unpack_from
-        ethernet = self.linktype == LINKTYPE_ETHERNET
-        budget = self.errors
-        tolerant = budget.tolerant
-        buffer = b""
-        offset = 0
-        eof = False
-        last_ts: int | None = None
-
-        def fill(need: int) -> bool:
-            """Top up the buffer to ``need`` bytes past ``offset``."""
-            nonlocal buffer, offset, eof
-            while not eof and len(buffer) - offset < need:
-                slab = self._file.read(buffer_bytes)
-                if not slab:
-                    eof = True
-                    break
-                buffer = buffer[offset:] + slab
-                offset = 0
-            return len(buffer) - offset >= need
-
-        def plausible(pos: int) -> bool:
-            """Sanity-check a candidate record header at ``pos``."""
-            ts_sec, ts_usec, incl_len, orig_len = unpack_header(buffer, pos)
-            if ts_usec >= 1_000_000 or incl_len > _MAX_RECORD_BYTES:
-                return False
-            # No record can be smaller than one IPv4 header.
-            if incl_len < 20 or incl_len > orig_len:
-                return False
-            if orig_len > _MAX_RECORD_BYTES:
-                return False
-            if (
-                last_ts is not None
-                and abs(ts_sec - last_ts) > _RESYNC_TS_WINDOW
-            ):
-                return False
-            return True
-
-        def chain_ok(pos: int) -> bool:
-            """A resync candidate must also be followed by a plausible
-            header (when the next one is in the buffer) — a single
-            16-byte check syncs on garbage too easily."""
-            if not plausible(pos):
-                return False
-            incl_len = unpack_header(buffer, pos)[2]
-            nxt = pos + header_size + incl_len
-            if nxt + header_size <= len(buffer):
-                return plausible(nxt)
-            return True
-
-        def corrupt(reason: str) -> None:
-            """Count one framing fault; raise unless the budget allows."""
-            if not tolerant:
-                raise PcapFormatError(reason)
-            self.corrupt_records += 1
-            budget.check(
-                self.corrupt_records,
-                self.records_read + self.corrupt_records,
-                "corrupt pcap records",
-            )
-
-        def resync() -> bool:
-            """Advance to the next plausible record header, skipping
-            at least one byte; False when the rest of the file holds
-            none."""
-            nonlocal buffer, offset
-            offset += 1
-            self.bytes_skipped += 1
-            while True:
-                if not fill(header_size):
-                    self.bytes_skipped += len(buffer) - offset
-                    offset = len(buffer)
-                    return False
-                limit = len(buffer) - header_size
-                while offset <= limit:
-                    if chain_ok(offset):
-                        return True
-                    offset += 1
-                    self.bytes_skipped += 1
-                # Exhausted this buffer; fill() will compact and read
-                # the next slab (or report EOF on the next pass).
-
+        scanner = PcapScanner(
+            self._endian, self.linktype, self.errors, counters=self
+        )
         while True:
-            if not fill(header_size):
-                if len(buffer) - offset > 0:
-                    corrupt("pcap record header truncated")
-                    self.bytes_skipped += len(buffer) - offset
-                return
-            if tolerant and not plausible(offset):
-                corrupt("pcap record framing implausible")
-                self.resyncs += 1
-                if not resync():
-                    return
-                continue
-            ts_sec, ts_usec, incl_len, _orig_len = unpack_header(
-                buffer, offset
-            )
-            if not fill(header_size + incl_len):
-                # Strict raises here.  Lenient resyncs instead of
-                # dropping the tail outright: a "truncated body" can
-                # also be a corrupt length field swallowing real
-                # records behind it.
-                corrupt("pcap packet body truncated")
-                self.resyncs += 1
-                if not resync():
-                    return
-                continue
-            data = buffer[offset + header_size : offset + header_size + incl_len]
-            offset += header_size + incl_len
-            last_ts = ts_sec
-            self.records_read += 1
-            if ethernet:
-                if len(data) < 14:
-                    self.skipped += 1
-                    continue
-                ethertype = struct.unpack("!H", data[12:14])[0]
-                if ethertype != ETHERTYPE_IPV4:
-                    self.skipped += 1
-                    continue
-                data = data[14:]
-            timestamp = ts_sec + ts_usec / 1_000_000
-            try:
-                record = PacketRecord.decode(data, timestamp, lenient=tolerant)
-            except HeaderDecodeError:
-                self.skipped += 1
-                continue
-            if record.options.truncated_options:
-                self.option_errors += 1
-            yield record
+            slab = self._file.read(buffer_bytes)
+            if not slab:
+                break
+            scanner.push(slab)
+            yield from scanner.drain()
+        scanner.finish()
+        yield from scanner.drain()
 
     def iter_chunks(
         self,

@@ -194,6 +194,18 @@ class TestFacade:
         for name in api.__all__:
             assert getattr(api, name) is not None
 
+    def test_live_reexports(self):
+        from repro import live
+
+        assert api.AlertRule is live.AlertRule
+        assert api.LiveDaemon is live.LiveDaemon
+        assert api.WindowStore is live.WindowStore
+        assert api.watch_directory is live.watch_directory
+        for name in ("AlertRule", "LiveDaemon", "WindowStore",
+                     "watch_directory"):
+            assert name in api.__all__
+            assert getattr(repro, name) is getattr(live, name)
+
 
 class TestLazyPackage:
     def test_top_level_reexports(self):
@@ -212,7 +224,8 @@ class TestLazyPackage:
         code = (
             "import sys, repro; "
             "heavy = [m for m in sys.modules if m.startswith("
-            "('repro.core', 'repro.tcp', 'repro.experiments'))]; "
+            "('repro.core', 'repro.tcp', 'repro.experiments', "
+            "'repro.live'))]; "
             "assert not heavy, heavy; "
             "repro.Tapo; "
             "assert 'repro.core.tapo' in sys.modules"
@@ -234,6 +247,39 @@ class TestUnifiedCli:
 
         assert main(["frobnicate"]) == 2
         assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_usage_lists_watch(self, capsys):
+        from repro.cli import main
+
+        assert main(["help"]) == 0
+        assert "watch" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main, version_string
+
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out == f"repro-paper {version_string()}\n"
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out == out
+
+    def test_tapo_version_flag(self, capsys):
+        from repro.cli import version_string
+        from repro.core.cli import main as tapo_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            tapo_main(["--version"])
+        assert excinfo.value.code == 0
+        assert version_string() in capsys.readouterr().out
+
+    def test_watch_version_flag(self, capsys):
+        from repro.cli import version_string
+        from repro.live.cli import main as watch_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            watch_main(["--version"])
+        assert excinfo.value.code == 0
+        assert version_string() in capsys.readouterr().out
 
     def test_analyze_dispatch(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,532 @@
+"""LiveDaemon end-to-end: batch equivalence, HTTP, alerts, resume.
+
+The headline guarantee: the daemon's final flushed ``windows`` report
+is byte-identical to :func:`repro.live.daemon.batch_report` over the
+same capture bytes — clean or corrupted, single file or rotated, in
+one run or across a stop/resume cut at a rotation boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.core.tapo import Tapo
+from repro.errors import ErrorBudget
+from repro.live.alerts import AlertEngine, AlertRule, JsonlSink
+from repro.live.daemon import (
+    LiveDaemon,
+    batch_report,
+    open_source,
+    watch_directory,
+)
+from repro.live.sources import (
+    PcapTailSource,
+    RotatingDirectorySource,
+    StdinSource,
+)
+from repro.live.windows import WindowStore
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.packet.packet import PacketRecord
+from repro.packet.pcap import write_pcap
+from repro.testing.faults import corrupt_pcap_records
+
+SERVER = (0x0A000001, 80)
+
+
+def client(i: int) -> tuple[int, int]:
+    return (0x64400001 + i, 31000 + i)
+
+
+def pkt(src, dst, flags=FLAG_ACK, payload=0, ts=0.0, seq=0, ack=0):
+    return PacketRecord(
+        timestamp=ts,
+        src_ip=src[0],
+        src_port=src[1],
+        dst_ip=dst[0],
+        dst_port=dst[1],
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        payload_len=payload,
+    )
+
+
+def tiny_flow(i: int, start: float, stall: float = 0.0):
+    c = client(i)
+    t = start
+    packets = [
+        pkt(c, SERVER, flags=FLAG_SYN, ts=t, seq=100),
+        pkt(SERVER, c, flags=FLAG_SYN | FLAG_ACK, ts=t + 0.01, seq=300),
+        pkt(c, SERVER, ts=t + 0.02, seq=101, ack=301),
+        pkt(c, SERVER, payload=50, ts=t + 0.03, seq=101, ack=301),
+    ]
+    reply = t + 0.05 + stall
+    packets += [
+        pkt(SERVER, c, payload=1000, ts=reply, seq=301, ack=151),
+        pkt(c, SERVER, ts=reply + 0.02, seq=151, ack=1301),
+        pkt(SERVER, c, flags=FLAG_FIN | FLAG_ACK, ts=reply + 0.03,
+            seq=1301, ack=151),
+        pkt(c, SERVER, flags=FLAG_FIN | FLAG_ACK, ts=reply + 0.04,
+            seq=151, ack=1302),
+        pkt(SERVER, c, ts=reply + 0.05, seq=1302, ack=152),
+    ]
+    return packets
+
+
+def make_pcap(path, n=12, first=0, spacing=1.5):
+    packets = []
+    for i in range(n):
+        start = (first + i) * spacing
+        packets.extend(
+            tiny_flow(first + i, start, stall=0.8 if i % 3 == 0 else 0.0)
+        )
+    packets.sort(key=lambda p: p.timestamp)
+    write_pcap(path, packets)
+
+
+def canon(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+def feed_window(store, engine, bucket, nflows, base_client, stalled=False):
+    """Analyze ``nflows`` flows ending inside ``bucket`` and absorb
+    them; returns the engine's state-change events."""
+    window = store.window_seconds
+    packets = []
+    for j in range(nflows):
+        start = bucket * window + 0.5 + j * 0.01
+        packets.extend(
+            tiny_flow(base_client + j, start, stall=3.0 if stalled else 0.0)
+        )
+    packets.sort(key=lambda p: p.timestamp)
+    for analysis in Tapo().analyze_packets(packets):
+        store.add(analysis)
+    return engine.evaluate(store)
+
+
+class TestAlertRuleParse:
+    def test_full_grammar(self):
+        rule = AlertRule.parse(
+            "surge: stall_ratio > 0.25 over 5 clear 0.15 cooldown 300"
+        )
+        assert rule.name == "surge"
+        assert rule.metric == "stall_ratio"
+        assert rule.op == ">"
+        assert rule.threshold == 0.25
+        assert rule.over == 5
+        assert rule.clear == 0.15
+        assert rule.cooldown == 300.0
+        assert AlertRule.parse(rule.describe()) == rule
+
+    def test_name_defaults_to_metric(self):
+        rule = AlertRule.parse("coverage < 0.9")
+        assert rule.name == "coverage"
+        assert rule.clear_threshold == 0.9  # no hysteresis band
+
+    def test_metric_with_colon_is_not_a_name(self):
+        rule = AlertRule.parse("retx_time_share:tail_retrans > 0.3")
+        assert rule.name == "retx_time_share:tail_retrans"
+        assert rule.metric == "retx_time_share:tail_retrans"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "stall_ratio >",
+            "stall_ratio > high",
+            "no_such_metric > 1",
+            "stall_ratio >> 1",
+            "stall_ratio > 1 over",
+            "stall_ratio > 1 sideways 3",
+            "stall_ratio > 1 over 2 over 3",
+            "stall_ratio > 1 over zero",
+        ],
+    )
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(ValueError):
+            AlertRule.parse(spec)
+
+    def test_engine_rejects_duplicate_names(self):
+        rule = AlertRule.parse("flows > 1")
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine([rule, rule])
+
+
+class TestAlertEngine:
+    def test_fires_and_resolves_with_hysteresis(self):
+        store = WindowStore(window_seconds=10.0)
+        engine = AlertEngine(
+            [AlertRule.parse("busy: flows > 3 clear 2")]
+        )
+        events = feed_window(store, engine, 0, 5, base_client=0)
+        assert [e["state"] for e in events] == ["firing"]
+        assert engine.active() == ["busy"]
+        # value 3: below the firing threshold but inside the
+        # hysteresis band (> 2), so the alert holds.
+        events = feed_window(store, engine, 1, 3, base_client=100)
+        assert events == []
+        assert engine.active() == ["busy"]
+        events = feed_window(store, engine, 2, 1, base_client=200)
+        assert [e["state"] for e in events] == ["resolved"]
+        assert engine.active() == []
+
+    def test_cooldown_suppresses_refire(self):
+        store = WindowStore(window_seconds=10.0)
+        engine = AlertEngine(
+            [AlertRule.parse("busy: flows > 3 clear 2 cooldown 100")]
+        )
+        feed_window(store, engine, 0, 5, base_client=0)      # fires at 10
+        feed_window(store, engine, 1, 1, base_client=100)    # resolves
+        events = feed_window(store, engine, 2, 5, base_client=200)
+        assert events == []  # 30 - 10 < 100: still cooling down
+        events = feed_window(store, engine, 11, 5, base_client=300)
+        assert [e["state"] for e in events] == ["firing"]  # 120 - 10 >= 100
+
+    def test_events_reach_sink_as_jsonl(self, tmp_path):
+        log = tmp_path / "alerts.jsonl"
+        sink = JsonlSink(log)
+        store = WindowStore(window_seconds=10.0)
+        engine = AlertEngine([AlertRule.parse("flows > 3")], sink=sink)
+        feed_window(store, engine, 0, 5, base_client=0)
+        feed_window(store, engine, 1, 1, base_client=100)
+        sink.close()
+        lines = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert [e["state"] for e in lines] == ["firing", "resolved"]
+        assert lines[0]["alert"] == "flows"
+        assert lines[0]["trace_time"] == 10.0
+        assert engine.events_emitted == 2
+
+    def test_checkpoint_restore_preserves_firing_state(self):
+        store = WindowStore(window_seconds=10.0)
+        rule = AlertRule.parse("busy: flows > 3 clear 2 cooldown 50")
+        engine = AlertEngine([rule])
+        feed_window(store, engine, 0, 5, base_client=0)
+        state = json.loads(json.dumps(engine.checkpoint()))
+
+        revived = AlertEngine([rule])
+        revived.restore(state)
+        assert revived.active() == ["busy"]
+        # a rule added after the checkpoint starts inactive
+        extra = AlertEngine([rule, AlertRule.parse("flows < 0")])
+        extra.restore(state)
+        assert extra.active() == ["busy"]
+
+    def test_over_merges_recent_windows(self):
+        store = WindowStore(window_seconds=10.0)
+        engine = AlertEngine([AlertRule.parse("flows > 5 over 2")])
+        events = feed_window(store, engine, 0, 4, base_client=0)
+        assert events == []
+        events = feed_window(store, engine, 1, 4, base_client=100)
+        assert [e["state"] for e in events] == ["firing"]  # 4 + 4 > 5
+
+
+class TestDaemonOnce:
+    def test_once_report_equals_batch(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=12)
+        want = batch_report([path], window_seconds=5.0)
+        daemon = LiveDaemon(
+            PcapTailSource(path), window_seconds=5.0, once=True
+        )
+        report = daemon.run()
+        assert canon(report["windows"]) == canon(want)
+        assert report["runtime"]["finished"] is True
+        assert report["runtime"]["flows"] == 12
+
+    def test_once_equals_batch_under_corruption(self, tmp_path):
+        clean = tmp_path / "clean.pcap"
+        make_pcap(clean, n=30)
+        dirty = tmp_path / "dirty.pcap"
+        corrupt_pcap_records(clean, dirty, fraction=0.08, seed=11)
+        analysis = AnalysisConfig(errors=ErrorBudget.lenient())
+        want = batch_report([dirty], window_seconds=5.0, analysis=analysis)
+        daemon = LiveDaemon(
+            PcapTailSource(dirty, errors=analysis.errors),
+            window_seconds=5.0,
+            analysis=analysis,
+            once=True,
+        )
+        report = daemon.run()
+        assert canon(report["windows"]) == canon(want)
+        assert report["runtime"]["corrupt_records"] > 0
+
+    def test_alert_fires_during_run(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=12)
+        events = []
+        daemon = LiveDaemon(
+            PcapTailSource(path),
+            window_seconds=5.0,
+            rules=[AlertRule.parse("flows >= 1")],
+            alert_sink=events.append,
+            once=True,
+        )
+        report = daemon.run()
+        assert [e["state"] for e in events] == ["firing"]
+        assert report["runtime"]["alerts_active"] == ["flows >= 1".split()[0]]
+        assert report["runtime"]["alert_events"] == 1
+
+    def test_metrics_registry_names(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=6)
+        daemon = LiveDaemon(
+            PcapTailSource(path), window_seconds=5.0, once=True
+        )
+        daemon.run()
+        prom = daemon.metrics_registry().render_prometheus()
+        for name in (
+            "repro_live_records_total",
+            "repro_live_flows_total",
+            "repro_live_windows_active",
+            "repro_live_source_offset_bytes",
+            "repro_stream_flows_closed_total",
+        ):
+            assert name in prom, name
+
+
+class TestDaemonHTTP:
+    def _run_in_thread(self, daemon):
+        result = {}
+
+        def target():
+            result["report"] = daemon.run()
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread, result
+
+    def _get(self, url):
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    return (
+                        response.status,
+                        response.headers.get("Content-Type", ""),
+                        response.read().decode(),
+                    )
+            except urllib.error.HTTPError:
+                raise  # a served error status, not a connection problem
+            except (urllib.error.URLError, ConnectionError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+
+    def test_endpoints_serve_live_state(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=12)
+        daemon = LiveDaemon(
+            PcapTailSource(path),
+            window_seconds=5.0,
+            http_port=0,
+            poll_interval=0.05,
+        )
+        thread, result = self._run_in_thread(daemon)
+        try:
+            deadline = time.monotonic() + 10.0
+            while daemon.http.url is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            base = daemon.http.url
+            assert base is not None
+
+            status, ctype, body = self._get(base + "/healthz")
+            assert status == 200
+            assert "json" in ctype
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["source"] == "pcap_tail"
+
+            # wait until some flows have drained through analysis (the
+            # tail of the file may stay buffered until the final flush)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                health = json.loads(self._get(base + "/healthz")[2])
+                if health["flows"] > 0:
+                    break
+                time.sleep(0.05)
+            assert health["flows"] > 0
+
+            status, ctype, prom = self._get(base + "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert "repro_live_records_total" in prom
+            assert "repro_live_flows_total" in prom
+
+            status, _, body = self._get(base + "/metrics.json")
+            assert status == 200
+            assert "repro_live_records_total" in json.loads(body)
+
+            status, _, body = self._get(base + "/report.json")
+            assert status == 200
+            served = json.loads(body)
+            assert served["windows"]["totals"]["flows"] >= health["flows"]
+            assert served["runtime"]["finished"] is False
+
+            status = None
+            try:
+                self._get(base + "/nope")
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+            assert status == 404
+        finally:
+            daemon.stop()
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        # graceful stop flushed the full report, identical to batch
+        want = batch_report([path], window_seconds=5.0)
+        assert canon(result["report"]["windows"]) == canon(want)
+
+
+class TestCheckpointResume:
+    def test_stop_then_resume_matches_batch_over_rotation(self, tmp_path):
+        capdir = tmp_path / "captures"
+        capdir.mkdir()
+        checkpoint = tmp_path / "watch.ckpt"
+        make_pcap(capdir / "cap-000.pcap", n=8, first=0)
+
+        first = LiveDaemon(
+            RotatingDirectorySource(capdir),
+            window_seconds=5.0,
+            checkpoint_path=checkpoint,
+            once=True,
+        )
+        report1 = first.run()
+        assert report1["runtime"]["flows"] == 8
+        assert checkpoint.exists()
+
+        # rotation happens while the daemon is down
+        make_pcap(capdir / "cap-001.pcap", n=8, first=8)
+
+        second = LiveDaemon(
+            RotatingDirectorySource(capdir),
+            window_seconds=5.0,
+            checkpoint_path=checkpoint,
+            once=True,
+            resume=True,
+        )
+        assert second.records_in == report1["runtime"]["records_in"]
+        report2 = second.run()
+
+        want = batch_report(
+            [capdir / "cap-000.pcap", capdir / "cap-001.pcap"],
+            window_seconds=5.0,
+        )
+        assert canon(report2["windows"]) == canon(want)
+        assert report2["runtime"]["flows"] == 16
+
+    def test_resume_rejects_unknown_version(self, tmp_path):
+        checkpoint = tmp_path / "watch.ckpt"
+        checkpoint.write_text(json.dumps({"version": 99}))
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=2)
+        with pytest.raises(ValueError, match="version"):
+            LiveDaemon(
+                PcapTailSource(path),
+                checkpoint_path=checkpoint,
+                resume=True,
+            )
+
+    def test_resume_without_checkpoint_is_noop(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=2)
+        daemon = LiveDaemon(
+            PcapTailSource(path),
+            checkpoint_path=tmp_path / "missing.ckpt",
+            once=True,
+            resume=True,
+        )
+        assert daemon.run()["runtime"]["flows"] == 2
+
+
+class TestWatchCli:
+    def test_once_json_matches_batch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=12)
+        report_out = tmp_path / "report.json"
+        assert main([
+            "watch", str(path),
+            "--once",
+            "--json",
+            "--window", "5",
+            "--report-out", str(report_out),
+            "--metrics-out", str(tmp_path / "metrics"),
+        ]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        want = batch_report(
+            [path],
+            window_seconds=5.0,
+            analysis=AnalysisConfig(errors=ErrorBudget.lenient()),
+        )
+        assert canon(printed["windows"]) == canon(want)
+        assert canon(json.loads(report_out.read_text())["windows"]) == canon(
+            want
+        )
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "repro_live_records_total" in prom
+        assert "repro_live_flows_total" in prom
+        assert json.loads((tmp_path / "metrics.json").read_text())
+
+    def test_alert_log_written(self, tmp_path, capsys):
+        from repro.live.cli import main
+
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=12)
+        log = tmp_path / "alerts.jsonl"
+        assert main([
+            str(path),
+            "--once",
+            "--window", "5",
+            "--alert", "busy: flows >= 1",
+            "--alert-log", str(log),
+        ]) == 0
+        events = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert events and events[0]["alert"] == "busy"
+
+    def test_missing_source_exits_2(self, tmp_path, capsys):
+        from repro.live.cli import main
+
+        assert main([str(tmp_path / "nope.pcap"), "--once"]) == 2
+        assert "watch:" in capsys.readouterr().err
+
+    def test_bad_alert_spec_rejected(self, tmp_path, capsys):
+        from repro.live.cli import main
+
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=1)
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(path), "--once", "--alert", "definitely not a rule"])
+        assert excinfo.value.code == 2
+
+
+class TestHelpers:
+    def test_open_source_dispatch(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=1)
+        assert isinstance(open_source(str(path)), PcapTailSource)
+        assert isinstance(
+            open_source(str(tmp_path)), RotatingDirectorySource
+        )
+        assert isinstance(open_source("-"), StdinSource)
+
+    def test_watch_directory_builds_daemon(self, tmp_path):
+        make_pcap(tmp_path / "cap-000.pcap", n=4)
+        daemon = watch_directory(
+            tmp_path, errors="lenient", window_seconds=5.0, once=True
+        )
+        assert isinstance(daemon.source, RotatingDirectorySource)
+        assert daemon.analysis.errors.tolerant
+        report = daemon.run()
+        assert report["runtime"]["flows"] == 4

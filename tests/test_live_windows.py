@@ -1,0 +1,338 @@
+"""Rolling-window aggregation: order-independence, expiry, state.
+
+The daemon's batch-equivalence guarantee rests on
+:class:`repro.live.windows.WindowStore` being a pure function of the
+*multiset* of flows fed in — these tests feed permutations, split
+merges, force expiry, and round-trip checkpoints, asserting
+byte-identical JSON every time.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.report import ServiceReport
+from repro.core.tapo import Tapo
+from repro.errors import SkippedFlow
+from repro.live.windows import WindowStore, WindowSummary, flow_label
+from repro.packet.headers import FLAG_ACK, FLAG_FIN, FLAG_SYN
+from repro.packet.packet import PacketRecord
+
+SERVER = (0x0A000001, 80)
+
+
+def client(i: int) -> tuple[int, int]:
+    return (0x64400001 + i, 31000 + i)
+
+
+def pkt(src, dst, flags=FLAG_ACK, payload=0, ts=0.0, seq=0, ack=0):
+    return PacketRecord(
+        timestamp=ts,
+        src_ip=src[0],
+        src_port=src[1],
+        dst_ip=dst[0],
+        dst_port=dst[1],
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        payload_len=payload,
+    )
+
+
+def tiny_flow(i: int, start: float, stall: float = 0.0):
+    """One clean request/response flow; ``stall`` inserts a server-side
+    gap before the response so the analyzer finds a stall."""
+    c = client(i)
+    t = start
+    packets = [
+        pkt(c, SERVER, flags=FLAG_SYN, ts=t, seq=100),
+        pkt(SERVER, c, flags=FLAG_SYN | FLAG_ACK, ts=t + 0.01, seq=300),
+        pkt(c, SERVER, ts=t + 0.02, seq=101, ack=301),
+        pkt(c, SERVER, payload=50, ts=t + 0.03, seq=101, ack=301),
+    ]
+    reply = t + 0.05 + stall
+    packets += [
+        pkt(SERVER, c, payload=1000, ts=reply, seq=301, ack=151),
+        pkt(c, SERVER, ts=reply + 0.02, seq=151, ack=1301),
+        pkt(SERVER, c, flags=FLAG_FIN | FLAG_ACK, ts=reply + 0.03,
+            seq=1301, ack=151),
+        pkt(c, SERVER, flags=FLAG_FIN | FLAG_ACK, ts=reply + 0.04,
+            seq=151, ack=1302),
+        pkt(SERVER, c, ts=reply + 0.05, seq=1302, ack=152),
+    ]
+    return packets
+
+
+def analyses_spread(n: int = 24, spacing: float = 2.5):
+    """Analyze ``n`` flows whose end times spread over many windows."""
+    packets = []
+    for i in range(n):
+        packets.extend(
+            tiny_flow(i, i * spacing, stall=0.8 if i % 3 == 0 else 0.0)
+        )
+    packets.sort(key=lambda p: p.timestamp)
+    return Tapo().analyze_packets(packets)
+
+
+def store_json(store: WindowStore) -> str:
+    return json.dumps(store.report(), sort_keys=True)
+
+
+class TestWindowSummary:
+    def test_add_accumulates(self):
+        analyses = analyses_spread(6)
+        summary = WindowSummary(bucket=0, window_seconds=60.0)
+        for analysis in analyses:
+            summary.add(analysis)
+        assert summary.flows == 6
+        assert summary.stalls == sum(len(a.stalls) for a in analyses)
+        assert summary.bytes_out == sum(a.bytes_out for a in analyses)
+        assert summary.flows_with_stalls == sum(
+            1 for a in analyses if a.stalls
+        )
+        assert 0.0 <= summary.stall_ratio() <= 1.0
+
+    def test_merge_commutative_and_associative(self):
+        analyses = analyses_spread(12)
+
+        def build(order):
+            parts = []
+            for group in order:
+                part = WindowSummary(bucket=0, window_seconds=60.0)
+                for analysis in group:
+                    part.add(analysis)
+                parts.append(part)
+            merged = WindowSummary(bucket=0, window_seconds=60.0)
+            merged.windows_merged = 0
+            for part in parts:
+                merged.merge(part)
+            return json.dumps(merged.to_state(), sort_keys=True)
+
+        a, b, c = analyses[:4], analyses[4:7], analyses[7:]
+        assert build([a, b, c]) == build([c, a, b]) == build([b, c, a])
+        # associativity: (a+b)+c == a+(b+c)
+        left = WindowSummary(bucket=0)
+        for x in a + b:
+            left.add(x)
+        right = WindowSummary(bucket=0)
+        for x in c:
+            right.add(x)
+        bc = WindowSummary(bucket=0)
+        for x in b + c:
+            bc.add(x)
+        a_only = WindowSummary(bucket=0)
+        for x in a:
+            a_only.add(x)
+        one = json.dumps(left.merge(right).to_state(), sort_keys=True)
+        two = json.dumps(a_only.merge(bc).to_state(), sort_keys=True)
+        assert one == two
+
+    def test_top_k_bounded_and_totally_ordered(self):
+        analyses = [a for a in analyses_spread(30) if a.stalls]
+        assert len(analyses) > 5
+        summary = WindowSummary(bucket=0, top_k=5)
+        for analysis in analyses:
+            summary.add(analysis)
+        assert len(summary.top) == 5
+        ranks = [(-e[0], e[1], e[2]) for e in summary.top]
+        assert ranks == sorted(ranks)
+
+    def test_metric_selectors(self):
+        analyses = analyses_spread(9)
+        summary = WindowSummary(bucket=0)
+        for analysis in analyses:
+            summary.add(analysis)
+        assert summary.metric("flows") == 9.0
+        assert summary.metric("coverage") == 1.0
+        assert summary.metric("stall_ratio") == summary.stall_ratio()
+        shares = [
+            summary.metric(f"cause_share:{name}")
+            for name in summary.causes
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+        assert summary.metric("cause_share:no_such_cause") == 0.0
+        with pytest.raises(KeyError):
+            summary.metric("bogus")
+        with pytest.raises(KeyError):
+            summary.metric("bogus_kind:tail_retrans")
+
+    def test_skip_counts_into_coverage(self):
+        summary = WindowSummary(bucket=0)
+        summary.add_skip(
+            SkippedFlow(key="k", error_type="X", error="boom", last_time=1.0)
+        )
+        for analysis in analyses_spread(3):
+            summary.add(analysis)
+        assert summary.skipped == 1
+        assert summary.coverage() == pytest.approx(3 / 4)
+
+
+class TestWindowStore:
+    def test_trace_time_bucketing(self):
+        store = WindowStore(window_seconds=10.0, retention=100)
+        for analysis in analyses_spread(8, spacing=7.0):
+            store.add(analysis)
+        for window in store.windows():
+            assert window.start is not None
+            # every contributing flow ended inside [start, end)
+            assert window.end - window.start == pytest.approx(10.0)
+        assert store.total().flows == 8
+
+    def test_feeding_order_is_irrelevant(self):
+        analyses = analyses_spread(20, spacing=3.0)
+        base = WindowStore(window_seconds=5.0, retention=4, top_k=3)
+        for analysis in analyses:
+            base.add(analysis)
+        for seed in (1, 2, 3):
+            shuffled = list(analyses)
+            random.Random(seed).shuffle(shuffled)
+            other = WindowStore(window_seconds=5.0, retention=4, top_k=3)
+            for analysis in shuffled:
+                other.add(analysis)
+            assert store_json(other) == store_json(base)
+
+    def test_expiry_bounds_live_windows(self):
+        store = WindowStore(window_seconds=2.0, retention=3)
+        analyses = analyses_spread(20, spacing=2.0)
+        for analysis in analyses:
+            store.add(analysis)
+        assert len(store.windows()) <= 3
+        assert store.expired_windows > 0
+        assert store.total().flows == 20
+
+    def test_totals_invariant_under_retention(self):
+        analyses = analyses_spread(24, spacing=2.0)
+        tight = WindowStore(window_seconds=3.0, retention=2, top_k=5)
+        loose = WindowStore(window_seconds=3.0, retention=10_000, top_k=5)
+        for analysis in analyses:
+            tight.add(analysis)
+            loose.add(analysis)
+        assert json.dumps(tight.total().to_dict(), sort_keys=True) == (
+            json.dumps(loose.total().to_dict(), sort_keys=True)
+        )
+
+    def test_skipped_flows_window_placement_and_merge(self):
+        store = WindowStore(window_seconds=10.0, retention=100)
+        for analysis in analyses_spread(4, spacing=12.0):
+            store.add(analysis)
+        skip_timed = SkippedFlow(
+            key="f1", error_type="X", error="boom", last_time=13.0
+        )
+        skip_untimed = SkippedFlow(key="f2", error_type="X", error="boom")
+        store.add_skip(skip_timed)
+        store.add_skip(skip_untimed)
+        by_bucket = {w.bucket: w for w in store.windows()}
+        assert by_bucket[1].skipped == 1  # last_time 13.0 -> bucket 1
+        # untimed skips land in the newest window seen so far
+        assert by_bucket[store.max_bucket].skipped == 1
+        total = store.total()
+        assert total.skipped == 2
+        assert total.coverage() == pytest.approx(4 / 6)
+
+    def test_checkpoint_restore_byte_identical(self):
+        analyses = analyses_spread(18, spacing=2.0)
+        store = WindowStore(window_seconds=4.0, retention=3, top_k=4)
+        for analysis in analyses[:10]:
+            store.add(analysis)
+        store.add_skip(
+            SkippedFlow(key="k", error_type="X", error="e", last_time=9.0)
+        )
+        state = json.loads(json.dumps(store.checkpoint()))  # via JSON
+        restored = WindowStore.restore(state)
+        assert json.dumps(
+            restored.checkpoint(), sort_keys=True
+        ) == json.dumps(store.checkpoint(), sort_keys=True)
+        assert store_json(restored) == store_json(store)
+        # continuing to feed after restore matches the uninterrupted run
+        for analysis in analyses[10:]:
+            store.add(analysis)
+            restored.add(analysis)
+        assert store_json(restored) == store_json(store)
+
+    def test_restore_rejects_unknown_version(self):
+        state = WindowStore().checkpoint()
+        state["version"] = 999
+        with pytest.raises(ValueError):
+            WindowStore.restore(state)
+
+    def test_registry_export(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        store = WindowStore(window_seconds=5.0)
+        for analysis in analyses_spread(6):
+            store.add(analysis)
+        registry = MetricsRegistry()
+        store.to_registry(registry)
+        assert registry["repro_live_flows_total"].value == 6.0
+        assert "repro_live_coverage" in registry
+        assert "repro_live_windows_active" in registry
+
+    def test_flow_label_renders_endpoints(self):
+        analyses = analyses_spread(1)
+        label = flow_label(analyses[0].flow.key)
+        assert "<->" in label and ":" in label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowStore(window_seconds=0)
+        with pytest.raises(ValueError):
+            WindowStore(retention=0)
+
+
+class TestServiceReportMerge:
+    """The associativity/commutativity contract windowed aggregation
+    (and the streaming pipeline underneath it) relies on."""
+
+    def _parts(self):
+        analyses = analyses_spread(15, spacing=2.0)
+        groups = [analyses[:5], analyses[5:9], analyses[9:]]
+        parts = []
+        for index, group in enumerate(groups):
+            part = ServiceReport(service="svc")
+            for analysis in group:
+                part.add(analysis)
+            part.skipped.append(
+                SkippedFlow(
+                    key=f"s{index}",
+                    error_type="X",
+                    error="e",
+                    last_time=float(index),
+                )
+            )
+            parts.append(part)
+        return parts
+
+    def _signature(self, report: ServiceReport):
+        breakdown = report.cause_breakdown()
+        return (
+            sorted(a.flow.key for a in report.flows),
+            sorted(s.key for s in report.skipped),
+            report.coverage(),
+            {
+                cause.value: (entry.count, entry.time_share)
+                for cause, entry in breakdown.items()
+            },
+        )
+
+    def test_merge_commutative(self):
+        a, b, c = self._parts()
+        one = ServiceReport.merged([a, b, c], service="svc")
+        two = ServiceReport.merged([c, b, a], service="svc")
+        assert self._signature(one) == self._signature(two)
+
+    def test_merge_associative(self):
+        a, b, c = self._parts()
+        left = ServiceReport(service="svc").merge(a).merge(b).merge(c)
+        ab = ServiceReport(service="svc").merge(a).merge(b)
+        right = ab.merge(c)
+        a2, b2, c2 = self._parts()
+        nested = ServiceReport(service="svc").merge(a2).merge(
+            ServiceReport(service="svc").merge(b2).merge(c2)
+        )
+        assert self._signature(left) == self._signature(right)
+        assert self._signature(right) == self._signature(nested)
+        # SkippedFlow records survive every merge shape
+        assert len(right.skipped) == 3 and len(nested.skipped) == 3
