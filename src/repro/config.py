@@ -55,6 +55,19 @@ class AnalysisConfig:
         Also record the per-ACK inferred kernel-variable time-series
         (``FlowAnalysis.kernel_series``) for comparison against the
         simulator's flight-recorder ground truth.
+    columnar:
+        Decode pcap slabs into parallel arrays and analyze flows on
+        the columnar fast path when it provably matches the object
+        pipeline, falling back to full object analysis otherwise (see
+        :mod:`repro.packet.columnar`).  Reports are byte-identical
+        either way; ``False`` forces the object path everywhere (the
+        CLI spells this ``--no-columnar``).
+    verify_checksums:
+        Verify each packet's TCP checksum during object-path decode
+        and count failures (``repro_fault_checksum_errors_total``).
+        The columnar path never verifies eagerly: when verification
+        is requested it defers and counts the skips
+        (``repro_fault_checksums_skipped_total``).
     errors:
         An :class:`~repro.errors.ErrorBudget` governing how ingestion
         and analysis react to dirty input.  ``strict`` (the default)
@@ -68,6 +81,8 @@ class AnalysisConfig:
     tau: float = 2.0
     init_cwnd: int = 3
     record_series: bool = False
+    columnar: bool = True
+    verify_checksums: bool = False
     errors: ErrorBudget = field(default_factory=ErrorBudget.strict)
 
     def replace(self, **changes) -> "AnalysisConfig":

@@ -1,6 +1,12 @@
 """TAPO: TCP stall detection and classification (the paper's core)."""
 
 from .classifier import StallClassifier, classify_flow
+from .columnar_pipeline import (
+    ColumnarStreamDemuxer,
+    LazyFlowTrace,
+    demux_columns_stream,
+    fast_replay_flow,
+)
 from .flow_analyzer import FlowAnalysis, FlowAnalyzer
 from .records import flow_record, format_flow_table, record_fields, write_csv
 from .report import BreakdownEntry, ServiceReport, cdf_points, percentile
@@ -23,10 +29,12 @@ __all__ = [
     "BreakdownEntry",
     "CaState",
     "CaStateTracker",
+    "ColumnarStreamDemuxer",
     "DoubleKind",
     "FlowAnalysis",
     "FlowAnalyzer",
     "FlowTimeline",
+    "LazyFlowTrace",
     "RetxCause",
     "STALL_TAU",
     "SegmentTracker",
@@ -42,6 +50,8 @@ __all__ = [
     "build_timeline",
     "cdf_points",
     "classify_flow",
+    "demux_columns_stream",
+    "fast_replay_flow",
     "flow_record",
     "format_flow_table",
     "percentile",

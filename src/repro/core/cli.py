@@ -108,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help=(
+            "force the per-packet object pipeline instead of the "
+            "columnar fast path (identical output, mostly slower; "
+            "an escape hatch and parity oracle)"
+        ),
+    )
+    parser.add_argument(
         "--errors",
         type=_error_budget,
         default="strict",
@@ -223,7 +232,13 @@ def main(argv: list[str] | None = None) -> int:
     elif args.server_port:
         server_side = server_by_port(args.server_port)
 
-    tapo = Tapo(config=AnalysisConfig(tau=args.tau, errors=args.errors))
+    tapo = Tapo(
+        config=AnalysisConfig(
+            tau=args.tau,
+            errors=args.errors,
+            columnar=not args.no_columnar,
+        )
+    )
     streaming = (
         args.stream
         or args.stats

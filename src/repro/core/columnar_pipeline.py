@@ -1,0 +1,759 @@
+"""Columnar flow demux and the clean-flow fast replay.
+
+This is the analysis half of the zero-copy columnar path
+(:mod:`repro.packet.columnar` is the decode half).  Batches of decoded
+columns flow through :class:`ColumnarStreamDemuxer`, which mirrors
+:class:`repro.packet.flow.StreamDemuxer` decision for decision —
+server identification, eviction order, :class:`StreamStats`
+accounting — but keys flows by packed integers and buffers per-flow
+*columns* instead of per-packet objects.  Completed flows come out as
+:class:`LazyFlowTrace` objects: real :class:`FlowTrace`\\ s whose
+packet list materializes only if someone actually needs the objects.
+
+:func:`fast_replay_flow` is the first-pass screen.  It replays a
+flow's columns through the same arithmetic the object
+:class:`~repro.core.flow_analyzer.FlowAnalyzer` performs — including a
+real :class:`~repro.tcp.rto.RTOEstimator` — for as long as the flow
+stays *clean*: no stall (``gap > min(tau*SRTT, RTO)``), no SACK
+blocks, no duplicate ACKs, no retransmitted or out-of-order data.  A
+clean flow never leaves the ``Open`` congestion state and its
+:class:`~repro.core.flow_analyzer.FlowAnalysis` is reproduced exactly
+without materializing one packet object.  The moment any of those
+conditions trips, the replay *bails*: it returns ``None``, the caller
+materializes the packets, and the unmodified object pipeline — the
+oracle — analyzes the flow.  Reports are therefore byte-identical
+with the fast path on or off; only the work per clean flow changes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Iterator
+
+from ..config import AnalysisConfig
+from ..packet.columnar import (
+    OPT_ODD,
+    OPT_TS,
+    _U32,
+    _U32_ITEMSIZE,
+    _np,
+    PacketColumns,
+)
+from ..packet.flow import (
+    Direction,
+    FlowKey,
+    FlowTrace,
+    ServerPredicate,
+    StreamStats,
+)
+from ..packet.headers import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN
+from ..packet.options import TCPOptions
+from ..packet.packet import PacketRecord
+from ..packet.seqnum import seq_after, seq_before, seq_leq
+from ..tcp.constants import ts_to_time
+from ..tcp.rto import RTOEstimator
+from .flow_analyzer import FlowAnalysis
+
+#: One full 32-bit sequence space.  A flow that consumes this much is
+#: about to collide new sequence numbers with recorded segment starts,
+#: where the object tracker reuses segment state; such flows take the
+#: object path.
+_SEQ_SPACE = 1 << 32
+
+_FIN_OR_RST = FLAG_FIN | FLAG_RST
+
+
+def _endpoint(packed: int) -> tuple[int, int]:
+    """Unpack a 48-bit ``(ip << 16) | port`` endpoint."""
+    return packed >> 16, packed & 0xFFFF
+
+
+class _FlowStore:
+    """Per-flow packet buffer as compact parallel arrays.
+
+    Rows are appended in capture order; ``src_pk`` keeps the packed
+    source endpoint so direction is derivable once the server is
+    known (which, for pending flows, is only at resolution time).
+    When every appended row came from a batch that kept its source
+    :class:`PacketRecord` objects, ``records`` preserves them so
+    materialization returns the *original* objects.
+    """
+
+    __slots__ = (
+        "pk_a", "pk_b", "server_pk",
+        "times", "src_pk", "seq", "ack", "flags", "window",
+        "payload", "ts_val", "ts_ecr", "optbits", "odd", "records",
+    )
+
+    def __init__(self, pk_a: int, pk_b: int):
+        self.pk_a = pk_a
+        self.pk_b = pk_b
+        self.server_pk: int | None = None
+        self.times = array("d")
+        self.src_pk = array("q")
+        self.seq = array(_U32)
+        self.ack = array(_U32)
+        self.flags = array("B")
+        self.window = array("H")
+        self.payload = array(_U32)
+        self.ts_val = array(_U32)
+        self.ts_ecr = array(_U32)
+        self.optbits = array("B")
+        self.odd: dict[int, TCPOptions] = {}
+        self.records: list[PacketRecord] | None = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append(
+        self, t, src, seq, ack, flags, window, payload,
+        ts_val, ts_ecr, optbits, options, record,
+    ) -> None:
+        if optbits & OPT_ODD:
+            self.odd[len(self.times)] = options
+        self.times.append(t)
+        self.src_pk.append(src)
+        self.seq.append(seq)
+        self.ack.append(ack)
+        self.flags.append(flags)
+        self.window.append(window)
+        self.payload.append(payload)
+        self.ts_val.append(ts_val)
+        self.ts_ecr.append(ts_ecr)
+        self.optbits.append(optbits)
+        if self.records is not None:
+            if record is not None:
+                self.records.append(record)
+            else:
+                self.records = None
+
+    def options_at(self, index: int) -> TCPOptions:
+        bits = self.optbits[index]
+        if bits & OPT_ODD:
+            return self.odd[index]
+        if bits & OPT_TS:
+            return TCPOptions(
+                ts_val=self.ts_val[index], ts_ecr=self.ts_ecr[index]
+            )
+        return TCPOptions()
+
+    def resolve_server_by_volume(self) -> None:
+        """Mirror of :meth:`FlowDemuxer._resolve_pending`: the heavier
+        sender, ties broken by first appearance."""
+        by_endpoint: dict[int, int] = {}
+        payloads = self.payload
+        for index, src in enumerate(self.src_pk):
+            by_endpoint[src] = by_endpoint.get(src, 0) + payloads[index]
+        self.server_pk = max(by_endpoint, key=by_endpoint.get)
+
+    def build_packets(self) -> list[tuple[PacketRecord, Direction]]:
+        """Materialize the rows exactly as the object demux would
+        have buffered them."""
+        server = self.server_pk
+        records = self.records
+        if records is not None and len(records) == len(self.times):
+            return [
+                (
+                    record,
+                    Direction.IN if src != server else Direction.OUT,
+                )
+                for record, src in zip(records, self.src_pk)
+            ]
+        out: list[tuple[PacketRecord, Direction]] = []
+        for index, src in enumerate(self.src_pk):
+            dst = self.pk_b if src == self.pk_a else self.pk_a
+            src_ip, src_port = _endpoint(src)
+            dst_ip, dst_port = _endpoint(dst)
+            record = PacketRecord(
+                timestamp=self.times[index],
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                seq=self.seq[index],
+                ack=self.ack[index],
+                flags=self.flags[index],
+                window=self.window[index],
+                payload_len=self.payload[index],
+                options=self.options_at(index),
+            )
+            out.append(
+                (record, Direction.IN if src != server else Direction.OUT)
+            )
+        return out
+
+
+class _LazyPackets(list):
+    """A packet list that fills itself from a :class:`_FlowStore` on
+    first *element* access.
+
+    ``len()`` is answered from the store, so report aggregation and
+    :class:`~repro.errors.SkippedFlow` accounting never force
+    materialization.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: _FlowStore):
+        super().__init__()
+        self._store: _FlowStore | None = store
+
+    def _materialize(self) -> None:
+        store = self._store
+        if store is not None:
+            self._store = None
+            super().extend(store.build_packets())
+
+    def __len__(self) -> int:
+        store = self._store
+        if store is not None:
+            return len(store)
+        return super().__len__()
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self):
+        self._materialize()
+        return super().__iter__()
+
+    def __getitem__(self, index):
+        self._materialize()
+        return super().__getitem__(index)
+
+    def __eq__(self, other):
+        self._materialize()
+        if isinstance(other, _LazyPackets):
+            other._materialize()
+        return list.__eq__(self, other)
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None
+
+
+class LazyFlowTrace(FlowTrace):
+    """A :class:`FlowTrace` backed by columns.
+
+    Behaves exactly like the object-demuxed trace — same key, same
+    endpoints, same packets in the same order — but the packet objects
+    exist only once something touches ``packets``.  Time properties
+    are answered straight from the timestamp column.
+    """
+
+    def __init__(
+        self,
+        key: FlowKey,
+        server: tuple[int, int],
+        client: tuple[int, int],
+        store: _FlowStore,
+    ):
+        super().__init__(
+            key=key, server=server, client=client,
+            packets=_LazyPackets(store),
+        )
+        self._store = store
+
+    @property
+    def first_time(self) -> float:
+        times = self._store.times
+        return times[0] if len(times) else 0.0
+
+    @property
+    def last_time(self) -> float:
+        times = self._store.times
+        return times[-1] if len(times) else 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time
+
+
+class ColumnarStreamDemuxer:
+    """Streaming flow demux over :class:`PacketColumns` batches.
+
+    A decision-for-decision mirror of
+    :class:`repro.packet.flow.StreamDemuxer`: the same server
+    inference (predicate, then SYN+ACK source, then SYN destination,
+    then data volume), the same FIN/RST + linger and idle-timeout
+    eviction with the same sweep cadence and hand-off order, and the
+    same :class:`StreamStats` accounting — against packed-integer keys
+    and per-flow column buffers instead of object traces.  Integer
+    keys pack ``(ip, port)`` endpoints major-to-minor, so comparisons
+    order exactly like :class:`FlowKey` tuples.
+    """
+
+    _SWEEP_FRACTION = 0.25
+
+    def __init__(
+        self,
+        server_side: ServerPredicate | None = None,
+        *,
+        idle_timeout: float | None = 60.0,
+        close_linger: float | None = 5.0,
+        stats: StreamStats | None = None,
+    ):
+        self._server_side = server_side
+        self.idle_timeout = idle_timeout
+        self.close_linger = close_linger
+        self.stats = stats if stats is not None else StreamStats()
+        self._flows: dict[int, _FlowStore] = {}
+        self._pending: dict[int, _FlowStore] = {}
+        self._ready: list[LazyFlowTrace] = []
+        self._fins: dict[int, set[int]] = {}
+        self._closed_at: dict[int, float] = {}
+        self._last_seen: dict[int, float] = {}
+        bounds = [b for b in (idle_timeout, close_linger) if b is not None]
+        self._sweep_every = (
+            max(min(bounds) * self._SWEEP_FRACTION, 1e-3) if bounds else None
+        )
+        self._next_sweep: float | None = None
+
+    # -- feeding ------------------------------------------------------
+    def feed_columns(self, cols: PacketColumns) -> None:
+        """Demultiplex one batch of decoded columns."""
+        count = len(cols)
+        if not count:
+            return
+        if _np is not None and count > 1:
+            u32 = _np.uint32 if _U32_ITEMSIZE == 4 else _np.uint64
+            src_pks = (
+                (_np.frombuffer(cols.src_ip, dtype=u32).astype(_np.int64) << 16)
+                | _np.frombuffer(cols.src_port, dtype=_np.uint16)
+            ).tolist()
+            dst_pks = (
+                (_np.frombuffer(cols.dst_ip, dtype=u32).astype(_np.int64) << 16)
+                | _np.frombuffer(cols.dst_port, dtype=_np.uint16)
+            ).tolist()
+        else:
+            src_ips = cols.src_ip
+            src_ports = cols.src_port
+            dst_ips = cols.dst_ip
+            dst_ports = cols.dst_port
+            src_pks = [
+                (src_ips[i] << 16) | src_ports[i] for i in range(count)
+            ]
+            dst_pks = [
+                (dst_ips[i] << 16) | dst_ports[i] for i in range(count)
+            ]
+        times = cols.timestamps.tolist()
+        seqs = cols.seq.tolist()
+        acks = cols.ack.tolist()
+        flags_col = cols.flags.tolist()
+        windows = cols.window.tolist()
+        payloads = cols.payload_len.tolist()
+        ts_vals = cols.ts_val.tolist()
+        ts_ecrs = cols.ts_ecr.tolist()
+        optbits_col = cols.optbits.tolist()
+        odd_options = cols.odd_options
+        sources = cols.source_records
+        predicate = self._server_side
+
+        flows = self._flows
+        pending = self._pending
+        stats = self.stats
+        last_seen = self._last_seen
+        closed_at = self._closed_at
+        sweep_every = self._sweep_every
+
+        for row in range(count):
+            src = src_pks[row]
+            dst = dst_pks[row]
+            if src <= dst:
+                key = (src << 48) | dst
+            else:
+                key = (dst << 48) | src
+            now = times[row]
+            flags = flags_col[row]
+            store = flows.get(key)
+            known_before = True
+            if store is None:
+                store = pending.get(key)
+                if store is None:
+                    known_before = False
+                    if src <= dst:
+                        store = _FlowStore(src, dst)
+                    else:
+                        store = _FlowStore(dst, src)
+                # Server inference, attempted on every packet while the
+                # flow is unidentified (FlowDemuxer._identify_server).
+                server = None
+                if predicate is not None:
+                    record = (
+                        sources[row] if sources is not None
+                        else cols.record(row)
+                    )
+                    server = src if predicate(record) else dst
+                elif flags & FLAG_SYN:
+                    server = src if flags & FLAG_ACK else dst
+                if server is None:
+                    pending[key] = store
+                else:
+                    store.server_pk = server
+                    pending.pop(key, None)
+                    flows[key] = store
+            optbits = optbits_col[row]
+            store.append(
+                now, src, seqs[row], acks[row], flags, windows[row],
+                payloads[row], ts_vals[row], ts_ecrs[row], optbits,
+                odd_options.get(row) if optbits & OPT_ODD else None,
+                sources[row] if sources is not None else None,
+            )
+            stats.packets += 1
+            stats.buffered_packets += 1
+            if stats.buffered_packets > stats.peak_buffered_packets:
+                stats.peak_buffered_packets = stats.buffered_packets
+            if not known_before:
+                stats.flows_started += 1
+                if not flags & FLAG_SYN:
+                    stats.flows_reopened += 1
+                stats.active_flows += 1
+                if stats.active_flows > stats.peak_active_flows:
+                    stats.peak_active_flows = stats.active_flows
+            last_seen[key] = now
+            if flags & FLAG_RST:
+                closed_at.setdefault(key, now)
+            elif flags & FLAG_FIN:
+                fins = self._fins.setdefault(key, set())
+                fins.add(src)
+                if len(fins) >= 2:
+                    closed_at.setdefault(key, now)
+            if sweep_every is not None:
+                if self._next_sweep is None:
+                    self._next_sweep = now + sweep_every
+                elif now >= self._next_sweep:
+                    self._sweep(now)
+                    self._next_sweep = now + sweep_every
+
+    # -- eviction -----------------------------------------------------
+    def _sweep(self, now: float) -> None:
+        evict: list[tuple[float, int, bool]] = []
+        for key, last in self._last_seen.items():
+            closed = self._closed_at.get(key)
+            if (
+                self.close_linger is not None
+                and closed is not None
+                and now - closed >= self.close_linger
+            ):
+                evict.append((closed, key, True))
+            elif (
+                self.idle_timeout is not None
+                and now - last >= self.idle_timeout
+            ):
+                evict.append((last, key, False))
+        evict.sort(key=lambda item: (item[0], item[1]))
+        for _when, key, was_closed in evict:
+            self._evict(key, was_closed)
+
+    def _evict(self, key: int, was_closed: bool) -> None:
+        store = self._flows.pop(key, None)
+        if store is None:
+            store = self._pending.pop(key, None)
+            if store is None:
+                return
+            store.resolve_server_by_volume()
+        self._fins.pop(key, None)
+        self._closed_at.pop(key, None)
+        self._last_seen.pop(key, None)
+        stats = self.stats
+        stats.buffered_packets -= len(store)
+        stats.active_flows -= 1
+        if was_closed:
+            stats.flows_closed += 1
+        else:
+            stats.flows_evicted_idle += 1
+        self._ready.append(self._make_trace(store))
+
+    def _make_trace(self, store: _FlowStore) -> LazyFlowTrace:
+        key = FlowKey(
+            store.pk_a >> 16, store.pk_a & 0xFFFF,
+            store.pk_b >> 16, store.pk_b & 0xFFFF,
+        )
+        server = _endpoint(store.server_pk)
+        other = store.pk_b if store.server_pk == store.pk_a else store.pk_a
+        return LazyFlowTrace(key, server, _endpoint(other), store)
+
+    # -- hand-off -----------------------------------------------------
+    def poll(self) -> list[LazyFlowTrace]:
+        """Flows completed since the last call (possibly empty)."""
+        ready, self._ready = self._ready, []
+        return ready
+
+    def finish(self) -> list[LazyFlowTrace]:
+        """Flush every still-open flow in batch order (sorted by first
+        packet time, ties by arrival)."""
+        for key, store in self._pending.items():
+            store.resolve_server_by_volume()
+            self._flows[key] = store
+        self._pending.clear()
+        traces = [self._make_trace(store) for store in self._flows.values()]
+        traces.sort(key=lambda trace: trace.first_time)
+        self._flows.clear()
+        self._fins.clear()
+        self._closed_at.clear()
+        self._last_seen.clear()
+        stats = self.stats
+        for trace in traces:
+            stats.buffered_packets -= len(trace._store)
+            stats.active_flows -= 1
+            stats.flows_finalized += 1
+        return traces
+
+
+def demux_columns_stream(
+    batches: Iterable[PacketColumns],
+    server_side: ServerPredicate | None = None,
+    *,
+    idle_timeout: float | None = 60.0,
+    close_linger: float | None = 5.0,
+    stats: StreamStats | None = None,
+) -> Iterator[LazyFlowTrace]:
+    """Incrementally demultiplex column batches, yielding each flow as
+    it completes and flushing the rest at end of stream — the columnar
+    counterpart of :func:`repro.packet.flow.demux_stream`."""
+    demuxer = ColumnarStreamDemuxer(
+        server_side,
+        idle_timeout=idle_timeout,
+        close_linger=close_linger,
+        stats=stats,
+    )
+    for cols in batches:
+        demuxer.feed_columns(cols)
+        if demuxer._ready:
+            yield from demuxer.poll()
+    yield from demuxer.finish()
+
+
+# -- the clean-flow fast replay ----------------------------------------
+
+
+def fast_replay_flow(
+    flow: FlowTrace, config: AnalysisConfig
+) -> FlowAnalysis | None:
+    """Replay a columnar flow on its columns if it is provably clean.
+
+    Returns the exact :class:`FlowAnalysis` the object pipeline would
+    produce, or ``None`` when the flow needs the object oracle —
+    because it stalled, carried SACK/duplicate-ACK loss signals,
+    retransmitted, isn't columnar at all, or the replay itself failed
+    (any internal error falls back rather than propagating; the object
+    path is always the authority).
+    """
+    if not config.columnar or config.record_series:
+        return None
+    if not isinstance(flow, LazyFlowTrace):
+        return None
+    try:
+        return _replay(flow, flow._store, config)
+    except Exception:
+        return None
+
+
+def _replay(
+    flow: LazyFlowTrace, store: _FlowStore, config: AnalysisConfig
+) -> FlowAnalysis | None:
+    analysis = FlowAnalysis(flow=flow)
+    count = len(store)
+    if not count:
+        return analysis  # FlowAnalyzer.run() returns untouched analysis
+
+    tau = config.tau
+    rto_est = RTOEstimator()
+    stall_threshold = rto_est.stall_threshold
+    observe = rto_est.observe
+    server_pk = store.server_pk
+    odd_bit = OPT_ODD
+
+    # Mirrored FlowAnalyzer state (clean-flow subset: the congestion
+    # state machine stays in Open, so cwnd/state never need tracking).
+    mss = 1448
+    init_rwnd = 0
+    wscale = 0
+    rwnd = 0
+    established = False
+    synack_time: float | None = None
+    synack_count = 0
+    handshake_sampled = False
+    request_pending = False
+    response_started = False
+    zero_window_seen = False
+    request_count = 0
+    data_packets = 0
+    bytes_out = 0
+    prev_time: float | None = None
+
+    # Mirrored SegmentTracker state: in a clean flow cumulative ACKs
+    # advance a prefix pointer over in-order transmissions.
+    tx_end: list[int] = []
+    tx_time: list[float] = []
+    tx_len = 0
+    head = 0
+    snd_una = 0
+    snd_nxt = 0
+    consumed = 0  # sequence space used; >= 2**32 means seq reuse
+
+    rtt_samples: list[float] = []
+    in_flight: list[int] = []
+
+    rows = zip(
+        store.times.tolist(), store.src_pk.tolist(), store.seq.tolist(),
+        store.ack.tolist(), store.flags.tolist(), store.window.tolist(),
+        store.payload.tolist(), store.ts_ecr.tolist(),
+        store.optbits.tolist(),
+    )
+    for index, (t, src, seq, ack, flags, window, payload, ts_ecr,
+                optbits) in enumerate(rows):
+        syn = flags & FLAG_SYN
+        if prev_time is not None and established and not syn:
+            # The first-pass stall screen: the same threshold the
+            # object analyzer applies.  Any stall -> object oracle.
+            if t - prev_time > stall_threshold(tau):
+                return None
+        if src != server_pk:
+            # -- incoming (client -> server), FlowAnalyzer._process_in
+            if syn:
+                options = store.options_at(index)
+                wscale = options.wscale or 0
+                init_rwnd = window << wscale
+                if options.mss:
+                    mss = min(mss, options.mss)
+                rwnd = init_rwnd
+                prev_time = t
+                continue
+            if optbits & odd_bit:
+                return None  # SACK blocks / unusual options possible
+            rwnd = window << wscale
+            if rwnd < mss and bytes_out > 0:
+                zero_window_seen = True
+            has_ack = flags & FLAG_ACK
+            if (
+                not handshake_sampled
+                and has_ack
+                and synack_time is not None
+            ):
+                handshake_sampled = True
+                if synack_count == 1:
+                    rtt = t - synack_time
+                    if rtt > 0:
+                        observe(rtt, now=t)
+                        rtt_samples.append(rtt)
+            if payload > 0:
+                if not request_pending:
+                    request_count += 1
+                request_pending = True
+                response_started = False
+            if not has_ack:
+                prev_time = t
+                continue
+            if seq_after(ack, snd_una):
+                # SegmentTracker.apply_ack: cumulative prefix walk.
+                first_acked = head
+                while head < tx_len and seq_leq(tx_end[head], ack):
+                    head += 1
+                snd_una = ack
+                rto_est.on_ack()
+                # FlowAnalyzer._sample_rtts for a new ACK (a clean
+                # flow never acks a retransmitted batch).
+                if ts_ecr:
+                    rtt = t - ts_to_time(ts_ecr)
+                    if rtt > 0:
+                        observe(rtt, now=t)
+                        rtt_samples.append(rtt)
+                else:
+                    for j in range(first_acked, head):
+                        rtt = t - tx_time[j]
+                        if rtt > 0:
+                            observe(rtt, now=t)
+                            rtt_samples.append(rtt)
+            elif (
+                payload == 0
+                and not flags & _FIN_OR_RST
+                and ack == snd_una
+                and head < tx_len
+            ):
+                return None  # duplicate ACK: loss signals start here
+            in_flight.append(tx_len - head)
+            prev_time = t
+            continue
+        # -- outgoing (server -> client), FlowAnalyzer._process_out
+        if syn:
+            snd_una = (seq + 1) & 0xFFFFFFFF  # SegmentTracker.init_seq
+            snd_nxt = snd_una
+            established = True
+            synack_time = t
+            synack_count += 1
+            prev_time = t
+            continue
+        fin = flags & FLAG_FIN
+        if payload == 0 and not fin:
+            prev_time = t
+            continue
+        end_seq = (seq + payload + (1 if fin else 0)) & 0xFFFFFFFF
+        if (
+            payload == 1
+            and seq_before(seq, snd_una)
+            and seq_leq(end_seq, snd_una)
+        ):
+            prev_time = t  # zero-window probe: never recorded
+            continue
+        if not established or seq != snd_nxt or consumed >= _SEQ_SPACE:
+            return None  # retransmission / reorder / mid-capture flow
+        tx_end.append(end_seq)
+        tx_time.append(t)
+        tx_len += 1
+        consumed += payload + (1 if fin else 0)
+        snd_nxt = end_seq
+        data_packets += 1
+        bytes_out += payload
+        if request_pending:
+            request_pending = False
+        response_started = True
+        prev_time = t
+
+    analysis.mss = mss
+    analysis.init_rwnd = init_rwnd
+    analysis.wscale = wscale
+    analysis.rtt_samples = rtt_samples
+    analysis.in_flight_on_ack = in_flight
+    analysis.zero_window_seen = zero_window_seen
+    analysis.request_count = request_count
+    analysis.data_packets = data_packets
+    analysis.bytes_out = bytes_out
+    analysis.duration = flow.duration
+    analysis.final_srtt = rto_est.srtt
+    analysis.final_rto = rto_est.rto
+    return analysis
+
+
+def batch_records(
+    packets: Iterable[PacketRecord] | Iterable[list[PacketRecord]],
+    batch_size: int = 4096,
+) -> Iterator[PacketColumns]:
+    """Wrap an object-record stream into column batches.
+
+    Accepts the same shapes as the object entry points: records,
+    record chunks, or ready-made :class:`PacketColumns` batches
+    (passed through unchanged).
+    """
+    batch: list[PacketRecord] = []
+    for item in packets:
+        if isinstance(item, PacketRecord):
+            batch.append(item)
+            if len(batch) >= batch_size:
+                yield PacketColumns.from_records(batch)
+                batch = []
+        elif isinstance(item, PacketColumns):
+            if batch:
+                yield PacketColumns.from_records(batch)
+                batch = []
+            yield item
+        else:
+            for record in item:
+                batch.append(record)
+                if len(batch) >= batch_size:
+                    yield PacketColumns.from_records(batch)
+                    batch = []
+    if batch:
+        yield PacketColumns.from_records(batch)

@@ -142,10 +142,12 @@ class FlowAnalyzer:
     # -- public API -------------------------------------------------------
     def run(self) -> FlowAnalysis:
         """Replay the whole flow: feed every packet, then finish."""
-        if not self.flow.packets:
+        packets = self.flow.packets
+        if not packets:
             return self.analysis
-        for pkt, direction in self.flow.packets:
-            self.feed(pkt, direction)
+        feed = self.feed  # hoist the bound-method lookup out of the loop
+        for pkt, direction in packets:
+            feed(pkt, direction)
         return self.finish()
 
     def feed(self, pkt: PacketRecord, direction: Direction) -> None:
@@ -158,18 +160,23 @@ class FlowAnalyzer:
         per-trace state here.  Feeding the whole flow in order then
         calling :meth:`finish` is exactly :meth:`run`.
         """
-        if self._prev_time is not None and self.established and not pkt.syn:
+        timestamp = pkt.timestamp
+        prev_time = self._prev_time
+        if prev_time is not None and self.established and not pkt.syn:
             # Handshake retransmissions (SYN / SYN+ACK) are not
             # data-transfer stalls; the paper's analysis starts at
             # established connections.
-            gap = pkt.timestamp - self._prev_time
+            gap = timestamp - prev_time
             threshold = self.rto_est.stall_threshold(self.tau)
             if gap > threshold:
                 self._record_stall(
-                    self._fed, pkt, direction, self._prev_time, threshold
+                    self._fed, pkt, direction, prev_time, threshold
                 )
-        self._process(pkt, direction)
-        self._prev_time = pkt.timestamp
+        if direction is Direction.IN:
+            self._process_in(pkt)
+        else:
+            self._process_out(pkt)
+        self._prev_time = timestamp
         self._fed += 1
 
     def finish(self) -> FlowAnalysis:

@@ -25,13 +25,23 @@ method                         paper content
 
 from __future__ import annotations
 
+import enum
+import json
 from collections import Counter
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..errors import SkippedFlow
 from .flow_analyzer import FlowAnalysis
 from .stalls import CaState, DoubleKind, RetxCause, StallCause
+
+
+def _plain(pairs) -> dict:
+    """``asdict`` dict factory: enums become their values."""
+    return {
+        key: value.value if isinstance(value, enum.Enum) else value
+        for key, value in pairs
+    }
 
 
 def cdf_points(values: list[float]) -> list[tuple[float, float]]:
@@ -314,3 +324,90 @@ class ServiceReport:
             s.context.unsacked_out
             for s in self._retx_stalls_of(RetxCause.CONTINUOUS_LOSS)
         ]
+
+    # -- canonical serialization ------------------------------------------
+    @staticmethod
+    def _flow_dict(analysis: FlowAnalysis) -> dict:
+        flow = analysis.flow
+        return {
+            "key": [
+                flow.key.ip_a, flow.key.port_a,
+                flow.key.ip_b, flow.key.port_b,
+            ],
+            "server": list(flow.server),
+            "client": list(flow.client),
+            # len() answers from the column store on lazy traces, so
+            # serializing a fast-path flow never materializes objects.
+            "packets": len(flow.packets),
+            "mss": analysis.mss,
+            "init_rwnd": analysis.init_rwnd,
+            "wscale": analysis.wscale,
+            "stalls": [
+                asdict(stall, dict_factory=_plain)
+                for stall in analysis.stalls
+            ],
+            "rtt_samples": list(analysis.rtt_samples),
+            "rto_samples": list(analysis.rto_samples),
+            "in_flight_on_ack": list(analysis.in_flight_on_ack),
+            "zero_window_seen": analysis.zero_window_seen,
+            "request_count": analysis.request_count,
+            "data_packets": analysis.data_packets,
+            "retransmissions": analysis.retransmissions,
+            "bytes_out": analysis.bytes_out,
+            "duration": analysis.duration,
+            "timeouts": analysis.timeouts,
+            "fast_retransmits": analysis.fast_retransmits,
+            "probe_retransmissions": analysis.probe_retransmissions,
+            "spurious_retransmissions": analysis.spurious_retransmissions,
+            "final_srtt": analysis.final_srtt,
+            "final_rto": analysis.final_rto,
+            "state_log": [
+                [when, state.value] for when, state in analysis.state_log
+            ],
+            "kernel_series": [list(row) for row in analysis.kernel_series],
+        }
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the whole report.
+
+        Every field the analyzer produces appears here (not just the
+        aggregates), so two pipelines that claim to be equivalent can
+        be compared byte-for-byte via :meth:`to_json`.
+        """
+        return {
+            "service": self.service,
+            "flows": [self._flow_dict(a) for a in self.flows],
+            "skipped": [
+                {
+                    "key": [
+                        s.key.ip_a, s.key.port_a, s.key.ip_b, s.key.port_b,
+                    ],
+                    "error_type": s.error_type,
+                    "error": s.error,
+                    "packets": s.packets,
+                    "packet_index": s.packet_index,
+                    "last_time": s.last_time,
+                }
+                for s in self.skipped
+            ],
+            "coverage": self.coverage(),
+            "flows_with_stalls": self.flows_with_stalls(),
+            "total_stalls": self.total_stalls(),
+            "table1_row": self.table1_row(),
+            "cause_breakdown": {
+                cause.value: asdict(entry)
+                for cause, entry in self.cause_breakdown().items()
+            },
+            "retx_breakdown": {
+                cause.value: asdict(entry)
+                for cause, entry in self.retx_breakdown().items()
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — sorted keys, no whitespace variance.
+
+        Equal reports serialize to equal bytes, which is what the
+        columnar↔object parity gate diffs.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)

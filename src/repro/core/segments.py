@@ -21,9 +21,14 @@ from ..packet.packet import PacketRecord
 from ..packet.seqnum import seq_after, seq_before, seq_geq, seq_leq
 
 
-@dataclass
+@dataclass(slots=True)
 class AnalyzedSegment:
-    """One distinct sequence range the server transmitted."""
+    """One distinct sequence range the server transmitted.
+
+    Slotted: one instance exists per distinct data segment of every
+    flow, so the per-instance ``__dict__`` is measurable at trace
+    scale.
+    """
 
     seq: int
     end_seq: int
@@ -84,6 +89,11 @@ class SegmentTracker:
         self._by_seq: dict[int, AnalyzedSegment] = {}
         self._first_unacked = 0  # index of the oldest unacked segment
         self._sacked_out = 0
+        # Incremental count of outstanding retransmitted-and-unsacked
+        # segments: maintained at the three transition points
+        # (retransmission, cumulative ack, SACK) so the per-ACK
+        # ``retrans_out()`` query is O(1) instead of a window scan.
+        self._retrans_out = 0
         self.snd_una: int = 0
         self.transmitted_max: int = 0  # == reconstructed snd_nxt
         self.highest_sacked: int | None = None
@@ -117,6 +127,13 @@ class SegmentTracker:
             self._by_seq[pkt.seq] = segment
             self.segments.append(segment)
         segment.tx_times.append(now)
+        if (
+            len(segment.tx_times) == 2
+            and segment.sacked_at is None
+            and segment.acked_at is None
+        ):
+            # First retransmission of a still-outstanding segment.
+            self._retrans_out += 1
         if is_retrans:
             self.total_retransmissions += 1
         else:
@@ -136,11 +153,13 @@ class SegmentTracker:
             segment = self.segments[index]
             if not seq_leq(segment.end_seq, ack):
                 break
-            if not segment.acked:
+            if segment.acked_at is None:
                 segment.acked_at = now
                 newly.append(segment)
-                if segment.sacked:
+                if segment.sacked_at is not None:
                     self._sacked_out -= 1
+                elif len(segment.tx_times) > 1:
+                    self._retrans_out -= 1
             index += 1
         self._first_unacked = index
         self.snd_una = ack
@@ -167,8 +186,17 @@ class SegmentTracker:
                     dsack = True
                     self._record_dsack(left, right, now)
                     continue
-            for segment in self.outstanding():
-                if segment.sacked:
+            segments = self.segments
+            pos = self._first_unacked
+            total = len(segments)
+            while pos < total:
+                segment = segments[pos]
+                pos += 1
+                # Segments are kept sorted by seq: once past the block's
+                # right edge nothing further can match.
+                if seq_geq(segment.seq, right):
+                    break
+                if segment.sacked_at is not None:
                     continue
                 if seq_geq(segment.seq, left) and seq_leq(
                     segment.end_seq, right
@@ -176,6 +204,8 @@ class SegmentTracker:
                     segment.sacked_at = now
                     newly.append(segment)
                     self._sacked_out += 1
+                    if len(segment.tx_times) > 1:
+                        self._retrans_out -= 1
                     if self.highest_sacked is None or seq_after(
                         segment.end_seq, self.highest_sacked
                     ):
@@ -209,11 +239,7 @@ class SegmentTracker:
         return self._sacked_out
 
     def retrans_out(self) -> int:
-        return sum(
-            1
-            for s in self.outstanding()
-            if s.retransmitted and not s.sacked
-        )
+        return self._retrans_out
 
     def holes(self) -> int:
         if self.highest_sacked is None:

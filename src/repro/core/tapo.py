@@ -33,6 +33,7 @@ from ..errors import (
     ReproError,
     SkippedFlow,
 )
+from ..packet.columnar import PacketColumns
 from ..packet.flow import (
     FlowTrace,
     ServerPredicate,
@@ -42,15 +43,22 @@ from ..packet.flow import (
 from ..packet.packet import PacketRecord
 from ..packet.pcap import PcapReader
 from .classifier import classify_flow
+from .columnar_pipeline import (
+    batch_records,
+    demux_columns_stream,
+    fast_replay_flow,
+)
 from .flow_analyzer import FlowAnalysis, FlowAnalyzer
 from .report import ServiceReport
 
 #: Anything :meth:`Tapo.analyze_stream` accepts as a packet source: a
-#: pcap path, an open reader, an iterable of records, or an iterable
-#: of record chunks (lists) as produced by ``PcapReader.iter_chunks``.
+#: pcap path, an open reader, an iterable of records, an iterable of
+#: record chunks (lists) as produced by ``PcapReader.iter_chunks``, or
+#: an iterable of decoded :class:`PacketColumns` batches (what live
+#: capture sources hand over on the columnar path).
 PacketSource = (
     "str | Path | PcapReader | Iterable[PacketRecord] "
-    "| Iterable[list[PacketRecord]]"
+    "| Iterable[list[PacketRecord]] | Iterable[PacketColumns]"
 )
 
 #: Fault-injection seam (see :mod:`repro.testing.faults`): when set,
@@ -68,8 +76,18 @@ def _iter_source(source) -> Iterator[PacketRecord]:
     for item in source:
         if isinstance(item, PacketRecord):
             yield item
+        elif isinstance(item, PacketColumns):
+            yield from item.records()
         else:  # a chunk (any iterable of records)
             yield from item
+
+
+def _iter_column_batches(source) -> Iterator[PacketColumns]:
+    """Shape any accepted packet source into column batches."""
+    if isinstance(source, PcapReader):
+        yield from source.iter_columns()
+        return
+    yield from batch_records(source)
 
 
 class Tapo:
@@ -122,6 +140,13 @@ class Tapo:
         #: call (reset per call); quarantined flows live in
         #: ``faults.skipped``.
         self.faults = FaultStats()
+        #: Flows settled by the columnar fast replay versus flows that
+        #: fell back to the object pipeline, for the most recent
+        #: multi-flow call on *this* instance (worker processes count
+        #: on their own instances).  Diagnostic only — results are
+        #: identical either way.
+        self.fast_flows = 0
+        self.fallback_flows = 0
 
     @property
     def skipped_flows(self) -> list[SkippedFlow]:
@@ -132,18 +157,30 @@ class Tapo:
     def analyze_flow(self, flow: FlowTrace) -> FlowAnalysis:
         """Analyze and classify one flow.
 
+        Columnar flows that are provably clean settle on the fast
+        replay (:func:`~repro.core.columnar_pipeline.fast_replay_flow`)
+        without materializing packet objects; everything else — and
+        everything when ``config.columnar`` is off — runs the object
+        pipeline.  The resulting analysis is identical either way.
+
         Any analyzer crash surfaces as a typed
         :class:`~repro.errors.FlowAnalysisError` carrying the flow key
         and the packet index the analyzer had reached; the multi-flow
         entry points turn that into a quarantined
         :class:`~repro.errors.SkippedFlow` under tolerant budgets.
         """
-        analyzer = FlowAnalyzer(flow, config=self.config)
+        analyzer: FlowAnalyzer | None = None
         try:
             if FLOW_HOOK is not None:
                 FLOW_HOOK(flow)
-            analysis = analyzer.run()
-            classify_flow(analysis, analyzer.tracker)
+            analysis = fast_replay_flow(flow, self.config)
+            if analysis is None:
+                analyzer = FlowAnalyzer(flow, config=self.config)
+                analysis = analyzer.run()
+                classify_flow(analysis, analyzer.tracker)
+                self.fallback_flows += 1
+            else:
+                self.fast_flows += 1
         except ReproError:
             raise
         except Exception as exc:
@@ -151,7 +188,7 @@ class Tapo:
                 f"flow {flow.key} crashed the analyzer: "
                 f"{type(exc).__name__}: {exc}",
                 key=flow.key,
-                packet_index=getattr(analyzer, "_fed", None),
+                packet_index=analyzer._fed if analyzer is not None else 0,
             ) from exc
         return analysis
 
@@ -199,26 +236,52 @@ class Tapo:
         core with eviction disabled.
         """
         self.faults = FaultStats()
-        return list(
-            self._analyze_flows(
-                demux_stream(
-                    packets,
-                    server_side,
-                    idle_timeout=None,
-                    close_linger=None,
-                ),
-                self.faults,
+        self.fast_flows = self.fallback_flows = 0
+        if self.config.columnar and not self.config.record_series:
+            flows = demux_columns_stream(
+                _iter_column_batches(packets),
+                server_side,
+                idle_timeout=None,
+                close_linger=None,
             )
-        )
+        else:
+            flows = demux_stream(
+                packets, server_side, idle_timeout=None, close_linger=None
+            )
+        return list(self._analyze_flows(flows, self.faults))
 
     def analyze_pcap(
         self,
         path: str | Path,
         server_side: ServerPredicate | None = None,
     ) -> list[FlowAnalysis]:
-        """Analyze every flow in a pcap file."""
-        with PcapReader(path, errors=self.config.errors) as reader:
-            analyses = self.analyze_packets(reader.iter_records(), server_side)
+        """Analyze every flow in a pcap file.
+
+        On the columnar path (the default) packets never exist as
+        objects unless their flow needs the object pipeline: the file
+        is decoded slab-by-slab into :class:`PacketColumns` batches
+        and demultiplexed on the columns.
+        """
+        config = self.config
+        with PcapReader(
+            path,
+            errors=config.errors,
+            verify_checksums=config.verify_checksums,
+        ) as reader:
+            if config.columnar and not config.record_series:
+                self.faults = FaultStats()
+                self.fast_flows = self.fallback_flows = 0
+                flows = demux_columns_stream(
+                    reader.iter_columns(),
+                    server_side,
+                    idle_timeout=None,
+                    close_linger=None,
+                )
+                analyses = list(self._analyze_flows(flows, self.faults))
+            else:
+                analyses = self.analyze_packets(
+                    reader.iter_records(), server_side
+                )
             reader.fold_faults(self.faults)
             return analyses
 
@@ -257,9 +320,14 @@ class Tapo:
 
         run = run or RunConfig()
         self.faults = FaultStats()
+        self.fast_flows = self.fallback_flows = 0
         opened: PcapReader | None = None
         if isinstance(source, (str, Path)):
-            opened = PcapReader(source, errors=self.config.errors)
+            opened = PcapReader(
+                source,
+                errors=self.config.errors,
+                verify_checksums=self.config.verify_checksums,
+            )
             source = opened
         stream_stats = stats if stats is not None else StreamStats()
         pool = AnalysisPool(
@@ -271,13 +339,30 @@ class Tapo:
             retry_backoff=run.retry_backoff,
             faults=self.faults,
         )
-        flows = demux_stream(
-            _iter_source(source),
-            server_side,
-            idle_timeout=run.idle_timeout,
-            close_linger=run.close_linger,
-            stats=stream_stats,
-        )
+        # The columnar demux hands the pool lazy flows; that is only a
+        # win in-process, so fan-out to worker processes (which would
+        # materialize every flow for pickling anyway) keeps the object
+        # demux.  Results are identical either way.
+        if (
+            self.config.columnar
+            and not self.config.record_series
+            and run.resolved_workers() == 1
+        ):
+            flows = demux_columns_stream(
+                _iter_column_batches(source),
+                server_side,
+                idle_timeout=run.idle_timeout,
+                close_linger=run.close_linger,
+                stats=stream_stats,
+            )
+        else:
+            flows = demux_stream(
+                _iter_source(source),
+                server_side,
+                idle_timeout=run.idle_timeout,
+                close_linger=run.close_linger,
+                stats=stream_stats,
+            )
         try:
             yield from pool.map_stream(flows)
         finally:

@@ -290,6 +290,8 @@ class FaultStats:
     corrupt_records: int = 0   # pcap records skipped or resynced past
     resyncs: int = 0           # times the reader re-found framing
     option_errors: int = 0     # malformed TCP option areas tolerated
+    checksum_errors: int = 0   # TCP checksums that failed verification
+    checksums_skipped: int = 0  # requested verifications deferred (columnar)
     flows_skipped: int = 0     # flows quarantined as SkippedFlow
     tasks_retried: int = 0     # worker tasks retried after a failure
     tasks_poisoned: int = 0    # tasks quarantined after repeated death
@@ -303,6 +305,8 @@ class FaultStats:
         self.corrupt_records += other.corrupt_records
         self.resyncs += other.resyncs
         self.option_errors += other.option_errors
+        self.checksum_errors += other.checksum_errors
+        self.checksums_skipped += other.checksums_skipped
         self.flows_skipped += other.flows_skipped
         self.tasks_retried += other.tasks_retried
         self.tasks_poisoned += other.tasks_poisoned
@@ -323,6 +327,15 @@ class FaultStats:
             prefix + "option_errors_total",
             "Malformed TCP option areas tolerated in lenient mode",
         ).inc(self.option_errors)
+        registry.counter(
+            prefix + "checksum_errors_total",
+            "TCP checksums that failed verification",
+        ).inc(self.checksum_errors)
+        registry.counter(
+            prefix + "checksums_skipped_total",
+            "Requested TCP checksum verifications deferred by the "
+            "lazy columnar path",
+        ).inc(self.checksums_skipped)
         registry.counter(
             prefix + "flows_skipped_total",
             "Flows quarantined after an analyzer fault",

@@ -196,18 +196,34 @@ class LiveDaemon:
     # -- the pump ------------------------------------------------------
     def _records(self) -> Iterator:
         """Feed the analyzer: poll for growth, sleep when idle, and on
-        stop/exhaustion finalize the source (drains its tail)."""
+        stop/exhaustion finalize the source (drains its tail).
+
+        On the columnar path each poll hands over
+        :class:`~repro.packet.columnar.PacketColumns` batches — one per
+        drained slab, so per-poll latency is unchanged — instead of
+        individual records; :meth:`Tapo.analyze_stream` accepts both.
+        """
         source = self.source
+        columnar = (
+            self.tapo.config.columnar
+            and not self.tapo.config.record_series
+        )
+        if columnar:
+            poll, finish = source.poll_columns, source.finish_columns
+            weigh = len
+        else:
+            poll, finish = source.poll, source.finish
+            weigh = lambda _record: 1  # noqa: E731
         while True:
             produced = False
-            for record in source.poll():
+            for item in poll():
                 produced = True
-                self.records_in += 1
-                yield record
+                self.records_in += weigh(item)
+                yield item
             if self._stop.is_set() or self.once or source.exhausted:
-                for record in source.finish():
-                    self.records_in += 1
-                    yield record
+                for item in finish():
+                    self.records_in += weigh(item)
+                    yield item
                 return
             self._maybe_checkpoint()
             if not produced:

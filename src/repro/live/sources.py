@@ -34,6 +34,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from ..errors import ErrorBudget, FaultStats
+from ..packet.columnar import PacketColumns
 from ..packet.packet import PacketRecord
 from ..packet.pcap import (
     READ_BUFFER_BYTES,
@@ -59,11 +60,18 @@ class SourceCounters:
     resyncs: int = 0
     bytes_skipped: int = 0
     option_errors: int = 0
+    checksum_errors: int = 0
+    checksums_skipped: int = 0
+    #: Request TCP checksum verification during decode (the columnar
+    #: path defers and counts ``checksums_skipped`` instead).
+    verify_checksums: bool = False
 
     def fold_faults(self, faults: FaultStats) -> None:
         faults.corrupt_records += self.corrupt_records
         faults.resyncs += self.resyncs
         faults.option_errors += self.option_errors
+        faults.checksum_errors += self.checksum_errors
+        faults.checksums_skipped += self.checksums_skipped
 
     def to_state(self) -> dict:
         return asdict(self)
@@ -87,6 +95,23 @@ class LiveSource:
     def finish(self) -> Iterator[PacketRecord]:
         """Declare end-of-input and drain the tail under the budget."""
         raise NotImplementedError
+
+    def poll_columns(self) -> Iterator[PacketColumns]:
+        """Columnar counterpart of :meth:`poll`: everything decodable
+        right now as :class:`PacketColumns` batches (non-empty only).
+
+        Byte-stream sources decode straight into columns; this default
+        wraps :meth:`poll` for sources without a columnar decoder.
+        """
+        records = list(self.poll())
+        if records:
+            yield PacketColumns.from_records(records)
+
+    def finish_columns(self) -> Iterator[PacketColumns]:
+        """Columnar counterpart of :meth:`finish`."""
+        records = list(self.finish())
+        if records:
+            yield PacketColumns.from_records(records)
 
     @property
     def exhausted(self) -> bool:
@@ -153,6 +178,13 @@ class _ScanningSource(LiveSource):
             self._pushed += len(rest)
             self._scanner.push(rest)
 
+    def _judge_truncated_header(self) -> None:
+        if not self.errors.tolerant:
+            raise PcapFormatError("pcap global header truncated")
+        self.counters.corrupt_records += 1
+        self.counters.bytes_skipped += len(self._header)
+        self._header = b""
+
     def _finish_scan(self) -> Iterator[PacketRecord]:
         """Judge the tail: a partial header or record becomes a fault."""
         if self._finished:
@@ -161,11 +193,20 @@ class _ScanningSource(LiveSource):
             self._scanner.finish()
             yield from self._scanner.drain()
         elif self._header:
-            if not self.errors.tolerant:
-                raise PcapFormatError("pcap global header truncated")
-            self.counters.corrupt_records += 1
-            self.counters.bytes_skipped += len(self._header)
-            self._header = b""
+            self._judge_truncated_header()
+        self._finished = True
+
+    def _finish_scan_columns(self) -> Iterator[PacketColumns]:
+        """Columnar :meth:`_finish_scan`."""
+        if self._finished:
+            return
+        if self._scanner is not None:
+            self._scanner.finish()
+            columns = self._scanner.drain_columns()
+            if len(columns):
+                yield columns
+        elif self._header:
+            self._judge_truncated_header()
         self._finished = True
 
 
@@ -216,6 +257,23 @@ class PcapTailSource(_ScanningSource):
     def finish(self) -> Iterator[PacketRecord]:
         yield from self.poll()
         yield from self._finish_scan()
+
+    def poll_columns(self) -> Iterator[PacketColumns]:
+        if self._finished:
+            return
+        while True:
+            data = self._file.read(READ_BUFFER_BYTES)
+            if not data:
+                return
+            self._ingest(data)
+            if self._scanner is not None:
+                columns = self._scanner.drain_columns()
+                if len(columns):
+                    yield columns
+
+    def finish_columns(self) -> Iterator[PacketColumns]:
+        yield from self.poll_columns()
+        yield from self._finish_scan_columns()
 
     def checkpoint(self) -> dict:
         return {
@@ -338,6 +396,37 @@ class RotatingDirectorySource(LiveSource):
             self._open_tail(pending[0])
         self._finished = True
 
+    def poll_columns(self) -> Iterator[PacketColumns]:
+        if self._finished:
+            return
+        while True:
+            if self._tail is None:
+                pending = self._pending()
+                if not pending:
+                    return
+                self._open_tail(pending[0])
+            yield from self._tail.poll_columns()
+            current = self._tail.path.name
+            if any(name > current for name in self._pending()):
+                yield from self._tail.finish_columns()
+                self._complete_tail()
+                continue
+            return
+
+    def finish_columns(self) -> Iterator[PacketColumns]:
+        if self._finished:
+            return
+        yield from self.poll_columns()
+        while True:
+            if self._tail is not None:
+                yield from self._tail.finish_columns()
+                self._complete_tail()
+            pending = self._pending()
+            if not pending:
+                break
+            self._open_tail(pending[0])
+        self._finished = True
+
     def checkpoint(self) -> dict:
         return {
             "type": self.name,
@@ -438,6 +527,36 @@ class StdinSource(_ScanningSource):
             if self._scanner is not None:
                 yield from self._scanner.drain()
         yield from self._finish_scan()
+
+    def poll_columns(self) -> Iterator[PacketColumns]:
+        if self._finished:
+            return
+        while True:
+            data = self._read_available()
+            if data is None:
+                return
+            if data == b"":
+                yield from self._finish_scan_columns()
+                return
+            self._ingest(data)
+            if self._scanner is not None:
+                columns = self._scanner.drain_columns()
+                if len(columns):
+                    yield columns
+
+    def finish_columns(self) -> Iterator[PacketColumns]:
+        if self._finished:
+            return
+        while True:
+            data = self._read_available()
+            if not data:
+                break
+            self._ingest(data)
+            if self._scanner is not None:
+                columns = self._scanner.drain_columns()
+                if len(columns):
+                    yield columns
+        yield from self._finish_scan_columns()
 
     @property
     def exhausted(self) -> bool:

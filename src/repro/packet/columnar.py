@@ -1,0 +1,667 @@
+"""Zero-copy columnar batch decode of pcap slabs.
+
+The object pipeline materializes one :class:`~repro.packet.packet.
+PacketRecord` (plus a :class:`~repro.packet.options.TCPOptions`) per
+packet *before* demux ever sees it, which is the analyzer's
+single-core throughput ceiling.  This module parses a whole slab of
+framed pcap records into :class:`PacketColumns` — parallel arrays of
+timestamps, endpoints, seq/ack numbers, flags, windows and payload
+lengths — so the demux and the first-pass stall screen can run over
+plain integers and only the flows that need the full object oracle
+pay for materialization.
+
+Two decoders produce identical columns:
+
+* a vectorized path using :mod:`numpy` when it is importable — field
+  bytes are gathered straight out of the slab buffer (zero copy) and
+  assembled with array arithmetic;
+* a pure-Python ``struct.unpack_from`` loop otherwise.
+
+numpy is strictly optional: nothing in the public API exposes numpy
+types (columns are stdlib :class:`array.array` objects holding plain
+Python ints/floats), and the fallback is used transparently.
+
+Validation mirrors :meth:`PacketRecord.decode
+<repro.packet.packet.PacketRecord.decode>` *exactly* — the same
+records are skipped, the same option areas raise in strict mode —
+because the columnar path must be indistinguishable from the object
+path in everything but speed.
+
+TCP options are the one variable-length part of a packet.  The
+overwhelmingly common case in server traces is a 12-byte timestamp
+option area (``NOP NOP TS`` or ``TS`` + padding); those are decoded
+with a branch-free pattern match into ``ts_val``/``ts_ecr`` columns.
+Anything else — SYN options, SACK blocks, malformed areas — falls
+back to the real :meth:`TCPOptions.decode
+<repro.packet.options.TCPOptions.decode>` and the decoded object is
+kept in a side table, so materialization reproduces the object path's
+options byte for byte (including ``truncated_options`` accounting and
+strict-mode :class:`~repro.packet.options.OptionDecodeError`).
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from collections.abc import Iterator
+
+from .headers import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN
+from .options import TCPOptions
+from .packet import PacketRecord
+
+try:  # optional accelerator — never a hard dependency
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Typecode holding an unsigned 32-bit value exactly.
+_U32 = "I" if array("I").itemsize == 4 else "L"
+_U32_ITEMSIZE = array(_U32).itemsize
+
+#: ``optbits`` flags.
+OPT_TS = 0x01   #: pattern-matched timestamp option (ts_val/ts_ecr valid)
+OPT_ODD = 0x02  #: full decode kept in :attr:`PacketColumns.odd_options`
+
+_ETHERTYPE_IPV4 = 0x0800
+
+_TCP_FIXED = struct.Struct("!HHII")
+_BE32 = struct.Struct("!I")
+
+
+class PacketColumns:
+    """One batch of decoded packets as parallel arrays.
+
+    Column ``i`` across every array describes packet ``i`` of the
+    batch, in capture order.  All values are plain Python ints/floats
+    (``seq``/``ack`` are raw uint32 — callers use
+    :mod:`repro.packet.seqnum` for wraparound-correct comparisons).
+
+    ``optbits[i]`` says how packet ``i``'s TCP options were handled:
+    :data:`OPT_TS` means the timestamp columns are valid, or
+    :data:`OPT_ODD` means the fully-decoded
+    :class:`~repro.packet.options.TCPOptions` sits in
+    :attr:`odd_options`; ``0`` means the option area was empty.
+
+    Batches built from already-materialized records (see
+    :meth:`from_records`) keep the original objects in
+    :attr:`source_records`, so :meth:`record` returns them unchanged.
+    """
+
+    __slots__ = (
+        "timestamps", "src_ip", "dst_ip", "src_port", "dst_port",
+        "seq", "ack", "flags", "window", "payload_len",
+        "ts_val", "ts_ecr", "optbits", "odd_options", "source_records",
+    )
+
+    def __init__(self) -> None:
+        self.timestamps = array("d")
+        self.src_ip = array(_U32)
+        self.dst_ip = array(_U32)
+        self.src_port = array("H")
+        self.dst_port = array("H")
+        self.seq = array(_U32)
+        self.ack = array(_U32)
+        self.flags = array("B")
+        self.window = array("H")
+        self.payload_len = array(_U32)
+        self.ts_val = array(_U32)
+        self.ts_ecr = array(_U32)
+        self.optbits = array("B")
+        self.odd_options: dict[int, TCPOptions] = {}
+        self.source_records: list[PacketRecord] | None = None
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_records(cls, records: list[PacketRecord]) -> "PacketColumns":
+        """Wrap materialized records into columns (for callers that
+        enter the pipeline with objects, e.g. ``analyze_packets``).
+
+        The originals are kept, so materializing a flow back out of
+        these columns is free and exact.
+        """
+        cols = cls()
+        append = cols._append_record
+        for record in records:
+            append(record)
+        cols.source_records = list(records)
+        return cols
+
+    def _append_record(self, record: PacketRecord) -> None:
+        index = len(self.timestamps)
+        self.timestamps.append(record.timestamp)
+        self.src_ip.append(record.src_ip)
+        self.dst_ip.append(record.dst_ip)
+        self.src_port.append(record.src_port)
+        self.dst_port.append(record.dst_port)
+        self.seq.append(record.seq)
+        self.ack.append(record.ack)
+        self.flags.append(record.flags & 0xFF)
+        self.window.append(record.window)
+        self.payload_len.append(record.payload_len)
+        opts = record.options
+        if (
+            opts.mss is None
+            and opts.wscale is None
+            and not opts.sack_permitted
+            and not opts.sack_blocks
+            and not opts.truncated_options
+        ):
+            if opts.ts_val is None:
+                self.ts_val.append(0)
+                self.ts_ecr.append(0)
+                self.optbits.append(0)
+            else:
+                self.ts_val.append(opts.ts_val & 0xFFFFFFFF)
+                self.ts_ecr.append((opts.ts_ecr or 0) & 0xFFFFFFFF)
+                self.optbits.append(OPT_TS)
+        else:
+            self.ts_val.append(0)
+            self.ts_ecr.append(0)
+            self.optbits.append(OPT_ODD)
+            self.odd_options[index] = opts
+
+    # -- materialization ----------------------------------------------
+    def options_for(self, index: int) -> TCPOptions:
+        """The options object the object path would have produced."""
+        bits = self.optbits[index]
+        if bits & OPT_ODD:
+            return self.odd_options[index]
+        if bits & OPT_TS:
+            return TCPOptions(
+                ts_val=self.ts_val[index], ts_ecr=self.ts_ecr[index]
+            )
+        return TCPOptions()
+
+    def record(self, index: int) -> PacketRecord:
+        """Materialize packet ``index`` as a full object record."""
+        source = self.source_records
+        if source is not None:
+            return source[index]
+        return PacketRecord(
+            timestamp=self.timestamps[index],
+            src_ip=self.src_ip[index],
+            dst_ip=self.dst_ip[index],
+            src_port=self.src_port[index],
+            dst_port=self.dst_port[index],
+            seq=self.seq[index],
+            ack=self.ack[index],
+            flags=self.flags[index],
+            window=self.window[index],
+            payload_len=self.payload_len[index],
+            options=self.options_for(index),
+        )
+
+    def records(self) -> Iterator[PacketRecord]:
+        """Materialize every packet (mostly for tests/debugging)."""
+        for index in range(len(self)):
+            yield self.record(index)
+
+
+def decode_spans(
+    buffer: bytes,
+    starts: array,
+    incls: array,
+    endian: str,
+    ethernet: bool,
+    tolerant: bool,
+    counters,
+) -> PacketColumns:
+    """Decode framed record spans out of ``buffer`` into columns.
+
+    ``starts``/``incls`` are body offsets and lengths produced by the
+    pcap framing layer; each record's ``(ts_sec, ts_usec)`` pair sits
+    in the 16-byte header preceding its body (``endian`` byte order).
+    ``counters`` carries the same fault surface the object reader
+    updates (``skipped``, ``option_errors``).
+    """
+    if _np is not None and len(starts):
+        return _decode_spans_numpy(
+            buffer, starts, incls, endian, ethernet, tolerant, counters
+        )
+    return _decode_spans_python(
+        buffer, starts, incls, endian, ethernet, tolerant, counters
+    )
+
+
+# -- pure-Python decoder ----------------------------------------------
+
+
+def _decode_spans_python(
+    buffer: bytes,
+    starts: array,
+    incls: array,
+    endian: str,
+    ethernet: bool,
+    tolerant: bool,
+    counters,
+) -> PacketColumns:
+    unpack_ts = struct.Struct(endian + "II").unpack_from
+    cols = PacketColumns()
+    ts_out = cols.timestamps
+    src_ip_out, dst_ip_out = cols.src_ip, cols.dst_ip
+    src_port_out, dst_port_out = cols.src_port, cols.dst_port
+    seq_out, ack_out = cols.seq, cols.ack
+    flags_out, window_out = cols.flags, cols.window
+    payload_out = cols.payload_len
+    tsval_out, tsecr_out = cols.ts_val, cols.ts_ecr
+    optbits_out = cols.optbits
+    odd_options = cols.odd_options
+    unpack_be32 = _BE32.unpack_from
+    unpack_tcp = _TCP_FIXED.unpack_from
+    skipped = 0
+    option_errors = 0
+    for span in range(len(starts)):
+        off = starts[span]
+        avail = incls[span]
+        if ethernet:
+            if avail < 14 or buffer[off + 12] != 0x08 or buffer[off + 13]:
+                skipped += 1
+                continue
+            off += 14
+            avail -= 14
+        if avail < 20:
+            skipped += 1
+            continue
+        ver_ihl = buffer[off]
+        if ver_ihl >> 4 != 4:
+            skipped += 1
+            continue
+        ihl = (ver_ihl & 0x0F) * 4
+        if ihl < 20 or ihl > avail:
+            skipped += 1
+            continue
+        if buffer[off + 9] != 6:  # not TCP
+            skipped += 1
+            continue
+        total_length = (buffer[off + 2] << 8) | buffer[off + 3]
+        if total_length:
+            end_rel = min(avail, max(total_length, ihl))
+        else:
+            end_rel = avail
+        tcp_off = off + ihl
+        tcp_avail = end_rel - ihl
+        if tcp_avail < 20:
+            skipped += 1
+            continue
+        doff = (buffer[tcp_off + 12] >> 4) * 4
+        if doff < 20 or doff > tcp_avail:
+            skipped += 1
+            continue
+        opt_len = doff - 20
+        opt_off = tcp_off + 20
+        # Fast-path the ubiquitous 12-byte timestamp option area.
+        ts_val = ts_ecr = 0
+        optbits = 0
+        if opt_len == 12:
+            b0 = buffer[opt_off]
+            b1 = buffer[opt_off + 1]
+            if (
+                b0 == 1
+                and b1 == 1
+                and buffer[opt_off + 2] == 8
+                and buffer[opt_off + 3] == 10
+            ):
+                (ts_val,) = unpack_be32(buffer, opt_off + 4)
+                (ts_ecr,) = unpack_be32(buffer, opt_off + 8)
+                optbits = OPT_TS
+            elif b0 == 8 and b1 == 10:
+                b10 = buffer[opt_off + 10]
+                if b10 == 0 or (b10 == 1 and buffer[opt_off + 11] <= 1):
+                    (ts_val,) = unpack_be32(buffer, opt_off + 2)
+                    (ts_ecr,) = unpack_be32(buffer, opt_off + 6)
+                    optbits = OPT_TS
+        if not optbits and opt_len:
+            # SYN options, SACK blocks, unusual padding, damage: the
+            # real decoder, with identical strict/lenient behavior.
+            options = TCPOptions.decode(
+                buffer[opt_off : opt_off + opt_len], lenient=tolerant
+            )
+            if options.truncated_options:
+                option_errors += 1
+            optbits = OPT_ODD
+            odd_options[len(ts_out)] = options
+        ts_sec, ts_usec = unpack_ts(buffer, starts[span] - 16)
+        ts_out.append(ts_sec + ts_usec / 1_000_000)
+        (src_ip,) = unpack_be32(buffer, off + 12)
+        (dst_ip,) = unpack_be32(buffer, off + 16)
+        src_ip_out.append(src_ip)
+        dst_ip_out.append(dst_ip)
+        src_port, dst_port, seq, ack = unpack_tcp(buffer, tcp_off)
+        src_port_out.append(src_port)
+        dst_port_out.append(dst_port)
+        seq_out.append(seq)
+        ack_out.append(ack)
+        flags_out.append(buffer[tcp_off + 13])
+        window_out.append(
+            (buffer[tcp_off + 14] << 8) | buffer[tcp_off + 15]
+        )
+        payload_out.append(tcp_avail - doff)
+        tsval_out.append(ts_val)
+        tsecr_out.append(ts_ecr)
+        optbits_out.append(optbits)
+    counters.skipped += skipped
+    counters.option_errors += option_errors
+    return cols
+
+
+# -- numpy-vectorized decoder -----------------------------------------
+
+
+def _decode_spans_numpy(
+    buffer: bytes,
+    starts: array,
+    incls: array,
+    endian: str,
+    ethernet: bool,
+    tolerant: bool,
+    counters,
+) -> PacketColumns:
+    np = _np
+    buf = np.frombuffer(buffer, dtype=np.uint8)
+    limit = len(buf) - 1
+    count = len(starts)
+    off = np.frombuffer(starts, dtype=np.int64)
+    avail = np.frombuffer(incls, dtype=np.int64)
+    i64 = np.int64
+    # Gather indices fit int32 for any slab under 2 GiB — half the
+    # index-matrix memory traffic of int64.
+    idx_dtype = np.int32 if len(buf) < (1 << 31) else np.int64
+
+    def take(base, width):
+        """One ``(width, rows)`` byte-matrix gather: row ``k`` holds
+        byte ``base + k`` of every record, contiguous for cheap field
+        math.  The matrix stays uint8 — callers cast the few rows they
+        do arithmetic on (:func:`be32`/:func:`u16`) instead of paying
+        an 8x widening copy of the whole matrix.  Bases are clamped so
+        the whole window stays inside the buffer — a length-``rows``
+        pass, an order of magnitude cheaper than clipping the full
+        index matrix.  A clamp shifts a row's window, but callers keep
+        windows narrow enough that no *valid* record's window can
+        overrun (spans guarantee bodies lie inside the buffer); every
+        consumer of a possibly-shifted row is fenced by the validity
+        mask or by length predicates (``opt_len``) that come from
+        ``doff``, not from these bytes."""
+        safe = np.minimum(base, len(buf) - width).astype(idx_dtype)
+        np.maximum(safe, 0, out=safe)
+        idx = np.arange(width, dtype=idx_dtype)[:, None] + safe[None, :]
+        return buf[idx]
+
+    def take_exact(base, width):
+        """Element-clipped gather for windows that may legitimately
+        overrun their record (the SACK area): in-range bytes must stay
+        at their true columns, so clip per element, not per base."""
+        idx = np.arange(width, dtype=np.int64)[:, None] + base[None, :]
+        return buf[np.minimum(idx, limit)]
+
+    u32 = np.uint32
+
+    def be32(matrix, row):
+        out = matrix[row].astype(u32)
+        out <<= 8
+        out |= matrix[row + 1]
+        out <<= 8
+        out |= matrix[row + 2]
+        out <<= 8
+        out |= matrix[row + 3]
+        return out
+
+    def u16(matrix, row):
+        out = matrix[row].astype(np.uint16)
+        out <<= 8
+        out |= matrix[row + 1]
+        return out
+
+    # Record-header timestamps, in the file's byte order (the body
+    # offset in ``starts`` sits 16 bytes past its record header).
+    def le32(matrix, row):
+        out = matrix[row + 3].astype(u32)
+        out <<= 8
+        out |= matrix[row + 2]
+        out <<= 8
+        out |= matrix[row + 1]
+        out <<= 8
+        out |= matrix[row]
+        return out
+
+    # One sparse gather covers every header byte the decode consults:
+    # the record timestamp, [the ethertype,] the needed IPv4 fields,
+    # and — speculatively, valid whenever no record carries IP
+    # options, i.e. always on real traffic — the fixed TCP header.
+    # Gathering a hand-picked row list instead of a dense window
+    # skips the 20 bytes nothing reads (``incl_len``/``orig_len``,
+    # IP id/frag/ttl/checksum), which is most of the gather cost.
+    # Bases are clamped per record (see :func:`take`); the window's
+    # last byte sits 36 bytes into the body, inside any valid record
+    # (minimum body: a 40-byte IP+TCP header pair), so no valid row
+    # ever clamps.
+    lead = (16 + 14) if ethernet else 16
+    picks = [0, 1, 2, 3, 4, 5, 6, 7]  # record-header timestamp
+    if ethernet:
+        picks += [28, 29]  # ethertype
+    picks += [lead, lead + 2, lead + 3, lead + 9]  # ver_ihl, length, proto
+    picks += list(range(lead + 12, lead + 20))  # src, dst
+    picks += list(range(lead + 20, lead + 36))  # TCP header (no IP options)
+    width = lead + 36
+    safe = np.minimum(off - 16, len(buf) - width).astype(idx_dtype)
+    np.maximum(safe, 0, out=safe)
+    rows = np.array(picks, dtype=idx_dtype)
+    m = buf[rows[:, None] + safe[None, :]]
+    # Row indices within the sparse matrix (groups stay consecutive
+    # so the multi-byte helpers work unchanged).
+    r_eth = 8
+    r_ip = 8 + (2 if ethernet else 0)  # ver_ihl, len_hi, len_lo, proto
+    r_addr = r_ip + 4                  # src_ip, dst_ip
+    r_tcp = r_addr + 8
+
+    if endian == "<":
+        ts_sec = le32(m, 0)
+        ts_usec = le32(m, 4)
+    else:
+        ts_sec = be32(m, 0)
+        ts_usec = be32(m, 4)
+    ts = ts_sec.astype(np.float64) + ts_usec.astype(np.float64) / 1_000_000
+
+    ok = np.ones(count, dtype=bool)
+    if ethernet:
+        ok &= (avail >= 14) & (m[r_eth] == 0x08) & (m[r_eth + 1] == 0x00)
+        off = off + 14
+        avail = avail - 14
+    ok &= avail >= 20
+
+    # IPv4 fields (uint8 — comparisons and the 4-bit fields stay in
+    # range without widening).
+    ver_ihl = m[r_ip]
+    ihl = (ver_ihl & 0x0F).astype(i64) * 4
+    ok &= (ver_ihl >> 4) == 4
+    ok &= (ihl >= 20) & (ihl <= avail)
+    ok &= m[r_ip + 3] == 6  # TCP only
+    total_length = u16(m, r_ip + 1)
+    end_rel = np.where(
+        total_length > 0,
+        np.minimum(avail, np.maximum(total_length, ihl)),
+        avail,
+    )
+    src_ip = be32(m, r_addr)
+    dst_ip = be32(m, r_addr + 4)
+
+    # TCP fixed header (16 bytes is enough: the checksum and
+    # urgent-pointer rows are never consulted).  When every valid
+    # record has a 20-byte IP header the speculative rows of the
+    # sparse gather are the real thing; IP options (never seen on
+    # sane traffic) fall back to a gather at the per-record offsets.
+    tcp_off = off + ihl
+    tcp_avail = end_rel - ihl
+    ok &= tcp_avail >= 20
+    if bool(np.all((ihl == 20) | ~ok)):
+        tcp = m[r_tcp:]
+    else:
+        tcp = take(tcp_off, 16)
+    doff = (tcp[12] >> 4).astype(i64) * 4
+    ok &= (doff >= 20) & (doff <= tcp_avail)
+
+    # Option-area pattern match, full width (see the python decoder
+    # for the patterns).  Garbage rows — no options, or a window that
+    # overran its record and clamp-shifted — are fenced out by
+    # ``has_opts`` and the length predicates: every pattern requires
+    # ``opt_len >= 12``, and such a record's body (and therefore this
+    # window) provably lies inside the buffer.
+    opt_len = doff - 20
+    opt_off = tcp_off + 20
+    opts = take(opt_off, 12)
+    has_opts = ok & (opt_len > 0)
+    b0, b1 = opts[0], opts[1]
+    b10, b11 = opts[10], opts[11]
+    is12 = has_opts & (opt_len == 12)
+    pat_nop = (
+        is12 & (b0 == 1) & (b1 == 1)
+        & (opts[2] == 8) & (opts[3] == 10)
+    )
+    pat_raw = (
+        is12 & (b0 == 8) & (b1 == 10)
+        & ((b10 == 0) | ((b10 == 1) & (b11 <= 1)))
+    )
+    if pat_raw.any():
+        has_ts = pat_nop | pat_raw
+        ts_val = np.where(pat_nop, be32(opts, 4), be32(opts, 2))
+        ts_ecr = np.where(pat_nop, be32(opts, 8), be32(opts, 6))
+    else:  # NOP-NOP-TS is the layout every sane stack emits
+        has_ts = pat_nop
+        ts_val = be32(opts, 4)
+        ts_ecr = be32(opts, 8)
+    ts_val = ts_val * has_ts
+    ts_ecr = ts_ecr * has_ts
+    # ``TS`` followed by one SACK option (1-4 blocks) — the layout
+    # the native encoder emits on every SACK-carrying ACK.  The
+    # sizes work out with no padding: 10 + 2 + 8k for k blocks,
+    # always a multiple of 4, and the SACK length byte pins the
+    # block count.
+    pat_sack = (
+        has_opts
+        & ((opt_len >= 20) & (opt_len <= 44) & ((opt_len & 7) == 4))
+        & (b0 == 8) & (b1 == 10) & (b10 == 5) & (b11 == opt_len - 10)
+    )
+    odd = has_opts & ~has_ts
+
+    kept = int(np.count_nonzero(ok))
+    counters.skipped += count - kept
+
+    cols = PacketColumns()
+    if kept == count:
+        # Nothing dropped (the common case on real traces): every
+        # computed vector is already the output column.
+        keep = slice(None)
+    else:
+        keep = np.nonzero(ok)[0]
+    _fill(cols.timestamps, ts[keep])
+    _fill(cols.src_ip, src_ip[keep])
+    _fill(cols.dst_ip, dst_ip[keep])
+    _fill(cols.src_port, u16(tcp, 0)[keep])
+    _fill(cols.dst_port, u16(tcp, 2)[keep])
+    _fill(cols.seq, be32(tcp, 4)[keep])
+    _fill(cols.ack, be32(tcp, 8)[keep])
+    _fill(cols.flags, tcp[13][keep])
+    _fill(cols.window, u16(tcp, 14)[keep])
+    _fill(cols.payload_len, (tcp_avail - doff)[keep])
+    _fill(cols.ts_val, ts_val[keep])
+    _fill(cols.ts_ecr, ts_ecr[keep])
+    optbits = np.zeros(count, dtype=np.uint8)
+    optbits[has_ts] = OPT_TS
+    optbits[odd] = OPT_ODD
+    _fill(cols.optbits, optbits[keep])
+
+    if odd.any():
+        # Row index within the compacted batch for each odd packet.
+        position = np.cumsum(ok) - 1
+        sack_rows = np.nonzero(pat_sack)[0]
+        if len(sack_rows):
+            # TS+SACK areas are the bulk of odd packets on a stally
+            # trace; copy their raw bytes out of the slab (tiny — at
+            # most 44 per row) and decode each one only if somebody
+            # actually asks for it.  The pattern guarantees the area
+            # is well-formed, so deferral can't hide an
+            # ``option_errors`` count the object path would have made.
+            raw = np.ascontiguousarray(take_exact(opt_off[sack_rows], 44).T)
+            cols.odd_options = _LazySackOptions(
+                dict(zip(position[sack_rows].tolist(), range(len(sack_rows)))),
+                raw,
+                opt_len[sack_rows].tolist(),
+                tolerant,
+            )
+        odd_options = cols.odd_options
+        decode_rows = np.nonzero(odd & ~pat_sack)[0]
+        option_errors = 0
+        decode = TCPOptions.decode
+        for start, length, out_row in zip(
+            opt_off[decode_rows].tolist(),
+            opt_len[decode_rows].tolist(),
+            position[decode_rows].tolist(),
+        ):
+            options = decode(
+                buffer[start : start + length], lenient=tolerant
+            )
+            if options.truncated_options:
+                option_errors += 1
+            odd_options[out_row] = options
+        counters.option_errors += option_errors
+    return cols
+
+
+class _LazySackOptions(dict):
+    """``odd_options`` mapping that decodes TS+SACK rows on demand.
+
+    Eagerly-decoded oddballs (SYN options, damage) live in the dict
+    itself; pattern-matched SACK rows keep only their raw option
+    bytes until first access, when :meth:`TCPOptions.decode
+    <repro.packet.options.TCPOptions.decode>` — the same oracle the
+    object path runs — materializes and caches the object.  Flows
+    that never leave the fast path never pay for it.
+    """
+
+    __slots__ = ("_at", "_raw", "_lengths", "_lenient")
+
+    def __init__(self, at, raw, lengths, lenient):
+        super().__init__()
+        self._at = at          #: batch row -> column in ``_raw``
+        self._raw = raw        #: (rows, 44) uint8 option-area bytes
+        self._lengths = lengths
+        self._lenient = lenient
+
+    def __missing__(self, key):
+        at = self._at.get(key)
+        if at is None:
+            raise KeyError(key)
+        options = TCPOptions.decode(
+            self._raw[at][: self._lengths[at]].tobytes(),
+            lenient=self._lenient,
+        )
+        self[key] = options
+        return options
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key):
+        return dict.__contains__(self, key) or key in self._at
+
+
+def _fill(column: array, values) -> None:
+    """Move a numpy vector into a stdlib array without per-item boxing."""
+    np = _np
+    typecode = column.typecode
+    if typecode == "d":
+        dtype = np.float64
+    elif typecode == "B":
+        dtype = np.uint8
+    elif typecode == "H":
+        dtype = np.uint16
+    else:  # the u32 column type ('I' or platform fallback 'L')
+        dtype = np.uint32 if _U32_ITEMSIZE == 4 else np.uint64
+    # frombytes accepts any byte-shaped buffer, so hand it the numpy
+    # memory directly rather than an intermediate ``bytes`` copy.
+    column.frombytes(np.ascontiguousarray(values, dtype=dtype).data.cast("B"))

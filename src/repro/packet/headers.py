@@ -49,7 +49,7 @@ def ip_to_str(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv4Header:
     """An IPv4 header without options (IHL = 5)."""
 
@@ -113,7 +113,7 @@ class IPv4Header:
         return header, ihl
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPHeader:
     """A TCP header with decoded options."""
 

@@ -37,7 +37,7 @@ class OptionDecodeError(ParseError):
     """Raised when a TCP option area is malformed."""
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPOptions:
     """Decoded TCP options of a single segment.
 

@@ -9,14 +9,42 @@ captured with tcpdump on a real interface can be analyzed too.
 
 from __future__ import annotations
 
+import mmap
 import struct
+from array import array
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import BinaryIO
 
 from ..errors import ErrorBudget, ParseError
+from .checksum import verify_tcp_checksum
+from .columnar import _np
+from .columnar import PacketColumns, decode_spans
 from .headers import HeaderDecodeError
 from .packet import PacketRecord
+
+
+def _subtract_spans(incls: "array", starts: "array", header_size: int) -> None:
+    """In place: ``incls[i] -= starts[i] + header_size`` (turns the
+    next-offset chain into record body lengths)."""
+    if _np is not None:
+        out = _np.frombuffer(incls, dtype=_np.int64)
+        out -= _np.frombuffer(starts, dtype=_np.int64)
+        out -= header_size
+        return
+    for index in range(len(incls)):
+        incls[index] -= starts[index] + header_size
+
+
+def _shift_spans(starts: "array", header_size: int) -> None:
+    """In place: ``starts[i] += header_size`` (header offsets from the
+    strict chase become body offsets)."""
+    if _np is not None:
+        out = _np.frombuffer(starts, dtype=_np.int64)
+        out += header_size
+        return
+    for index in range(len(starts)):
+        starts[index] += header_size
 
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
@@ -110,6 +138,12 @@ class PcapWriter:
 #: One syscall per buffer instead of two per packet.
 READ_BUFFER_BYTES = 1 << 20
 
+#: Default slab size for :meth:`PcapReader.iter_columns`.  Columnar
+#: decode has a fixed vectorization cost per batch, so it prefers
+#: fewer, larger slabs; 4 MiB keeps memory modest while making the
+#: per-batch overhead negligible.
+COLUMN_BUFFER_BYTES = 4 << 20
+
 
 def parse_global_header(raw: bytes) -> tuple[str, int]:
     """Validate a 24-byte pcap global header; return (endian, linktype).
@@ -160,7 +194,9 @@ class PcapScanner:
         errors: ErrorBudget,
         counters,
     ):
+        self._endian = endian
         self._struct = struct.Struct(endian + "IIII")
+        self._incl_struct = struct.Struct(endian + "8xI")
         self._ethernet = linktype == LINKTYPE_ETHERNET
         self._budget = errors
         self._counters = counters
@@ -183,6 +219,11 @@ class PcapScanner:
         """Append newly available capture bytes."""
         if not data:
             return
+        if self._offset >= len(self._buffer):
+            # Fully consumed: adopt the new slab without copying.
+            self._buffer = data
+            self._offset = 0
+            return
         if self._offset:
             self._buffer = self._buffer[self._offset :]
             self._offset = 0
@@ -191,6 +232,19 @@ class PcapScanner:
     def finish(self) -> None:
         """Mark end-of-input: the next :meth:`drain` judges the tail."""
         self._final = True
+
+    def drop_pending(self) -> int:
+        """Forget the unconsumed tail and return its length.
+
+        For seekable sources: the caller rewinds by the returned count
+        and re-reads, so the tail arrives again at the *front* of the
+        next slab — which :meth:`push` then adopts by reference instead
+        of paying a buffer concatenation per slab.
+        """
+        pending = len(self._buffer) - self._offset
+        self._buffer = b""
+        self._offset = 0
+        return pending
 
     # -- framing heuristics (identical to the historical reader) ------
     def _plausible(self, pos: int) -> bool:
@@ -279,6 +333,7 @@ class PcapScanner:
         unpack_header = self._struct.unpack_from
         counters = self._counters
         tolerant = self._budget.tolerant
+        verify = getattr(counters, "verify_checksums", False)
         while True:
             if self._resyncing and not self._scan_resync():
                 return
@@ -334,7 +389,139 @@ class PcapScanner:
                 continue
             if record.options.truncated_options:
                 counters.option_errors += 1
+            if verify:
+                ip_len = (data[0] & 0x0F) * 4
+                total_length = (data[2] << 8) | data[3]
+                end = (
+                    min(len(data), max(total_length, ip_len))
+                    if total_length
+                    else len(data)
+                )
+                if not verify_tcp_checksum(
+                    record.src_ip, record.dst_ip, data[ip_len:end]
+                ):
+                    counters.checksum_errors += 1
             yield record
+
+    # -- columnar extraction ---------------------------------------------
+    def _collect_spans(self) -> tuple[array, array]:
+        """Advance framing over every complete record; return spans.
+
+        The framing walk — plausibility checks, resync, budget
+        accounting — matches the state machine :meth:`drain` runs;
+        only record *decoding* is deferred, so the columnar layer
+        (:func:`repro.packet.columnar.decode_spans`) can batch it.
+        Returned arrays are parallel ``(body_offset, body_length)``
+        per record, with offsets into the current buffer (valid until
+        the next :meth:`push`).  Record timestamps sit at
+        ``body_offset - 16``; the columnar decoder extracts them in
+        bulk.
+        """
+        counters = self._counters
+        starts = array("q")
+        incls = array("q")
+        if not self._budget.tolerant:
+            # Strict mode never resyncs — any framing damage raises —
+            # so the walk reduces to chasing ``incl_len``.  Bodies abut
+            # (no bytes are ever skipped), so lengths are derived from
+            # consecutive offsets afterwards instead of being appended
+            # inside the hot loop.
+            buffer = self._buffer
+            blen = len(buffer)
+            offset = self._offset
+            header_size = self._struct.size
+            limit = blen - header_size
+            unpack_incl = self._incl_struct.unpack_from
+            found: list[int] = []
+            append_start = found.append
+            while offset <= limit:
+                (incl_len,) = unpack_incl(buffer, offset)
+                nxt = offset + header_size + incl_len
+                if nxt > blen:
+                    if self._final:
+                        self._corrupt("pcap packet body truncated")
+                    break  # body still being written; wait for bytes
+                # Header offsets, not body offsets: one add less per
+                # record here; the uniform +16 happens vectorized below.
+                append_start(offset)
+                offset = nxt
+            else:
+                if self._final and blen - offset > 0:
+                    self._corrupt("pcap record header truncated")
+            self._offset = offset
+            starts = array("q", found)
+            count = len(starts)
+            counters.records_read += count
+            if count:
+                # Next-record offsets; the sentinel for the final
+                # record is its body end so the uniform subtraction
+                # below yields each body length.
+                incls = array("q", starts)
+                del incls[0]
+                incls.append(offset)
+                _subtract_spans(incls, starts, header_size)
+                _shift_spans(starts, header_size)
+            return starts, incls
+        header_size = self._struct.size
+        unpack_header = self._struct.unpack_from
+        while True:
+            if self._resyncing and not self._scan_resync():
+                break
+            available = len(self._buffer) - self._offset
+            if available < header_size:
+                if not self._final:
+                    break
+                if available > 0:
+                    self._corrupt("pcap record header truncated")
+                    counters.bytes_skipped += available
+                    self._offset = len(self._buffer)
+                break
+            if not self._plausible(self._offset):
+                self._corrupt("pcap record framing implausible")
+                counters.resyncs += 1
+                self._begin_resync()
+                continue
+            ts_sec, _ts_usec, incl_len, _orig_len = unpack_header(
+                self._buffer, self._offset
+            )
+            if available < header_size + incl_len:
+                if not self._final:
+                    break  # body still being written; wait for bytes
+                self._corrupt("pcap packet body truncated")
+                counters.resyncs += 1
+                self._begin_resync()
+                continue
+            start = self._offset + header_size
+            self._offset = start + incl_len
+            self._last_ts = ts_sec
+            counters.records_read += 1
+            starts.append(start)
+            incls.append(incl_len)
+        return starts, incls
+
+    def drain_columns(self) -> PacketColumns:
+        """Columnar counterpart of :meth:`drain`: decode every record
+        complete so far into one :class:`PacketColumns` batch.
+
+        Counter and recovery semantics are identical to the object
+        path; the batch may be empty when no complete record is
+        buffered.
+        """
+        starts, incls = self._collect_spans()
+        columns = decode_spans(
+            self._buffer,
+            starts,
+            incls,
+            endian=self._endian,
+            ethernet=self._ethernet,
+            tolerant=self._budget.tolerant,
+            counters=self._counters,
+        )
+        if getattr(self._counters, "verify_checksums", False):
+            # Lazy checksum policy: the columnar path defers
+            # verification entirely and counts what it skipped.
+            self._counters.checksums_skipped += len(columns)
+        return columns
 
 
 class PcapReader:
@@ -366,11 +553,15 @@ class PcapReader:
         self,
         path: str | Path,
         errors: "ErrorBudget | str | None" = None,
+        verify_checksums: bool = False,
     ):
         self._file: BinaryIO = open(path, "rb")
         raw = self._file.read(_GLOBAL_HEADER.size)
         self._endian, self.linktype = parse_global_header(raw)
         self.errors = ErrorBudget.parse(errors)
+        #: Verify each packet's TCP checksum while decoding (object
+        #: path only; the columnar path defers and counts skips).
+        self.verify_checksums = verify_checksums
         self.skipped = 0
         self.records_read = 0
         #: Records lost to framing damage (skipped over or truncated).
@@ -382,6 +573,11 @@ class PcapReader:
         #: Packets whose TCP option area was malformed and parsed
         #: partially (tolerant budgets only).
         self.option_errors = 0
+        #: Packets whose TCP checksum failed verification.
+        self.checksum_errors = 0
+        #: Packets whose requested checksum verification was skipped
+        #: by the lazy columnar path.
+        self.checksums_skipped = 0
 
     def __iter__(self) -> Iterator[PacketRecord]:
         return self.iter_records()
@@ -403,6 +599,88 @@ class PcapReader:
             yield from scanner.drain()
         scanner.finish()
         yield from scanner.drain()
+
+    def iter_columns(
+        self, buffer_bytes: int = COLUMN_BUFFER_BYTES
+    ) -> Iterator[PacketColumns]:
+        """Yield :class:`~repro.packet.columnar.PacketColumns` batches,
+        one per ``buffer_bytes`` slab — the columnar counterpart of
+        :meth:`iter_records`, with identical skip/recovery counters.
+
+        Regular files are memory-mapped and decoded through zero-copy
+        slab windows; unmappable sources (pipes) fall back to plain
+        reads.  Either way memory stays bounded by the slab size, not
+        the trace size."""
+        scanner = PcapScanner(
+            self._endian, self.linktype, self.errors, counters=self
+        )
+        try:
+            mapped = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            mapped = None
+        if mapped is not None:
+            yield from self._iter_columns_mapped(
+                scanner, mapped, buffer_bytes
+            )
+            return
+        while True:
+            slab = self._file.read(buffer_bytes)
+            if not slab:
+                break
+            scanner.push(slab)
+            columns = scanner.drain_columns()
+            if len(columns):
+                yield columns
+            pending = scanner.pending_bytes
+            if 0 < pending < len(slab):
+                # Rewind over the partial record tail and re-read it
+                # at the head of the next slab; every push then adopts
+                # its slab by reference, copying nothing.  (A tail as
+                # large as the whole slab — a record bigger than the
+                # buffer — falls back to buffer growth instead.)
+                self._file.seek(-pending, 1)
+                scanner.drop_pending()
+        scanner.finish()
+        columns = scanner.drain_columns()
+        if len(columns):
+            yield columns
+
+    def _iter_columns_mapped(
+        self, scanner: PcapScanner, mapped: "mmap.mmap", buffer_bytes: int
+    ) -> Iterator[PacketColumns]:
+        """Slab windows over a memory-mapped capture: each push hands
+        the scanner a :class:`memoryview` slice, so no capture byte is
+        ever copied on its way to the columnar decoder."""
+        view = memoryview(mapped)
+        size = len(view)
+        pos = self._file.tell()
+        window = buffer_bytes
+        while pos < size:
+            end = min(pos + window, size)
+            scanner.push(view[pos:end])
+            columns = scanner.drain_columns()
+            if len(columns):
+                yield columns
+            pending = scanner.pending_bytes
+            if pending == 0 or end == size:
+                # Fully consumed — or at EOF, where the tail stays
+                # with the scanner for finish() to judge.
+                pos = end
+                window = buffer_bytes
+                continue
+            consumed = (end - pos) - pending
+            pos = end - pending
+            scanner.drop_pending()
+            # A record larger than the window makes no progress;
+            # double the window until it fits.
+            window = buffer_bytes if consumed else window * 2
+        scanner.finish()
+        columns = scanner.drain_columns()
+        if len(columns):
+            yield columns
+        self._file.seek(size)
 
     def iter_chunks(
         self,
@@ -429,6 +707,8 @@ class PcapReader:
         faults.corrupt_records += self.corrupt_records
         faults.resyncs += self.resyncs
         faults.option_errors += self.option_errors
+        faults.checksum_errors += self.checksum_errors
+        faults.checksums_skipped += self.checksums_skipped
 
     def close(self) -> None:
         self._file.close()

@@ -15,12 +15,14 @@ from .faults import (
     inject_flow_crash,
     kill_worker_once,
 )
+from .traces import generate_trace
 
 __all__ = [
     "FaultPlan",
     "corrupt_cache_entry",
     "corrupt_pcap_bytes",
     "corrupt_pcap_records",
+    "generate_trace",
     "inject_flow_crash",
     "kill_worker_once",
 ]

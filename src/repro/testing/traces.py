@@ -1,0 +1,258 @@
+"""Seedable random server-side traces for parity and property tests.
+
+:func:`generate_trace` produces a time-ordered packet stream of many
+interleaved TCP flows with a deterministic mix of the behaviours that
+matter to the analyzer: clean request/response exchanges, stalls
+(gaps over the detection threshold), retransmissions with duplicate
+ACKs and SACK blocks, zero-window episodes, handshake option variants
+(timestamps, window scaling, MSS), sequence numbers starting near the
+32-bit wrap, flows captured mid-connection (no SYN), and RST/FIN/no
+close endings.  The same seed always yields the same packets, so a
+test can assert byte-identical output across pipelines (columnar
+versus object) or across runs.
+
+Timestamps are quantized to whole microseconds so a trace survives a
+pcap round-trip (classic pcap stores µs) without changing any float.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..packet.headers import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN
+from ..packet.options import TCPOptions
+from ..packet.packet import PacketRecord
+from ..tcp.constants import ts_now
+
+_SEQ_MASK = 0xFFFFFFFF
+
+#: Server endpoint every generated flow talks to.
+SERVER_IP = 0x0A00_0001
+SERVER_PORT = 80
+
+
+def _quantize(t: float) -> float:
+    """Round to whole microseconds (classic-pcap precision)."""
+    return round(t * 1_000_000) / 1_000_000
+
+
+class _FlowBuilder:
+    """Emits one flow's packets, server-oriented, in time order."""
+
+    def __init__(self, rng: random.Random, start: float, index: int):
+        self.rng = rng
+        self.t = start
+        self.client_ip = 0xC0A8_0000 + rng.randrange(1, 0xFFFF)
+        self.client_port = rng.randrange(1024, 0xFFFF)
+        self.rtt = rng.uniform(0.01, 0.08)
+        self.mss = rng.choice((536, 1000, 1448))
+        self.use_ts = rng.random() < 0.5
+        self.wscale = rng.choice((0, 0, 2, 7))
+        # Raw 16-bit header field; the scaled value is window << wscale.
+        self.window = min(0xFFFF, rng.randrange(4, 64) * self.mss >> self.wscale)
+        # Start some flows within one window of the 32-bit wrap so the
+        # raw uint32 columns must wrap mid-flow.
+        if index % 5 == 1:
+            self.isn_s = (_SEQ_MASK - rng.randrange(1, 4) * self.mss) & _SEQ_MASK
+        else:
+            self.isn_s = rng.getrandbits(32)
+        self.isn_c = rng.getrandbits(32)
+        self.seq_s = (self.isn_s + 1) & _SEQ_MASK
+        self.seq_c = (self.isn_c + 1) & _SEQ_MASK
+        self.rcv_nxt = self.seq_s  # client's next expected server seq
+        self.packets: list[PacketRecord] = []
+
+    # -- low-level emit -------------------------------------------------
+    def _emit(self, src_is_server: bool, seq: int, ack: int, flags: int,
+              payload: int = 0, window: int | None = None,
+              options: TCPOptions | None = None) -> None:
+        if options is None:
+            options = self._options(src_is_server)
+        if src_is_server:
+            src, sport = SERVER_IP, SERVER_PORT
+            dst, dport = self.client_ip, self.client_port
+        else:
+            src, sport = self.client_ip, self.client_port
+            dst, dport = SERVER_IP, SERVER_PORT
+        self.packets.append(
+            PacketRecord(
+                timestamp=_quantize(self.t),
+                src_ip=src,
+                dst_ip=dst,
+                src_port=sport,
+                dst_port=dport,
+                seq=seq & _SEQ_MASK,
+                ack=ack & _SEQ_MASK,
+                flags=flags,
+                window=window if window is not None else self.window,
+                payload_len=payload,
+                options=options,
+            )
+        )
+
+    def _options(self, src_is_server: bool) -> TCPOptions:
+        if not self.use_ts:
+            return TCPOptions()
+        val = ts_now(self.t)
+        ecr = ts_now(self.t - self.rtt) if src_is_server else ts_now(
+            self.t - self.rtt / 2
+        )
+        return TCPOptions(ts_val=val, ts_ecr=ecr)
+
+    def _advance(self, lo: float, hi: float) -> None:
+        self.t += self.rng.uniform(lo, hi)
+
+    # -- protocol pieces --------------------------------------------------
+    def handshake(self) -> None:
+        syn_opts = TCPOptions(
+            mss=self.mss,
+            wscale=self.wscale or None,
+            ts_val=ts_now(self.t) if self.use_ts else None,
+        )
+        self._emit(False, self.isn_c, 0, FLAG_SYN, options=syn_opts)
+        self.t += self.rtt / 2
+        self._emit(
+            True, self.isn_s, self.seq_c, FLAG_SYN | FLAG_ACK,
+            options=TCPOptions(
+                mss=1448,
+                wscale=self.wscale or None,
+                ts_val=ts_now(self.t) if self.use_ts else None,
+            ),
+        )
+        self.t += self.rtt / 2
+        self._emit(False, self.seq_c, self.seq_s, FLAG_ACK)
+
+    def request(self, size: int | None = None) -> None:
+        self._advance(0.001, 0.01)
+        size = size if size is not None else self.rng.randrange(80, 400)
+        self._emit(False, self.seq_c, self.rcv_nxt, FLAG_ACK, payload=size)
+        self.seq_c = (self.seq_c + size) & _SEQ_MASK
+
+    def _client_ack(self, sack: list[tuple[int, int]] | None = None,
+                    window: int | None = None) -> None:
+        opts = self._options(False)
+        if sack:
+            opts = TCPOptions(
+                ts_val=opts.ts_val, ts_ecr=opts.ts_ecr, sack_blocks=sack
+            )
+        self._emit(
+            False, self.seq_c, self.rcv_nxt, FLAG_ACK,
+            window=window, options=opts,
+        )
+
+    def respond(self, segments: int, lose: int | None = None) -> None:
+        """Server sends ``segments`` MSS segments ``rtt/2`` apart; the
+        client acks each delivered one.  ``lose`` drops that segment
+        (0-based) from the capture until a timeout retransmission,
+        generating dupacks with SACK while the hole is open."""
+        lost_seq = None
+        sacked: list[tuple[int, int]] = []
+        for i in range(segments):
+            self._advance(0.0005, 0.004)
+            seq = self.seq_s
+            self.seq_s = (self.seq_s + self.mss) & _SEQ_MASK
+            if i == lose:
+                lost_seq = seq  # dropped on the wire: not captured
+                continue
+            self._emit(True, seq, self.seq_c, FLAG_ACK, payload=self.mss)
+            self.t += self.rtt / 2
+            if lost_seq is None:
+                self.rcv_nxt = (seq + self.mss) & _SEQ_MASK
+                self._client_ack()
+            else:
+                # Hole open: duplicate ACK, SACKing this segment.
+                end = (seq + self.mss) & _SEQ_MASK
+                if sacked and sacked[-1][1] == seq:
+                    sacked[-1] = (sacked[-1][0], end)
+                else:
+                    sacked.append((seq, end))
+                self._client_ack(sack=list(reversed(sacked)))
+            self.t -= self.rtt / 2
+        if lost_seq is not None:
+            # Timeout retransmission of the hole, then a cumulative ACK.
+            self.t += max(0.25, 3 * self.rtt)
+            self._emit(True, lost_seq, self.seq_c, FLAG_ACK, payload=self.mss)
+            self.t += self.rtt / 2
+            self.rcv_nxt = self.seq_s
+            self._client_ack()
+            self.t -= self.rtt / 2
+        self.t += self.rtt / 2
+
+    def stall(self) -> None:
+        """An idle gap over any plausible detection threshold."""
+        self.t += self.rng.uniform(1.0, 3.0)
+
+    def zero_window(self) -> None:
+        """Client closes its window, later reopens it."""
+        self._advance(0.001, 0.01)
+        self._client_ack(window=0)
+        self.t += self.rng.uniform(0.3, 0.8)
+        self._client_ack()
+
+    def close(self) -> None:
+        kind = self.rng.random()
+        self._advance(0.001, 0.02)
+        if kind < 0.2:
+            self._emit(True, self.seq_s, self.seq_c, FLAG_RST | FLAG_ACK)
+            return
+        if kind < 0.9:
+            self._emit(True, self.seq_s, self.seq_c, FLAG_FIN | FLAG_ACK)
+            self.seq_s = (self.seq_s + 1) & _SEQ_MASK
+            self.t += self.rtt / 2
+            self._emit(
+                False, self.seq_c, self.seq_s, FLAG_FIN | FLAG_ACK
+            )
+            self.seq_c = (self.seq_c + 1) & _SEQ_MASK
+            self.t += self.rtt / 2
+            self._emit(True, self.seq_s, self.seq_c, FLAG_ACK)
+        # else: left open (finalized at end of stream)
+
+    def build(self) -> list[PacketRecord]:
+        rng = self.rng
+        if rng.random() < 0.12:
+            # Captured mid-connection: no handshake, data right away
+            # (the demuxer must infer the server by data volume).
+            self.rcv_nxt = self.seq_s
+            for _ in range(rng.randrange(2, 6)):
+                self._advance(0.001, 0.01)
+                self._emit(True, self.seq_s, self.seq_c, FLAG_ACK,
+                           payload=self.mss)
+                self.seq_s = (self.seq_s + self.mss) & _SEQ_MASK
+                self.t += self.rtt / 2
+                self.rcv_nxt = self.seq_s
+                self._client_ack()
+                self.t -= self.rtt / 2
+            return self.packets
+        self.handshake()
+        for _ in range(rng.randrange(1, 4)):
+            self.request()
+            segments = rng.randrange(2, 9)
+            shape = rng.random()
+            if shape < 0.45:
+                self.respond(segments)  # clean
+            elif shape < 0.7:
+                self.respond(segments, lose=rng.randrange(segments))
+            else:
+                self.respond(max(1, segments // 2))
+                self.stall()
+                self.respond(segments - segments // 2 or 1)
+            if rng.random() < 0.15:
+                self.zero_window()
+        self.close()
+        return self.packets
+
+
+def generate_trace(
+    seed: int, flows: int = 20, start: float = 1000.0
+) -> list[PacketRecord]:
+    """One deterministic multi-flow server-side capture, time-ordered."""
+    rng = random.Random(seed)
+    packets: list[PacketRecord] = []
+    for index in range(flows):
+        flow_start = start + rng.uniform(0.0, 5.0)
+        builder = _FlowBuilder(
+            random.Random(rng.getrandbits(64)), flow_start, index
+        )
+        packets.extend(builder.build())
+    packets.sort(key=lambda record: record.timestamp)
+    return packets
