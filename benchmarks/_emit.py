@@ -1,0 +1,88 @@
+"""Shared bench -> longitudinal-results-store emitter.
+
+Every ``bench_*.py`` standalone entry point already writes an ad-hoc
+nested JSON result (``--json-out``).  This helper converts that same
+dict into one schema-versioned record of
+:class:`repro.results.store.ResultsStore`, so longitudinal trend
+tracking (``repro-paper results trends``, the daemon's ``/dashboard``)
+covers every benchmark without per-bench schema work:
+
+* nested numeric leaves flatten to ``metrics`` (``{"decode":
+  {"speedup": 11.2}}`` -> ``decode_speedup``) via
+  :func:`repro.results.store.flatten_metrics`;
+* the bench's ``config``/``gates`` sections hash into ``config_hash``
+  so runs under different settings never alias in a trend series;
+* non-numeric context rides in ``meta``.
+
+Usage, inside a bench's ``main()``::
+
+    import _emit
+    _emit.add_store_argument(parser)      # --results-store (also
+                                          #  honors $REPRO_RESULTS_STORE)
+    ...
+    _emit.emit_result("tapo_throughput", result,
+                      store_path=args.results_store,
+                      wall_time=elapsed)
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment fallback for ``--results-store`` — CI exports this once
+#: and every bench in the job appends to the same store.
+ENV_VAR = "REPRO_RESULTS_STORE"
+
+
+def add_store_argument(parser) -> None:
+    """Add the shared ``--results-store`` flag to a bench parser."""
+    parser.add_argument(
+        "--results-store",
+        default=os.environ.get(ENV_VAR) or None,
+        metavar="PATH",
+        help=(
+            "append this run to the longitudinal results store at "
+            f"PATH (default: ${ENV_VAR} when set, else disabled)"
+        ),
+    )
+
+
+def emit_result(
+    name: str,
+    result: dict,
+    *,
+    store_path: "str | None" = None,
+    wall_time: "float | None" = None,
+    kind: str = "bench",
+    meta: "dict | None" = None,
+):
+    """Append one bench result to the store; returns the record.
+
+    No-op (returns ``None``) when no store path is configured, so
+    benches behave exactly as before unless opted in.  The producing
+    configuration is taken from the result's own ``config`` and
+    ``gates`` sections — two runs with different repeat counts or gate
+    floors get different ``config_hash`` values.
+    """
+    store_path = store_path or os.environ.get(ENV_VAR) or None
+    if not store_path:
+        return None
+    from repro.results.store import ResultsStore
+
+    config = {
+        key: result[key] for key in ("config", "gates") if key in result
+    }
+    record_meta = {"bench": name}
+    if meta:
+        record_meta.update(meta)
+    with ResultsStore(store_path) as store:
+        record = store.append(
+            kind,
+            name,
+            metrics=result,
+            wall_time=wall_time,
+            config=config or None,
+            meta=record_meta,
+        )
+    print(f"appended {kind}/{name} record to {store_path}")
+    return record

@@ -216,10 +216,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--flows", type=int, default=FLOWS)
     parser.add_argument("--json-out", help="write the result record here")
+    import _emit
+
+    _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
 
+    import time as _time
+
+    started = _time.perf_counter()
     result = run_recovery(seed=args.seed, flows=args.flows)
     _print_report(result)
+    _emit.emit_result(
+        "fault_recovery",
+        result,
+        store_path=args.results_store,
+        wall_time=_time.perf_counter() - started,
+    )
     if args.json_out:
         out_dir = os.path.dirname(args.json_out)
         if out_dir:

@@ -249,6 +249,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FLOWS",
         help="(internal) measure one size in this process and print JSON",
     )
+    import _emit
+
+    _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
 
     if args.measure is not None:
@@ -256,8 +259,17 @@ def main(argv: list[str] | None = None) -> int:
         print()
         return 0
 
+    import time as _time
+
+    started = _time.perf_counter()
     result = compare(args.flows)
     _print_report(result)
+    _emit.emit_result(
+        "live_latency",
+        result,
+        store_path=args.results_store,
+        wall_time=_time.perf_counter() - started,
+    )
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(result, fh, indent=2)

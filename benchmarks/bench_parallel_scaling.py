@@ -174,13 +174,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json-out", help="also write the JSON report to this path"
     )
+    import _emit
+
+    _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
+    started = time.perf_counter()
     report = build_report(
         flows=args.flows,
         seed=args.seed,
         service=args.service,
         workers_list=tuple(args.workers),
         cache_flows=args.cache_flows,
+    )
+    _emit.emit_result(
+        "parallel_scaling",
+        report,
+        store_path=args.results_store,
+        wall_time=time.perf_counter() - started,
     )
     text = json.dumps(report, indent=2)
     print(text)

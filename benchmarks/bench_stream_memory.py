@@ -33,6 +33,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 FLOWS_1X = 100
 DATA_SEGMENTS = 48  # per flow: 3 handshake + 2*48 data/ack + 3 close
@@ -226,6 +227,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--mode", choices=("stream", "batch"), default="stream"
     )
+    import _emit
+
+    _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
 
     if args.measure is not None:
@@ -233,8 +237,15 @@ def main(argv: list[str] | None = None) -> int:
         print()
         return 0
 
+    started = time.perf_counter()
     result = compare(args.flows)
     _print_report(result)
+    _emit.emit_result(
+        "stream_memory",
+        result,
+        store_path=args.results_store,
+        wall_time=time.perf_counter() - started,
+    )
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(result, fh, indent=2)

@@ -296,6 +296,8 @@ def test_end_to_end_throughput(bench_result):
 
 
 def main(argv: list[str] | None = None) -> int:
+    import _emit
+
     parser = argparse.ArgumentParser(
         description="Measure TAPO single-core throughput, both pipelines."
     )
@@ -304,10 +306,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--pcap", help="reuse an existing capture instead of simulating"
     )
+    _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
 
     import tempfile
 
+    started = time.perf_counter()
     if args.pcap:
         from repro.packet.pcap import PcapReader
 
@@ -321,6 +325,12 @@ def main(argv: list[str] | None = None) -> int:
             result = measure(path, packets, args.repeats)
 
     _print_report(result)
+    _emit.emit_result(
+        "tapo_throughput",
+        result,
+        store_path=args.results_store,
+        wall_time=time.perf_counter() - started,
+    )
     failures = check_gates(result)
     for failure in failures:
         print(f"GATE FAILED: {failure}", file=sys.stderr)

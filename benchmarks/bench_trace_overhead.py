@@ -223,13 +223,25 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
     parser.add_argument("--flows", type=int, default=DEFAULT_FLOWS)
     parser.add_argument("--json-out", help="also write the report here")
+    import _emit
+
+    _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
 
+    import time as _time
+
+    started = _time.perf_counter()
     report = {
         "loop": measure_loop_overhead(args.events, args.repeats),
         "flow": measure_flow_overhead(args.flows),
         "budget": overhead_budget(),
     }
+    _emit.emit_result(
+        "trace_overhead",
+        report,
+        store_path=args.results_store,
+        wall_time=_time.perf_counter() - started,
+    )
     text = json.dumps(report, indent=2)
     print(text)
     if args.json_out:

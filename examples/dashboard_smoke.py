@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the results store + operator dashboard
+(the CI dashboard-smoke job).
+
+Exercises the longitudinal pipeline the way a real deployment would:
+
+1. seed a results store with a short benchmark history and one extra
+   bench record carrying an injected >=20% throughput regression;
+2. generate a synthetic rotating capture (one file corrupted) and run
+   ``repro-paper watch`` over it as a subprocess with ``--results-store``
+   pointing at the same store, HTTP endpoint on, alert log bounded;
+3. assert ``/trends.json`` flags the injected regression, ``/runs.json``
+   serves the seeded records, ``/dashboard`` renders parseable HTML, and
+   gzip negotiation works on ``/report.json``;
+4. SIGTERM the daemon, assert it flushed live window/totals records into
+   the store, then gate offline: ``repro-paper results trends
+   --fail-on-regression`` must exit 3 on this store;
+5. write the served dashboard page plus an offline render as artifacts.
+
+Usage::
+
+    python examples/dashboard_smoke.py [--outdir dash-out] [--flows 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from html.parser import HTMLParser
+from pathlib import Path
+
+from live_smoke import free_port, generate_rotation, get_json
+
+from repro.results import ResultsStore
+
+WINDOW_SECONDS = 1.0
+BASELINE_KPPS = [500.0, 504.0, 498.0, 501.0, 499.0]
+REGRESSED_KPPS = 360.0  # -28% vs the ~500 baseline median
+
+
+class _TagBalance(HTMLParser):
+    VOID = {"meta", "br", "hr", "img", "input", "link", "col", "wbr"}
+
+    def __init__(self):
+        super().__init__()
+        self.stack: list[str] = []
+        self.bad: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if self.stack and self.stack[-1] == tag:
+            self.stack.pop()
+        else:
+            self.bad.append(tag)
+
+
+def assert_html_parses(text: str) -> None:
+    assert text.startswith("<!DOCTYPE html>"), text[:60]
+    parser = _TagBalance()
+    parser.feed(text)
+    parser.close()
+    assert not parser.bad and not parser.stack, (parser.bad, parser.stack)
+
+
+def seed_store(path: Path) -> None:
+    """A healthy bench history plus one run with a real regression."""
+    with ResultsStore(path) as store:
+        for i, kpps in enumerate(BASELINE_KPPS):
+            store.append(
+                "bench", "tapo_throughput",
+                metrics={"decode_kpps": kpps, "wall_time": 2.0},
+                ts=float(i),
+            )
+        store.append(
+            "bench", "tapo_throughput",
+            metrics={"decode_kpps": REGRESSED_KPPS, "wall_time": 2.1},
+            ts=float(len(BASELINE_KPPS)),
+            meta={"note": "injected regression"},
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--outdir", default="dash-out")
+    parser.add_argument("--flows", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=20141222)
+    args = parser.parse_args(argv)
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    capdir = outdir / "captures"
+    capdir.mkdir(exist_ok=True)
+    store_path = outdir / "results.jsonl"
+
+    seed_store(store_path)
+    generate_rotation(capdir, args.flows, args.seed)
+
+    port = free_port()
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "watch", str(capdir),
+            "--window", str(WINDOW_SECONDS),
+            "--errors", "lenient",
+            "--poll-interval", "0.1",
+            "--http", f"127.0.0.1:{port}",
+            "--alert", "present: flows >= 1",
+            "--alert-log", str(outdir / "alerts.jsonl"),
+            "--alert-log-max-bytes", "65536",
+            "--results-store", str(store_path),
+        ],
+        stderr=(outdir / "daemon.log").open("w"),
+    )
+    base = f"http://127.0.0.1:{port}"
+    try:
+        health = get_json(base + "/healthz")
+        assert health["status"] == "ok", health
+        assert health["results_store"] == str(store_path), health
+        deadline = time.monotonic() + 60
+        while get_json(base + "/healthz")["records_in"] < 1:
+            assert time.monotonic() < deadline, "daemon never ingested"
+            time.sleep(0.2)
+        print(f"healthz ok (results store wired: {health['results_store']})")
+
+        trends = get_json(base + "/trends.json")
+        flagged = {
+            (r["name"], r["metric"]) for r in trends["regressions"]
+        }
+        assert ("tapo_throughput", "decode_kpps") in flagged, trends[
+            "regressions"
+        ]
+        print(
+            f"/trends.json flags the injected regression "
+            f"({len(trends['series'])} series tracked)"
+        )
+
+        runs = get_json(base + "/runs.json")["records"]
+        assert len(runs) >= len(BASELINE_KPPS) + 1, len(runs)
+
+        with urllib.request.urlopen(base + "/dashboard", timeout=5) as r:
+            page = r.read().decode()
+            assert r.headers["Content-Type"].startswith("text/html")
+        assert_html_parses(page)
+        assert "decode_kpps" in page and "regressed" in page
+        (outdir / "dashboard.html").write_text(page)
+        print(f"served dashboard parses ({len(page)} bytes), saved")
+
+        request = urllib.request.Request(
+            base + "/report.json",
+            headers={"Accept-Encoding": "gzip"},
+        )
+        with urllib.request.urlopen(request, timeout=5) as r:
+            body = r.read()
+            encoding = r.headers.get("Content-Encoding")
+        if encoding == "gzip":
+            json.loads(gzip.decompress(body))
+            print(f"gzip negotiated on /report.json ({len(body)} bytes)")
+        else:  # tiny report stayed below the compression floor
+            json.loads(body)
+            print("report below gzip floor, served identity (ok)")
+    except BaseException:
+        daemon.kill()
+        daemon.wait()
+        raise
+
+    daemon.send_signal(signal.SIGTERM)
+    code = daemon.wait(timeout=60)
+    assert code == 0, f"daemon exited {code}"
+
+    records = ResultsStore(store_path).load()
+    kinds = {(r["kind"], r["name"]) for r in records}
+    assert any(kind == "live" for kind, _ in kinds), sorted(kinds)
+    assert ("live", "live_totals") in kinds, sorted(kinds)
+    print(
+        f"daemon flushed live records into the store "
+        f"({len(records)} total records)"
+    )
+
+    gate = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "results", "trends",
+            str(store_path), "--fail-on-regression",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert gate.returncode == 3, (gate.returncode, gate.stdout)
+    assert "REGRESSION" in gate.stdout, gate.stdout
+    print("offline gate: 'results trends --fail-on-regression' exits 3")
+
+    offline = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "results", "dashboard",
+            str(store_path), "-o", str(outdir / "dashboard_offline.html"),
+            "--title", "dashboard smoke (offline render)",
+        ],
+        check=True,
+    )
+    assert offline.returncode == 0
+    assert_html_parses((outdir / "dashboard_offline.html").read_text())
+
+    print(
+        "PASS: store seeded + daemon-flushed, regression flagged live "
+        "and offline, dashboards rendered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

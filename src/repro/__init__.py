@@ -75,6 +75,12 @@ _EXPORTS = {
     "LiveDaemon": "repro.live",
     "WindowStore": "repro.live",
     "watch_directory": "repro.live",
+    # longitudinal results surface
+    "ResultsStore": "repro.results",
+    "TrendConfig": "repro.results",
+    "merge_records": "repro.results",
+    "render_dashboard": "repro.results",
+    "trend_report": "repro.results",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__", "api", "config"]
@@ -106,6 +112,13 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
         analyze_pcap,
     )
     from .live import AlertRule, LiveDaemon, WindowStore, watch_directory
+    from .results import (
+        ResultsStore,
+        TrendConfig,
+        merge_records,
+        render_dashboard,
+        trend_report,
+    )
     from .tcp import EndpointConfig, SRTOPolicy, TcpConnection, TLPPolicy
 
 

@@ -14,7 +14,10 @@ dataclasses in :mod:`repro.config`:
 Continuous monitoring (the ``repro-paper watch`` subsystem) is also
 re-exported: :func:`repro.live.watch_directory`,
 :class:`repro.live.LiveDaemon`, :class:`repro.live.WindowStore`, and
-:class:`repro.live.AlertRule`.
+:class:`repro.live.AlertRule` — as is the longitudinal results layer:
+:class:`repro.results.ResultsStore`, :class:`repro.results.TrendConfig`,
+:func:`repro.results.trend_report`, :func:`repro.results.merge_records`,
+and :func:`repro.results.render_dashboard`.
 
 Quickstart::
 
@@ -64,6 +67,13 @@ from .packet.flow import (
     server_by_port,
 )
 from .packet.packet import PacketRecord
+from .results import (
+    ResultsStore,
+    TrendConfig,
+    merge_records,
+    render_dashboard,
+    trend_report,
+)
 
 __all__ = [
     "AlertRule",
@@ -81,6 +91,7 @@ __all__ = [
     "ParseError",
     "PoisonTaskError",
     "ReproError",
+    "ResultsStore",
     "RetxCause",
     "RunConfig",
     "ServiceReport",
@@ -89,14 +100,18 @@ __all__ = [
     "StallCause",
     "StreamStats",
     "Tapo",
+    "TrendConfig",
     "WindowStore",
     "WorkerError",
     "analyze",
     "analyze_stream",
+    "merge_records",
+    "render_dashboard",
     "report",
     "server_by_ip",
     "server_by_port",
     "simulate",
+    "trend_report",
     "watch_directory",
 ]
 

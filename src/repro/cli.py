@@ -11,6 +11,8 @@ One binary fronts every layer of the pipeline:
                (:mod:`repro.obs.export`)
 ``watch``      continuous stall monitoring of a live/rotating capture
                (:mod:`repro.live.cli`)
+``results``    inspect/trend-check the longitudinal results store
+               (:mod:`repro.results.cli`)
 =============  =====================================================
 
 The shared flags mean the same thing everywhere they apply:
@@ -36,7 +38,7 @@ from __future__ import annotations
 
 import sys
 
-_SUBCOMMANDS = ("run", "analyze", "trace", "watch")
+_SUBCOMMANDS = ("run", "analyze", "trace", "watch", "results")
 
 _USAGE = """\
 usage: repro-paper <subcommand> [options]
@@ -46,6 +48,8 @@ subcommands:
   analyze    classify TCP stalls in a pcap trace (batch or --stream)
   trace      re-simulate one flow with the flight recorder on
   watch      continuously monitor stalls in a live/rotating capture
+  results    inspect the longitudinal results store (list/show/
+             trends/compact/merge/dashboard)
 
 Run 'repro-paper <subcommand> -h' for subcommand options.
 Flags without a subcommand are forwarded to 'run' (legacy form).
@@ -87,6 +91,10 @@ def main(argv: list[str] | None = None) -> int:
         from .live.cli import main as watch_main
 
         return watch_main(rest)
+    if command == "results":
+        from .results.cli import main as results_main
+
+        return results_main(rest)
     if command == "run":
         from .experiments.cli import main as run_main
 

@@ -143,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(Prometheus text exposition; implies --stream)"
         ),
     )
+    parser.add_argument(
+        "--results-store",
+        metavar="PATH",
+        help=(
+            "append this analysis (summary metrics + stall-cause "
+            "shares + fault counters) to the longitudinal results "
+            "store at PATH"
+        ),
+    )
     return parser
 
 
@@ -245,6 +254,9 @@ def main(argv: list[str] | None = None) -> int:
         or bool(args.metrics_out)
         or args.workers != 1
     )
+    import time as _time
+
+    analysis_started = _time.monotonic()
     try:
         if streaming:
             from ..obs.metrics import MetricsRegistry
@@ -314,6 +326,37 @@ def main(argv: list[str] | None = None) -> int:
     report = ServiceReport(service=args.pcap)
     for analysis in analyses:
         report.add(analysis)
+    for skipped in faults.skipped:
+        report.skipped.append(skipped)
+
+    if args.results_store:
+        from pathlib import Path
+
+        from ..results.store import (
+            ResultsStore,
+            record_fields_from_report,
+        )
+
+        fields = record_fields_from_report(report)
+        with ResultsStore(args.results_store) as store:
+            store.append(
+                "analysis",
+                Path(args.pcap).stem,
+                wall_time=_time.monotonic() - analysis_started,
+                config=tapo.config,
+                faults={
+                    "corrupt_records": faults.corrupt_records,
+                    "resyncs": faults.resyncs,
+                    "option_errors": faults.option_errors,
+                    "flows_skipped": faults.flows_skipped,
+                },
+                meta={"pcap": args.pcap, "streaming": streaming},
+                **fields,
+            )
+        print(
+            f"appended analysis record to {args.results_store}",
+            file=sys.stderr,
+        )
 
     if args.csv:
         from .records import write_csv

@@ -411,3 +411,35 @@ class ServiceReport:
         columnar↔object parity gate diffs.
         """
         return json.dumps(self.to_dict(), sort_keys=True)
+
+    # -- longitudinal summary ---------------------------------------------
+    def summary_metrics(self) -> dict:
+        """Flat scalar summary for the longitudinal results store.
+
+        Unlike :meth:`to_dict` (the full per-flow record), this is the
+        handful of numbers worth trending across runs: flow counts,
+        coverage, Table 1 aggregates, stall totals, plus a ``"causes"``
+        sub-dict of per-cause stall *time shares* (Table 3's
+        time column) keyed by cause value.
+        """
+        table1 = self.table1_row()
+        ratios = self.stall_ratio_values()
+        summary: dict = {
+            "flows": len(self.flows),
+            "flows_skipped": len(self.skipped),
+            "coverage": self.coverage(),
+            "flows_with_stalls": self.flows_with_stalls(),
+            "total_stalls": self.total_stalls(),
+            "avg_speed": table1["avg_speed"],
+            "pkt_loss": table1["pkt_loss"],
+            "avg_rtt": table1["avg_rtt"],
+            "avg_rto": table1["avg_rto"],
+            "mean_stall_ratio": (
+                sum(ratios) / len(ratios) if ratios else 0.0
+            ),
+        }
+        summary["causes"] = {
+            cause.value: entry.time_share
+            for cause, entry in self.cause_breakdown().items()
+        }
+        return summary

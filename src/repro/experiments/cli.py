@@ -102,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(Prometheus text exposition)"
         ),
     )
+    parser.add_argument(
+        "--results-store",
+        metavar="PATH",
+        help=(
+            "append per-service summary records and the mitigation "
+            "policy rankings to the longitudinal results store at PATH"
+        ),
+    )
     return parser
 
 
@@ -172,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  " + stall.describe())
     print()
 
+    comparisons = []
     if not args.skip_mitigation:
         print(
             f"running mitigation sweep ({args.mitigation_flows} flows x 3 "
@@ -200,6 +209,61 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(format_table9(comparisons))
         print()
+
+    if args.results_store:
+        from ..results.store import (
+            ResultsStore,
+            record_fields_from_report,
+        )
+
+        run_seconds = time.time() - started
+        run_config = {
+            "flows": args.flows,
+            "mitigation_flows": args.mitigation_flows,
+            "seed": args.seed,
+        }
+        with ResultsStore(args.results_store) as store:
+            for service, report in reports.items():
+                store.append(
+                    "experiment",
+                    service,
+                    wall_time=run_seconds,
+                    config=run_config,
+                    **record_fields_from_report(report),
+                )
+            if comparisons:
+                # Per-service policy order, best (lowest mean
+                # latency) first — the Table 8/9 conclusion the trend
+                # engine watches for flips.
+                rankings = {
+                    comparison.service: sorted(
+                        comparison.outcomes,
+                        key=lambda policy: comparison.outcomes[
+                            policy
+                        ].mean_latency,
+                    )
+                    for comparison in comparisons
+                }
+                metrics = {
+                    f"{comparison.service}_{policy}_mean_latency": (
+                        outcome.mean_latency
+                    )
+                    for comparison in comparisons
+                    for policy, outcome in comparison.outcomes.items()
+                }
+                store.append(
+                    "experiment",
+                    "mitigation",
+                    metrics=metrics,
+                    rankings=rankings,
+                    wall_time=run_seconds,
+                    config=run_config,
+                )
+        print(
+            f"appended {len(reports) + (1 if comparisons else 0)} "
+            f"records to {args.results_store}",
+            file=sys.stderr,
+        )
 
     if args.export_dir:
         from .export import export_all

@@ -150,15 +150,68 @@ class AlertRule:
 
 
 class JsonlSink:
-    """Append alert events to a file, one JSON object per line."""
+    """Append alert events to a file, one JSON object per line.
 
-    def __init__(self, path: str | Path):
+    Size-bounded: once the file would exceed ``max_bytes`` the sink
+    rotates it (``alerts.jsonl`` -> ``alerts.jsonl.1`` -> ``.2`` ...,
+    keeping ``backups`` generations), so a long-lived daemon's alert
+    log cannot grow without bound.  ``max_bytes=0`` disables rotation.
+    Rotation happens *between* events — every line is always whole.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 3,
+    ):
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if backups < 1:
+            raise ValueError("backups must be >= 1")
         self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self.events_written = 0
+        self.rotations = 0
         self._file = self.path.open("a", encoding="utf-8")
+        # Track size ourselves: tell() on append handles is unreliable
+        # before the first write on some platforms.
+        self._size = (
+            self.path.stat().st_size if self.path.exists() else 0
+        )
 
     def __call__(self, event: dict) -> None:
-        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+        line = json.dumps(event, sort_keys=True) + "\n"
+        nbytes = len(line.encode("utf-8"))
+        if (
+            self.max_bytes
+            and self._size > 0
+            and self._size + nbytes > self.max_bytes
+        ):
+            self._rotate()
+        self._file.write(line)
         self._file.flush()
+        self._size += nbytes
+        self.events_written += 1
+
+    def _rotate(self) -> None:
+        self._file.close()
+        oldest = self.path.with_name(
+            f"{self.path.name}.{self.backups}"
+        )
+        oldest.unlink(missing_ok=True)
+        for index in range(self.backups - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{index}")
+            if src.exists():
+                src.rename(
+                    self.path.with_name(f"{self.path.name}.{index + 1}")
+                )
+        self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._file = self.path.open("a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
 
     def close(self) -> None:
         self._file.close()

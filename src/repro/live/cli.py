@@ -159,12 +159,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="append alert events to this JSONL file",
     )
     parser.add_argument(
+        "--alert-log-max-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        metavar="BYTES",
+        help=(
+            "rotate the alert log past this size, keeping "
+            "--alert-log-backups generations (0 = unbounded; "
+            "default 16 MiB)"
+        ),
+    )
+    parser.add_argument(
+        "--alert-log-backups",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated alert-log generations to keep (default 3)",
+    )
+    parser.add_argument(
+        "--results-store",
+        metavar="PATH",
+        help=(
+            "append longitudinal result records (one per completed "
+            "window, plus totals at exit) to this JSONL store; also "
+            "enables /dashboard, /runs.json, /trends.json content"
+        ),
+    )
+    parser.add_argument(
         "--http",
         type=_endpoint,
         metavar="[HOST:]PORT",
         help=(
-            "serve /healthz, /metrics, /report.json here (port 0 = "
-            "ephemeral; the bound address is logged)"
+            "serve /healthz, /metrics, /report.json, /dashboard, "
+            "/runs.json, /trends.json here (port 0 = ephemeral; the "
+            "bound address is logged)"
         ),
     )
     parser.add_argument(
@@ -239,9 +267,22 @@ def main(argv: list[str] | None = None) -> int:
     elif args.server_port:
         server_side = server_by_port(args.server_port)
 
-    sink = JsonlSink(args.alert_log) if args.alert_log else None
+    sink = (
+        JsonlSink(
+            args.alert_log,
+            max_bytes=args.alert_log_max_bytes,
+            backups=args.alert_log_backups,
+        )
+        if args.alert_log
+        else None
+    )
+    results_store = None
     host, port = args.http if args.http else (None, None)
     try:
+        if args.results_store:
+            from ..results.store import ResultsStore
+
+            results_store = ResultsStore(args.results_store)
         source = open_source(
             args.source, pattern=args.pattern, errors=args.errors
         )
@@ -265,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
             poll_interval=args.poll_interval,
             once=args.once,
             resume=args.resume,
+            results_store=results_store,
         )
     except (OSError, ValueError) as exc:
         print(f"watch: {exc}", file=sys.stderr)
@@ -283,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if sink is not None:
             sink.close()
+        if results_store is not None:
+            results_store.close()
 
     if args.report_out:
         from pathlib import Path

@@ -42,6 +42,7 @@ import os
 import signal
 import threading
 import time
+from collections import deque
 from collections.abc import Iterator
 from pathlib import Path
 
@@ -51,6 +52,8 @@ from ..errors import FaultStats
 from ..obs.metrics import MetricsRegistry
 from ..packet.flow import StreamStats
 from ..packet.pcap import PcapReader
+from ..results.dashboard import render_dashboard
+from ..results.trends import trend_report
 from .alerts import AlertEngine, AlertRule
 from .http import LiveHTTPServer
 from .sources import (
@@ -103,6 +106,8 @@ class LiveDaemon:
         poll_interval: float = 0.5,
         once: bool = False,
         resume: bool = False,
+        results_store=None,
+        alert_history: int = 200,
     ):
         self.source = source
         self.analysis = analysis or AnalysisConfig()
@@ -124,6 +129,16 @@ class LiveDaemon:
         )
         self.checkpoint_interval = checkpoint_interval
         self._last_checkpoint = 0.0
+        #: Wall-clock time of the last checkpoint write (None before
+        #: the first) — /healthz reports the age.
+        self._last_checkpoint_wall: float | None = None
+        #: Longitudinal results store (:class:`repro.results.store.
+        #: ResultsStore` or None): one "live" record per expired
+        #: (final) window, plus a totals record at shutdown.
+        self.results = results_store
+        #: Recent alert state-change events, newest last (served on the
+        #: dashboard; bounded so memory is O(alert_history)).
+        self.alert_history: deque = deque(maxlen=alert_history)
         self.records_in = 0
         self.flows_seen = 0
         self.checkpoints_written = 0
@@ -139,8 +154,94 @@ class LiveDaemon:
                 host=http_host or "127.0.0.1",
                 port=http_port or 0,
             )
+        self.store.on_expire = self._flush_window
         if resume:
             self._try_resume()
+
+    # -- results-store flushes -----------------------------------------
+    def _flush_window(self, window) -> None:
+        """Append one expired (final) window to the results store.
+
+        Called by the window store the moment a window can no longer
+        change, so every record is the window's final word.  Append
+        failures are logged and swallowed: the longitudinal store must
+        never take down live monitoring.
+        """
+        if self.results is None:
+            return
+        rendered = window.to_dict()
+        causes = {
+            name: entry["time_share"]
+            for name, entry in rendered["causes"].items()
+        }
+        try:
+            self.results.append(
+                "live",
+                f"{self.store.service}_window",
+                metrics={
+                    key: rendered[key]
+                    for key in (
+                        "flows", "flows_with_stalls", "skipped",
+                        "coverage", "stalls", "stall_time",
+                        "stall_ratio", "transmission_time", "bytes_out",
+                        "data_packets", "retransmissions", "timeouts",
+                    )
+                },
+                causes=causes,
+                config=self.analysis,
+                meta={
+                    "bucket": rendered["bucket"],
+                    "start": rendered["start"],
+                    "end": rendered["end"],
+                },
+            )
+        except OSError:
+            logger.exception("results-store append failed; continuing")
+
+    def _flush_totals(self) -> None:
+        """Append the all-time totals record at shutdown."""
+        if self.results is None:
+            return
+        totals = self.store.total().to_dict()
+        causes = {
+            name: entry["time_share"]
+            for name, entry in totals["causes"].items()
+        }
+        faults = self._faults_snapshot()
+        try:
+            self.results.append(
+                "live",
+                f"{self.store.service}_totals",
+                metrics={
+                    key: totals[key]
+                    for key in (
+                        "flows", "flows_with_stalls", "skipped",
+                        "coverage", "stalls", "stall_time",
+                        "stall_ratio", "transmission_time", "bytes_out",
+                        "data_packets", "retransmissions", "timeouts",
+                    )
+                },
+                causes=causes,
+                faults={
+                    "corrupt_records": faults.corrupt_records,
+                    "resyncs": faults.resyncs,
+                    "option_errors": faults.option_errors,
+                    "checksum_errors": faults.checksum_errors,
+                    "flows_skipped": faults.flows_skipped,
+                },
+                wall_time=(
+                    time.monotonic() - self._started_at
+                    if self._started_at is not None
+                    else None
+                ),
+                config=self.analysis,
+                meta={
+                    "records_in": self.records_in,
+                    "alert_events": self.engine.events_emitted,
+                },
+            )
+        except OSError:
+            logger.exception("results-store append failed; continuing")
 
     # -- resume --------------------------------------------------------
     def _try_resume(self) -> None:
@@ -152,6 +253,7 @@ class LiveDaemon:
                 f"unsupported checkpoint version {state.get('version')!r}"
             )
         self.store = WindowStore.restore(state["windows"])
+        self.store.on_expire = self._flush_window
         self.engine.restore(state["alerts"])
         counters = state["counters"]
         self.records_in = counters["records_in"]
@@ -249,6 +351,7 @@ class LiveDaemon:
         return self.engine.evaluate(self.store)
 
     def _log_events(self, events: list[dict]) -> None:
+        self.alert_history.extend(events)
         for event in events:
             level = (
                 logging.WARNING
@@ -291,6 +394,7 @@ class LiveDaemon:
             self._log_events(events)
         finally:
             self._finished = True
+            self._flush_totals()
             self.write_checkpoint()
             report = self.report()
             if self.http is not None:
@@ -328,6 +432,7 @@ class LiveDaemon:
         tmp.write_text(json.dumps(state, sort_keys=True))
         os.replace(tmp, self.checkpoint_path)
         self._last_checkpoint = time.monotonic()
+        self._last_checkpoint_wall = time.time()
         self.checkpoints_written += 1
 
     # -- snapshot surface (shared with the HTTP handlers) --------------
@@ -338,7 +443,27 @@ class LiveDaemon:
         return faults
 
     def health(self) -> dict:
+        now = time.time()
         with self._lock:
+            # Wedge detectors: how stale is each durability surface?
+            checkpoint_age = (
+                now - self._last_checkpoint_wall
+                if self._last_checkpoint_wall is not None
+                else None
+            )
+            # Trace time of the newest completed-window edge — the
+            # last moment windowed data advanced.
+            last_flush = (
+                (self.store.max_bucket + 1) * self.store.window_seconds
+                if self.store.max_bucket is not None
+                else None
+            )
+            store_age = (
+                now - self.results.last_append_ts
+                if self.results is not None
+                and self.results.last_append_ts is not None
+                else None
+            )
             return {
                 "status": "ok",
                 "finished": self._finished,
@@ -355,6 +480,20 @@ class LiveDaemon:
                     if self._started_at is not None
                     else 0.0
                 ),
+                "checkpoint_age_seconds": checkpoint_age,
+                "checkpoints_written": self.checkpoints_written,
+                "last_window_flush_trace_time": last_flush,
+                "results_store": (
+                    str(self.results.path)
+                    if self.results is not None
+                    else None
+                ),
+                "results_records_appended": (
+                    self.results.records_appended
+                    if self.results is not None
+                    else 0
+                ),
+                "store_append_age_seconds": store_age,
             }
 
     def metrics_registry(self) -> MetricsRegistry:
@@ -374,6 +513,21 @@ class LiveDaemon:
                 "repro_live_alert_events_total",
                 "Alert state-change events emitted",
             ).inc(self.engine.events_emitted)
+            registry.counter(
+                "repro_alerts_emitted_total",
+                "Alert state-change events emitted (canonical name)",
+            ).inc(self.engine.events_emitted)
+            sink = self.engine.sink
+            if sink is not None and hasattr(sink, "rotations"):
+                registry.counter(
+                    "repro_alert_sink_rotations_total",
+                    "Size-bounded alert-log rotations performed",
+                ).inc(sink.rotations)
+            if self.results is not None:
+                registry.counter(
+                    "repro_results_records_appended_total",
+                    "Records appended to the longitudinal results store",
+                ).inc(self.results.records_appended)
             registry.gauge(
                 "repro_live_alerts_active", "Alert rules currently firing"
             ).set(float(len(self.engine.active())))
@@ -409,6 +563,35 @@ class LiveDaemon:
                     "finished": self._finished,
                 },
             }
+
+    # -- longitudinal surface (dashboard endpoints) --------------------
+    def runs(self) -> list:
+        """All records of the attached results store (lenient load, so
+        a damaged store still serves what survives); ``[]`` without
+        one.  Served at ``/runs.json``."""
+        if self.results is None:
+            return []
+        from ..errors import ErrorBudget
+
+        return self.results.load(errors=ErrorBudget.lenient())
+
+    def trends(self) -> dict:
+        """Trend report over the attached results store (the
+        ``/trends.json`` shape)."""
+        return trend_report(self.runs())
+
+    def dashboard_html(self) -> str:
+        """The full operator dashboard (the ``/dashboard`` page)."""
+        runs = self.runs()
+        return render_dashboard(
+            title=f"repro live · {self.store.service}",
+            subtitle=f"source: {self.source.name}",
+            health=self.health(),
+            report=self.report()["windows"],
+            trends=trend_report(runs),
+            runs=runs,
+            alerts=list(self.alert_history),
+        )
 
 
 def batch_report(

@@ -1,11 +1,12 @@
 """Stdlib HTTP endpoint for the live monitoring daemon.
 
-Serves three read-only routes off a *provider* object (the daemon),
-each a snapshot taken under the daemon's lock:
+Serves read-only routes off a *provider* object (the daemon), each a
+snapshot taken under the daemon's lock:
 
 ``/healthz``
     Liveness/progress JSON: records and flows processed, source
-    offsets, active alerts.  Always ``200`` while the process serves.
+    offsets, active alerts, checkpoint/store staleness ages (the
+    wedged-daemon detectors).  Always ``200`` while the process serves.
 ``/metrics``
     Prometheus text exposition — the exact string
     :func:`repro.obs.metrics.render_exports` produces, i.e. the same
@@ -15,6 +16,19 @@ each a snapshot taken under the daemon's lock:
     The current rolling-window report
     (:meth:`repro.live.windows.WindowStore.report` plus daemon
     run-state).
+``/dashboard``
+    The zero-dependency operator dashboard
+    (:func:`repro.results.dashboard.render_dashboard`): HTML with
+    inline SVG, no JavaScript, no external fetches.
+``/runs.json`` / ``/trends.json``
+    The longitudinal results store's records and its trend report
+    (regressions, ranking flips).  Empty shapes when the daemon runs
+    without a ``--results-store``.
+
+Responses to clients advertising ``Accept-Encoding: gzip`` are
+gzip-compressed (stdlib :mod:`gzip`, deterministic ``mtime=0``) once
+they exceed a small threshold — window reports and dashboards compress
+5-10x.  ``Content-Length`` always describes the bytes actually sent.
 
 The server is a ``ThreadingHTTPServer`` on a background thread; every
 handler only reads snapshots the provider assembles, so slow scrapers
@@ -25,6 +39,7 @@ avoid collisions.
 
 from __future__ import annotations
 
+import gzip
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -35,6 +50,19 @@ from ..obs.metrics import (
     render_exports,
 )
 
+#: Responses smaller than this are never compressed (header overhead
+#: would outweigh the savings).
+GZIP_MIN_BYTES = 512
+
+_ROUTES = [
+    "/dashboard",
+    "/healthz",
+    "/metrics",
+    "/report.json",
+    "/runs.json",
+    "/trends.json",
+]
+
 
 class _Handler(BaseHTTPRequestHandler):
     # The provider is attached to the server instance by LiveHTTPServer.
@@ -43,15 +71,33 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # scrapes are routine; the daemon logs what matters
 
+    def _client_accepts_gzip(self) -> bool:
+        accept = self.headers.get("Accept-Encoding", "")
+        return any(
+            token.split(";")[0].strip() == "gzip"
+            for token in accept.split(",")
+        )
+
     def _send(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
+        encoding = None
+        if (
+            len(payload) >= GZIP_MIN_BYTES
+            and self._client_accepts_gzip()
+        ):
+            # mtime=0: identical bodies compress to identical bytes.
+            payload = gzip.compress(payload, mtime=0)
+            encoding = "gzip"
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if encoding is not None:
+            self.send_header("Content-Encoding", encoding)
+        self.send_header("Vary", "Accept-Encoding")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(self, payload, status: int = 200) -> None:
         self._send(
             status, CONTENT_TYPE_JSON, json.dumps(payload, sort_keys=True)
         )
@@ -72,12 +118,21 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send(200, CONTENT_TYPE_JSON, exports["json"])
             elif path == "/report.json":
                 self._send_json(provider.report())
+            elif path == "/runs.json" and hasattr(provider, "runs"):
+                self._send_json({"records": provider.runs()})
+            elif path == "/trends.json" and hasattr(provider, "trends"):
+                self._send_json(provider.trends())
+            elif path == "/dashboard" and hasattr(
+                provider, "dashboard_html"
+            ):
+                self._send(
+                    200,
+                    "text/html; charset=utf-8",
+                    provider.dashboard_html(),
+                )
             else:
                 self._send_json(
-                    {
-                        "error": "not found",
-                        "routes": ["/healthz", "/metrics", "/report.json"],
-                    },
+                    {"error": "not found", "routes": _ROUTES},
                     status=404,
                 )
         except Exception as exc:  # surface, don't kill the thread
@@ -92,8 +147,10 @@ class LiveHTTPServer:
 
     ``provider`` must expose ``health() -> dict``,
     ``metrics_registry() -> MetricsRegistry``, and ``report() -> dict``;
-    all three are called from handler threads and must be safe to call
-    concurrently with ingestion (the daemon snapshots under a lock).
+    providers additionally exposing ``runs()``, ``trends()``, and
+    ``dashboard_html()`` get the longitudinal routes.  All are called
+    from handler threads and must be safe to call concurrently with
+    ingestion (the daemon snapshots under a lock).
     """
 
     def __init__(self, provider, host: str = "127.0.0.1", port: int = 0):

@@ -349,6 +349,13 @@ class WindowStore:
         self.top_k = int(top_k)
         self.service = service
         self._windows: dict[int, WindowSummary] = {}
+        #: Optional callback invoked with each :class:`WindowSummary`
+        #: as it expires (i.e. when the window is final — no flow can
+        #: land in it anymore).  Deliberately a plain attribute, not
+        #: constructor or checkpoint state: the daemon attaches it
+        #: after construction *and* after :meth:`restore`, and the
+        #: callback never affects the deterministic report.
+        self.on_expire = None
         self._expired = self._cumulative()
         #: Buckets whose data has been folded into the expired summary.
         #: A *set* so the count is order-independent: a straggler folded
@@ -411,7 +418,10 @@ class WindowStore:
         horizon = self._max_bucket - self.retention
         for bucket in sorted(self._windows):
             if bucket <= horizon:
-                self._expired.merge(self._windows.pop(bucket))
+                window = self._windows.pop(bucket)
+                if self.on_expire is not None:
+                    self.on_expire(window)
+                self._expired.merge(window)
                 self._expired_buckets.add(bucket)
 
     # -- queries -------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Longitudinal results store, trend engine, and dashboard.
+
+See :mod:`repro.results.store` for the record schema,
+:mod:`repro.results.trends` for regression/ranking-flip detection, and
+:mod:`repro.results.dashboard` for the zero-dependency HTML renderer.
+"""
+
+from .dashboard import render_dashboard
+from .store import (
+    SCHEMA_VERSION,
+    ResultsStore,
+    config_hash,
+    current_git_sha,
+    flatten_metrics,
+    merge_records,
+    new_run_id,
+    record_fields_from_registry,
+    record_fields_from_report,
+    validate_record,
+)
+from .trends import (
+    TrendConfig,
+    detect_ranking_flips,
+    detect_regressions,
+    metric_direction,
+    metric_series,
+    trend_report,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultsStore",
+    "TrendConfig",
+    "config_hash",
+    "current_git_sha",
+    "detect_ranking_flips",
+    "detect_regressions",
+    "flatten_metrics",
+    "merge_records",
+    "metric_direction",
+    "metric_series",
+    "new_run_id",
+    "record_fields_from_registry",
+    "record_fields_from_report",
+    "render_dashboard",
+    "trend_report",
+    "validate_record",
+]

@@ -1,0 +1,287 @@
+"""``repro-paper results`` — inspect the longitudinal results store.
+
+Subcommands::
+
+    results list <store>              one line per record
+    results show <store>             full records as JSON
+    results trends <store>           trend report, regressions, flips
+    results compact <store>          dedup + drop damage atomically
+    results merge <out> <shard>...   associative shard merge
+    results dashboard <store>        render the static HTML dashboard
+
+``trends --fail-on-regression`` exits 3 when any regression or ranking
+flip is detected, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .dashboard import render_dashboard
+from .store import ResultsStore, merge_records
+from .trends import TrendConfig, trend_report
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("store", help="results store JSONL path")
+    parser.add_argument(
+        "--errors",
+        default="lenient",
+        help="error budget for loading: strict | lenient | budget:N | "
+        "budget:X%% (default: lenient)",
+    )
+
+
+def _filtered(records, args) -> list:
+    if getattr(args, "kind", None):
+        records = [r for r in records if r["kind"] == args.kind]
+    if getattr(args, "name", None):
+        records = [r for r in records if r["name"] == args.name]
+    if getattr(args, "run", None):
+        records = [
+            r for r in records if r["run_id"].startswith(args.run)
+        ]
+    last = getattr(args, "last", None)
+    if last is not None and last >= 0:
+        records = records[-last:] if last else []
+    return records
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper results",
+        description=(
+            "Inspect, trend-check, compact, merge, and render the "
+            "longitudinal results store."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="one line per record")
+    _add_store_arg(p_list)
+    p_list.add_argument("--kind", help="filter by record kind")
+    p_list.add_argument("--name", help="filter by record name")
+    p_list.add_argument("--run", help="filter by run id prefix")
+    p_list.add_argument(
+        "--last", type=int, default=None, help="show only the newest N"
+    )
+
+    p_show = sub.add_parser("show", help="full records as JSON lines")
+    _add_store_arg(p_show)
+    p_show.add_argument("--kind", help="filter by record kind")
+    p_show.add_argument("--name", help="filter by record name")
+    p_show.add_argument("--run", help="filter by run id prefix")
+    p_show.add_argument(
+        "--last", type=int, default=None, help="show only the newest N"
+    )
+    p_show.add_argument(
+        "--indent",
+        type=int,
+        default=None,
+        help="pretty-print with this indent (default: one line each)",
+    )
+
+    p_trends = sub.add_parser(
+        "trends", help="regressions and ranking flips over the store"
+    )
+    _add_store_arg(p_trends)
+    p_trends.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative deviation that flags a regression (default 0.2)",
+    )
+    p_trends.add_argument(
+        "--baseline-n",
+        type=int,
+        default=5,
+        help="rolling-median window size (default 5)",
+    )
+    p_trends.add_argument(
+        "--min-points",
+        type=int,
+        default=4,
+        help="minimum series length before judging (default 4)",
+    )
+    p_trends.add_argument(
+        "--direction",
+        action="append",
+        default=[],
+        metavar="METRIC=up|down",
+        help="override a metric's good direction (repeatable)",
+    )
+    p_trends.add_argument(
+        "--json", action="store_true", help="emit the full trend report"
+    )
+    p_trends.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 3 if any regression or ranking flip is found",
+    )
+
+    p_compact = sub.add_parser(
+        "compact", help="dedup records and drop damage, atomically"
+    )
+    _add_store_arg(p_compact)
+    p_compact.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        help="keep only the newest N records per (kind, name)",
+    )
+
+    p_merge = sub.add_parser(
+        "merge", help="merge shard stores (associative, atomic)"
+    )
+    p_merge.add_argument("out", help="output store path")
+    p_merge.add_argument(
+        "shards", nargs="+", help="shard store paths to merge"
+    )
+    p_merge.add_argument(
+        "--errors", default="lenient", help="shard-load error budget"
+    )
+
+    p_dash = sub.add_parser(
+        "dashboard", help="render the static HTML dashboard"
+    )
+    _add_store_arg(p_dash)
+    p_dash.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="write HTML here (default: stdout)",
+    )
+    p_dash.add_argument(
+        "--title", default="repro results", help="page title"
+    )
+    return parser
+
+
+def _parse_directions(specs) -> dict:
+    directions = {}
+    for spec in specs:
+        metric, _, direction = spec.partition("=")
+        if direction not in ("up", "down"):
+            raise SystemExit(
+                f"--direction expects METRIC=up|down, got {spec!r}"
+            )
+        directions[metric] = direction
+    return directions
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "merge":
+        count = ResultsStore.merge_shards(
+            args.shards, args.out, errors=args.errors
+        )
+        print(f"merged {len(args.shards)} shards -> {args.out} "
+              f"({count} records)")
+        return 0
+
+    store = ResultsStore(args.store, errors=args.errors, git_sha=None)
+
+    if args.command == "list":
+        records = _filtered(store.load(), args)
+        if not records:
+            print("(no records)")
+        for record in records:
+            metrics = record.get("metrics") or {}
+            sha = (record.get("git_sha") or "-")[:10]
+            flags = "".join(
+                tag
+                for tag, present in (
+                    ("C", record.get("causes")),
+                    ("R", record.get("rankings")),
+                    ("F", record.get("faults")),
+                )
+                if present
+            )
+            print(
+                f"{record['ts']:>14.3f}  {record['kind']:<10} "
+                f"{record['name']:<28} run={record['run_id'][:10]} "
+                f"sha={sha:<10} metrics={len(metrics):<3} "
+                f"{flags}"
+            )
+        if store.corrupt_lines:
+            print(
+                f"({store.corrupt_lines} corrupt lines skipped)",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "show":
+        for record in _filtered(store.load(), args):
+            print(json.dumps(record, indent=args.indent, sort_keys=True))
+        return 0
+
+    if args.command == "trends":
+        config = TrendConfig(
+            threshold=args.threshold,
+            baseline_n=args.baseline_n,
+            min_points=args.min_points,
+            directions=_parse_directions(args.direction),
+        )
+        report = trend_report(store.load(), config)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"{report['records']} records, "
+                f"{len(report['series'])} series, "
+                f"{len(report['regressions'])} regressions, "
+                f"{len(report['ranking_flips'])} ranking flips"
+            )
+            for f in report["regressions"]:
+                print(
+                    f"  REGRESSION {f['kind']}/{f['name']}/"
+                    f"{f['metric']}: {f['baseline']:.6g} -> "
+                    f"{f['latest']:.6g} ({f['change'] * 100:+.1f}%, "
+                    f"good direction {f['direction']})"
+                )
+            for f in report["ranking_flips"]:
+                print(
+                    f"  RANKING FLIP {f['kind']}/{f['name']} "
+                    f"[{f['scenario']}]: "
+                    f"{' > '.join(f['before'])} -> "
+                    f"{' > '.join(f['after'])}"
+                )
+        if args.fail_on_regression and (
+            report["regressions"] or report["ranking_flips"]
+        ):
+            return 3
+        return 0
+
+    if args.command == "compact":
+        stats = store.compact(keep_last=args.keep_last)
+        print(
+            f"compacted {args.store}: {stats['records']} records kept, "
+            f"{stats['dropped_corrupt']} corrupt dropped, "
+            f"{stats['dropped_excess']} excess dropped"
+        )
+        return 0
+
+    if args.command == "dashboard":
+        records = store.load()
+        html_text = render_dashboard(
+            title=args.title,
+            trends=trend_report(records),
+            runs=merge_records(records),
+            subtitle=f"offline render of {args.store}",
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(html_text)
+            print(f"wrote {args.out} ({len(html_text)} bytes)")
+        else:
+            print(html_text)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

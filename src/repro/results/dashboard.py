@@ -1,0 +1,464 @@
+"""Zero-dependency static HTML dashboard.
+
+Renders the operator console the live daemon serves at ``/dashboard``
+(and ``repro-paper results dashboard`` writes offline): health tiles,
+per-window stall-cause shares, alert history, benchmark trend
+sparklines, regression flags, and policy-comparison tables — all as
+one self-contained HTML document.  Charts are inline SVG built here by
+hand; there is no JavaScript, no external stylesheet, no framework,
+and nothing to fetch: the page is a pure function of its input dicts,
+so it renders identically from a daemon snapshot, a CI artifact, or a
+file opened from disk years later.
+
+Every input section is optional; missing data renders as an honest
+"no data" note instead of an empty chart, so the page is useful from
+the first minute of a fresh daemon.
+"""
+
+from __future__ import annotations
+
+import html
+
+#: Okabe-Ito palette: colorblind-safe, print-safe, readable on white.
+_PALETTE = (
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#CC79A7",  # purple-pink
+    "#56B4E9",  # sky
+    "#D55E00",  # vermillion
+    "#F0E442",  # yellow
+    "#999999",  # grey
+)
+
+_GOOD = "#009E73"
+_BAD = "#D55E00"
+_INK = "#1a1a2e"
+_MUTED = "#667085"
+
+_CSS = """
+:root { color-scheme: light; }
+body { font: 14px/1.5 system-ui, -apple-system, 'Segoe UI', sans-serif;
+       margin: 0; background: #f4f6f8; color: %(ink)s; }
+header { background: %(ink)s; color: #fff; padding: 14px 28px; }
+header h1 { font-size: 18px; margin: 0; font-weight: 600; }
+header p { margin: 2px 0 0; color: #b6c2cf; font-size: 12px; }
+main { max-width: 1200px; margin: 0 auto; padding: 20px 28px 48px; }
+section { margin-top: 28px; }
+h2 { font-size: 15px; margin: 0 0 10px; font-weight: 600; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile { background: #fff; border: 1px solid #e3e8ee; border-radius: 8px;
+        padding: 10px 16px; min-width: 130px; }
+.tile .v { font-size: 20px; font-weight: 600; }
+.tile .k { font-size: 11px; color: %(muted)s; text-transform: uppercase;
+           letter-spacing: .04em; }
+.tile.bad .v { color: %(bad)s; }
+.tile.good .v { color: %(good)s; }
+table { border-collapse: collapse; background: #fff; width: 100%%;
+        border: 1px solid #e3e8ee; border-radius: 8px; }
+th, td { text-align: left; padding: 6px 12px; font-size: 13px;
+         border-top: 1px solid #eef1f4; vertical-align: middle; }
+th { background: #fafbfc; color: %(muted)s; font-weight: 600;
+     font-size: 11px; text-transform: uppercase; letter-spacing: .04em;
+     border-top: none; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.flag { display: inline-block; border-radius: 4px; padding: 1px 7px;
+        font-size: 11px; font-weight: 600; color: #fff; }
+.flag.bad { background: %(bad)s; }
+.flag.ok { background: %(good)s; }
+.flag.info { background: #667085; }
+.legend { font-size: 12px; color: %(muted)s; margin-top: 6px; }
+.legend span.swatch { display: inline-block; width: 10px; height: 10px;
+        border-radius: 2px; margin: 0 4px 0 10px; vertical-align: baseline; }
+.note { color: %(muted)s; font-size: 13px; }
+svg { display: block; }
+svg.spark { display: inline-block; vertical-align: middle; }
+""" % {"ink": _INK, "muted": _MUTED, "good": _GOOD, "bad": _BAD}
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value, digits: int = 3) -> str:
+    """Compact human number: 12345.678 -> '12345.7', 0.1234 -> '0.123'."""
+    if value is None:
+        return "–"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.{digits}g}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def cause_color(name: str, order: "list[str] | None" = None) -> str:
+    """Stable palette assignment: by position in ``order`` when given,
+    else by a deterministic hash of the name."""
+    if order and name in order:
+        return _PALETTE[order.index(name) % len(_PALETTE)]
+    return _PALETTE[sum(name.encode()) % len(_PALETTE)]
+
+
+# -- SVG primitives ----------------------------------------------------
+def sparkline(
+    values: "list[float]",
+    *,
+    width: int = 150,
+    height: int = 34,
+    color: str = _PALETTE[0],
+) -> str:
+    """Inline SVG sparkline of a value series (newest rightmost)."""
+    if not values:
+        return '<span class="note">no points</span>'
+    pad = 3.0
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+    if len(values) == 1:
+        xs = [pad + inner_w / 2]
+    else:
+        step = inner_w / (len(values) - 1)
+        xs = [pad + i * step for i in range(len(values))]
+    ys = [pad + inner_h * (1 - (v - lo) / span) for v in values]
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    last_x, last_y = xs[-1], ys[-1]
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="trend of {len(values)} points">'
+        f'<polyline points="{points}" fill="none" stroke="{color}" '
+        f'stroke-width="1.5" stroke-linejoin="round" '
+        f'stroke-linecap="round"></polyline>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5" '
+        f'fill="{color}"></circle>'
+        f"</svg>"
+    )
+
+
+def share_bar(
+    shares: "dict[str, float]",
+    *,
+    order: "list[str] | None" = None,
+    width: int = 260,
+    height: int = 16,
+) -> str:
+    """One horizontal stacked bar of named shares (values sum to <=1)."""
+    order = order or sorted(shares)
+    x = 0.0
+    rects = []
+    for name in order:
+        share = float(shares.get(name, 0.0))
+        if share <= 0:
+            continue
+        w = max(0.0, min(1.0, share)) * width
+        rects.append(
+            f'<rect x="{x:.1f}" y="0" width="{w:.1f}" '
+            f'height="{height}" fill="{cause_color(name, order)}">'
+            f"<title>{_esc(name)}: {share * 100:.1f}%</title></rect>"
+        )
+        x += w
+    if not rects:
+        rects.append(
+            f'<rect x="0" y="0" width="{width}" height="{height}" '
+            f'fill="#e3e8ee"></rect>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="share breakdown">{"".join(rects)}</svg>'
+    )
+
+
+# -- sections ----------------------------------------------------------
+def _tiles(health: dict) -> str:
+    def tile(label, value, cls=""):
+        cls_attr = f' class="tile {cls}"' if cls else ' class="tile"'
+        return (
+            f"<div{cls_attr}><div class=\"v\">{_esc(value)}</div>"
+            f'<div class="k">{_esc(label)}</div></div>'
+        )
+
+    alerts = health.get("alerts_active") or []
+    tiles = [
+        tile("records in", _fmt(health.get("records_in", 0))),
+        tile("flows", _fmt(health.get("flows", 0))),
+        tile("flows skipped", _fmt(health.get("flows_skipped", 0))),
+        tile("windows active", _fmt(health.get("windows_active", 0))),
+        tile(
+            "alerts firing",
+            len(alerts),
+            cls="bad" if alerts else "good",
+        ),
+    ]
+    checkpoint_age = health.get("checkpoint_age_seconds")
+    if checkpoint_age is not None:
+        tiles.append(
+            tile("checkpoint age", f"{checkpoint_age:.0f}s")
+        )
+    store_age = health.get("store_append_age_seconds")
+    if store_age is not None:
+        tiles.append(tile("store append age", f"{store_age:.0f}s"))
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _windows_section(report: "dict | None") -> str:
+    if not report or not report.get("windows"):
+        return '<p class="note">No completed windows yet.</p>'
+    windows = report["windows"][-12:]
+    causes_seen: list[str] = []
+    for window in windows:
+        for name in sorted(window.get("causes", {})):
+            if name not in causes_seen:
+                causes_seen.append(name)
+    rows = []
+    for window in windows:
+        shares = {
+            name: entry.get("time_share", 0.0)
+            for name, entry in window.get("causes", {}).items()
+        }
+        rows.append(
+            "<tr>"
+            f'<td class="num">{_fmt(window.get("start"))}s–'
+            f'{_fmt(window.get("end"))}s</td>'
+            f'<td class="num">{_fmt(window.get("flows", 0))}</td>'
+            f'<td class="num">{_fmt(window.get("stalls", 0))}</td>'
+            f'<td class="num">'
+            f'{window.get("stall_ratio", 0.0) * 100:.1f}%</td>'
+            f"<td>{share_bar(shares, order=causes_seen)}</td>"
+            "</tr>"
+        )
+    legend = "".join(
+        f'<span class="swatch" '
+        f'style="background:{cause_color(name, causes_seen)}"></span>'
+        f"{_esc(name)}"
+        for name in causes_seen
+    )
+    legend_html = (
+        f'<p class="legend">stall-cause time shares:{legend}</p>'
+        if causes_seen
+        else ""
+    )
+    return (
+        "<table><thead><tr><th>window</th><th>flows</th><th>stalls</th>"
+        "<th>stall ratio</th><th>causes (time share)</th></tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>" + legend_html
+    )
+
+
+def _alerts_section(alerts: "list[dict] | None") -> str:
+    if not alerts:
+        return '<p class="note">No alert events.</p>'
+    rows = []
+    for event in list(alerts)[-20:][::-1]:
+        state = event.get("state", "?")
+        flag = "bad" if state == "firing" else "ok"
+        rows.append(
+            "<tr>"
+            f'<td class="num">{_fmt(event.get("trace_time"))}s</td>'
+            f'<td><span class="flag {flag}">{_esc(state)}</span></td>'
+            f'<td>{_esc(event.get("alert", ""))}</td>'
+            f'<td>{_esc(event.get("metric", ""))}</td>'
+            f'<td class="num">{_fmt(event.get("value"))}</td>'
+            f'<td class="num">{_fmt(event.get("threshold"))}</td>'
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>trace time</th><th>state</th><th>alert</th>"
+        "<th>metric</th><th>value</th><th>threshold</th></tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _trends_section(trends: "dict | None", max_series: int = 24) -> str:
+    series = (trends or {}).get("series") or {}
+    if not series:
+        return (
+            '<p class="note">No result records yet — point the daemon '
+            "at a results store (--results-store) and run a benchmark "
+            "with the same store to populate trends.</p>"
+        )
+    shown = sorted(
+        series.items(),
+        key=lambda kv: (not kv[1].get("regressed"), kv[0]),
+    )[:max_series]
+    rows = []
+    for key, entry in shown:
+        values = [point[1] for point in entry.get("points", [])]
+        regressed = entry.get("regressed")
+        color = _BAD if regressed else _PALETTE[0]
+        flag = (
+            '<span class="flag bad">regressed</span>'
+            if regressed
+            else '<span class="flag ok">ok</span>'
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(key)}</td>"
+            f"<td>{sparkline(values, color=color)}</td>"
+            f'<td class="num">{_fmt(entry.get("latest"))}</td>'
+            f'<td>{_esc(entry.get("direction") or "—")}</td>'
+            f"<td>{flag}</td>"
+            "</tr>"
+        )
+    dropped = len(series) - len(shown)
+    more = (
+        f'<p class="note">{dropped} more series in /trends.json.</p>'
+        if dropped > 0
+        else ""
+    )
+    return (
+        "<table><thead><tr><th>series</th><th>trend</th><th>latest</th>"
+        "<th>good dir</th><th>status</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+        + more
+    )
+
+
+def _regressions_section(trends: "dict | None") -> str:
+    regressions = (trends or {}).get("regressions") or []
+    flips = (trends or {}).get("ranking_flips") or []
+    if not regressions and not flips:
+        return (
+            '<p class="note">No regressions or ranking flips '
+            "detected.</p>"
+        )
+    parts = []
+    if regressions:
+        rows = [
+            "<tr>"
+            f'<td>{_esc(f["kind"])}/{_esc(f["name"])}</td>'
+            f'<td>{_esc(f["metric"])}</td>'
+            f'<td class="num">{_fmt(f["baseline"])}</td>'
+            f'<td class="num">{_fmt(f["latest"])}</td>'
+            f'<td class="num">{f["change"] * 100:+.1f}%</td>'
+            f'<td>{_esc((f.get("git_sha") or "")[:10])}</td>'
+            "</tr>"
+            for f in regressions
+        ]
+        parts.append(
+            "<table><thead><tr><th>series</th><th>metric</th>"
+            "<th>baseline</th><th>latest</th><th>change</th>"
+            "<th>commit</th></tr></thead><tbody>"
+            + "".join(rows)
+            + "</tbody></table>"
+        )
+    if flips:
+        rows = [
+            "<tr>"
+            f'<td>{_esc(f["kind"])}/{_esc(f["name"])}</td>'
+            f'<td>{_esc(f["scenario"])}</td>'
+            f'<td>{_esc(" > ".join(f["before"]))}</td>'
+            f'<td>{_esc(" > ".join(f["after"]))}</td>'
+            f'<td>{_esc(", ".join("/".join(p) for p in f["swapped"]))}'
+            "</td></tr>"
+            for f in flips
+        ]
+        parts.append(
+            "<table><thead><tr><th>series</th><th>scenario</th>"
+            "<th>before</th><th>after</th><th>swapped pairs</th>"
+            "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+        )
+    return "".join(parts)
+
+
+def _rankings_section(runs: "list[dict] | None") -> str:
+    """Latest policy-comparison table from the newest ranked record."""
+    newest = None
+    for record in runs or []:
+        if record.get("rankings"):
+            newest = record
+    if newest is None:
+        return '<p class="note">No ranked policy records yet.</p>'
+    rows = [
+        "<tr>"
+        f"<td>{_esc(scenario)}</td>"
+        f'<td>{_esc(" > ".join(order))}</td>'
+        "</tr>"
+        for scenario, order in sorted(newest["rankings"].items())
+    ]
+    return (
+        f'<p class="note">from {_esc(newest["kind"])}/'
+        f'{_esc(newest["name"])} run {_esc(newest["run_id"][:10])} '
+        f'(best first)</p>'
+        "<table><thead><tr><th>scenario</th><th>policy ranking</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _runs_section(runs: "list[dict] | None", limit: int = 15) -> str:
+    if not runs:
+        return '<p class="note">The results store is empty.</p>'
+    rows = []
+    for record in list(runs)[-limit:][::-1]:
+        metrics = record.get("metrics") or {}
+        rows.append(
+            "<tr>"
+            f'<td class="num">{_fmt(record.get("ts"))}</td>'
+            f'<td><span class="flag info">{_esc(record["kind"])}</span>'
+            "</td>"
+            f'<td>{_esc(record["name"])}</td>'
+            f'<td>{_esc(record["run_id"][:10])}</td>'
+            f'<td>{_esc((record.get("git_sha") or "")[:10])}</td>'
+            f'<td class="num">{len(metrics)}</td>'
+            f'<td class="num">{_fmt(record.get("wall_time"))}</td>'
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>ts</th><th>kind</th><th>name</th>"
+        "<th>run</th><th>commit</th><th>metrics</th><th>wall s</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def render_dashboard(
+    *,
+    title: str = "repro results",
+    health: "dict | None" = None,
+    report: "dict | None" = None,
+    trends: "dict | None" = None,
+    runs: "list[dict] | None" = None,
+    alerts: "list[dict] | None" = None,
+    subtitle: str = "",
+) -> str:
+    """Render the full operator dashboard as one HTML document.
+
+    Every argument is optional; the page degrades to honest "no data"
+    notes.  ``report`` is the daemon's ``windows`` report shape
+    (:meth:`repro.live.windows.WindowStore.report`), ``trends`` the
+    :func:`repro.results.trends.trend_report` shape, ``runs`` a list
+    of store records (file order), ``alerts`` a list of alert-event
+    dicts (oldest first).
+    """
+    sections = [
+        ("Health", _tiles(health or {})),
+        ("Rolling windows — stall-cause shares", _windows_section(report)),
+        ("Alert history", _alerts_section(alerts)),
+        ("Benchmark trends", _trends_section(trends)),
+        ("Regressions &amp; ranking flips", _regressions_section(trends)),
+        ("Policy comparison", _rankings_section(runs)),
+        ("Recent result records", _runs_section(runs)),
+    ]
+    body = "".join(
+        f"<section><h2>{heading}</h2>{content}</section>"
+        for heading, content in sections
+    )
+    return (
+        "<!DOCTYPE html>"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head>"
+        f"<body><header><h1>{_esc(title)}</h1>"
+        f"<p>{_esc(subtitle) if subtitle else 'longitudinal results store &amp; live monitor'}</p>"
+        f"</header><main>{body}</main></body></html>"
+    )

@@ -1,0 +1,292 @@
+"""Trend analysis over the longitudinal results store.
+
+Three questions an operator asks of a ranked stall-mitigation
+benchmark, answered over the records of
+:class:`~repro.results.store.ResultsStore`:
+
+* **How is each metric moving?**  :func:`metric_series` groups records
+  into per-``(kind, name, metric)`` time series ordered by the total
+  record order (``ts, run_id, seq``).
+* **Did something regress?**  :func:`detect_regressions` compares each
+  series' newest point against a rolling baseline — the median of up
+  to ``baseline_n`` preceding points — and flags deviations beyond
+  ``threshold`` in the metric's *bad* direction.  Direction is
+  inferred from the metric name (``*_kpps`` up is good, ``*_seconds``
+  down is good; see :func:`metric_direction`) with explicit overrides
+  winning; metrics with no inferable direction are never flagged
+  (series still render, so the dashboard shows the movement).
+* **Did a policy ranking flip?**  :func:`detect_ranking_flips` walks
+  records carrying ``rankings`` and reports every consecutive pair
+  whose per-scenario policy order differs — the signal that a Table
+  8/9-style conclusion changed between runs.
+
+:func:`trend_report` bundles all three into the JSON the daemon serves
+at ``/trends.json`` and ``repro-paper results trends`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .store import _sort_key
+
+#: Name fragments implying "higher is better" (throughput-like).
+_HIGHER_TOKENS = frozenset(
+    {
+        "kpps", "pps", "qps", "ops", "mbps", "gbps", "speedup",
+        "throughput", "coverage", "improvement", "bandwidth",
+        "hits", "hit", "fast",
+    }
+)
+
+#: Name fragments implying "lower is better" (latency/damage-like).
+_LOWER_TOKENS = frozenset(
+    {
+        "seconds", "ms", "ns", "latency", "lag", "rss", "overhead",
+        "errors", "corrupt", "skipped", "poisoned", "loss", "stall",
+        "stalls", "stalled", "retransmissions", "timeouts", "misses",
+        "rtt", "rto", "ratio", "time", "regression", "dropped",
+        "resyncs", "fallback",
+    }
+)
+
+
+def metric_direction(
+    metric: str, overrides: "dict[str, str] | None" = None
+) -> str | None:
+    """``"up"`` if higher is better, ``"down"`` if lower is, ``None``
+    when the name implies neither (or contradicts itself)."""
+    if overrides:
+        direction = overrides.get(metric)
+        if direction in ("up", "down"):
+            return direction
+    tokens = set(metric.lower().replace(".", "_").split("_"))
+    higher = bool(tokens & _HIGHER_TOKENS)
+    lower = bool(tokens & _LOWER_TOKENS)
+    if higher and not lower:
+        return "up"
+    if lower and not higher:
+        return "down"
+    return None
+
+
+@dataclass(frozen=True)
+class TrendConfig:
+    """Knobs of the regression detector.
+
+    ``threshold`` is the relative deviation of the newest point versus
+    the baseline median that flags a regression (0.2 = 20%);
+    ``baseline_n`` bounds the rolling window the median is taken over;
+    ``min_points`` is the minimum series length (baseline points plus
+    the newest) before any judgment is made — short histories stay
+    quiet instead of flapping.  ``directions`` force a per-metric
+    good direction (``{"metric": "up" | "down"}``) past the name
+    heuristic.
+    """
+
+    threshold: float = 0.2
+    baseline_n: int = 5
+    min_points: int = 4
+    directions: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if self.baseline_n < 1:
+            raise ValueError("baseline_n must be >= 1")
+        if self.min_points < 2:
+            raise ValueError("min_points must be >= 2")
+        for metric, direction in self.directions.items():
+            if direction not in ("up", "down"):
+                raise ValueError(
+                    f"direction for {metric!r} must be 'up' or 'down', "
+                    f"got {direction!r}"
+                )
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def metric_series(records) -> dict:
+    """Group records into ``{(kind, name, metric): [point, ...]}``.
+
+    Points are ``{"ts", "value", "run_id", "git_sha"}`` dicts in total
+    record order, so two stores holding the same records (in any file
+    order) produce identical series.
+    """
+    series: dict[tuple, list[dict]] = {}
+    for record in sorted(records, key=_sort_key):
+        metrics = record.get("metrics") or {}
+        for metric, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                continue
+            series.setdefault(
+                (record["kind"], record["name"], metric), []
+            ).append(
+                {
+                    "ts": record["ts"],
+                    "value": float(value),
+                    "run_id": record["run_id"],
+                    "git_sha": record.get("git_sha"),
+                }
+            )
+    return series
+
+
+def detect_regressions(
+    records, config: TrendConfig | None = None
+) -> list[dict]:
+    """Flag newest-vs-baseline deviations in each metric's bad
+    direction; returns one finding dict per flagged series."""
+    config = config or TrendConfig()
+    findings: list[dict] = []
+    for (kind, name, metric), points in sorted(
+        metric_series(records).items()
+    ):
+        if len(points) < config.min_points:
+            continue
+        direction = metric_direction(metric, config.directions)
+        if direction is None:
+            continue
+        history = [p["value"] for p in points]
+        newest = history[-1]
+        window = history[-(config.baseline_n + 1):-1]
+        baseline = _median(window)
+        if baseline == 0:
+            continue
+        change = (newest - baseline) / abs(baseline)
+        regressed = (
+            change <= -config.threshold
+            if direction == "up"
+            else change >= config.threshold
+        )
+        if not regressed:
+            continue
+        findings.append(
+            {
+                "kind": kind,
+                "name": name,
+                "metric": metric,
+                "direction": direction,
+                "baseline": baseline,
+                "baseline_points": len(window),
+                "latest": newest,
+                "change": change,
+                "threshold": config.threshold,
+                "ts": points[-1]["ts"],
+                "run_id": points[-1]["run_id"],
+                "git_sha": points[-1]["git_sha"],
+            }
+        )
+    return findings
+
+
+def detect_ranking_flips(records) -> list[dict]:
+    """Report consecutive records whose policy rankings differ.
+
+    Records carrying a ``rankings`` section are grouped by
+    ``(kind, name)``; within each group every consecutive pair is
+    compared scenario by scenario.  Each differing scenario yields one
+    flip dict with the before/after orders and the policy pairs whose
+    relative order inverted.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for record in sorted(records, key=_sort_key):
+        if record.get("rankings"):
+            groups.setdefault(
+                (record["kind"], record["name"]), []
+            ).append(record)
+    flips: list[dict] = []
+    for (kind, name), group in sorted(groups.items()):
+        for previous, current in zip(group, group[1:]):
+            for scenario in sorted(
+                set(previous["rankings"]) & set(current["rankings"])
+            ):
+                before = list(previous["rankings"][scenario])
+                after = list(current["rankings"][scenario])
+                if before == after:
+                    continue
+                flips.append(
+                    {
+                        "kind": kind,
+                        "name": name,
+                        "scenario": scenario,
+                        "before": before,
+                        "after": after,
+                        "swapped": _swapped_pairs(before, after),
+                        "ts": current["ts"],
+                        "run_id": current["run_id"],
+                        "git_sha": current.get("git_sha"),
+                    }
+                )
+    return flips
+
+
+def _swapped_pairs(before: list, after: list) -> list[list]:
+    """Policy pairs whose relative order inverted between rankings."""
+    pos_before = {p: i for i, p in enumerate(before)}
+    pos_after = {p: i for i, p in enumerate(after)}
+    common = [p for p in before if p in pos_after]
+    pairs: list[list] = []
+    for i, a in enumerate(common):
+        for b in common[i + 1:]:
+            if (pos_before[a] - pos_before[b]) * (
+                pos_after[a] - pos_after[b]
+            ) < 0:
+                pairs.append(sorted([a, b]))
+    return pairs
+
+
+def trend_report(
+    records,
+    config: TrendConfig | None = None,
+    *,
+    max_points: int = 100,
+) -> dict:
+    """The full trend picture: series, regressions, ranking flips.
+
+    The shape served at ``/trends.json``.  Series keys flatten to
+    ``"kind/name/metric"`` strings; each series carries its rendered
+    points (newest ``max_points``), direction, and latest value.
+    """
+    config = config or TrendConfig()
+    records = list(records)
+    flagged = {
+        (f["kind"], f["name"], f["metric"]): f
+        for f in detect_regressions(records, config)
+    }
+    series_out = {}
+    for key, points in sorted(metric_series(records).items()):
+        kind, name, metric = key
+        series_out["/".join(key)] = {
+            "kind": kind,
+            "name": name,
+            "metric": metric,
+            "direction": metric_direction(metric, config.directions),
+            "points": [
+                [p["ts"], p["value"]] for p in points[-max_points:]
+            ],
+            "latest": points[-1]["value"],
+            "regressed": key in flagged,
+        }
+    return {
+        "config": {
+            "threshold": config.threshold,
+            "baseline_n": config.baseline_n,
+            "min_points": config.min_points,
+        },
+        "records": len(records),
+        "series": series_out,
+        "regressions": sorted(
+            flagged.values(),
+            key=lambda f: (f["kind"], f["name"], f["metric"]),
+        ),
+        "ranking_flips": detect_ranking_flips(records),
+    }

@@ -1,0 +1,170 @@
+"""``repro-paper results`` subcommand surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.results.cli import main as results_main
+from repro.results.store import ResultsStore
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "results.jsonl"
+    with ResultsStore(path, run_id="runabc", git_sha="cafe0123") as store:
+        for i, v in enumerate([500.0, 501.0, 499.0, 500.0, 380.0]):
+            store.append(
+                "bench", "tapo", metrics={"decode_kpps": v},
+                ts=float(i), wall_time=0.5,
+            )
+        store.append(
+            "experiment", "mitigation",
+            rankings={"web": ["srto", "tlp"]}, ts=5.0,
+        )
+    return path
+
+
+class TestList:
+    def test_lists_records(self, store_path, capsys):
+        assert results_main(["list", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 6
+        assert "tapo" in out and "mitigation" in out
+        assert "run=runabc" in out
+        assert "sha=cafe0123" in out
+        assert "R" in lines[-1]  # rankings flag on the last record
+
+    def test_filters(self, store_path, capsys):
+        results_main(["list", str(store_path), "--kind", "experiment"])
+        out = capsys.readouterr().out
+        assert "mitigation" in out and "tapo" not in out
+        results_main(["list", str(store_path), "--last", "2"])
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert results_main(["list", str(tmp_path / "none.jsonl")]) == 0
+        assert "(no records)" in capsys.readouterr().out
+
+    def test_corrupt_lines_reported_on_stderr(self, store_path, capsys):
+        with open(store_path, "a") as fh:
+            fh.write("junk\n")
+        assert results_main(["list", str(store_path)]) == 0
+        captured = capsys.readouterr()
+        assert "1 corrupt lines skipped" in captured.err
+
+    def test_strict_budget_fails_on_corruption(self, store_path):
+        with open(store_path, "a") as fh:
+            fh.write("junk\n")
+        with pytest.raises(Exception):
+            results_main(["list", str(store_path), "--errors", "strict"])
+
+
+class TestShow:
+    def test_emits_json_records(self, store_path, capsys):
+        assert results_main(
+            ["show", str(store_path), "--name", "tapo", "--last", "1"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["metrics"]["decode_kpps"] == 380.0
+
+
+class TestTrends:
+    def test_flags_injected_regression(self, store_path, capsys):
+        assert results_main(["trends", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 regressions" in out
+        assert "REGRESSION bench/tapo/decode_kpps" in out
+        assert "-24" in out  # ~-24% change
+
+    def test_fail_on_regression_exit_code(self, store_path):
+        assert results_main(
+            ["trends", str(store_path), "--fail-on-regression"]
+        ) == 3
+
+    def test_quiet_on_flat_history(self, tmp_path, capsys):
+        path = tmp_path / "flat.jsonl"
+        with ResultsStore(path, git_sha=None) as store:
+            for i in range(6):
+                store.append(
+                    "bench", "tapo",
+                    metrics={"decode_kpps": 500.0 + (i % 2)},
+                    ts=float(i),
+                )
+        assert results_main(
+            ["trends", str(path), "--fail-on-regression"]
+        ) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_json_report_and_overrides(self, store_path, capsys):
+        assert results_main(
+            ["trends", str(store_path), "--json",
+             "--direction", "decode_kpps=down"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        # Forced "lower is better": the drop is an improvement.
+        assert report["regressions"] == []
+
+    def test_bad_direction_spec_rejected(self, store_path):
+        with pytest.raises(SystemExit):
+            results_main(
+                ["trends", str(store_path), "--direction", "x=sideways"]
+            )
+
+
+class TestCompactMergeDashboard:
+    def test_compact(self, store_path, capsys):
+        with open(store_path, "a") as fh:
+            fh.write("junk\n")
+        assert results_main(
+            ["compact", str(store_path), "--keep-last", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        records = ResultsStore(store_path, git_sha=None).load()
+        tapo = [r for r in records if r["name"] == "tapo"]
+        assert len(tapo) == 2
+
+    def test_merge_shards(self, tmp_path, capsys):
+        for shard in ("s1", "s2"):
+            with ResultsStore(
+                tmp_path / f"{shard}.jsonl", run_id=shard, git_sha=None
+            ) as store:
+                store.append("bench", "x", ts=1.0)
+        out_path = tmp_path / "merged.jsonl"
+        assert results_main(
+            ["merge", str(out_path), str(tmp_path / "s1.jsonl"),
+             str(tmp_path / "s2.jsonl")]
+        ) == 0
+        assert "2 records" in capsys.readouterr().out
+        assert len(ResultsStore(out_path, git_sha=None).load()) == 2
+
+    def test_dashboard_to_file(self, store_path, tmp_path):
+        out = tmp_path / "dash.html"
+        assert results_main(
+            ["dashboard", str(store_path), "-o", str(out),
+             "--title", "offline"]
+        ) == 0
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "offline" in text and "decode_kpps" in text
+
+    def test_dashboard_to_stdout(self, store_path, capsys):
+        assert results_main(["dashboard", str(store_path)]) == 0
+        assert "<!DOCTYPE html>" in capsys.readouterr().out
+
+
+class TestTopLevelDispatch:
+    def test_repro_cli_routes_results(self, store_path, capsys):
+        assert repro_main(["results", "list", str(store_path)]) == 0
+        assert "tapo" in capsys.readouterr().out
+
+    def test_results_in_usage(self, capsys):
+        try:
+            repro_main(["--help"])
+        except SystemExit:
+            pass
+        assert "results" in capsys.readouterr().out

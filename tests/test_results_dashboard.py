@@ -1,0 +1,377 @@
+"""Dashboard rendering, daemon endpoints, gzip, and alert-log rotation."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.live.alerts import JsonlSink
+from repro.live.daemon import LiveDaemon
+from repro.live.sources import PcapTailSource
+from repro.results.dashboard import render_dashboard, share_bar, sparkline
+from repro.results.store import ResultsStore
+
+from tests.test_live_daemon import make_pcap
+
+_VOID = {"meta", "br", "hr", "img", "input", "link", "col", "wbr"}
+
+
+class _TagBalanceParser(HTMLParser):
+    """Strict tag-balance validator built on the stdlib parser."""
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+        self.tags_seen = 0
+
+    def handle_starttag(self, tag, attrs):
+        self.tags_seen += 1
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if not self.stack:
+            self.errors.append(f"closing </{tag}> with empty stack")
+        elif self.stack[-1] != tag:
+            self.errors.append(
+                f"closing </{tag}> but <{self.stack[-1]}> is open"
+            )
+        else:
+            self.stack.pop()
+
+
+def assert_valid_html(text: str) -> _TagBalanceParser:
+    assert text.startswith("<!DOCTYPE html>")
+    parser = _TagBalanceParser()
+    parser.feed(text)
+    parser.close()
+    assert not parser.errors, parser.errors
+    assert not parser.stack, f"unclosed tags: {parser.stack}"
+    assert parser.tags_seen > 10
+    return parser
+
+
+def window_dict(bucket, flows=4, stalls=2, shares=None):
+    return {
+        "bucket": bucket,
+        "start": bucket * 5.0,
+        "end": (bucket + 1) * 5.0,
+        "flows": flows,
+        "stalls": stalls,
+        "stall_ratio": 0.25,
+        "causes": {
+            name: {"time_share": share}
+            for name, share in (shares or {"retransmission": 0.6}).items()
+        },
+    }
+
+
+class TestRenderDashboard:
+    def test_empty_inputs_render_honest_page(self):
+        text = render_dashboard()
+        assert_valid_html(text)
+        assert "No completed windows yet" in text
+        assert "No alert events" in text
+        assert "No result records yet" in text
+        assert "The results store is empty" in text
+
+    def test_populated_page(self):
+        store = ResultsStore("/dev/null", run_id="r", git_sha="abc123")
+        runs = [
+            store.record(
+                "bench", "tapo",
+                metrics={"decode_kpps": v}, ts=float(i), wall_time=1.0,
+            )
+            for i, v in enumerate([500.0, 501.0, 499.0, 500.0, 380.0])
+        ]
+        runs.append(
+            store.record(
+                "experiment", "mitigation",
+                rankings={"web_search": ["srto", "tlp", "native"]},
+                ts=10.0,
+            )
+        )
+        from repro.results.trends import trend_report
+
+        trends = trend_report(runs)
+        health = {
+            "records_in": 960, "flows": 120, "flows_skipped": 1,
+            "windows_active": 3,
+            "alerts_active": [{"alert": "stall_ratio_high"}],
+            "checkpoint_age_seconds": 4.2,
+            "store_append_age_seconds": 1.0,
+        }
+        report = {"windows": [window_dict(b) for b in range(3)]}
+        alerts = [
+            {"trace_time": 10.0, "state": "firing",
+             "alert": "stall_ratio_high", "metric": "stall_ratio",
+             "value": 0.4, "threshold": 0.2},
+            {"trace_time": 20.0, "state": "resolved",
+             "alert": "stall_ratio_high", "metric": "stall_ratio",
+             "value": 0.1, "threshold": 0.2},
+        ]
+        text = render_dashboard(
+            title="repro live · web", health=health, report=report,
+            trends=trends, runs=runs, alerts=alerts, subtitle="cap.pcap",
+        )
+        assert_valid_html(text)
+        assert "repro live · web" in text
+        assert "regressed" in text            # flagged trend row
+        assert "decode_kpps" in text
+        assert "srto &gt; tlp &gt; native" in text  # ranking escaped
+        assert "firing" in text and "resolved" in text
+        assert "checkpoint age" in text
+        assert "<svg" in text and "polyline" in text
+        assert "<script" not in text          # no JS at all
+
+    def test_untrusted_names_are_escaped(self):
+        store = ResultsStore("/dev/null", run_id="r", git_sha=None)
+        runs = [
+            store.record(
+                "bench", '<script>alert(1)</script>',
+                metrics={"v_seconds": 1.0}, ts=0.0,
+            )
+        ]
+        text = render_dashboard(runs=runs)
+        assert "<script" not in text
+        assert "&lt;script&gt;" in text
+        assert_valid_html(text)
+
+    def test_sparkline_and_share_bar_edges(self):
+        assert "no points" in sparkline([])
+        one = sparkline([5.0])
+        assert one.startswith("<svg") and "circle" in one
+        flat = sparkline([2.0, 2.0, 2.0])
+        assert "polyline" in flat
+        empty_bar = share_bar({})
+        assert empty_bar.startswith("<svg")
+        bar = share_bar({"a": 0.5, "b": 0.25})
+        assert bar.count("<rect") == 2 and "50.0%" in bar
+
+
+class TestDaemonEndpoints:
+    @pytest.fixture
+    def served(self, tmp_path):
+        """A daemon over a small capture, with a pre-populated results
+        store containing a regressed bench history, HTTP on an
+        ephemeral port."""
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=12)
+        store_path = tmp_path / "results.jsonl"
+        with ResultsStore(store_path, git_sha=None) as seed:
+            for i, v in enumerate([500.0, 501.0, 499.0, 500.0, 380.0]):
+                seed.append(
+                    "bench", "tapo",
+                    metrics={"decode_kpps": v}, ts=float(i),
+                )
+        daemon = LiveDaemon(
+            PcapTailSource(path),
+            window_seconds=5.0,
+            http_port=0,
+            poll_interval=0.05,
+            results_store=ResultsStore(store_path, git_sha=None),
+        )
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while daemon.http.url is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert daemon.http.url is not None
+        yield daemon, daemon.http.url
+        daemon.stop()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def _get(self, url, headers=None):
+        request = urllib.request.Request(url, headers=headers or {})
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                with urllib.request.urlopen(request, timeout=5) as resp:
+                    return resp.status, dict(resp.headers), resp.read()
+            except urllib.error.HTTPError:
+                raise
+            except (urllib.error.URLError, ConnectionError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+
+    def test_runs_trends_dashboard_and_health(self, served):
+        daemon, base = served
+
+        status, headers, body = self._get(base + "/runs.json")
+        assert status == 200
+        assert "json" in headers.get("Content-Type", "")
+        records = json.loads(body)["records"]
+        assert len(records) >= 5
+        assert {r["name"] for r in records} >= {"tapo"}
+
+        status, _, body = self._get(base + "/trends.json")
+        assert status == 200
+        trends = json.loads(body)
+        flagged = [r["metric"] for r in trends["regressions"]]
+        assert "decode_kpps" in flagged
+
+        status, headers, body = self._get(base + "/dashboard")
+        assert status == 200
+        assert headers.get("Content-Type", "").startswith("text/html")
+        page = body.decode()
+        assert_valid_html(page)
+        assert "decode_kpps" in page
+
+        status, _, body = self._get(base + "/healthz")
+        health = json.loads(body)
+        for key in (
+            "checkpoint_age_seconds",
+            "last_window_flush_trace_time",
+            "results_store",
+            "results_records_appended",
+            "store_append_age_seconds",
+        ):
+            assert key in health, key
+        assert health["results_store"].endswith("results.jsonl")
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(base + "/nope")
+        assert err.value.code == 404
+
+    def test_gzip_round_trip(self, served):
+        daemon, base = served
+        # wait until the report is comfortably over the gzip floor
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            _, _, plain = self._get(base + "/report.json")
+            if len(plain) >= 512:
+                break
+            time.sleep(0.05)
+        assert len(plain) >= 512
+
+        status, headers, body = self._get(
+            base + "/report.json",
+            headers={"Accept-Encoding": "gzip, deflate"},
+        )
+        assert status == 200
+        assert headers.get("Content-Encoding") == "gzip"
+        assert "Accept-Encoding" in headers.get("Vary", "")
+        assert int(headers["Content-Length"]) == len(body)
+        inflated = gzip.decompress(body)
+        assert len(body) < len(inflated)
+        assert json.loads(inflated)["windows"]["totals"]["flows"] >= 0
+
+        # identity requests stay uncompressed
+        _, headers, body = self._get(base + "/report.json")
+        assert "Content-Encoding" not in headers
+        json.loads(body)
+
+    def test_gzip_skips_small_payloads(self, served):
+        daemon, base = served
+        _, _, plain = self._get(base + "/healthz")
+        _, headers, body = self._get(
+            base + "/healthz", headers={"Accept-Encoding": "gzip"}
+        )
+        if len(plain) < 512:
+            assert "Content-Encoding" not in headers
+            json.loads(body)
+        else:
+            assert headers.get("Content-Encoding") == "gzip"
+            json.loads(gzip.decompress(body))
+
+    def test_daemon_flushes_totals_record_on_exit(self, tmp_path):
+        path = tmp_path / "cap.pcap"
+        make_pcap(path, n=6)
+        store_path = tmp_path / "results.jsonl"
+        daemon = LiveDaemon(
+            PcapTailSource(path),
+            window_seconds=5.0,
+            poll_interval=0.05,
+            results_store=ResultsStore(store_path, git_sha=None),
+        )
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while daemon.health()["flows"] < 4 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        daemon.stop()
+        thread.join(timeout=10)
+        records = ResultsStore(store_path, git_sha=None).load()
+        kinds = {(r["kind"], r["name"]) for r in records}
+        assert ("live", "live_totals") in kinds
+        windows = [r for r in records if r["name"] == "live_window"]
+        totals = [r for r in records if r["name"] == "live_totals"]
+        assert totals[-1]["metrics"]["flows"] > 0
+        assert "causes" in totals[-1]
+        for record in windows:
+            assert record["meta"]["bucket"] >= 0
+            assert record["metrics"]["flows"] >= 0
+
+
+class TestJsonlSinkRotation:
+    def read_events(self, path):
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+
+    def test_rotates_at_size_bound(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonlSink(path, max_bytes=400, backups=2)
+        try:
+            for i in range(40):
+                sink({"alert": "x", "trace_time": float(i),
+                      "state": "firing", "value": 0.5})
+        finally:
+            sink.close()
+        assert sink.events_written == 40
+        assert sink.rotations > 0
+        rotated = sorted(p.name for p in tmp_path.glob("alerts.jsonl*"))
+        assert "alerts.jsonl.1" in rotated
+        assert len(rotated) <= 3  # base + backups
+        # every surviving file is whole JSONL and within bounds-ish
+        total = 0
+        for p in tmp_path.glob("alerts.jsonl*"):
+            events = self.read_events(p)
+            total += len(events)
+            assert all(e["alert"] == "x" for e in events)
+        assert total <= 40
+        # newest event is in the live file
+        live = self.read_events(path)
+        assert live[-1]["trace_time"] == 39.0
+
+    def test_unbounded_when_zero(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonlSink(path, max_bytes=0)
+        try:
+            for i in range(50):
+                sink({"alert": "x", "trace_time": float(i)})
+        finally:
+            sink.close()
+        assert sink.rotations == 0
+        assert len(self.read_events(path)) == 50
+
+    def test_resumes_size_from_existing_file(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        first = JsonlSink(path, max_bytes=200, backups=1)
+        first({"alert": "a", "pad": "y" * 150})
+        first.close()
+        second = JsonlSink(path, max_bytes=200, backups=1)
+        try:
+            second({"alert": "b", "pad": "y" * 150})
+        finally:
+            second.close()
+        assert second.rotations == 1
+        assert (tmp_path / "alerts.jsonl.1").exists()
+
+    def test_invalid_params_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "a.jsonl", max_bytes=-1)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "a.jsonl", backups=0)

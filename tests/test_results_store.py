@@ -1,0 +1,244 @@
+"""Results store: append/load, corruption tolerance, merge, compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ErrorBudget, ParseError
+from repro.results.store import (
+    SCHEMA_VERSION,
+    ResultsStore,
+    config_hash,
+    flatten_metrics,
+    merge_records,
+    record_fields_from_registry,
+    record_fields_from_report,
+    validate_record,
+)
+
+
+def make_store(tmp_path, name="results.jsonl", **kwargs):
+    kwargs.setdefault("git_sha", None)
+    return ResultsStore(tmp_path / name, **kwargs)
+
+
+class TestAppendLoad:
+    def test_roundtrip(self, tmp_path):
+        with make_store(tmp_path, run_id="r1") as store:
+            record = store.append(
+                "bench",
+                "tapo",
+                metrics={"decode": {"kpps": 500.0}, "parity": True},
+                causes={"retransmission": 0.6},
+                rankings={"web": ["srto", "tlp", "native"]},
+                faults={"corrupt": 3},
+                wall_time=1.5,
+                config={"repeats": 5},
+                meta={"note": "x"},
+                ts=100.0,
+            )
+        loaded = make_store(tmp_path).load()
+        assert loaded == [record]
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["run_id"] == "r1"
+        assert record["metrics"] == {"decode_kpps": 500.0, "parity": 1.0}
+        assert record["causes"] == {"retransmission": 0.6}
+        assert record["rankings"] == {"web": ["srto", "tlp", "native"]}
+        assert record["faults"] == {"corrupt": 3.0}
+        assert "config_hash" in record
+
+    def test_seq_increments_per_run(self, tmp_path):
+        with make_store(tmp_path) as store:
+            a = store.append("bench", "x", ts=1.0)
+            b = store.append("bench", "x", ts=2.0)
+        assert (a["seq"], b["seq"]) == (0, 1)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert make_store(tmp_path, "absent.jsonl").load() == []
+
+    def test_refuses_invalid_record(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(ValueError):
+            store.append_record({"kind": "bench"})
+        assert not validate_record({"kind": "bench"})
+        assert not validate_record(
+            {
+                "schema": SCHEMA_VERSION + 1,
+                "run_id": "r",
+                "seq": 0,
+                "ts": 1.0,
+                "kind": "k",
+                "name": "n",
+            }
+        )
+
+
+class TestCorruptionTolerance:
+    def fill(self, tmp_path, n=100):
+        with make_store(tmp_path, run_id="r1") as store:
+            for i in range(n):
+                store.append("bench", "x", metrics={"v": i}, ts=float(i))
+        return tmp_path / "results.jsonl"
+
+    def test_truncated_tail_record(self, tmp_path):
+        path = self.fill(tmp_path, 10)
+        # Crash mid-append: the final line is torn.
+        data = path.read_bytes()
+        path.write_bytes(data[:-20])
+        store = make_store(tmp_path)
+        loaded = store.load()
+        assert len(loaded) == 9
+        assert store.corrupt_lines == 1
+
+    def test_strict_budget_raises(self, tmp_path):
+        path = self.fill(tmp_path, 5)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ParseError):
+            make_store(tmp_path).load(errors=ErrorBudget.strict())
+
+    def test_one_percent_corruption_loads_99_percent(self, tmp_path):
+        path = self.fill(tmp_path, 200)
+        lines = path.read_text().splitlines()
+        # Damage 1% of lines (2 of 200): garbage + truncated JSON.
+        lines[50] = "{{{ not json"
+        lines[150] = lines[150][: len(lines[150]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        store = make_store(tmp_path)
+        loaded = store.load()
+        assert len(loaded) >= 0.99 * 198
+        assert len(loaded) == 198
+        assert store.corrupt_lines == 2
+
+    def test_interleaved_writers_all_lines_whole(self, tmp_path):
+        # Two open handles appending to the same file, alternating:
+        # O_APPEND single-write lines never splice.
+        a = make_store(tmp_path, run_id="shard_a")
+        b = make_store(tmp_path, run_id="shard_b")
+        for i in range(50):
+            a.append("bench", "x", metrics={"v": i}, ts=float(i))
+            b.append("live", "y", metrics={"v": i}, ts=float(i) + 0.5)
+        a.close()
+        b.close()
+        store = make_store(tmp_path)
+        loaded = store.load()
+        assert len(loaded) == 100
+        assert store.corrupt_lines == 0
+        assert {r["run_id"] for r in loaded} == {"shard_a", "shard_b"}
+
+
+class TestMerge:
+    def records(self, run_id, n, t0=0.0):
+        store = ResultsStore("/dev/null", run_id=run_id, git_sha=None)
+        return [
+            store.record("bench", "x", metrics={"v": i}, ts=t0 + i)
+            for i in range(n)
+        ]
+
+    def test_merge_is_commutative(self):
+        a = self.records("aaa", 5, t0=0.0)
+        b = self.records("bbb", 5, t0=2.5)
+        assert merge_records(a, b) == merge_records(b, a)
+
+    def test_merge_is_associative(self):
+        a = self.records("aaa", 3)
+        b = self.records("bbb", 3, t0=1.0)
+        c = self.records("ccc", 3, t0=2.0)
+        left = merge_records(merge_records(a, b), c)
+        right = merge_records(a, merge_records(b, c))
+        assert left == right
+
+    def test_merge_deduplicates(self):
+        a = self.records("aaa", 4)
+        assert merge_records(a, a) == merge_records(a)
+
+    def test_shard_files_merge_associatively(self, tmp_path):
+        for shard, t0 in (("s1", 0.0), ("s2", 100.0)):
+            with make_store(tmp_path, f"{shard}.jsonl", run_id=shard) as s:
+                for i in range(10):
+                    s.append("live", "w", metrics={"v": i}, ts=t0 + i)
+        ab = tmp_path / "ab.jsonl"
+        ba = tmp_path / "ba.jsonl"
+        n1 = ResultsStore.merge_shards(
+            [tmp_path / "s1.jsonl", tmp_path / "s2.jsonl"], ab
+        )
+        n2 = ResultsStore.merge_shards(
+            [tmp_path / "s2.jsonl", tmp_path / "s1.jsonl"], ba
+        )
+        assert n1 == n2 == 20
+        assert ab.read_bytes() == ba.read_bytes()
+
+
+class TestCompaction:
+    def test_compact_drops_damage_and_dupes(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with make_store(tmp_path, run_id="r") as store:
+            records = [
+                store.append("bench", "x", metrics={"v": i}, ts=float(i))
+                for i in range(5)
+            ]
+        with open(path, "a") as fh:
+            fh.write("garbage line\n")
+            fh.write(json.dumps(records[0], sort_keys=True,
+                                separators=(",", ":")) + "\n")
+        store = make_store(tmp_path)
+        stats = store.compact()
+        assert stats == {
+            "records": 5, "dropped_corrupt": 1, "dropped_excess": 0,
+        }
+        assert len(store.load()) == 5
+
+    def test_compact_keep_last(self, tmp_path):
+        with make_store(tmp_path, run_id="r") as store:
+            for i in range(10):
+                store.append("bench", "x", metrics={"v": i}, ts=float(i))
+            store.append("bench", "y", ts=0.0)
+        store = make_store(tmp_path)
+        stats = store.compact(keep_last=3)
+        assert stats["records"] == 4  # 3 newest of x + the one y
+        assert stats["dropped_excess"] == 7
+        kept = store.load()
+        xs = [r for r in kept if r["name"] == "x"]
+        assert [r["metrics"]["v"] for r in xs] == [7.0, 8.0, 9.0]
+
+
+class TestHelpers:
+    def test_config_hash_stable_and_discriminating(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash(
+            {"b": 2, "a": 1}
+        )
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_config_hash_accepts_frozen_config(self):
+        from repro.config import AnalysisConfig
+
+        a = config_hash(AnalysisConfig())
+        b = config_hash(AnalysisConfig(tau=3.0))
+        assert a != b
+        assert a == config_hash(AnalysisConfig())
+
+    def test_flatten_metrics(self):
+        flat = flatten_metrics(
+            {"a": {"b": 1, "c": True}, "d": 2.5, "skip": "text"}
+        )
+        assert flat == {"a_b": 1.0, "a_c": 1.0, "d": 2.5}
+
+    def test_record_fields_from_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x").inc(3)
+        registry.gauge("repro_y", "y").set(1.5)
+        fields = record_fields_from_registry(registry)
+        assert fields["metrics"] == {"repro_x_total": 3.0, "repro_y": 1.5}
+
+    def test_record_fields_from_report(self):
+        from repro.core.report import ServiceReport
+
+        report = ServiceReport(service="svc")
+        fields = record_fields_from_report(report)
+        assert fields["metrics"]["flows"] == 0
+        assert fields["metrics"]["coverage"] == 1.0
+        assert isinstance(fields["causes"], dict)
+        assert "causes" not in fields["metrics"]

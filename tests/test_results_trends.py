@@ -1,0 +1,177 @@
+"""Trend engine: regression detection, direction inference, ranking flips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.results.store import ResultsStore
+from repro.results.trends import (
+    TrendConfig,
+    detect_ranking_flips,
+    detect_regressions,
+    metric_direction,
+    metric_series,
+    trend_report,
+)
+
+
+def history(metric, values, *, kind="bench", name="tapo", rankings=None):
+    """Synthetic record history, one record per value, ts = index."""
+    store = ResultsStore("/dev/null", run_id="hist", git_sha=None)
+    records = []
+    for i, value in enumerate(values):
+        fields = {"metrics": {metric: value}, "ts": float(i)}
+        if rankings is not None:
+            fields["rankings"] = rankings[i]
+            fields["metrics"] = {}
+        records.append(store.record(kind, name, **fields))
+    return records
+
+
+class TestDirectionInference:
+    @pytest.mark.parametrize(
+        "metric,expected",
+        [
+            ("decode_kpps", "up"),
+            ("throughput_mbps", "up"),
+            ("speedup_8w", "up"),
+            ("coverage", "up"),
+            ("mean_latency", "down"),
+            ("wall_time", "down"),
+            ("max_rss_kb", "down"),
+            ("total_stalls", "down"),
+            ("retransmissions", "down"),
+            ("corrupt_records", "down"),
+            ("overhead_ratio", "down"),
+            ("parity", None),
+            ("flows", None),
+        ],
+    )
+    def test_token_inference(self, metric, expected):
+        assert metric_direction(metric) == expected
+
+    def test_override_wins(self):
+        assert metric_direction("flows", {"flows": "up"}) == "up"
+        assert metric_direction("decode_kpps", {"decode_kpps": "down"}) == "down"
+
+
+class TestRegressions:
+    def test_flat_history_stays_quiet(self):
+        records = history("decode_kpps", [500.0, 505.0, 498.0, 502.0,
+                                          501.0, 499.0, 503.0])
+        assert detect_regressions(records) == []
+
+    def test_throughput_drop_flagged(self):
+        # Injected >=20% regression on an up-metric: 500 -> 380 (-24%).
+        records = history("decode_kpps", [500.0, 502.0, 498.0, 501.0,
+                                          499.0, 380.0])
+        found = detect_regressions(records)
+        assert len(found) == 1
+        reg = found[0]
+        assert reg["metric"] == "decode_kpps"
+        assert reg["direction"] == "up"
+        assert reg["latest"] == 380.0
+        assert reg["baseline"] == pytest.approx(500.5, abs=1.5)
+        assert reg["change"] <= -0.2
+
+    def test_latency_rise_flagged(self):
+        records = history("mean_latency", [0.10, 0.11, 0.10, 0.10, 0.15])
+        found = detect_regressions(records)
+        assert [r["metric"] for r in found] == ["mean_latency"]
+        assert found[0]["direction"] == "down"
+        assert found[0]["change"] >= 0.2
+
+    def test_improvement_not_flagged(self):
+        records = history("decode_kpps", [500.0, 501.0, 499.0, 500.0,
+                                          900.0])
+        assert detect_regressions(records) == []
+
+    def test_directionless_metric_never_flagged(self):
+        records = history("flows", [100.0, 100.0, 100.0, 100.0, 5.0])
+        assert detect_regressions(records) == []
+        config = TrendConfig(directions={"flows": "up"})
+        assert len(detect_regressions(records, config)) == 1
+
+    def test_short_history_stays_quiet(self):
+        records = history("decode_kpps", [500.0, 100.0])
+        assert detect_regressions(records) == []
+
+    def test_threshold_configurable(self):
+        records = history("decode_kpps", [500.0, 500.0, 500.0, 500.0,
+                                          450.0])  # -10%
+        assert detect_regressions(records) == []
+        config = TrendConfig(threshold=0.05)
+        assert len(detect_regressions(records, config)) == 1
+
+    def test_series_split_by_kind_and_name(self):
+        a = history("v_seconds", [1.0] * 5, name="a")
+        b = history("v_seconds", [1.0, 1.0, 1.0, 1.0, 9.0], name="b")
+        found = detect_regressions(a + b)
+        assert [(r["kind"], r["name"]) for r in found] == [("bench", "b")]
+        series = metric_series(a + b)
+        assert ("bench", "a", "v_seconds") in series
+        assert len(series[("bench", "b", "v_seconds")]) == 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TrendConfig(threshold=0.0)
+        with pytest.raises(ValueError):
+            TrendConfig(baseline_n=0)
+        with pytest.raises(ValueError):
+            TrendConfig(directions={"x": "sideways"})
+
+
+class TestRankingFlips:
+    def test_stable_rankings_quiet(self):
+        rankings = [{"web": ["srto", "tlp", "native"]}] * 4
+        records = history("", [0] * 4, kind="experiment",
+                          name="mitigation", rankings=rankings)
+        assert detect_ranking_flips(records) == []
+
+    def test_flip_detected_with_swapped_pairs(self):
+        rankings = [
+            {"web": ["srto", "tlp", "native"]},
+            {"web": ["srto", "tlp", "native"]},
+            {"web": ["tlp", "srto", "native"]},
+        ]
+        records = history("", [0] * 3, kind="experiment",
+                          name="mitigation", rankings=rankings)
+        flips = detect_ranking_flips(records)
+        assert len(flips) == 1
+        flip = flips[0]
+        assert flip["scenario"] == "web"
+        assert flip["before"] == ["srto", "tlp", "native"]
+        assert flip["after"] == ["tlp", "srto", "native"]
+        assert ["srto", "tlp"] in [sorted(p) for p in flip["swapped"]]
+
+    def test_new_scenario_not_a_flip(self):
+        rankings = [
+            {"web": ["a", "b"]},
+            {"web": ["a", "b"], "video": ["c", "d"]},
+        ]
+        records = history("", [0] * 2, kind="experiment",
+                          name="mitigation", rankings=rankings)
+        assert detect_ranking_flips(records) == []
+
+
+class TestTrendReport:
+    def test_report_shape(self):
+        records = history("decode_kpps", [500.0, 502.0, 498.0, 501.0,
+                                          499.0, 380.0])
+        report = trend_report(records)
+        assert report["records"] == 6
+        key = "bench/tapo/decode_kpps"
+        assert key in report["series"]
+        series = report["series"][key]
+        assert series["direction"] == "up"
+        assert series["latest"] == 380.0
+        assert series["regressed"] is True
+        assert len(series["points"]) == 6
+        assert [r["metric"] for r in report["regressions"]] == ["decode_kpps"]
+        assert report["ranking_flips"] == []
+        assert report["config"]["threshold"] == 0.2
+
+    def test_report_caps_points(self):
+        records = history("wall_time", [1.0] * 150)
+        report = trend_report(records, max_points=100)
+        assert len(report["series"]["bench/tapo/wall_time"]["points"]) == 100
