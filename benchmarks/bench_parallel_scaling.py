@@ -6,6 +6,13 @@ bench trajectory tooling can track parallel efficiency over time::
     PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
         --flows 60 --workers 1 2 4 8 --json-out out/scaling.json
 
+``--cluster`` adds a second section measuring the sharded analysis
+cluster (``repro.cluster``) at 1/2/4 shards over a generated capture;
+every point asserts the merged report is byte-identical to the
+single-process run.  ``--min-cluster-speedup X`` turns the best
+cluster speedup into a hard gate (exit 1 below X) — CI passes 3.0 on
+multi-core runners.
+
 Under pytest this runs at a small flow count as a smoke test: every
 worker count must produce byte-identical results, and the report must
 be well-formed.  Wall-clock assertions are deliberately absent — CI
@@ -29,6 +36,8 @@ from repro.workload.services import get_profile
 DEFAULT_WORKERS = (1, 2, 4, 8)
 DEFAULT_FLOWS = 60
 DEFAULT_SEED = 20141222
+DEFAULT_SHARDS = (1, 2, 4)
+DEFAULT_CLUSTER_FLOWS = 48
 
 
 def _trace_signature(run) -> list:
@@ -93,6 +102,71 @@ def measure_scaling(
     }
 
 
+def measure_cluster_scaling(
+    flows: int = DEFAULT_CLUSTER_FLOWS,
+    seed: int = DEFAULT_SEED,
+    shards_list: tuple[int, ...] = DEFAULT_SHARDS,
+    transport: str = "pipe",
+) -> dict:
+    """Time the sharded cluster at each shard count over one capture.
+
+    Byte-identity against the single-process report is asserted at
+    every point — a scaling number for a wrong answer is worthless.
+    """
+    from repro.cluster import run_cluster
+    from repro.core.tapo import Tapo
+    from repro.packet.pcap import write_pcap
+    from repro.testing.traces import generate_trace
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        pcap = os.path.join(tmp, "trace.pcap")
+        write_pcap(pcap, generate_trace(seed=seed, flows=flows))
+
+        started = time.perf_counter()
+        from repro.core.report import ServiceReport
+
+        reference = ServiceReport(service="bench")
+        for analysis in Tapo().analyze_pcap(pcap):
+            reference.add(analysis)
+        baseline_wall = time.perf_counter() - started
+        reference_json = reference.canonical_sort().to_json()
+
+        packets = sum(
+            len(analysis.flow.packets) for analysis in reference.flows
+        )
+        points = []
+        for shards in shards_list:
+            started = time.perf_counter()
+            result = run_cluster(
+                pcap, shards=shards, transport=transport, service="bench"
+            )
+            wall = time.perf_counter() - started
+            identical = result.report.to_json() == reference_json
+            if not identical:
+                raise AssertionError(
+                    f"{shards}-shard report diverged from single-process"
+                )
+            points.append(
+                {
+                    "shards": shards,
+                    "wall_time": wall,
+                    "speedup": baseline_wall / wall if wall > 0 else 0.0,
+                    "packets_per_sec": packets / wall if wall > 0 else 0.0,
+                    "workers_died": result.workers_died,
+                    "identical_to_single_process": identical,
+                }
+            )
+    return {
+        "flows": flows,
+        "seed": seed,
+        "transport": transport,
+        "cpu_count": os.cpu_count(),
+        "single_process_wall_time": baseline_wall,
+        "points": points,
+        "best_speedup": max(point["speedup"] for point in points),
+    }
+
+
 def measure_cache(flows: int = 20, seed: int = DEFAULT_SEED) -> dict:
     """Cold build vs warm on-disk load, in a throwaway cache dir."""
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
@@ -127,11 +201,22 @@ def build_report(
     service: str,
     workers_list: tuple[int, ...],
     cache_flows: int,
+    cluster: bool = False,
+    cluster_flows: int = DEFAULT_CLUSTER_FLOWS,
+    shards_list: tuple[int, ...] = DEFAULT_SHARDS,
+    transport: str = "pipe",
 ) -> dict:
     report = measure_scaling(
         flows=flows, seed=seed, service=service, workers_list=workers_list
     )
     report["cache"] = measure_cache(flows=cache_flows, seed=seed)
+    if cluster:
+        report["cluster"] = measure_cluster_scaling(
+            flows=cluster_flows,
+            seed=seed,
+            shards_list=shards_list,
+            transport=transport,
+        )
     return report
 
 
@@ -156,6 +241,27 @@ def test_parallel_scaling_smoke():
     print(json.dumps(report, indent=2))
 
 
+def test_cluster_scaling_smoke():
+    """Cluster section at tiny scale: byte-parity at every shard count.
+
+    No wall-clock assertion — measure_cluster_scaling raises on any
+    divergence, so a passing run IS the correctness signal; speedup is
+    only gated via --min-cluster-speedup on multi-core CI runners.
+    """
+    report = measure_cluster_scaling(
+        flows=int(os.environ.get("REPRO_BENCH_CLUSTER_FLOWS", "12")),
+        seed=DEFAULT_SEED,
+        shards_list=(1, 2),
+    )
+    assert [point["shards"] for point in report["points"]] == [1, 2]
+    assert all(
+        point["identical_to_single_process"] for point in report["points"]
+    )
+    assert all(point["workers_died"] == 0 for point in report["points"])
+    print()
+    print(json.dumps(report, indent=2))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Parallel flow-runner scaling benchmark"
@@ -172,12 +278,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--cache-flows", type=int, default=20)
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="also measure repro.cluster sharded scaling",
+    )
+    parser.add_argument(
+        "--cluster-flows", type=int, default=DEFAULT_CLUSTER_FLOWS
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SHARDS),
+        help="shard counts for the cluster section (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("pipe", "socket"),
+        default="pipe",
+        help="cluster coordinator/worker transport",
+    )
+    parser.add_argument(
+        "--min-cluster-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) if the best cluster speedup is below this; "
+            "implies --cluster.  CI passes 3.0 on multi-core runners"
+        ),
+    )
+    parser.add_argument(
         "--json-out", help="also write the JSON report to this path"
     )
     import _emit
 
     _emit.add_store_argument(parser)
     args = parser.parse_args(argv)
+    cluster = args.cluster or args.min_cluster_speedup is not None
     started = time.perf_counter()
     report = build_report(
         flows=args.flows,
@@ -185,6 +322,10 @@ def main(argv: list[str] | None = None) -> int:
         service=args.service,
         workers_list=tuple(args.workers),
         cache_flows=args.cache_flows,
+        cluster=cluster,
+        cluster_flows=args.cluster_flows,
+        shards_list=tuple(args.shards),
+        transport=args.transport,
     )
     _emit.emit_result(
         "parallel_scaling",
@@ -201,6 +342,20 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json_out, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.min_cluster_speedup is not None:
+        best = report["cluster"]["best_speedup"]
+        if best < args.min_cluster_speedup:
+            print(
+                f"FAIL: best cluster speedup {best:.2f}x < required "
+                f"{args.min_cluster_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"cluster speedup gate passed: {best:.2f}x >= "
+            f"{args.min_cluster_speedup:.2f}x",
+            file=sys.stderr,
+        )
     return 0
 
 

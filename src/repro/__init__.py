@@ -13,7 +13,9 @@ The package provides:
 * :mod:`repro.packet` — headers, pcap I/O, flow demuxing;
 * :mod:`repro.workload` / :mod:`repro.app` — the three studied services;
 * :mod:`repro.experiments` — harnesses regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.cluster` — sharded analysis fleet: N worker processes,
+  one merged report byte-identical to a single-process run.
 
 Quick start::
 
@@ -39,11 +41,14 @@ __version__ = "1.1.0"
 _EXPORTS = {
     # facade verbs + configs
     "analyze": "repro.api",
+    "analyze_cluster": "repro.api",
     "analyze_stream": "repro.api",
     "simulate": "repro.api",
     "report": "repro.api",
     "AnalysisConfig": "repro.config",
     "RunConfig": "repro.config",
+    # sharded cluster surface
+    "Coordinator": "repro.cluster",
     # error taxonomy + fault accounting
     "CacheError": "repro.errors",
     "ErrorBudget": "repro.errors",
@@ -65,6 +70,11 @@ _EXPORTS = {
     "StallCause": "repro.core",
     "Tapo": "repro.core",
     "analyze_pcap": "repro.core",
+    # packet surface
+    "PacketRecord": "repro.packet.packet",
+    "StreamStats": "repro.packet.flow",
+    "server_by_ip": "repro.packet.flow",
+    "server_by_port": "repro.packet.flow",
     # simulator surface
     "EndpointConfig": "repro.tcp",
     "SRTOPolicy": "repro.tcp",
@@ -86,7 +96,14 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS) + ["__version__", "api", "config"]
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
-    from .api import analyze, analyze_stream, report, simulate
+    from .api import (
+        analyze,
+        analyze_cluster,
+        analyze_stream,
+        report,
+        simulate,
+    )
+    from .cluster import Coordinator
     from .config import AnalysisConfig, RunConfig
     from .errors import (
         CacheError,
@@ -112,6 +129,8 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
         analyze_pcap,
     )
     from .live import AlertRule, LiveDaemon, WindowStore, watch_directory
+    from .packet.flow import StreamStats, server_by_ip, server_by_port
+    from .packet.packet import PacketRecord
     from .results import (
         ResultsStore,
         TrendConfig,

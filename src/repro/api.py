@@ -1,23 +1,38 @@
 """The supported public surface of :mod:`repro`, in one place.
 
-Four verbs cover the pipeline, all configured through the two frozen
-dataclasses in :mod:`repro.config`:
+Five verbs cover the pipeline, all configured through the two frozen
+dataclasses in :mod:`repro.config` (``AnalysisConfig``, ``RunConfig``):
 
-=====================  ==================================================
-:func:`analyze`        pcap/packets -> list of classified flow analyses
-:func:`analyze_stream` unbounded source -> analyses as flows complete,
-                       memory bounded by open-flow state
-:func:`simulate`       service workloads -> simulated, analyzed dataset
-:func:`report`         analyses / packet traces -> one ServiceReport
-=====================  ==================================================
+======================  =================================================
+:func:`analyze`         pcap/packets -> list of classified flow analyses
+:func:`analyze_stream`  unbounded source -> analyses as flows complete,
+                        memory bounded by open-flow state
+:func:`analyze_cluster` capture(s) -> merged report from an N-shard
+                        worker fleet, byte-identical to a single
+                        process (:class:`repro.cluster.Coordinator`
+                        for full fleet control)
+:func:`simulate`        service workloads -> simulated, analyzed dataset
+:func:`report`          analyses / packet traces -> one ServiceReport
+======================  =================================================
 
-Continuous monitoring (the ``repro-paper watch`` subsystem) is also
-re-exported: :func:`repro.live.watch_directory`,
-:class:`repro.live.LiveDaemon`, :class:`repro.live.WindowStore`, and
-:class:`repro.live.AlertRule` — as is the longitudinal results layer:
-:class:`repro.results.ResultsStore`, :class:`repro.results.TrendConfig`,
-:func:`repro.results.trend_report`, :func:`repro.results.merge_records`,
-and :func:`repro.results.render_dashboard`.
+Everything listed in ``__all__`` is the stable API — re-exported both
+here and lazily at the top level (``from repro import Tapo``); other
+modules are implementation detail and may move.  The full surface:
+
+* analyzer: ``Tapo``, ``FlowAnalysis``, ``ServiceReport``, ``Stall``,
+  ``StallCause``, ``RetxCause``, ``DoubleKind``, ``CaState``;
+* packets and flows: ``PacketRecord``, ``StreamStats``,
+  ``server_by_ip``, ``server_by_port``;
+* cluster: ``analyze_cluster``, ``Coordinator``;
+* live monitoring: ``LiveDaemon``, ``WindowStore``, ``AlertRule``,
+  ``watch_directory``;
+* longitudinal results: ``ResultsStore``, ``TrendConfig``,
+  ``trend_report``, ``merge_records``, ``render_dashboard``;
+* configuration: ``AnalysisConfig``, ``RunConfig``;
+* errors and budgets: ``ReproError``, ``ParseError``,
+  ``FlowAnalysisError``, ``CacheError``, ``WorkerError``,
+  ``PoisonTaskError``, ``ErrorBudget``, ``ErrorBudgetExceeded``,
+  ``FaultStats``, ``SkippedFlow``.
 
 Quickstart::
 
@@ -33,8 +48,13 @@ Quickstart::
                                    run=RunConfig(workers=8)):
         ...
 
-Everything re-exported here (plus the exceptions and enums) is the
-stable API; other modules are implementation detail and may move.
+    # Sharded: 4 worker processes, byte-identical merged report.
+    merged = api.analyze_cluster("huge.pcap", shards=4)
+
+Deprecation policy: renamed or superseded surface keeps working for at
+least one minor release behind a shim that emits a single
+``DeprecationWarning`` naming the replacement and the removal version;
+see the "API stability & deprecation policy" section of the README.
 """
 
 from __future__ import annotations
@@ -42,6 +62,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
+from .cluster import Coordinator, analyze_cluster
 from .config import AnalysisConfig, RunConfig
 from .core.flow_analyzer import FlowAnalysis
 from .core.report import ServiceReport
@@ -80,6 +101,7 @@ __all__ = [
     "AnalysisConfig",
     "CaState",
     "CacheError",
+    "Coordinator",
     "DoubleKind",
     "ErrorBudget",
     "ErrorBudgetExceeded",
@@ -104,6 +126,7 @@ __all__ = [
     "WindowStore",
     "WorkerError",
     "analyze",
+    "analyze_cluster",
     "analyze_stream",
     "merge_records",
     "render_dashboard",

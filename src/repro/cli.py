@@ -13,6 +13,8 @@ One binary fronts every layer of the pipeline:
                (:mod:`repro.live.cli`)
 ``results``    inspect/trend-check the longitudinal results store
                (:mod:`repro.results.cli`)
+``cluster``    sharded analysis fleet: N worker processes, merged
+               byte-identical report (:mod:`repro.cluster.cli`)
 =============  =====================================================
 
 The shared flags mean the same thing everywhere they apply:
@@ -38,7 +40,7 @@ from __future__ import annotations
 
 import sys
 
-_SUBCOMMANDS = ("run", "analyze", "trace", "watch", "results")
+_SUBCOMMANDS = ("run", "analyze", "trace", "watch", "results", "cluster")
 
 _USAGE = """\
 usage: repro-paper <subcommand> [options]
@@ -50,6 +52,8 @@ subcommands:
   watch      continuously monitor stalls in a live/rotating capture
   results    inspect the longitudinal results store (list/show/
              trends/compact/merge/dashboard)
+  cluster    shard a capture across N worker processes and merge
+             their reports (byte-identical to a single-process run)
 
 Run 'repro-paper <subcommand> -h' for subcommand options.
 Flags without a subcommand are forwarded to 'run' (legacy form).
@@ -95,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
         from .results.cli import main as results_main
 
         return results_main(rest)
+    if command == "cluster":
+        from .cluster.cli import main as cluster_main
+
+        return cluster_main(rest)
     if command == "run":
         from .experiments.cli import main as run_main
 

@@ -1,0 +1,176 @@
+"""Shared argparse flag builders for every ``repro`` CLI.
+
+The offline analyzer (``tapo``), the reproduction runner
+(``repro-paper``), the live daemon (``repro-paper watch``), the results
+inspector (``repro-paper results``), and the cluster runner
+(``repro-paper cluster``) all grew the same operational flags —
+``--workers``, ``--errors``, ``--stats``, ``--metrics-out``,
+``--results-store``, ``--no-cache`` — with per-command defaults and
+help text.  Each flag lives here exactly once; a CLI composes the
+builders it needs and passes its own default/help where commands
+legitimately differ (the analyzer defaults ``--errors`` to strict, the
+monitor to lenient).  That keeps flag names, metavars, and parse
+semantics identical across every entry point, so an operator's muscle
+memory — and any wrapper script — transfers between commands.
+
+Builders return the :class:`argparse.Action` they add, so callers can
+tweak rarely-needed attributes without re-declaring the flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .errors import ErrorBudget
+
+
+def error_budget(spec: str) -> ErrorBudget:
+    """Argparse ``type=`` adapter for :meth:`ErrorBudget.parse`.
+
+    Turns a parse failure into the usage error argparse renders,
+    instead of a traceback.  Accepts ``ErrorBudget`` instances
+    unchanged, so programmatic defaults work too.
+    """
+    try:
+        return ErrorBudget.parse(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+_ERRORS_HELP = (
+    "error budget for damaged input: 'strict' (fail on the first "
+    "fault), 'lenient' (skip, count, keep going), 'budget:N' or "
+    "'budget:X%%' (lenient until N faults or X%% of units)"
+)
+
+
+def add_errors(
+    parser: argparse.ArgumentParser,
+    default="strict",
+    help: str | None = None,
+    raw: bool = False,
+):
+    """``--errors POLICY``.  ``raw=True`` keeps the spec a string for
+    callers that parse it downstream (the results inspector)."""
+    return parser.add_argument(
+        "--errors",
+        type=str if raw else error_budget,
+        default=default,
+        metavar="POLICY",
+        help=help or f"{_ERRORS_HELP}; default {_describe(default)}",
+    )
+
+
+def add_workers(
+    parser: argparse.ArgumentParser,
+    default: int = 1,
+    help: str | None = None,
+):
+    """``--workers N`` (0 = one per core, 1 = serial)."""
+    return parser.add_argument(
+        "--workers",
+        type=int,
+        default=default,
+        help=help
+        or (
+            "worker processes (0 = one per core, 1 = serial; "
+            f"default {default})"
+        ),
+    )
+
+
+def add_no_cache(parser: argparse.ArgumentParser, help: str | None = None):
+    """``--no-cache`` — bypass dataset caches."""
+    return parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=help
+        or (
+            "bypass the dataset caches (in-process and on-disk) and "
+            "re-simulate from scratch"
+        ),
+    )
+
+
+def add_stats(parser: argparse.ArgumentParser, help: str | None = None):
+    """``--stats`` — runtime counters on stderr."""
+    return parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=help or "print runtime counters to stderr",
+    )
+
+
+def add_metrics_out(
+    parser: argparse.ArgumentParser, help: str | None = None
+):
+    """``--metrics-out PREFIX`` — the PREFIX.json/PREFIX.prom export."""
+    return parser.add_argument(
+        "--metrics-out",
+        metavar="PREFIX",
+        help=help
+        or (
+            "write metrics to PREFIX.json and PREFIX.prom "
+            "(Prometheus text exposition)"
+        ),
+    )
+
+
+def add_results_store(
+    parser: argparse.ArgumentParser, help: str | None = None
+):
+    """``--results-store PATH`` — the longitudinal JSONL store."""
+    return parser.add_argument(
+        "--results-store",
+        metavar="PATH",
+        help=help
+        or (
+            "append result records to the longitudinal results store "
+            "at PATH"
+        ),
+    )
+
+
+def add_server_endpoint(parser: argparse.ArgumentParser) -> None:
+    """``--server-ip`` / ``--server-port`` endpoint pin pair."""
+    parser.add_argument(
+        "--server-ip",
+        help="IP address of the server endpoint (otherwise inferred)",
+    )
+    parser.add_argument(
+        "--server-port",
+        type=int,
+        help="TCP port of the server endpoint (otherwise inferred)",
+    )
+
+
+def add_cluster_options(
+    parser: argparse.ArgumentParser, default_shards: int = 4
+) -> None:
+    """``--shards`` / ``--transport`` — the sharded-cluster pair."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=default_shards,
+        metavar="N",
+        help=(
+            "flow-hash shards, one worker process each (1 = run "
+            f"in-process; merged output is byte-identical for every "
+            f"value; default {default_shards})"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("pipe", "socket"),
+        default="pipe",
+        help=(
+            "coordinator<->worker channel: inherited pipes or a "
+            "socketpair speaking the identical framing (default pipe)"
+        ),
+    )
+
+
+def _describe(default) -> str:
+    if isinstance(default, ErrorBudget):
+        return default.mode
+    return str(default)

@@ -1,0 +1,71 @@
+"""Sharded analysis cluster: coordinator, shard workers, wire protocol.
+
+Scale the analyzer past one core (and, via the socket transport, past
+one machine design-wise) without changing a single result bit: flows
+hash to shards (:func:`repro.packet.flow.flow_shard`), each shard runs
+the ordinary pipeline in its own process, and the coordinator merges
+the partial reports into one fleet-level
+:class:`~repro.core.report.ServiceReport` byte-identical to a
+single-process run.
+
+Entry points:
+
+- :func:`analyze_cluster` — the facade verb (merged report only)
+- :func:`run_cluster` / :class:`Coordinator` — full fleet control
+  (registry, per-shard detail, checkpoints, HTTP serving)
+- :class:`ShardSpec` / :func:`run_shard` — one shard, callable
+  in-process
+- :mod:`~repro.cluster.protocol` — the framed worker wire protocol
+"""
+
+from .coordinator import (
+    ClusterProvider,
+    ClusterResult,
+    Coordinator,
+    analyze_cluster,
+    merge_shard_results,
+    run_cluster,
+    serve_cluster,
+)
+from .protocol import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    Message,
+    MessageKind,
+    PipeTransport,
+    ProtocolError,
+    SocketTransport,
+    Transport,
+    make_transport_pair,
+)
+from .worker import (
+    ShardProgress,
+    ShardResult,
+    ShardSpec,
+    run_shard,
+    worker_main,
+)
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ClusterProvider",
+    "ClusterResult",
+    "Coordinator",
+    "Message",
+    "MessageKind",
+    "PipeTransport",
+    "ProtocolError",
+    "ShardProgress",
+    "ShardResult",
+    "ShardSpec",
+    "SocketTransport",
+    "Transport",
+    "analyze_cluster",
+    "make_transport_pair",
+    "merge_shard_results",
+    "run_cluster",
+    "run_shard",
+    "serve_cluster",
+    "worker_main",
+]

@@ -1,0 +1,187 @@
+"""``repro-paper cluster <trace.pcap>...`` — sharded analysis fleet.
+
+Runs the coordinator over one or more captures, N worker processes
+each owning one flow-hash shard, and prints (or serves) the merged
+fleet report — byte-identical to what a single-process run of the
+same captures produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+
+from .. import cli_options
+from ..config import AnalysisConfig
+from ..errors import ReproError
+from ..packet.headers import ip_from_str
+from .coordinator import ClusterProvider, run_cluster
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from ..cli import version_string
+
+    parser = argparse.ArgumentParser(
+        prog="repro-paper cluster",
+        description=(
+            "Analyze capture(s) with an N-shard worker cluster; the "
+            "merged report is byte-identical to a single-process run."
+        ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {version_string()}",
+    )
+    parser.add_argument(
+        "pcaps",
+        nargs="+",
+        metavar="PCAP",
+        help="capture file(s), analyzed in order",
+    )
+    cli_options.add_server_endpoint(parser)
+    cli_options.add_cluster_options(parser)
+    parser.add_argument(
+        "--tau",
+        type=float,
+        default=2.0,
+        help="stall threshold multiplier on SRTT (default 2)",
+    )
+    parser.add_argument(
+        "--service",
+        default="cluster",
+        help="service label on the merged report (default 'cluster')",
+    )
+    cli_options.add_errors(parser, default="strict")
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "spool per-shard results here (state.json + shard-N.pkl); "
+            "with --resume, finished shards are loaded instead of re-run"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-dir if its state matches",
+    )
+    parser.add_argument(
+        "--http",
+        metavar="[HOST:]PORT",
+        help=(
+            "after the run, serve the merged /report.json, /metrics, "
+            "/healthz, and /shards.json here until interrupted"
+        ),
+    )
+    cli_options.add_stats(
+        parser, help="print per-shard and fleet counters to stderr"
+    )
+    cli_options.add_metrics_out(parser)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the merged report to stdout as canonical JSON",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(stream=sys.stderr, level=logging.WARNING)
+    server_ip = ip_from_str(args.server_ip) if args.server_ip else None
+    server_port = args.server_port if not args.server_ip else None
+
+    try:
+        result = run_cluster(
+            args.pcaps,
+            shards=args.shards,
+            transport=args.transport,
+            service=args.service,
+            config=AnalysisConfig(tau=args.tau, errors=args.errors),
+            server_ip=server_ip,
+            server_port=server_port,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    except ReproError as exc:
+        print(
+            f"cluster: {type(exc).__name__}: {exc} "
+            f"(budget: {args.errors.describe()})",
+            file=sys.stderr,
+        )
+        return 2
+    except OSError as exc:
+        print(f"cluster: cannot read input: {exc}", file=sys.stderr)
+        return 1
+
+    report = result.report
+    if args.stats:
+        for shard in result.shards:
+            print(
+                f"shard {shard['shard']}: {shard['flows']} flows "
+                f"({shard['skipped']} quarantined), "
+                f"{shard['packets_kept']}/{shard['packets_decoded']} "
+                "packets kept",
+                file=sys.stderr,
+            )
+        print(
+            f"cluster: {result.n_shards} shards over "
+            f"{result.transport}, {len(report.flows)} flows, "
+            f"{result.workers_died} worker deaths, "
+            f"{result.shards_resumed} shards resumed, "
+            f"{result.wall_time:.2f}s",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        from ..obs.metrics import write_registry
+
+        json_path, prom_path = write_registry(
+            result.registry, args.metrics_out
+        )
+        print(
+            f"wrote metrics to {json_path} and {prom_path}",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        sys.stdout.write(report.to_json())
+        sys.stdout.write("\n")
+    else:
+        print(f"flows analyzed:    {len(report.flows)}")
+        print(f"flows quarantined: {len(report.skipped)}")
+        print(f"stalls detected:   {report.total_stalls()}")
+        breakdown = report.cause_breakdown()
+        print("\nstall causes (volume% / time%):")
+        for cause, entry in breakdown.items():
+            if entry.count == 0:
+                continue
+            print(
+                f"  {cause.value:<20} {entry.volume_share * 100:6.1f}%  "
+                f"{entry.time_share * 100:6.1f}%   ({entry.count} stalls)"
+            )
+
+    if args.http:
+        from ..live.cli import _endpoint
+        from ..live.http import LiveHTTPServer
+
+        host, port = _endpoint(args.http)
+        server = LiveHTTPServer(
+            ClusterProvider(result), host, port
+        ).start()
+        print(f"cluster: serving {server.url}", file=sys.stderr)
+        try:
+            import threading
+
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,560 @@
+"""Cluster coordinator: shard a capture across worker processes.
+
+The coordinator composes primitives the rest of the codebase already
+proves out — associative :meth:`ServiceReport.merge
+<repro.core.report.ServiceReport.merge>`, deterministic flow-hash
+sharding (:func:`repro.packet.flow.flow_shard`), the streaming
+analysis pipeline, mergeable :class:`~repro.obs.metrics.MetricsRegistry`
+objects — into one fleet:
+
+1. fork one :mod:`~repro.cluster.worker` per shard, each connected
+   over a schema-versioned framed :class:`~repro.cluster.protocol.
+   Transport` (pipes by default, sockets via ``transport="socket"``);
+2. multiplex their HELLO/PROGRESS/RESULT/ERROR frames with
+   ``selectors``, checkpointing per-shard offsets and completed
+   results to a spool directory (atomic ``tmp + os.replace``, the
+   live daemon's checkpoint discipline);
+3. detect worker *death* (end-of-stream before RESULT) and retry the
+   shard in a fresh worker with exponential backoff — the
+   :class:`~repro.experiments.parallel.AnalysisPool` retry ladder —
+   falling back to running the shard in-process in the parent after
+   ``run.max_retries`` deaths;
+4. merge the per-shard reports (canonically sorted, provenance
+   tagged), registries, and fault counters into one fleet-level
+   :class:`ClusterResult` whose report is byte-identical to a
+   single-process batch run of the same capture.
+
+``shards=1`` never forks: the coordinator runs the single shard
+in-process, which is exactly the single-process baseline the parity
+gate compares against.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import pickle
+import selectors
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import AnalysisConfig, RunConfig
+from ..core.report import ServiceReport
+from ..errors import FaultStats, ReproError, WorkerError
+from ..obs.metrics import MetricsRegistry
+from .protocol import (
+    MessageKind,
+    ProtocolError,
+    Transport,
+    make_transport_pair,
+)
+from .worker import ShardResult, ShardSpec, run_shard, worker_main
+
+logger = logging.getLogger("repro.cluster")
+
+#: Checkpoint schema version (see :class:`Coordinator` ``checkpoint_dir``).
+CHECKPOINT_VERSION = 1
+STATE_FILE = "state.json"
+
+
+@dataclass
+class ClusterResult:
+    """The fleet's merged product.
+
+    ``report`` is canonically sorted and carries per-shard provenance;
+    ``faults`` sums flow-level damage across shards while taking
+    capture-level decode counters from one representative shard (every
+    worker decodes the full capture, so summing those would multiply
+    them by the shard count — see :class:`~repro.cluster.worker.
+    ShardResult`).
+    """
+
+    report: ServiceReport
+    registry: MetricsRegistry
+    faults: FaultStats
+    shards: list[dict] = field(default_factory=list)
+    n_shards: int = 1
+    transport: str = "pipe"
+    wall_time: float = 0.0
+    workers_died: int = 0
+    shards_resumed: int = 0
+
+
+def merge_shard_results(
+    results: "list[ShardResult]", service: str
+) -> tuple[ServiceReport, MetricsRegistry, FaultStats]:
+    """Fold per-shard results into fleet totals.
+
+    Reports merge associatively and are canonically re-sorted, so the
+    outcome is independent of shard count and completion order;
+    registries merge with counter-sum/gauge-max semantics; fault
+    counters split as documented on :class:`~repro.cluster.worker.
+    ShardResult`.
+    """
+    ordered = sorted(results, key=lambda r: r.shard)
+    report = ServiceReport.merged(
+        [r.report for r in ordered], service=service
+    )
+    report.canonical_sort()
+    registry = MetricsRegistry.merged(r.registry for r in ordered)
+    faults = FaultStats()
+    for index, result in enumerate(ordered):
+        if index == 0:
+            faults.corrupt_records = result.faults.corrupt_records
+            faults.resyncs = result.faults.resyncs
+            faults.option_errors = result.faults.option_errors
+            faults.checksum_errors = result.faults.checksum_errors
+            faults.checksums_skipped = result.faults.checksums_skipped
+        faults.flows_skipped += result.faults.flows_skipped
+        faults.tasks_retried += result.faults.tasks_retried
+        faults.tasks_poisoned += result.faults.tasks_poisoned
+        faults.skipped.extend(result.faults.skipped)
+    faults.skipped.sort(key=lambda s: (s.key, s.error_type))
+    return report, registry, faults
+
+
+class Coordinator:
+    """Run an N-shard analysis cluster over one or more captures.
+
+    Parameters
+    ----------
+    source:
+        A pcap path, or a sequence of pcap paths analyzed in order
+        (a fleet of finished capture files).
+    n_shards:
+        Worker processes; each owns the flows hashing to its shard.
+        ``1`` runs in-process (no fork) — the single-process baseline.
+    transport:
+        ``"pipe"`` (default) or ``"socket"``; same framing either way.
+    service:
+        Label on the merged report.
+    analysis / run:
+        The usual frozen configs.  ``run.max_retries`` and
+        ``run.retry_backoff`` govern the worker-death retry ladder.
+    server_ip / server_port:
+        Optional server-endpoint pin (otherwise inferred per flow, as
+        everywhere else).
+    checkpoint_dir:
+        Spool directory for per-shard offsets and completed results:
+        ``state.json`` (atomic, schema-versioned) plus one
+        ``shard-N.pkl`` per finished shard.  With ``resume=True`` a
+        rerun loads finished shards from the spool and only re-runs
+        the incomplete ones (from offset zero — shard analysis is
+        deterministic, so restarting a partial shard is correct).
+    """
+
+    def __init__(
+        self,
+        source,
+        n_shards: int = 4,
+        *,
+        transport: str = "pipe",
+        service: str = "cluster",
+        analysis: AnalysisConfig | None = None,
+        run: RunConfig | None = None,
+        server_ip: int | None = None,
+        server_port: int | None = None,
+        checkpoint_dir: "str | Path | None" = None,
+        resume: bool = False,
+    ):
+        if isinstance(source, (str, Path)):
+            paths = (str(source),)
+        else:
+            paths = tuple(str(p) for p in source)
+        if not paths:
+            raise ValueError("cluster needs at least one capture path")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if transport not in ("pipe", "socket"):
+            raise ValueError(
+                f"unknown cluster transport {transport!r}; expected "
+                "'pipe' or 'socket'"
+            )
+        self.paths = paths
+        self.n_shards = n_shards
+        self.transport = transport
+        self.service = service
+        self.analysis = analysis or AnalysisConfig()
+        self.run_config = run or RunConfig()
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.resume = resume
+        self._state: dict = {}
+        self._progress: dict[int, dict] = {}
+        self.workers_died = 0
+        self.shards_resumed = 0
+
+    # -- public -------------------------------------------------------
+    def spec_for(self, shard: int) -> ShardSpec:
+        return ShardSpec(
+            paths=self.paths,
+            shard=shard,
+            n_shards=self.n_shards,
+            service=self.service,
+            analysis=self.analysis,
+            run=self.run_config,
+            server_ip=self.server_ip,
+            server_port=self.server_port,
+        )
+
+    def run(self) -> ClusterResult:
+        """Execute the fleet and return the merged result."""
+        started = time.monotonic()
+        results: dict[int, ShardResult] = {}
+        self._load_checkpoint(results)
+        todo = [s for s in range(self.n_shards) if s not in results]
+        if todo:
+            if self.n_shards == 1 or not _fork_available():
+                for shard in todo:
+                    self._finish_shard(results, run_shard(self.spec_for(shard)))
+            else:
+                self._run_workers(todo, results)
+        report, registry, faults = merge_shard_results(
+            list(results.values()), self.service
+        )
+        shards = [
+            {
+                "shard": result.shard,
+                "flows": len(result.report.flows),
+                "skipped": len(result.report.skipped),
+                "packets_decoded": result.progress.packets_decoded,
+                "packets_kept": result.progress.packets_kept,
+                "stream": result.stream,
+            }
+            for result in sorted(results.values(), key=lambda r: r.shard)
+        ]
+        return ClusterResult(
+            report=report,
+            registry=registry,
+            faults=faults,
+            shards=shards,
+            n_shards=self.n_shards,
+            transport=self.transport,
+            wall_time=time.monotonic() - started,
+            workers_died=self.workers_died,
+            shards_resumed=self.shards_resumed,
+        )
+
+    # -- worker orchestration -----------------------------------------
+    def _run_workers(
+        self, todo: list[int], results: dict[int, ShardResult]
+    ) -> None:
+        ctx = multiprocessing.get_context("fork")
+        selector = selectors.DefaultSelector()
+        live: dict[int, dict] = {}  # shard -> {transport, process, ...}
+        attempts: dict[int, int] = {shard: 0 for shard in todo}
+
+        def launch(shard: int) -> None:
+            coord_end, worker_end = make_transport_pair(self.transport)
+            process = ctx.Process(
+                target=_worker_entry,
+                args=(worker_end, coord_end, self.spec_for(shard)),
+                daemon=True,
+            )
+            process.start()
+            # The parent must drop the worker's end or peer death never
+            # reads as end-of-stream.
+            worker_end.close()
+            live[shard] = {"transport": coord_end, "process": process}
+            selector.register(coord_end.fileno(), selectors.EVENT_READ, shard)
+
+        def retire(shard: int) -> None:
+            state = live.pop(shard)
+            try:
+                selector.unregister(state["transport"].fileno())
+            except (KeyError, ValueError):
+                pass
+            state["transport"].close()
+            state["process"].join(timeout=10)
+
+        def on_death(shard: int, why: str) -> None:
+            self.workers_died += 1
+            retire(shard)
+            attempts[shard] += 1
+            attempt = attempts[shard]
+            if attempt <= self.run_config.max_retries:
+                delay = self.run_config.retry_backoff * (2 ** (attempt - 1))
+                logger.warning(
+                    "shard %d worker died (%s); retry %d/%d in %.2fs",
+                    shard, why, attempt, self.run_config.max_retries, delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                launch(shard)
+            else:
+                # Last rung of the AnalysisPool ladder: the parent runs
+                # the shard itself.  In-process execution cannot "die",
+                # so this always settles the shard (or raises the
+                # shard's own typed error).
+                logger.warning(
+                    "shard %d worker died %d times; running in-process",
+                    shard, attempt,
+                )
+                self._finish_shard(results, run_shard(self.spec_for(shard)))
+
+        try:
+            for shard in todo:
+                launch(shard)
+            while live:
+                for key, _events in selector.select(timeout=60.0):
+                    shard = key.data
+                    state = live.get(shard)
+                    if state is None:
+                        continue
+                    transport: Transport = state["transport"]
+                    try:
+                        message = transport.recv()
+                    except ProtocolError as exc:
+                        on_death(shard, str(exc))
+                        continue
+                    if message is None:
+                        if shard in live:  # EOF before RESULT = death
+                            on_death(shard, "end of stream before RESULT")
+                        continue
+                    if message.kind is MessageKind.HELLO:
+                        state["pid"] = message.payload.get("pid")
+                    elif message.kind is MessageKind.PROGRESS:
+                        self._progress[shard] = message.payload
+                        self._write_checkpoint(results)
+                    elif message.kind is MessageKind.ERROR:
+                        retire(shard)
+                        raise _rebuild_error(message.payload)
+                    elif message.kind is MessageKind.RESULT:
+                        retire(shard)
+                        self._finish_shard(results, message.payload)
+        finally:
+            for shard in list(live):
+                state = live.pop(shard)
+                try:
+                    selector.unregister(state["transport"].fileno())
+                except (KeyError, ValueError):
+                    pass
+                state["transport"].close()
+                process = state["process"]
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=10)
+            selector.close()
+
+    def _finish_shard(
+        self, results: dict[int, ShardResult], result: ShardResult
+    ) -> None:
+        results[result.shard] = result
+        self._progress[result.shard] = result.progress.to_dict()
+        self._spool_result(result)
+        self._write_checkpoint(results)
+
+    # -- checkpoint / resume ------------------------------------------
+    def _signature(self) -> dict:
+        return {
+            "paths": list(self.paths),
+            "n_shards": self.n_shards,
+            "service": self.service,
+        }
+
+    def _load_checkpoint(self, results: dict[int, ShardResult]) -> None:
+        if self.checkpoint_dir is None or not self.resume:
+            return
+        state_path = self.checkpoint_dir / STATE_FILE
+        try:
+            state = json.loads(state_path.read_text())
+        except (OSError, ValueError):
+            return
+        if state.get("version") != CHECKPOINT_VERSION:
+            return
+        if state.get("signature") != self._signature():
+            return  # different capture/shard layout: start fresh
+        for shard_text, entry in state.get("shards", {}).items():
+            if entry.get("status") != "done":
+                continue
+            shard = int(shard_text)
+            try:
+                with open(self.checkpoint_dir / entry["result"], "rb") as fh:
+                    result = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, KeyError):
+                continue  # damaged spool entry: just re-run the shard
+            results[shard] = result
+            self._progress[shard] = result.progress.to_dict()
+            self.shards_resumed += 1
+
+    def _spool_result(self, result: ShardResult) -> None:
+        if self.checkpoint_dir is None:
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        name = f"shard-{result.shard}.pkl"
+        tmp = self.checkpoint_dir / (name + ".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self.checkpoint_dir / name)
+
+    def _write_checkpoint(self, results: dict[int, ShardResult]) -> None:
+        if self.checkpoint_dir is None:
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        state = {
+            "version": CHECKPOINT_VERSION,
+            "signature": self._signature(),
+            "shards": {
+                str(shard): {
+                    "status": "done" if shard in results else "running",
+                    "result": (
+                        f"shard-{shard}.pkl" if shard in results else None
+                    ),
+                    "progress": self._progress.get(shard),
+                }
+                for shard in range(self.n_shards)
+            },
+        }
+        tmp = self.checkpoint_dir / (STATE_FILE + ".tmp")
+        tmp.write_text(json.dumps(state, indent=2, sort_keys=True))
+        os.replace(tmp, self.checkpoint_dir / STATE_FILE)
+
+
+class ClusterProvider:
+    """Adapt a :class:`ClusterResult` to the live HTTP provider
+    contract, so one :class:`~repro.live.http.LiveHTTPServer` serves
+    the fleet's combined ``/report.json``, ``/metrics``, ``/healthz``,
+    and ``/shards.json``."""
+
+    def __init__(self, result: ClusterResult):
+        self._result = result
+
+    def health(self) -> dict:
+        result = self._result
+        return {
+            "status": "ok",
+            "n_shards": result.n_shards,
+            "transport": result.transport,
+            "flows": len(result.report.flows),
+            "flows_skipped": len(result.report.skipped),
+            "workers_died": result.workers_died,
+            "wall_time": result.wall_time,
+        }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        return self._result.registry
+
+    def report(self) -> dict:
+        result = self._result
+        return {
+            "service": result.report.service,
+            "cluster": {
+                "n_shards": result.n_shards,
+                "transport": result.transport,
+                "provenance": result.report.provenance,
+                "workers_died": result.workers_died,
+                "shards_resumed": result.shards_resumed,
+            },
+            "report": result.report.to_dict(),
+        }
+
+    def shards(self) -> list[dict]:
+        return self._result.shards
+
+
+def serve_cluster(result: ClusterResult, host: str = "127.0.0.1",
+                  port: int = 0):
+    """Serve a finished cluster run over the live HTTP stack.
+
+    Returns a started :class:`~repro.live.http.LiveHTTPServer`; the
+    caller stops it (or uses it as a context manager).
+    """
+    from ..live.http import LiveHTTPServer
+
+    return LiveHTTPServer(ClusterProvider(result), host, port).start()
+
+
+def analyze_cluster(
+    source,
+    shards: int = 4,
+    *,
+    transport: str = "pipe",
+    service: str = "cluster",
+    config: AnalysisConfig | None = None,
+    run: RunConfig | None = None,
+    server_ip: int | None = None,
+    server_port: int | None = None,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
+) -> ServiceReport:
+    """Analyze a capture with an N-shard worker cluster (facade verb).
+
+    The merged :class:`~repro.core.report.ServiceReport` is
+    byte-identical (``to_json()``) for every ``shards`` value,
+    including ``shards=1`` (fully in-process) — sharding is a pure
+    execution strategy, never a semantic one.  For the full fleet
+    result (registry, per-shard detail), build a :class:`Coordinator`.
+    """
+    return run_cluster(
+        source,
+        shards=shards,
+        transport=transport,
+        service=service,
+        config=config,
+        run=run,
+        server_ip=server_ip,
+        server_port=server_port,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    ).report
+
+
+def run_cluster(source, shards: int = 4, *, transport: str = "pipe",
+                service: str = "cluster",
+                config: AnalysisConfig | None = None,
+                run: RunConfig | None = None,
+                server_ip: int | None = None,
+                server_port: int | None = None,
+                checkpoint_dir: "str | Path | None" = None,
+                resume: bool = False) -> ClusterResult:
+    """Like :func:`analyze_cluster`, returning the full
+    :class:`ClusterResult`."""
+    return Coordinator(
+        source,
+        n_shards=shards,
+        transport=transport,
+        service=service,
+        analysis=config,
+        run=run,
+        server_ip=server_ip,
+        server_port=server_port,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    ).run()
+
+
+# -- internals --------------------------------------------------------
+def _worker_entry(
+    worker_end: Transport, coord_end: Transport, spec: ShardSpec
+) -> None:
+    """Child-process entry: drop the parent's end, run the shard."""
+    coord_end.close()
+    raise SystemExit(worker_main(worker_end, spec))
+
+
+def _rebuild_error(payload: dict) -> ReproError:
+    """Re-raise a worker's ERROR frame as its original typed error."""
+    from .. import errors as errors_module
+
+    error_type = payload.get("error_type", "WorkerError")
+    message = (
+        f"shard {payload.get('shard')}: "
+        f"{error_type}: {payload.get('error')}"
+    )
+    cls = getattr(errors_module, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except TypeError:
+            pass
+    return WorkerError(message)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()

@@ -1,0 +1,227 @@
+"""Worker wire protocol: length-prefixed, schema-versioned frames.
+
+Every message between the cluster coordinator and a shard worker is
+one frame::
+
+    +--------+---------+--------+-------------+----------------------+
+    | magic  | version | kind   | payload_len | payload              |
+    | 4s     | u16     | u16    | u32         | payload_len bytes    |
+    +--------+---------+--------+-------------+----------------------+
+    'RPCL'    network byte order (struct '!4sHHI')    pickled object
+
+The header is fixed (12 bytes) so a receiver always knows how much to
+read next; the payload is a pickled Python object (the two ends are
+the same trusted codebase — this is an internal control channel, not
+an untrusted network surface).  A version mismatch or bad magic raises
+a typed :class:`ProtocolError` instead of desynchronizing.
+
+Transports are pluggable behind one tiny interface
+(:class:`Transport`): :class:`PipeTransport` runs today's
+coordinator/worker pairs over ``os.pipe`` descriptors that fork-spawned
+children inherit, and :class:`SocketTransport` runs the identical
+framing over a connected socket — the step from same-host pipes to
+cross-host TCP changes only which factory built the transport, never
+the message layer above it (``--transport socket`` exercises this).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+MAGIC = b"RPCL"
+#: Bump on any frame or payload schema change; both ends assert it.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("!4sHHI")
+
+
+class ProtocolError(ReproError):
+    """A malformed, truncated, or version-mismatched cluster frame."""
+
+
+class MessageKind(enum.IntEnum):
+    """What a frame's payload means."""
+
+    HELLO = 1     #: worker -> coordinator: shard id, pid, version
+    PROGRESS = 2  #: worker -> coordinator: periodic per-shard offsets
+    RESULT = 3    #: worker -> coordinator: the shard's final result
+    ERROR = 4     #: worker -> coordinator: typed failure before RESULT
+    SHUTDOWN = 5  #: coordinator -> worker: stop after the current slab
+
+
+@dataclass
+class Message:
+    """One decoded frame."""
+
+    kind: MessageKind
+    payload: object
+
+
+class Transport:
+    """One end of a coordinator<->worker channel.
+
+    Subclasses provide raw byte I/O (:meth:`_write`, :meth:`_read`)
+    and :meth:`close`; framing, versioning, and pickling live here so
+    every transport speaks the identical protocol.
+    """
+
+    def send(self, kind: MessageKind, payload: object = None) -> None:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write(
+            _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(kind), len(body))
+            + body
+        )
+
+    def recv(self) -> Message | None:
+        """The next frame, or ``None`` on a clean end-of-stream.
+
+        End-of-stream in the *middle* of a frame — the signature of a
+        dying peer — raises :class:`ProtocolError`, as do bad magic
+        and version mismatches.
+        """
+        header = self._read(_HEADER.size)
+        if not header:
+            return None
+        if len(header) < _HEADER.size:
+            raise ProtocolError(
+                f"truncated frame header ({len(header)} bytes)"
+            )
+        magic, version, kind, length = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {magic!r}")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: peer speaks {version}, "
+                f"this end speaks {PROTOCOL_VERSION}"
+            )
+        body = self._read(length)
+        if len(body) < length:
+            raise ProtocolError(
+                f"truncated frame payload ({len(body)}/{length} bytes)"
+            )
+        try:
+            payload = pickle.loads(body)
+        except Exception as exc:
+            raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+        try:
+            return Message(kind=MessageKind(kind), payload=payload)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown message kind {kind}") from exc
+
+    # -- subclass surface ---------------------------------------------
+    def _write(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _read(self, n: int) -> bytes:
+        raise NotImplementedError
+
+    def fileno(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class PipeTransport(Transport):
+    """Frames over a pair of ``os.pipe`` file descriptors.
+
+    Either descriptor may be ``None`` for a one-directional end (the
+    worker end of a result channel only writes).
+    """
+
+    def __init__(self, read_fd: int | None, write_fd: int | None):
+        self._read_fd = read_fd
+        self._write_fd = write_fd
+
+    def _write(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            written = os.write(self._write_fd, view)
+            view = view[written:]
+
+    def _read(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = os.read(self._read_fd, remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def fileno(self) -> int:
+        return self._read_fd if self._read_fd is not None else self._write_fd
+
+    def close(self) -> None:
+        for fd in (self._read_fd, self._write_fd):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._read_fd = self._write_fd = None
+
+
+class SocketTransport(Transport):
+    """Frames over a connected socket (``socketpair`` today, TCP
+    tomorrow — the framing neither knows nor cares)."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+
+    def _write(self, data: bytes) -> None:
+        self._sock.sendall(data)
+
+    def _read(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def make_transport_pair(
+    transport: str = "pipe",
+) -> tuple[Transport, Transport]:
+    """Build a connected ``(coordinator_end, worker_end)`` pair.
+
+    ``"pipe"`` wires two ``os.pipe``\\ s into a full-duplex channel;
+    ``"socket"`` uses a ``socketpair``.  Both ends survive a fork —
+    each process must :meth:`~Transport.close` the end it does not use
+    so peer death surfaces as end-of-stream.
+    """
+    if transport == "pipe":
+        worker_read, coord_write = os.pipe()
+        coord_read, worker_write = os.pipe()
+        return (
+            PipeTransport(coord_read, coord_write),
+            PipeTransport(worker_read, worker_write),
+        )
+    if transport == "socket":
+        coord_sock, worker_sock = socket.socketpair()
+        return SocketTransport(coord_sock), SocketTransport(worker_sock)
+    raise ValueError(
+        f"unknown cluster transport {transport!r}; expected 'pipe' or "
+        "'socket'"
+    )

@@ -25,15 +25,24 @@ from dataclasses import dataclass, field
 from .errors import ErrorBudget
 
 
+#: The release in which every currently-shimmed legacy spelling goes
+#: away (the deprecation policy promises at least one minor release of
+#: warning before this).
+DEPRECATED_REMOVAL_VERSION = "2.0"
+
+
 def warn_deprecated_kwargs(where: str, names: list[str], instead: str) -> None:
     """Emit the standard deprecation warning for legacy keyword soup.
 
+    The message always names both the replacement and the removal
+    version, so callers know exactly what to change and by when.
     ``stacklevel=3`` points at the caller of the shimmed entry point
     (user code), not at the shim itself.
     """
     warnings.warn(
         f"{where}({', '.join(sorted(names))}=...) is deprecated; "
-        f"pass {instead} instead",
+        f"pass {instead} instead (the legacy spelling will be removed "
+        f"in repro {DEPRECATED_REMOVAL_VERSION})",
         DeprecationWarning,
         stacklevel=3,
     )

@@ -11,20 +11,14 @@ import argparse
 import json
 import sys
 
+from .. import cli_options
 from ..config import AnalysisConfig, RunConfig
-from ..errors import ErrorBudget, ReproError
+from ..errors import ReproError
 from ..packet.flow import server_by_ip, server_by_port
 from ..packet.headers import ip_from_str
 from .report import ServiceReport
 from .stalls import RetxCause, StallCause
 from .tapo import Tapo
-
-
-def _error_budget(spec: str) -> ErrorBudget:
-    try:
-        return ErrorBudget.parse(spec)
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,15 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
         version=f"%(prog)s {version_string()}",
     )
     parser.add_argument("pcap", help="path to a pcap file (raw-IP or Ethernet)")
-    parser.add_argument(
-        "--server-ip",
-        help="IP address of the server endpoint (otherwise inferred)",
-    )
-    parser.add_argument(
-        "--server-port",
-        type=int,
-        help="TCP port of the server endpoint (otherwise inferred)",
-    )
+    cli_options.add_server_endpoint(parser)
     parser.add_argument(
         "--tau",
         type=float,
@@ -89,15 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(identical classifications; memory stays flat on huge traces)"
         ),
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
+    cli_options.add_workers(
+        parser,
         default=1,
         help=(
             "analysis worker processes (implies --stream; 0 = one per "
             "core, 1 = serial; default 1)"
         ),
     )
+    cli_options.add_cluster_options(parser, default_shards=1)
     parser.add_argument(
         "--idle-timeout",
         type=float,
@@ -116,36 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
             "an escape hatch and parity oracle)"
         ),
     )
-    parser.add_argument(
-        "--errors",
-        type=_error_budget,
-        default="strict",
-        metavar="POLICY",
-        help=(
-            "error budget for damaged input: 'strict' (fail on the "
-            "first fault), 'lenient' (skip, count, keep going), "
-            "'budget:N' or 'budget:X%%' (lenient until N faults or "
-            "X%% of units); default strict"
-        ),
-    )
-    parser.add_argument(
-        "--stats",
-        action="store_true",
+    cli_options.add_errors(parser, default="strict")
+    cli_options.add_stats(
+        parser,
         help=(
             "print streaming/runtime counters to stderr (implies --stream)"
         ),
     )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="PREFIX",
+    cli_options.add_metrics_out(
+        parser,
         help=(
             "write streaming metrics to PREFIX.json and PREFIX.prom "
             "(Prometheus text exposition; implies --stream)"
         ),
     )
-    parser.add_argument(
-        "--results-store",
-        metavar="PATH",
+    cli_options.add_results_store(
+        parser,
         help=(
             "append this analysis (summary metrics + stall-cause "
             "shares + fault counters) to the longitudinal results "
@@ -248,7 +220,8 @@ def main(argv: list[str] | None = None) -> int:
             columnar=not args.no_columnar,
         )
     )
-    streaming = (
+    cluster = args.shards > 1
+    streaming = not cluster and (
         args.stream
         or args.stats
         or bool(args.metrics_out)
@@ -258,7 +231,27 @@ def main(argv: list[str] | None = None) -> int:
 
     analysis_started = _time.monotonic()
     try:
-        if streaming:
+        if cluster:
+            # Sharded execution: same analyses, N worker processes.
+            # The merged report is byte-identical to the batch path,
+            # so every downstream emitter below works unchanged.
+            from ..cluster import run_cluster
+
+            cluster_result = run_cluster(
+                args.pcap,
+                shards=args.shards,
+                transport=args.transport,
+                service=args.pcap,
+                config=tapo.config,
+                server_ip=(
+                    ip_from_str(args.server_ip) if args.server_ip else None
+                ),
+                server_port=(
+                    args.server_port if not args.server_ip else None
+                ),
+            )
+            analyses = list(cluster_result.report.flows)
+        elif streaming:
             from ..obs.metrics import MetricsRegistry
             from ..packet.flow import StreamStats
 
@@ -292,7 +285,33 @@ def main(argv: list[str] | None = None) -> int:
         print(f"tapo: cannot read {args.pcap}: {exc}", file=sys.stderr)
         return 1
 
-    faults = tapo.faults
+    faults = cluster_result.faults if cluster else tapo.faults
+    if cluster:
+        if args.stats:
+            for shard in cluster_result.shards:
+                print(
+                    f"shard {shard['shard']}: {shard['flows']} flows "
+                    f"({shard['skipped']} quarantined), "
+                    f"{shard['packets_kept']}/{shard['packets_decoded']} "
+                    "packets kept",
+                    file=sys.stderr,
+                )
+            if cluster_result.workers_died:
+                print(
+                    f"cluster: {cluster_result.workers_died} worker "
+                    "deaths survived",
+                    file=sys.stderr,
+                )
+        if args.metrics_out:
+            from ..obs.metrics import write_registry
+
+            json_path, prom_path = write_registry(
+                cluster_result.registry, args.metrics_out
+            )
+            print(
+                f"wrote metrics to {json_path} and {prom_path}",
+                file=sys.stderr,
+            )
     if streaming:
         if args.stats:
             print(

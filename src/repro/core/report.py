@@ -93,6 +93,12 @@ class ServiceReport:
     service: str
     flows: list[FlowAnalysis] = field(default_factory=list)
     skipped: list[SkippedFlow] = field(default_factory=list)
+    #: Merge provenance: contributing source label -> flows it brought
+    #: (e.g. ``{"shard-0": 41, "shard-1": 38}`` for a cluster merge).
+    #: Bookkeeping only — deliberately excluded from :meth:`to_dict` so
+    #: a merged report stays byte-identical to a single-pass report
+    #: over the same flows regardless of how it was assembled.
+    provenance: dict = field(default_factory=dict)
 
     def add(self, analysis: FlowAnalysis) -> None:
         self.flows.append(analysis)
@@ -113,6 +119,36 @@ class ServiceReport:
         """
         self.flows.extend(other.flows)
         self.skipped.extend(other.skipped)
+        if other.provenance:
+            for label, count in other.provenance.items():
+                self.provenance[label] = (
+                    self.provenance.get(label, 0) + count
+                )
+        return self
+
+    def tag_provenance(self, label: str) -> "ServiceReport":
+        """Stamp this (partial) report as coming from ``label``.
+
+        Replaces any existing provenance: a partial report is *from*
+        its source; merged totals accumulate per-source counts via
+        :meth:`merge`.
+        """
+        self.provenance = {label: len(self.flows) + len(self.skipped)}
+        return self
+
+    def canonical_sort(self) -> "ServiceReport":
+        """Order flows and skip records deterministically (in place).
+
+        Flows sort by ``(first packet time, flow key)`` and skip
+        records by ``(flow key, error type)``.  Streamed, sharded, and
+        batch pipelines hand flows over in pipeline-dependent orders
+        (completion order, shard-merge order, first-time order with
+        insertion-order ties); after canonical sorting, any two
+        pipelines that analyzed the same flows serialize to the same
+        :meth:`to_json` bytes — the cluster's merge-parity gate.
+        """
+        self.flows.sort(key=lambda a: (a.flow.first_time, a.flow.key))
+        self.skipped.sort(key=lambda s: (s.key, s.error_type))
         return self
 
     @classmethod

@@ -114,9 +114,11 @@ class Tapo:
         record_series: bool | None = None,
     ):
         if config is not None and not isinstance(config, AnalysisConfig):
-            # Legacy positional tau: Tapo(2.0).
+            # Legacy positional tau: Tapo(2.0).  Converted directly
+            # (not via the kwarg path below) so one legacy call emits
+            # exactly one warning.
             warn_deprecated_kwargs("Tapo", ["tau"], "AnalysisConfig(tau=...)")
-            tau, config = float(config), None
+            config = AnalysisConfig(tau=float(config))
         legacy = {
             name: value
             for name, value in (

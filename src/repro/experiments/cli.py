@@ -14,6 +14,7 @@ import argparse
 import sys
 import time
 
+from .. import cli_options
 from ..config import RunConfig
 from ..workload.services import get_profile
 from .dataset import build_dataset
@@ -72,39 +73,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-dir",
         help="also write gnuplot-ready figure data files here",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
+    cli_options.add_workers(
+        parser,
         default=0,
         help=(
             "simulation worker processes (0 = one per core, 1 = serial; "
             "results are identical either way; default 0)"
         ),
     )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help=(
-            "bypass the dataset caches (in-process and on-disk) and "
-            "re-simulate from scratch"
-        ),
-    )
-    parser.add_argument(
-        "--stats",
-        action="store_true",
+    cli_options.add_no_cache(parser)
+    cli_options.add_stats(
+        parser,
         help="print runtime metrics (events/sec, workers, cache) to stderr",
     )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="PREFIX",
+    cli_options.add_metrics_out(
+        parser,
         help=(
             "write run metrics to PREFIX.json and PREFIX.prom "
             "(Prometheus text exposition)"
         ),
     )
-    parser.add_argument(
-        "--results-store",
-        metavar="PATH",
+    cli_options.add_results_store(
+        parser,
         help=(
             "append per-service summary records and the mitigation "
             "policy rankings to the longitudinal results store at PATH"

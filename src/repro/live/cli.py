@@ -12,19 +12,13 @@ import json
 import logging
 import sys
 
+from .. import cli_options
 from ..config import AnalysisConfig, RunConfig
 from ..errors import ErrorBudget, ReproError
 from ..packet.flow import server_by_ip, server_by_port
 from ..packet.headers import ip_from_str
 from .alerts import AlertRule, JsonlSink
 from .daemon import LiveDaemon, open_source
-
-
-def _error_budget(spec: str) -> ErrorBudget:
-    try:
-        return ErrorBudget.parse(spec)
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _alert_rule(spec: str) -> AlertRule:
@@ -100,35 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="live",
         help="service label on reports (default 'live')",
     )
-    parser.add_argument(
-        "--server-ip",
-        help="IP address of the server endpoint (otherwise inferred)",
-    )
-    parser.add_argument(
-        "--server-port",
-        type=int,
-        help="TCP port of the server endpoint (otherwise inferred)",
-    )
+    cli_options.add_server_endpoint(parser)
     parser.add_argument(
         "--tau",
         type=float,
         default=2.0,
         help="stall threshold multiplier on SRTT (default 2)",
     )
-    parser.add_argument(
-        "--errors",
-        type=_error_budget,
+    cli_options.add_errors(
+        parser,
         default=ErrorBudget.lenient(),
-        metavar="POLICY",
         help=(
             "error budget for damaged input: 'strict', 'lenient', "
             "'budget:N', 'budget:X%%' (default lenient — a monitor "
             "should survive dirty captures)"
         ),
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
+    cli_options.add_workers(
+        parser,
         default=1,
         help="analysis worker processes (0 = one per core; default 1)",
     )
@@ -176,9 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rotated alert-log generations to keep (default 3)",
     )
-    parser.add_argument(
-        "--results-store",
-        metavar="PATH",
+    cli_options.add_results_store(
+        parser,
         help=(
             "append longitudinal result records (one per completed "
             "window, plus totals at exit) to this JSONL store; also "
@@ -232,9 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the final flushed report (JSON) here on exit",
     )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="PREFIX",
+    cli_options.add_metrics_out(
+        parser,
         help=(
             "write final metrics to PREFIX.json and PREFIX.prom (the "
             "same serialization /metrics serves)"

@@ -60,6 +60,7 @@ _ROUTES = [
     "/metrics",
     "/report.json",
     "/runs.json",
+    "/shards.json",
     "/trends.json",
 ]
 
@@ -120,6 +121,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(provider.report())
             elif path == "/runs.json" and hasattr(provider, "runs"):
                 self._send_json({"records": provider.runs()})
+            elif path == "/shards.json" and hasattr(provider, "shards"):
+                # Fleet aggregators (repro.cluster) expose per-shard
+                # progress/fault detail alongside the merged report.
+                self._send_json({"shards": provider.shards()})
             elif path == "/trends.json" and hasattr(provider, "trends"):
                 self._send_json(provider.trends())
             elif path == "/dashboard" and hasattr(
@@ -148,7 +153,10 @@ class LiveHTTPServer:
     ``provider`` must expose ``health() -> dict``,
     ``metrics_registry() -> MetricsRegistry``, and ``report() -> dict``;
     providers additionally exposing ``runs()``, ``trends()``, and
-    ``dashboard_html()`` get the longitudinal routes.  All are called
+    ``dashboard_html()`` get the longitudinal routes, and fleet
+    aggregators exposing ``shards()`` (see
+    :class:`repro.cluster.ClusterProvider`) get ``/shards.json``.  All
+    are called
     from handler threads and must be safe to call concurrently with
     ingestion (the daemon snapshots under a lock).
     """

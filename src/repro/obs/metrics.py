@@ -134,6 +134,22 @@ class MetricsRegistry:
                 mine.value = max(mine.value, metric.value)
         return self
 
+    @classmethod
+    def merged(
+        cls, registries: "Iterator[MetricsRegistry] | list[MetricsRegistry]"
+    ) -> "MetricsRegistry":
+        """Fold per-worker registries into one fleet-level registry.
+
+        Same semantics as pairwise :meth:`merge` (counters add, gauges
+        keep the max), applied left-to-right; the inputs are left
+        untouched.  This is how :mod:`repro.cluster` combines the
+        registries its shard workers ship back.
+        """
+        total = cls()
+        for registry in registries:
+            total.merge(registry)
+        return total
+
     # -- rendering -----------------------------------------------------
     def to_dict(self) -> dict:
         return {

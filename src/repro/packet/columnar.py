@@ -199,6 +199,98 @@ class PacketColumns:
         for index in range(len(self)):
             yield self.record(index)
 
+    # -- cluster fan-out ----------------------------------------------
+    _COLUMN_NAMES = (
+        "timestamps", "src_ip", "dst_ip", "src_port", "dst_port",
+        "seq", "ack", "flags", "window", "payload_len",
+        "ts_val", "ts_ecr", "optbits",
+    )
+
+    def shard_ids(self, n_shards: int) -> array:
+        """Per-packet shard assignment under ``n_shards``-way sharding.
+
+        Row ``i`` gets :func:`repro.packet.flow.flow_shard` of packet
+        ``i``'s endpoints — the same explicit SplitMix64-XOR mix
+        :meth:`FlowKey.shard_of <repro.packet.flow.FlowKey.shard_of>`
+        computes, vectorized over the whole slab when numpy is
+        importable.  Both directions of a connection always map to the
+        same shard, so a flow never straddles two cluster workers.
+        """
+        n = len(self)
+        if _np is not None and n:
+            u64 = _np.uint64
+            src = (
+                _np.frombuffer(self.src_ip, dtype=_np.uint32).astype(u64)
+                << u64(16)
+            ) | _np.frombuffer(self.src_port, dtype=_np.uint16).astype(u64)
+            dst = (
+                _np.frombuffer(self.dst_ip, dtype=_np.uint32).astype(u64)
+                << u64(16)
+            ) | _np.frombuffer(self.dst_port, dtype=_np.uint16).astype(u64)
+            with _np.errstate(over="ignore"):
+                mixed = None
+                for endpoint in (src, dst):
+                    x = endpoint
+                    x = (x ^ (x >> u64(30))) * u64(0xBF58476D1CE4E5B9)
+                    x = (x ^ (x >> u64(27))) * u64(0x94D049BB133111EB)
+                    x = x ^ (x >> u64(31))
+                    mixed = x if mixed is None else mixed ^ x
+            ids = (mixed % u64(n_shards)).astype(_np.uint16)
+            out = array("H")
+            out.frombytes(ids.tobytes())
+            return out
+        from .flow import flow_shard
+
+        return array(
+            "H",
+            (
+                flow_shard(
+                    self.src_ip[i], self.src_port[i],
+                    self.dst_ip[i], self.dst_port[i], n_shards,
+                )
+                for i in range(n)
+            ),
+        )
+
+    def select(self, indices) -> "PacketColumns":
+        """A new batch holding rows ``indices`` (ascending), in order."""
+        out = PacketColumns()
+        for name in self._COLUMN_NAMES:
+            column = getattr(self, name)
+            getattr(out, name).extend(column[i] for i in indices)
+        odd = self.odd_options
+        if odd:
+            optbits = self.optbits
+            out.odd_options = {
+                new_index: odd[old_index]
+                for new_index, old_index in enumerate(indices)
+                if optbits[old_index] & OPT_ODD
+            }
+        source = self.source_records
+        if source is not None:
+            out.source_records = [source[i] for i in indices]
+        return out
+
+    def select_shard(self, shard: int, n_shards: int) -> "PacketColumns":
+        """Rows of this slab owned by cluster shard ``shard``.
+
+        This is the fan-out primitive of :mod:`repro.cluster`: each
+        worker decodes the capture slab-by-slab and keeps only its own
+        rows, so flow state, analysis, and result shipping all scale
+        with ``1/n_shards`` of the trace.
+        """
+        if n_shards <= 1:
+            return self
+        ids = self.shard_ids(n_shards)
+        if _np is not None and len(ids):
+            mask = _np.frombuffer(ids, dtype=_np.uint16) == shard
+            indices = _np.nonzero(mask)[0].tolist()
+        else:
+            indices = [i for i, owner in enumerate(ids) if owner == shard]
+        if len(indices) == len(ids):
+            return self
+        return self.select(indices)
+
 
 def decode_spans(
     buffer: bytes,

@@ -24,6 +24,40 @@ class Direction(enum.Enum):
     IN = "in"  # client -> server
 
 
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit value.
+
+    The columnar batch decoder vectorizes this exact sequence
+    (:meth:`repro.packet.columnar.PacketColumns.shard_ids`), so the two
+    implementations must stay in lockstep bit for bit.
+    """
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+    return x ^ (x >> 31)
+
+
+def flow_shard(
+    src_ip: int, src_port: int, dst_ip: int, dst_port: int, n_shards: int
+) -> int:
+    """Deterministic shard of a flow, direction-invariant.
+
+    Each endpoint packs into 48 bits (``ip << 16 | port``) and runs
+    through :func:`_mix64`; the two hashes combine with XOR, which is
+    commutative, so both directions of a connection land on the same
+    shard without canonicalizing the endpoint order first.  The mix is
+    explicit (not Python ``hash()``) so shard assignment is identical
+    across processes, platforms, and interpreter versions — the
+    cluster's checkpoint/resume and merge-parity guarantees depend on
+    that.
+    """
+    a = _mix64((src_ip << 16) | src_port)
+    b = _mix64((dst_ip << 16) | dst_port)
+    return (a ^ b) % n_shards
+
+
 @dataclass(frozen=True, order=True)
 class FlowKey:
     """Canonical 4-tuple: the endpoints sorted so either direction maps
@@ -44,6 +78,12 @@ class FlowKey:
 
     def endpoints(self) -> tuple[tuple[int, int], tuple[int, int]]:
         return (self.ip_a, self.port_a), (self.ip_b, self.port_b)
+
+    def shard_of(self, n_shards: int) -> int:
+        """Which of ``n_shards`` cluster shards owns this flow."""
+        return flow_shard(
+            self.ip_a, self.port_a, self.ip_b, self.port_b, n_shards
+        )
 
 
 ServerPredicate = Callable[[PacketRecord], bool]

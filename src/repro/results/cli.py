@@ -19,6 +19,7 @@ import argparse
 import json
 import sys
 
+from .. import cli_options
 from .dashboard import render_dashboard
 from .store import ResultsStore, merge_records
 from .trends import TrendConfig, trend_report
@@ -26,9 +27,12 @@ from .trends import TrendConfig, trend_report
 
 def _add_store_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("store", help="results store JSONL path")
-    parser.add_argument(
-        "--errors",
+    # raw=True: the store parses the budget itself (it reloads with
+    # different budgets across compact/merge), so keep the spec a str.
+    cli_options.add_errors(
+        parser,
         default="lenient",
+        raw=True,
         help="error budget for loading: strict | lenient | budget:N | "
         "budget:X%% (default: lenient)",
     )

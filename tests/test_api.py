@@ -207,6 +207,55 @@ class TestFacade:
             assert getattr(repro, name) is getattr(live, name)
 
 
+class TestApiSurfaceSnapshot:
+    """``api.__all__`` is the single source of truth for the stable
+    surface; the docstring and the top-level lazy exports must follow
+    it.  These tests fail the moment any of the three drift apart."""
+
+    def test_all_is_sorted_and_unique(self):
+        assert api.__all__ == sorted(set(api.__all__))
+
+    def test_docstring_names_every_export(self):
+        for name in api.__all__:
+            assert name in api.__doc__, (
+                f"api.__all__ exports {name!r} but the repro.api "
+                "docstring never mentions it"
+            )
+
+    def test_every_export_is_a_real_attribute(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_every_export_importable_from_top_level(self):
+        for name in api.__all__:
+            assert name in repro._EXPORTS, (
+                f"api.__all__ exports {name!r} but repro/__init__.py "
+                "has no lazy export for it"
+            )
+            assert getattr(repro, name) is getattr(api, name), (
+                f"repro.{name} and repro.api.{name} are different "
+                "objects"
+            )
+
+    def test_lazy_export_map_resolves(self):
+        from importlib import import_module
+
+        for name, module in repro._EXPORTS.items():
+            assert hasattr(import_module(module), name), (
+                f"repro._EXPORTS maps {name!r} to {module}, which "
+                "does not define it"
+            )
+            assert name in repro.__all__
+
+    def test_cluster_facade_exports(self):
+        from repro import cluster
+
+        assert api.analyze_cluster is cluster.analyze_cluster
+        assert api.Coordinator is cluster.Coordinator
+        assert repro.analyze_cluster is cluster.analyze_cluster
+        assert repro.Coordinator is cluster.Coordinator
+
+
 class TestLazyPackage:
     def test_top_level_reexports(self):
         assert repro.Tapo is Tapo

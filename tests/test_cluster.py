@@ -1,0 +1,488 @@
+"""Sharded-cluster tests: wire protocol, flow-hash sharding, the
+shard-count-invariance property, real-subprocess coordinator runs
+(worker death included), checkpoint/resume, and the HTTP aggregator."""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterProvider,
+    Coordinator,
+    MessageKind,
+    ProtocolError,
+    ShardSpec,
+    analyze_cluster,
+    make_transport_pair,
+    merge_shard_results,
+    run_cluster,
+    run_shard,
+)
+from repro.cluster import protocol as proto
+from repro.cluster.worker import KILL_DIR_ENV, KILL_SHARD_ENV
+from repro.config import AnalysisConfig
+from repro.core.report import ServiceReport
+from repro.core.tapo import Tapo
+from repro.errors import ErrorBudget
+from repro.packet.columnar import PacketColumns
+from repro.packet.flow import FlowKey, flow_shard
+from repro.packet.pcap import PcapReader, write_pcap
+from repro.testing.faults import corrupt_pcap_records
+from repro.testing.traces import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cluster") / "trace.pcap"
+    write_pcap(path, generate_trace(seed=11, flows=36))
+    return str(path)
+
+
+def batch_reference(path: str, service: str = "cluster") -> ServiceReport:
+    """The single-process oracle: batch analysis, canonically sorted."""
+    report = ServiceReport(service=service)
+    for analysis in Tapo().analyze_pcap(path):
+        report.add(analysis)
+    return report.canonical_sort()
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("transport", ["pipe", "socket"])
+    def test_round_trip(self, transport):
+        a, b = make_transport_pair(transport)
+        try:
+            payload = {"shard": 3, "nested": [1, "two", {"x": 4.5}]}
+            a.send(MessageKind.PROGRESS, payload)
+            message = b.recv()
+            assert message.kind is MessageKind.PROGRESS
+            assert message.payload == payload
+            b.send(MessageKind.SHUTDOWN)
+            back = a.recv()
+            assert back.kind is MessageKind.SHUTDOWN
+            assert back.payload is None
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize("transport", ["pipe", "socket"])
+    def test_clean_eof_is_none(self, transport):
+        a, b = make_transport_pair(transport)
+        a.close()
+        assert b.recv() is None
+        b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = make_transport_pair("pipe")
+        # Write a header promising more payload than ever arrives.
+        a._write(
+            proto._HEADER.pack(
+                proto.MAGIC, proto.PROTOCOL_VERSION,
+                int(MessageKind.RESULT), 1 << 20,
+            )
+            + b"short"
+        )
+        a.close()
+        with pytest.raises(ProtocolError, match="truncated"):
+            b.recv()
+        b.close()
+
+    def test_version_mismatch_raises(self):
+        a, b = make_transport_pair("pipe")
+        a._write(
+            proto._HEADER.pack(
+                proto.MAGIC, proto.PROTOCOL_VERSION + 1,
+                int(MessageKind.HELLO), 0,
+            )
+        )
+        with pytest.raises(ProtocolError, match="version"):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_bad_magic_raises(self):
+        a, b = make_transport_pair("pipe")
+        a._write(
+            proto._HEADER.pack(
+                b"NOPE", proto.PROTOCOL_VERSION, int(MessageKind.HELLO), 0
+            )
+        )
+        with pytest.raises(ProtocolError, match="magic"):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_unknown_kind_raises(self):
+        a, b = make_transport_pair("pipe")
+        a.send(MessageKind.HELLO)  # prove the channel works first
+        assert b.recv().kind is MessageKind.HELLO
+        import pickle
+
+        body = pickle.dumps(None)
+        a._write(
+            proto._HEADER.pack(
+                proto.MAGIC, proto.PROTOCOL_VERSION, 99, len(body)
+            )
+            + body
+        )
+        with pytest.raises(ProtocolError, match="kind"):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_unknown_transport_name(self):
+        with pytest.raises(ValueError, match="transport"):
+            make_transport_pair("carrier-pigeon")
+
+
+class TestFlowShard:
+    def test_direction_invariant(self):
+        for n in (1, 2, 3, 7, 16):
+            assert flow_shard(1, 80, 2, 999, n) == flow_shard(
+                2, 999, 1, 80, n
+            )
+
+    def test_key_shard_matches_function(self):
+        key = FlowKey(0x0A000001, 80, 0x64400001, 31000)
+        assert key.shard_of(5) == flow_shard(
+            key.ip_a, key.port_a, key.ip_b, key.port_b, 5
+        )
+
+    @given(
+        ips=st.tuples(
+            st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1)
+        ),
+        ports=st.tuples(st.integers(0, 65535), st.integers(0, 65535)),
+        n=st.integers(1, 64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_stable_and_in_range(self, ips, ports, n):
+        shard = flow_shard(ips[0], ports[0], ips[1], ports[1], n)
+        assert 0 <= shard < n
+        assert shard == flow_shard(ips[0], ports[0], ips[1], ports[1], n)
+        assert shard == flow_shard(ips[1], ports[1], ips[0], ports[0], n)
+
+
+class TestColumnarSharding:
+    def columns(self, trace_pcap) -> PacketColumns:
+        with PcapReader(trace_pcap) as reader:
+            batches = list(reader.iter_columns())
+        assert batches
+        return batches[0]
+
+    def test_shard_ids_match_pure_python(self, trace_pcap):
+        # The numpy vectorization and the scalar reference must agree
+        # bit for bit — merge parity depends on it.
+        for n in (1, 2, 3, 4, 13):
+            cols = self.columns(trace_pcap)
+            ids = cols.shard_ids(n)
+            assert len(ids) == len(cols)
+            for i in range(len(cols)):
+                assert ids[i] == flow_shard(
+                    cols.src_ip[i], cols.src_port[i],
+                    cols.dst_ip[i], cols.dst_port[i], n,
+                ), f"row {i} diverges at n={n}"
+
+    def test_select_shard_partitions_rows(self, trace_pcap):
+        cols = self.columns(trace_pcap)
+        n = 4
+        kept = [cols.select_shard(shard, n) for shard in range(n)]
+        assert sum(len(k) for k in kept) == len(cols)
+        # Every selected row carries its original field values.
+        recs = {
+            (r.timestamp, r.src_ip, r.src_port, r.seq)
+            for r in cols.records()
+        }
+        for part in kept:
+            for r in part.records():
+                assert (r.timestamp, r.src_ip, r.src_port, r.seq) in recs
+
+    def test_select_shard_single_shard_is_identity(self, trace_pcap):
+        cols = self.columns(trace_pcap)
+        assert cols.select_shard(0, 1) is cols
+
+
+class TestShardInvariance:
+    """The tentpole property: merged output is independent of shard
+    count — ``merge(shard(trace, N)) == merge(shard(trace, M)) ==
+    single-process`` — including coverage and fault accounting."""
+
+    def run_in_process(self, path: str, n_shards: int):
+        results = [
+            run_shard(
+                ShardSpec(
+                    paths=(path,), shard=shard, n_shards=n_shards
+                )
+            )
+            for shard in range(n_shards)
+        ]
+        return merge_shard_results(results, "cluster")
+
+    @given(seed=st.integers(0, 30), pair=st.tuples(
+        st.integers(1, 6), st.integers(1, 6)))
+    @settings(max_examples=12, deadline=None)
+    def test_merge_is_shard_count_invariant(self, tmp_path_factory,
+                                            seed, pair):
+        path = str(
+            tmp_path_factory.mktemp("inv") / f"t{seed}.pcap"
+        )
+        write_pcap(path, generate_trace(seed=seed, flows=8))
+        reference = batch_reference(path)
+        n, m = pair
+        report_n, _, faults_n = self.run_in_process(path, n)
+        report_m, _, faults_m = self.run_in_process(path, m)
+        assert report_n.to_json() == reference.to_json()
+        assert report_m.to_json() == reference.to_json()
+        assert faults_n.flows_skipped == faults_m.flows_skipped
+        assert faults_n.corrupt_records == faults_m.corrupt_records
+
+    def test_skipped_flow_accounting_is_invariant(self, tmp_path):
+        # Damage a slice of records; under a lenient budget the fleet
+        # must quarantine the same flows and count the same capture-
+        # level faults regardless of shard count.
+        clean = tmp_path / "clean.pcap"
+        dirty = tmp_path / "dirty.pcap"
+        write_pcap(clean, generate_trace(seed=3, flows=20))
+        corrupt_pcap_records(clean, dirty, fraction=0.05, seed=9)
+        config = AnalysisConfig(errors=ErrorBudget.lenient())
+
+        outcomes = {}
+        for n in (1, 3, 5):
+            results = [
+                run_shard(
+                    ShardSpec(
+                        paths=(str(dirty),), shard=shard, n_shards=n,
+                        analysis=config,
+                    )
+                )
+                for shard in range(n)
+            ]
+            report, _, faults = merge_shard_results(results, "cluster")
+            outcomes[n] = (
+                report.to_json(),
+                faults.corrupt_records,
+                faults.flows_skipped,
+                sorted((s.key, s.error_type) for s in report.skipped),
+            )
+        assert outcomes[1] == outcomes[3] == outcomes[5]
+
+    def test_provenance_counts_cover_every_flow(self, trace_pcap):
+        report, _, _ = self.run_in_process(trace_pcap, 4)
+        reference = batch_reference(trace_pcap)
+        assert sum(report.provenance.values()) == len(reference.flows)
+        assert set(report.provenance) == {
+            f"shard-{i}" for i in range(4)
+        }
+
+    def test_registry_reader_counters_merge(self, tmp_path):
+        clean = tmp_path / "clean.pcap"
+        dirty = tmp_path / "dirty.pcap"
+        write_pcap(clean, generate_trace(seed=3, flows=12))
+        corrupt_pcap_records(clean, dirty, fraction=0.1, seed=4)
+        config = AnalysisConfig(errors=ErrorBudget.lenient())
+        results = [
+            run_shard(
+                ShardSpec(
+                    paths=(str(dirty),), shard=shard, n_shards=3,
+                    analysis=config,
+                )
+            )
+            for shard in range(3)
+        ]
+        _, _, faults = merge_shard_results(results, "cluster")
+        # Every worker decodes the whole capture: the merged reader-
+        # level counts equal ONE worker's, not the sum of three.
+        assert faults.corrupt_records == results[0].faults.corrupt_records
+        assert faults.resyncs == results[0].faults.resyncs
+
+
+class TestCoordinator:
+    """Real forked-subprocess runs through the wire protocol."""
+
+    @pytest.mark.parametrize("transport", ["pipe", "socket"])
+    def test_four_shards_byte_identical(self, trace_pcap, transport):
+        reference = batch_reference(trace_pcap)
+        result = run_cluster(
+            trace_pcap, shards=4, transport=transport
+        )
+        assert result.report.to_json() == reference.to_json()
+        assert result.workers_died == 0
+        assert [s["shard"] for s in result.shards] == [0, 1, 2, 3]
+        assert result.n_shards == 4
+
+    def test_analyze_cluster_facade(self, trace_pcap):
+        merged = analyze_cluster(trace_pcap, shards=2)
+        assert merged.to_json() == batch_reference(trace_pcap).to_json()
+
+    def test_single_shard_runs_in_process(self, trace_pcap):
+        result = run_cluster(trace_pcap, shards=1)
+        assert result.report.to_json() == (
+            batch_reference(trace_pcap).to_json()
+        )
+        assert result.workers_died == 0
+
+    def test_survives_worker_death(self, trace_pcap, tmp_path,
+                                   monkeypatch):
+        monkeypatch.setenv(KILL_SHARD_ENV, "1")
+        monkeypatch.setenv(KILL_DIR_ENV, str(tmp_path))
+        result = run_cluster(trace_pcap, shards=4)
+        assert result.workers_died == 1
+        assert (tmp_path / "cluster_kill_once.sentinel").exists()
+        assert result.report.to_json() == (
+            batch_reference(trace_pcap).to_json()
+        )
+
+    def test_strict_budget_error_propagates(self, tmp_path):
+        clean = tmp_path / "clean.pcap"
+        dirty = tmp_path / "dirty.pcap"
+        write_pcap(clean, generate_trace(seed=3, flows=12))
+        corrupt_pcap_records(clean, dirty, fraction=0.1, seed=4)
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_cluster(str(dirty), shards=3)
+
+    def test_multiple_captures(self, tmp_path):
+        p1, p2 = tmp_path / "a.pcap", tmp_path / "b.pcap"
+        write_pcap(p1, generate_trace(seed=1, flows=6))
+        write_pcap(p2, generate_trace(seed=2, flows=6, start=5000.0))
+        merged = analyze_cluster([str(p1), str(p2)], shards=3)
+        single = analyze_cluster([str(p1), str(p2)], shards=1)
+        assert merged.to_json() == single.to_json()
+
+    def test_rejects_bad_arguments(self, trace_pcap):
+        with pytest.raises(ValueError, match="n_shards"):
+            Coordinator(trace_pcap, n_shards=0)
+        with pytest.raises(ValueError, match="transport"):
+            Coordinator(trace_pcap, transport="quic")
+        with pytest.raises(ValueError, match="at least one"):
+            Coordinator([], n_shards=2)
+
+
+class TestCheckpointResume:
+    def test_resume_loads_finished_shards(self, trace_pcap, tmp_path):
+        spool = tmp_path / "spool"
+        first = run_cluster(
+            trace_pcap, shards=3, checkpoint_dir=spool
+        )
+        state = json.loads((spool / "state.json").read_text())
+        assert state["version"] == 1
+        assert all(
+            entry["status"] == "done"
+            for entry in state["shards"].values()
+        )
+        second = run_cluster(
+            trace_pcap, shards=3, checkpoint_dir=spool, resume=True
+        )
+        assert second.shards_resumed == 3
+        assert second.report.to_json() == first.report.to_json()
+
+    def test_signature_mismatch_restarts(self, trace_pcap, tmp_path):
+        spool = tmp_path / "spool"
+        run_cluster(trace_pcap, shards=3, checkpoint_dir=spool)
+        # Different shard count: the spool must be ignored, not merged.
+        result = run_cluster(
+            trace_pcap, shards=2, checkpoint_dir=spool, resume=True
+        )
+        assert result.shards_resumed == 0
+        assert result.report.to_json() == (
+            batch_reference(trace_pcap).to_json()
+        )
+
+    def test_damaged_spool_entry_reruns_shard(self, trace_pcap,
+                                              tmp_path):
+        spool = tmp_path / "spool"
+        run_cluster(trace_pcap, shards=2, checkpoint_dir=spool)
+        (spool / "shard-1.pkl").write_bytes(b"not a pickle")
+        result = run_cluster(
+            trace_pcap, shards=2, checkpoint_dir=spool, resume=True
+        )
+        assert result.shards_resumed == 1
+        assert result.report.to_json() == (
+            batch_reference(trace_pcap).to_json()
+        )
+
+
+class TestClusterProvider:
+    def test_http_endpoints(self, trace_pcap):
+        from repro.live.http import LiveHTTPServer
+
+        result = run_cluster(trace_pcap, shards=2)
+        with LiveHTTPServer(ClusterProvider(result)) as server:
+            def fetch(route):
+                with urllib.request.urlopen(
+                    server.url + route, timeout=10
+                ) as resp:
+                    return resp.status, resp.read().decode()
+
+            status, body = fetch("/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["n_shards"] == 2
+            assert health["status"] == "ok"
+
+            status, body = fetch("/shards.json")
+            assert status == 200
+            shards = json.loads(body)["shards"]
+            assert [s["shard"] for s in shards] == [0, 1]
+
+            status, body = fetch("/report.json")
+            payload = json.loads(body)
+            assert payload["cluster"]["n_shards"] == 2
+            assert len(payload["report"]["flows"]) == len(
+                result.report.flows
+            )
+
+            status, body = fetch("/metrics")
+            assert status == 200
+            assert "repro_" in body
+
+
+class TestClusterCli:
+    def test_cli_json_matches_facade(self, trace_pcap, capsys):
+        from repro.cluster.cli import main
+
+        assert main([trace_pcap, "--shards", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip("\n") == analyze_cluster(
+            trace_pcap, shards=2
+        ).to_json()
+
+    def test_cli_stats_and_metrics(self, trace_pcap, tmp_path, capsys):
+        from repro.cluster.cli import main
+
+        prefix = tmp_path / "metrics"
+        assert (
+            main(
+                [
+                    trace_pcap, "--shards", "2", "--stats",
+                    "--metrics-out", str(prefix),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "shard 0:" in captured.err
+        assert "flows analyzed" in captured.out
+        assert prefix.with_suffix(".json").exists()
+        assert prefix.with_suffix(".prom").exists()
+
+    def test_unified_cli_dispatch(self, trace_pcap, capsys):
+        from repro.cli import main
+
+        assert main(["cluster", trace_pcap, "--shards", "2"]) == 0
+        assert "flows analyzed" in capsys.readouterr().out
+
+    def test_tapo_shards_flag_matches_batch(self, trace_pcap, capsys):
+        from repro.core.cli import main
+
+        assert main([trace_pcap, "--json"]) == 0
+        batch = capsys.readouterr().out
+        assert main([trace_pcap, "--json", "--shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == batch
