@@ -48,7 +48,10 @@ _EXPORTS = {
     "AnalysisConfig": "repro.config",
     "RunConfig": "repro.config",
     # sharded cluster surface
+    "AuthError": "repro.cluster",
     "Coordinator": "repro.cluster",
+    "NetConfig": "repro.cluster",
+    "run_worker": "repro.cluster",
     # error taxonomy + fault accounting
     "CacheError": "repro.errors",
     "ErrorBudget": "repro.errors",
@@ -103,7 +106,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
         report,
         simulate,
     )
-    from .cluster import Coordinator
+    from .cluster import AuthError, Coordinator, NetConfig, run_worker
     from .config import AnalysisConfig, RunConfig
     from .errors import (
         CacheError,

@@ -23,7 +23,8 @@ modules are implementation detail and may move.  The full surface:
   ``StallCause``, ``RetxCause``, ``DoubleKind``, ``CaState``;
 * packets and flows: ``PacketRecord``, ``StreamStats``,
   ``server_by_ip``, ``server_by_port``;
-* cluster: ``analyze_cluster``, ``Coordinator``;
+* cluster: ``analyze_cluster``, ``Coordinator``, ``NetConfig``
+  (cross-host listener mode), ``run_worker`` (dial-in worker loop);
 * live monitoring: ``LiveDaemon``, ``WindowStore``, ``AlertRule``,
   ``watch_directory``;
 * longitudinal results: ``ResultsStore``, ``TrendConfig``,
@@ -31,8 +32,9 @@ modules are implementation detail and may move.  The full surface:
 * configuration: ``AnalysisConfig``, ``RunConfig``;
 * errors and budgets: ``ReproError``, ``ParseError``,
   ``FlowAnalysisError``, ``CacheError``, ``WorkerError``,
-  ``PoisonTaskError``, ``ErrorBudget``, ``ErrorBudgetExceeded``,
-  ``FaultStats``, ``SkippedFlow``.
+  ``PoisonTaskError``, ``AuthError`` (cluster handshake),
+  ``ErrorBudget``, ``ErrorBudgetExceeded``, ``FaultStats``,
+  ``SkippedFlow``.
 
 Quickstart::
 
@@ -62,7 +64,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
-from .cluster import Coordinator, analyze_cluster
+from .cluster import AuthError, Coordinator, NetConfig, analyze_cluster, run_worker
 from .config import AnalysisConfig, RunConfig
 from .core.flow_analyzer import FlowAnalysis
 from .core.report import ServiceReport
@@ -99,6 +101,7 @@ from .results import (
 __all__ = [
     "AlertRule",
     "AnalysisConfig",
+    "AuthError",
     "CaState",
     "CacheError",
     "Coordinator",
@@ -109,6 +112,7 @@ __all__ = [
     "FlowAnalysis",
     "FlowAnalysisError",
     "LiveDaemon",
+    "NetConfig",
     "PacketRecord",
     "ParseError",
     "PoisonTaskError",
@@ -131,6 +135,7 @@ __all__ = [
     "merge_records",
     "render_dashboard",
     "report",
+    "run_worker",
     "server_by_ip",
     "server_by_port",
     "simulate",

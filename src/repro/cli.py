@@ -15,6 +15,9 @@ One binary fronts every layer of the pipeline:
                (:mod:`repro.results.cli`)
 ``cluster``    sharded analysis fleet: N worker processes, merged
                byte-identical report (:mod:`repro.cluster.cli`)
+``cluster-worker``  dial in to a ``cluster --listen`` coordinator and
+               execute shard assignments
+               (:mod:`repro.cluster.worker_cli`)
 =============  =====================================================
 
 The shared flags mean the same thing everywhere they apply:
@@ -40,7 +43,10 @@ from __future__ import annotations
 
 import sys
 
-_SUBCOMMANDS = ("run", "analyze", "trace", "watch", "results", "cluster")
+_SUBCOMMANDS = (
+    "run", "analyze", "trace", "watch", "results", "cluster",
+    "cluster-worker",
+)
 
 _USAGE = """\
 usage: repro-paper <subcommand> [options]
@@ -54,6 +60,9 @@ subcommands:
              trends/compact/merge/dashboard)
   cluster    shard a capture across N worker processes and merge
              their reports (byte-identical to a single-process run)
+  cluster-worker
+             dial in to a 'cluster --listen' coordinator and execute
+             shard assignments (cross-host fleet member)
 
 Run 'repro-paper <subcommand> -h' for subcommand options.
 Flags without a subcommand are forwarded to 'run' (legacy form).
@@ -103,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
         from .cluster.cli import main as cluster_main
 
         return cluster_main(rest)
+    if command == "cluster-worker":
+        from .cluster.worker_cli import main as cluster_worker_main
+
+        return cluster_worker_main(rest)
     if command == "run":
         from .experiments.cli import main as run_main
 

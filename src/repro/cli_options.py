@@ -20,6 +20,7 @@ tweak rarely-needed attributes without re-declaring the flag.
 from __future__ import annotations
 
 import argparse
+import os
 
 from .errors import ErrorBudget
 
@@ -35,6 +36,24 @@ def error_budget(spec: str) -> ErrorBudget:
         return ErrorBudget.parse(spec)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def endpoint(spec: str) -> tuple[str, int]:
+    """Argparse ``type=`` adapter for ``[HOST:]PORT`` endpoint specs.
+
+    Shared by every flag that names a TCP endpoint (``--http``,
+    ``--listen``, ``--connect``), so the syntax an operator learns
+    once works everywhere.  A bare port binds/reaches ``127.0.0.1``.
+    """
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", spec
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad endpoint {spec!r}; expected [HOST:]PORT"
+        ) from None
 
 
 _ERRORS_HELP = (
@@ -166,6 +185,58 @@ def add_cluster_options(
         help=(
             "coordinator<->worker channel: inherited pipes or a "
             "socketpair speaking the identical framing (default pipe)"
+        ),
+    )
+
+
+#: Environment fallback for ``--cluster-secret`` — keeps the secret out
+#: of process listings and shell history.
+CLUSTER_SECRET_ENV = "REPRO_CLUSTER_SECRET"
+
+
+def add_cluster_secret(
+    parser: argparse.ArgumentParser, help: str | None = None
+):
+    """``--cluster-secret SECRET`` with ``$REPRO_CLUSTER_SECRET``
+    fallback (both the listener and dial-in worker CLIs use it, so the
+    two ends of the handshake parse the secret identically)."""
+    return parser.add_argument(
+        "--cluster-secret",
+        metavar="SECRET",
+        default=os.environ.get(CLUSTER_SECRET_ENV),
+        help=help
+        or (
+            "shared HMAC secret for the cluster handshake (default: "
+            f"${CLUSTER_SECRET_ENV}); required for cross-host mode"
+        ),
+    )
+
+
+def add_heartbeat(
+    parser: argparse.ArgumentParser,
+    interval: float = 5.0,
+    deadline: float = 30.0,
+) -> None:
+    """``--heartbeat-interval`` / ``--heartbeat-deadline`` pair."""
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=interval,
+        metavar="SECONDS",
+        help=(
+            "how often workers beacon a HEARTBEAT frame "
+            f"(0 disables; default {interval:g})"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-deadline",
+        type=float,
+        default=deadline,
+        metavar="SECONDS",
+        help=(
+            "declare a worker lost after this long without any frame "
+            "— catches silent and half-open peers "
+            f"(0 disables; default {deadline:g})"
         ),
     )
 

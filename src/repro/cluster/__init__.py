@@ -8,14 +8,25 @@ the partial reports into one fleet-level
 :class:`~repro.core.report.ServiceReport` byte-identical to a
 single-process run.
 
+Across hosts, the coordinator's TCP listener mode
+(:class:`~repro.cluster.net.NetConfig`, ``repro-paper cluster
+--listen``) accepts dial-in workers (:func:`~repro.cluster.net.
+run_worker`, ``repro-paper cluster-worker``) behind a mutual HMAC
+handshake, with heartbeat liveness, jittered-backoff shard
+reassignment, and in-process fallback — the merged report stays
+byte-identical through every failure mode.
+
 Entry points:
 
 - :func:`analyze_cluster` — the facade verb (merged report only)
 - :func:`run_cluster` / :class:`Coordinator` — full fleet control
-  (registry, per-shard detail, checkpoints, HTTP serving)
+  (registry, per-shard detail, checkpoints, HTTP serving, listener
+  mode)
+- :func:`run_worker` — the dial-in worker loop (cross-host fleets)
 - :class:`ShardSpec` / :func:`run_shard` — one shard, callable
   in-process
 - :mod:`~repro.cluster.protocol` — the framed worker wire protocol
+  and authenticated handshake
 """
 
 from .coordinator import (
@@ -27,21 +38,31 @@ from .coordinator import (
     run_cluster,
     serve_cluster,
 )
+from .net import (
+    NetConfig,
+    backoff_delay,
+    run_worker,
+)
 from .protocol import (
     MAGIC,
     PROTOCOL_VERSION,
+    AuthError,
     Message,
     MessageKind,
     PipeTransport,
     ProtocolError,
     SocketTransport,
     Transport,
+    auth_digest,
+    client_handshake,
     make_transport_pair,
+    server_handshake,
 )
 from .worker import (
     ShardProgress,
     ShardResult,
     ShardSpec,
+    heartbeat_pump,
     run_shard,
     worker_main,
 )
@@ -49,11 +70,13 @@ from .worker import (
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "AuthError",
     "ClusterProvider",
     "ClusterResult",
     "Coordinator",
     "Message",
     "MessageKind",
+    "NetConfig",
     "PipeTransport",
     "ProtocolError",
     "ShardProgress",
@@ -62,10 +85,16 @@ __all__ = [
     "SocketTransport",
     "Transport",
     "analyze_cluster",
+    "auth_digest",
+    "backoff_delay",
+    "client_handshake",
+    "heartbeat_pump",
     "make_transport_pair",
     "merge_shard_results",
     "run_cluster",
     "run_shard",
+    "run_worker",
     "serve_cluster",
+    "server_handshake",
     "worker_main",
 ]

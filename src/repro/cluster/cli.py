@@ -17,7 +17,8 @@ from .. import cli_options
 from ..config import AnalysisConfig
 from ..errors import ReproError
 from ..packet.headers import ip_from_str
-from .coordinator import ClusterProvider, run_cluster
+from .coordinator import ClusterProvider, Coordinator
+from .net import NetConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +70,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint-dir if its state matches",
     )
     parser.add_argument(
+        "--listen",
+        type=cli_options.endpoint,
+        metavar="[HOST:]PORT",
+        help=(
+            "cross-host mode: accept authenticated dial-in workers "
+            "(repro-paper cluster-worker --connect) here instead of "
+            "forking local ones; requires --cluster-secret"
+        ),
+    )
+    cli_options.add_cluster_secret(parser)
+    cli_options.add_heartbeat(parser)
+    parser.add_argument(
+        "--worker-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "in --listen mode, run pending shards in-process after "
+            "this long with no connected workers (default 30)"
+        ),
+    )
+    parser.add_argument(
+        "--jitter-seed",
+        type=int,
+        metavar="N",
+        help=(
+            "seed the retry-backoff jitter (default: OS entropy; "
+            "set for reproducible retry schedules)"
+        ),
+    )
+    cli_options.add_results_store(
+        parser,
+        help=(
+            "append a cluster-run provenance record (workers, "
+            "reassignments, heartbeat misses) to the results store "
+            "at PATH"
+        ),
+    )
+    parser.add_argument(
         "--http",
         metavar="[HOST:]PORT",
         help=(
@@ -89,23 +129,51 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     logging.basicConfig(stream=sys.stderr, level=logging.WARNING)
     server_ip = ip_from_str(args.server_ip) if args.server_ip else None
     server_port = args.server_port if not args.server_ip else None
 
-    try:
-        result = run_cluster(
-            args.pcaps,
-            shards=args.shards,
-            transport=args.transport,
-            service=args.service,
-            config=AnalysisConfig(tau=args.tau, errors=args.errors),
-            server_ip=server_ip,
-            server_port=server_port,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
+    net = None
+    if args.listen:
+        if not args.cluster_secret:
+            parser.error(
+                "--listen requires --cluster-secret (or "
+                f"${cli_options.CLUSTER_SECRET_ENV})"
+            )
+        host, port = args.listen
+        net = NetConfig(
+            host=host,
+            port=port,
+            secret=args.cluster_secret,
+            worker_grace=args.worker_grace,
         )
+
+    coordinator = Coordinator(
+        args.pcaps,
+        n_shards=args.shards,
+        transport=args.transport,
+        service=args.service,
+        analysis=AnalysisConfig(tau=args.tau, errors=args.errors),
+        server_ip=server_ip,
+        server_port=server_port,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        heartbeat_interval=args.heartbeat_interval or None,
+        heartbeat_deadline=args.heartbeat_deadline or None,
+        jitter_seed=args.jitter_seed,
+        net=net,
+    )
+    try:
+        if net is not None:
+            bound_host, bound_port = coordinator.bind()
+            print(
+                f"cluster: listening on {bound_host}:{bound_port} "
+                "for dial-in workers",
+                file=sys.stderr,
+            )
+        result = coordinator.run()
     except ReproError as exc:
         print(
             f"cluster: {type(exc).__name__}: {exc} "
@@ -131,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
             f"cluster: {result.n_shards} shards over "
             f"{result.transport}, {len(report.flows)} flows, "
             f"{result.workers_died} worker deaths, "
+            f"{result.reassignments} reassignments, "
+            f"{result.heartbeat_misses} heartbeat misses, "
             f"{result.shards_resumed} shards resumed, "
             f"{result.wall_time:.2f}s",
             file=sys.stderr,
@@ -144,6 +214,29 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"wrote metrics to {json_path} and {prom_path}",
             file=sys.stderr,
+        )
+    if args.results_store:
+        from ..results.store import ResultsStore
+
+        ResultsStore(args.results_store).append(
+            "cluster",
+            args.service,
+            metrics={
+                "n_shards": result.n_shards,
+                "flows": len(report.flows),
+                "flows_skipped": len(report.skipped),
+                "workers": len(result.workers),
+                "workers_died": result.workers_died,
+                "reassignments": result.reassignments,
+                "heartbeat_misses": result.heartbeat_misses,
+                "auth_failures": result.auth_failures,
+                "shards_resumed": result.shards_resumed,
+            },
+            wall_time=result.wall_time,
+            meta={
+                "transport": result.transport,
+                "pcaps": list(args.pcaps),
+            },
         )
 
     if args.json:
@@ -164,10 +257,9 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     if args.http:
-        from ..live.cli import _endpoint
         from ..live.http import LiveHTTPServer
 
-        host, port = _endpoint(args.http)
+        host, port = cli_options.endpoint(args.http)
         server = LiveHTTPServer(
             ClusterProvider(result), host, port
         ).start()

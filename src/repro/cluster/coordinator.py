@@ -36,6 +36,7 @@ import logging
 import multiprocessing
 import os
 import pickle
+import random
 import selectors
 import time
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from ..config import AnalysisConfig, RunConfig
 from ..core.report import ServiceReport
 from ..errors import FaultStats, ReproError, WorkerError
 from ..obs.metrics import MetricsRegistry
+from .net import NetConfig, backoff_delay, bind_listener, run_listener
 from .protocol import (
     MessageKind,
     ProtocolError,
@@ -81,6 +83,10 @@ class ClusterResult:
     wall_time: float = 0.0
     workers_died: int = 0
     shards_resumed: int = 0
+    reassignments: int = 0
+    heartbeat_misses: int = 0
+    auth_failures: int = 0
+    workers: list[dict] = field(default_factory=list)
 
 
 def merge_shard_results(
@@ -144,6 +150,21 @@ class Coordinator:
         rerun loads finished shards from the spool and only re-runs
         the incomplete ones (from offset zero — shard analysis is
         deterministic, so restarting a partial shard is correct).
+    heartbeat_interval / heartbeat_deadline:
+        Workers beacon a HEARTBEAT frame every ``heartbeat_interval``
+        seconds; a worker with an assigned shard that sends *nothing*
+        (heartbeat, progress, or result) for ``heartbeat_deadline``
+        seconds is declared lost even though its connection looks open
+        — the half-open-peer case TCP alone never surfaces.  ``None``
+        (or ``0``) disables the respective side.
+    jitter_seed:
+        Seed for retry-backoff jitter (see :func:`~repro.cluster.net.
+        backoff_delay`); ``None`` uses OS entropy, tests pin it.
+    net:
+        A :class:`~repro.cluster.net.NetConfig` switches the run to
+        cross-host listener mode: instead of forking local workers the
+        coordinator accepts authenticated TCP workers
+        (``repro-paper cluster-worker``) and assigns shards to them.
     """
 
     def __init__(
@@ -159,6 +180,10 @@ class Coordinator:
         server_port: int | None = None,
         checkpoint_dir: "str | Path | None" = None,
         resume: bool = False,
+        heartbeat_interval: float | None = 5.0,
+        heartbeat_deadline: float | None = 30.0,
+        jitter_seed: int | None = None,
+        net: NetConfig | None = None,
     ):
         if isinstance(source, (str, Path)):
             paths = (str(source),)
@@ -168,14 +193,14 @@ class Coordinator:
             raise ValueError("cluster needs at least one capture path")
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if transport not in ("pipe", "socket"):
+        if net is None and transport not in ("pipe", "socket"):
             raise ValueError(
                 f"unknown cluster transport {transport!r}; expected "
                 "'pipe' or 'socket'"
             )
         self.paths = paths
         self.n_shards = n_shards
-        self.transport = transport
+        self.transport = "tcp" if net is not None else transport
         self.service = service
         self.analysis = analysis or AnalysisConfig()
         self.run_config = run or RunConfig()
@@ -185,10 +210,19 @@ class Coordinator:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.resume = resume
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_deadline = heartbeat_deadline
+        self.net = net
+        self._jitter_rng = random.Random(jitter_seed)
+        self._listener = None
         self._state: dict = {}
         self._progress: dict[int, dict] = {}
         self.workers_died = 0
         self.shards_resumed = 0
+        self.reassignments = 0
+        self.heartbeat_misses = 0
+        self.auth_failures = 0
+        self.worker_stats: list[dict] = []
 
     # -- public -------------------------------------------------------
     def spec_for(self, shard: int) -> ShardSpec:
@@ -203,6 +237,27 @@ class Coordinator:
             server_port=self.server_port,
         )
 
+    def bind(self) -> tuple[str, int]:
+        """Bind the TCP listener (net mode) and return ``(host, port)``.
+
+        Useful before :meth:`run` when ``port=0`` let the OS pick: the
+        caller learns the address to hand to dialing workers.
+        """
+        return self.bind_socket().getsockname()[:2]
+
+    def bind_socket(self):
+        """The bound listener socket (net mode only), binding lazily."""
+        if self.net is None:
+            raise ValueError("bind() requires listener mode (net=...)")
+        if self._listener is None:
+            self._listener = bind_listener(self.net)
+        return self._listener
+
+    def close_listener(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
     def run(self) -> ClusterResult:
         """Execute the fleet and return the merged result."""
         started = time.monotonic()
@@ -210,7 +265,9 @@ class Coordinator:
         self._load_checkpoint(results)
         todo = [s for s in range(self.n_shards) if s not in results]
         if todo:
-            if self.n_shards == 1 or not _fork_available():
+            if self.net is not None:
+                run_listener(self, todo, results)
+            elif self.n_shards == 1 or not _fork_available():
                 for shard in todo:
                     self._finish_shard(results, run_shard(self.spec_for(shard)))
             else:
@@ -239,6 +296,10 @@ class Coordinator:
             wall_time=time.monotonic() - started,
             workers_died=self.workers_died,
             shards_resumed=self.shards_resumed,
+            reassignments=self.reassignments,
+            heartbeat_misses=self.heartbeat_misses,
+            auth_failures=self.auth_failures,
+            workers=list(self.worker_stats),
         )
 
     # -- worker orchestration -----------------------------------------
@@ -249,37 +310,66 @@ class Coordinator:
         selector = selectors.DefaultSelector()
         live: dict[int, dict] = {}  # shard -> {transport, process, ...}
         attempts: dict[int, int] = {shard: 0 for shard in todo}
+        deadline = self.heartbeat_deadline
 
         def launch(shard: int) -> None:
             coord_end, worker_end = make_transport_pair(self.transport)
             process = ctx.Process(
                 target=_worker_entry,
-                args=(worker_end, coord_end, self.spec_for(shard)),
+                args=(
+                    worker_end, coord_end, self.spec_for(shard),
+                    self.heartbeat_interval,
+                ),
                 daemon=True,
             )
             process.start()
             # The parent must drop the worker's end or peer death never
             # reads as end-of-stream.
             worker_end.close()
-            live[shard] = {"transport": coord_end, "process": process}
+            stat = {
+                "worker": f"fork:{process.pid}",
+                "state": "working",
+                "shard": shard,
+                "shards_done": 0,
+                "heartbeats": 0,
+                "heartbeat_misses": 0,
+            }
+            live[shard] = {
+                "transport": coord_end,
+                "process": process,
+                "last_seen": time.monotonic(),
+                "stat": stat,
+            }
+            self.worker_stats.append(stat)
             selector.register(coord_end.fileno(), selectors.EVENT_READ, shard)
 
-        def retire(shard: int) -> None:
+        def retire(shard: int, *, final: str = "done") -> None:
             state = live.pop(shard)
             try:
                 selector.unregister(state["transport"].fileno())
             except (KeyError, ValueError):
                 pass
             state["transport"].close()
-            state["process"].join(timeout=10)
+            process = state["process"]
+            # A worker declared lost (silent past the heartbeat
+            # deadline) may still be alive and wedged: reap it so the
+            # shard's replacement doesn't race a zombie.
+            if final == "lost" and process.is_alive():
+                process.terminate()
+            process.join(timeout=10)
+            state["stat"]["state"] = final
+            state["stat"]["shard"] = None
 
         def on_death(shard: int, why: str) -> None:
             self.workers_died += 1
-            retire(shard)
+            retire(shard, final="lost")
             attempts[shard] += 1
             attempt = attempts[shard]
             if attempt <= self.run_config.max_retries:
-                delay = self.run_config.retry_backoff * (2 ** (attempt - 1))
+                self.reassignments += 1
+                delay = backoff_delay(
+                    self.run_config.retry_backoff, attempt, self._jitter_rng
+                )
                 logger.warning(
                     "shard %d worker died (%s); retry %d/%d in %.2fs",
                     shard, why, attempt, self.run_config.max_retries, delay,
@@ -298,11 +388,21 @@ class Coordinator:
                 )
                 self._finish_shard(results, run_shard(self.spec_for(shard)))
 
+        def poll_timeout() -> float:
+            if not deadline:
+                return 60.0
+            now = time.monotonic()
+            nearest = min(
+                state["last_seen"] + deadline - now
+                for state in live.values()
+            )
+            return max(0.05, min(60.0, nearest))
+
         try:
             for shard in todo:
                 launch(shard)
             while live:
-                for key, _events in selector.select(timeout=60.0):
+                for key, _events in selector.select(timeout=poll_timeout()):
                     shard = key.data
                     state = live.get(shard)
                     if state is None:
@@ -317,17 +417,36 @@ class Coordinator:
                         if shard in live:  # EOF before RESULT = death
                             on_death(shard, "end of stream before RESULT")
                         continue
+                    state["last_seen"] = time.monotonic()
                     if message.kind is MessageKind.HELLO:
                         state["pid"] = message.payload.get("pid")
+                    elif message.kind is MessageKind.HEARTBEAT:
+                        state["stat"]["heartbeats"] += 1
                     elif message.kind is MessageKind.PROGRESS:
                         self._progress[shard] = message.payload
                         self._write_checkpoint(results)
                     elif message.kind is MessageKind.ERROR:
-                        retire(shard)
+                        retire(shard, final="errored")
                         raise _rebuild_error(message.payload)
                     elif message.kind is MessageKind.RESULT:
+                        state["stat"]["shards_done"] += 1
                         retire(shard)
                         self._finish_shard(results, message.payload)
+                if deadline:
+                    now = time.monotonic()
+                    for shard in list(live):
+                        state = live.get(shard)
+                        if (
+                            state is not None
+                            and now - state["last_seen"] > deadline
+                        ):
+                            self.heartbeat_misses += 1
+                            state["stat"]["heartbeat_misses"] += 1
+                            on_death(
+                                shard,
+                                f"silent past heartbeat deadline "
+                                f"({deadline:.1f}s)",
+                            )
         finally:
             for shard in list(live):
                 state = live.pop(shard)
@@ -434,6 +553,9 @@ class ClusterProvider:
             "flows": len(result.report.flows),
             "flows_skipped": len(result.report.skipped),
             "workers_died": result.workers_died,
+            "reassignments": result.reassignments,
+            "heartbeat_misses": result.heartbeat_misses,
+            "auth_failures": result.auth_failures,
             "wall_time": result.wall_time,
         }
 
@@ -450,12 +572,17 @@ class ClusterProvider:
                 "provenance": result.report.provenance,
                 "workers_died": result.workers_died,
                 "shards_resumed": result.shards_resumed,
+                "reassignments": result.reassignments,
+                "heartbeat_misses": result.heartbeat_misses,
             },
             "report": result.report.to_dict(),
         }
 
     def shards(self) -> list[dict]:
         return self._result.shards
+
+    def workers(self) -> list[dict]:
+        return self._result.workers
 
 
 def serve_cluster(result: ClusterResult, host: str = "127.0.0.1",
@@ -482,6 +609,10 @@ def analyze_cluster(
     server_port: int | None = None,
     checkpoint_dir: "str | Path | None" = None,
     resume: bool = False,
+    heartbeat_interval: float | None = 5.0,
+    heartbeat_deadline: float | None = 30.0,
+    jitter_seed: int | None = None,
+    net: NetConfig | None = None,
 ) -> ServiceReport:
     """Analyze a capture with an N-shard worker cluster (facade verb).
 
@@ -502,6 +633,10 @@ def analyze_cluster(
         server_port=server_port,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_deadline=heartbeat_deadline,
+        jitter_seed=jitter_seed,
+        net=net,
     ).report
 
 
@@ -512,7 +647,11 @@ def run_cluster(source, shards: int = 4, *, transport: str = "pipe",
                 server_ip: int | None = None,
                 server_port: int | None = None,
                 checkpoint_dir: "str | Path | None" = None,
-                resume: bool = False) -> ClusterResult:
+                resume: bool = False,
+                heartbeat_interval: float | None = 5.0,
+                heartbeat_deadline: float | None = 30.0,
+                jitter_seed: int | None = None,
+                net: NetConfig | None = None) -> ClusterResult:
     """Like :func:`analyze_cluster`, returning the full
     :class:`ClusterResult`."""
     return Coordinator(
@@ -526,16 +665,21 @@ def run_cluster(source, shards: int = 4, *, transport: str = "pipe",
         server_port=server_port,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_deadline=heartbeat_deadline,
+        jitter_seed=jitter_seed,
+        net=net,
     ).run()
 
 
 # -- internals --------------------------------------------------------
 def _worker_entry(
-    worker_end: Transport, coord_end: Transport, spec: ShardSpec
+    worker_end: Transport, coord_end: Transport, spec: ShardSpec,
+    heartbeat_interval: float | None = None,
 ) -> None:
     """Child-process entry: drop the parent's end, run the shard."""
     coord_end.close()
-    raise SystemExit(worker_main(worker_end, spec))
+    raise SystemExit(worker_main(worker_end, spec, heartbeat_interval))
 
 
 def _rebuild_error(payload: dict) -> ReproError:

@@ -7,37 +7,66 @@ one frame::
     | magic  | version | kind   | payload_len | payload              |
     | 4s     | u16     | u16    | u32         | payload_len bytes    |
     +--------+---------+--------+-------------+----------------------+
-    'RPCL'    network byte order (struct '!4sHHI')    pickled object
+    'RPCL'    network byte order (struct '!4sHHI')    encoded object
 
 The header is fixed (12 bytes) so a receiver always knows how much to
-read next; the payload is a pickled Python object (the two ends are
-the same trusted codebase — this is an internal control channel, not
-an untrusted network surface).  A version mismatch or bad magic raises
-a typed :class:`ProtocolError` instead of desynchronizing.
+read next.  Payload encoding depends on the message kind: control and
+handshake frames (HELLO, PROGRESS, HEARTBEAT, CHALLENGE, AUTH,
+WELCOME, ERROR, SHUTDOWN) carry JSON, so nothing an *unauthenticated*
+peer sends is ever unpickled; only the two kinds exchanged after a
+successful handshake on a trusted channel (ASSIGN, RESULT) carry
+pickled Python objects.  A version mismatch, bad magic, or short
+read/write mid-frame raises a typed :class:`ProtocolError` (with
+bytes-transferred context) instead of desynchronizing.
 
 Transports are pluggable behind one tiny interface
-(:class:`Transport`): :class:`PipeTransport` runs today's
-coordinator/worker pairs over ``os.pipe`` descriptors that fork-spawned
-children inherit, and :class:`SocketTransport` runs the identical
-framing over a connected socket — the step from same-host pipes to
-cross-host TCP changes only which factory built the transport, never
-the message layer above it (``--transport socket`` exercises this).
+(:class:`Transport`): :class:`PipeTransport` runs same-host
+coordinator/worker pairs over ``os.pipe`` descriptors that
+fork-spawned children inherit, and :class:`SocketTransport` runs the
+identical framing over a connected socket — ``socketpair`` on one
+host, real TCP across hosts (:mod:`repro.cluster.net`).  Framing never
+assumes a full transfer: sends loop on partial ``send()`` and receives
+loop on partial ``recv()``, so slow links, tiny socket buffers, and
+signal-interrupted syscalls cannot tear a frame.
+
+Cross-host channels are authenticated: :func:`server_handshake` /
+:func:`client_handshake` run a mutual HMAC-SHA256 challenge–response
+over a shared secret on top of the framing (constant-time compares,
+per-connection nonces, version/feature negotiation), raising a typed
+:class:`AuthError` on any mismatch.  :meth:`SocketTransport
+.set_deadline` bounds the whole exchange, so a slowloris peer
+dribbling one header byte at a time cannot pin a listener.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
+import hmac
+import json
 import os
 import pickle
 import socket
 import struct
+import threading
+import time
 from dataclasses import dataclass
 
 from ..errors import ReproError
 
 MAGIC = b"RPCL"
 #: Bump on any frame or payload schema change; both ends assert it.
-PROTOCOL_VERSION = 1
+#: v2: JSON control payloads, HEARTBEAT/CHALLENGE/AUTH/WELCOME/ASSIGN
+#: kinds, authenticated cross-host handshake.
+PROTOCOL_VERSION = 2
+
+#: Optional capabilities negotiated during the handshake (the
+#: intersection of both ends' lists is what the connection uses).
+FEATURES = ("heartbeat", "reassign")
+
+#: Upper bound on a single frame payload; anything larger is treated
+#: as a framing error rather than an allocation request.
+MAX_PAYLOAD_BYTES = 1 << 30
 
 _HEADER = struct.Struct("!4sHHI")
 
@@ -46,14 +75,29 @@ class ProtocolError(ReproError):
     """A malformed, truncated, or version-mismatched cluster frame."""
 
 
+class AuthError(ProtocolError):
+    """The cluster handshake failed: wrong or missing shared secret,
+    a peer that would not authenticate, or a failed mutual proof."""
+
+
 class MessageKind(enum.IntEnum):
     """What a frame's payload means."""
 
-    HELLO = 1     #: worker -> coordinator: shard id, pid, version
-    PROGRESS = 2  #: worker -> coordinator: periodic per-shard offsets
-    RESULT = 3    #: worker -> coordinator: the shard's final result
-    ERROR = 4     #: worker -> coordinator: typed failure before RESULT
-    SHUTDOWN = 5  #: coordinator -> worker: stop after the current slab
+    HELLO = 1      #: worker -> coordinator: shard id, pid, version
+    PROGRESS = 2   #: worker -> coordinator: periodic per-shard offsets
+    RESULT = 3     #: worker -> coordinator: the shard's final result
+    ERROR = 4      #: worker -> coordinator: typed failure before RESULT
+    SHUTDOWN = 5   #: coordinator -> worker: stop after the current slab
+    HEARTBEAT = 6  #: worker -> coordinator: liveness beacon
+    CHALLENGE = 7  #: coordinator -> worker: auth nonce + versions
+    AUTH = 8       #: worker -> coordinator: HMAC response + identity
+    WELCOME = 9    #: coordinator -> worker: mutual proof + parameters
+    ASSIGN = 10    #: coordinator -> worker: a shard spec to execute
+
+
+#: Kinds whose payloads are pickled Python objects.  Everything else is
+#: JSON, so unauthenticated peers can never reach ``pickle.loads``.
+_PICKLE_KINDS = frozenset({MessageKind.RESULT, MessageKind.ASSIGN})
 
 
 @dataclass
@@ -67,32 +111,42 @@ class Message:
 class Transport:
     """One end of a coordinator<->worker channel.
 
-    Subclasses provide raw byte I/O (:meth:`_write`, :meth:`_read`)
-    and :meth:`close`; framing, versioning, and pickling live here so
-    every transport speaks the identical protocol.
+    Subclasses provide raw byte I/O (:meth:`_write_some`,
+    :meth:`_read_some`) and :meth:`close`; framing, versioning, payload
+    codecs, and short-transfer loops live here so every transport
+    speaks the identical protocol.  :meth:`send` is thread-safe (a lock
+    serializes whole frames), which lets a heartbeat thread share the
+    channel with the worker's main loop.
     """
 
-    def send(self, kind: MessageKind, payload: object = None) -> None:
-        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        self._write(
-            _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(kind), len(body))
-            + body
-        )
+    def __init__(self):
+        self._send_lock = threading.Lock()
 
-    def recv(self) -> Message | None:
+    def send(self, kind: MessageKind, payload: object = None) -> None:
+        kind = MessageKind(kind)
+        if kind in _PICKLE_KINDS:
+            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        frame = _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(kind), len(body))
+        with self._send_lock:
+            self._write(frame + body)
+
+    def recv(self, allowed=None) -> Message | None:
         """The next frame, or ``None`` on a clean end-of-stream.
 
         End-of-stream in the *middle* of a frame — the signature of a
-        dying peer — raises :class:`ProtocolError`, as do bad magic
-        and version mismatches.
+        dying peer or a truncating network — raises
+        :class:`ProtocolError` with how many bytes made it, as do bad
+        magic and version mismatches.  ``allowed`` restricts which
+        message kinds are acceptable (the handshake uses this so
+        pre-auth peers cannot push arbitrary frames); a disallowed
+        frame raises without its payload ever being decoded.
         """
-        header = self._read(_HEADER.size)
-        if not header:
+        header = self._read_exact(_HEADER.size, "frame header",
+                                  clean_eof_ok=True)
+        if header is None:
             return None
-        if len(header) < _HEADER.size:
-            raise ProtocolError(
-                f"truncated frame header ({len(header)} bytes)"
-            )
         magic, version, kind, length = _HEADER.unpack(header)
         if magic != MAGIC:
             raise ProtocolError(f"bad frame magic {magic!r}")
@@ -101,25 +155,76 @@ class Transport:
                 f"protocol version mismatch: peer speaks {version}, "
                 f"this end speaks {PROTOCOL_VERSION}"
             )
-        body = self._read(length)
-        if len(body) < length:
-            raise ProtocolError(
-                f"truncated frame payload ({len(body)}/{length} bytes)"
-            )
         try:
-            payload = pickle.loads(body)
-        except Exception as exc:
-            raise ProtocolError(f"undecodable frame payload: {exc}") from exc
-        try:
-            return Message(kind=MessageKind(kind), payload=payload)
+            kind = MessageKind(kind)
         except ValueError as exc:
             raise ProtocolError(f"unknown message kind {kind}") from exc
+        if length > MAX_PAYLOAD_BYTES:
+            raise ProtocolError(
+                f"implausible frame payload length {length}"
+            )
+        if allowed is not None and kind not in allowed:
+            raise ProtocolError(
+                f"unexpected {kind.name} frame before authentication"
+            )
+        body = self._read_exact(length, "frame payload")
+        try:
+            if kind in _PICKLE_KINDS:
+                payload = pickle.loads(body)
+            else:
+                payload = json.loads(body.decode("utf-8"))
+        except Exception as exc:
+            raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+        return Message(kind=kind, payload=payload)
+
+    # -- short-transfer loops -----------------------------------------
+    def _write(self, data: bytes) -> None:
+        """Write all of ``data``, looping on partial sends."""
+        view = memoryview(data)
+        total = len(data)
+        sent = 0
+        while sent < total:
+            n = self._write_some(view[sent:])
+            if not n or n < 0:
+                raise ProtocolError(
+                    f"short write: peer gone after {sent}/{total} bytes"
+                )
+            sent += n
+
+    def _read_exact(self, n: int, what: str,
+                    clean_eof_ok: bool = False) -> bytes | None:
+        """Read exactly ``n`` bytes, looping on partial reads.
+
+        EOF before the first byte returns ``None`` when
+        ``clean_eof_ok`` (a peer closing *between* frames is normal);
+        EOF anywhere else raises :class:`ProtocolError` naming how
+        many bytes were transferred.
+        """
+        if n == 0:
+            return b""
+        chunks: list[bytes] = []
+        got = 0
+        while got < n:
+            chunk = self._read_some(n - got)
+            if not chunk:
+                if got == 0 and clean_eof_ok:
+                    return None
+                raise ProtocolError(
+                    f"truncated {what}: end of stream after "
+                    f"{got}/{n} bytes"
+                )
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def set_deadline(self, seconds: float | None) -> None:
+        """Bound subsequent reads/writes (socket transports only)."""
 
     # -- subclass surface ---------------------------------------------
-    def _write(self, data: bytes) -> None:
+    def _write_some(self, view: memoryview) -> int:
         raise NotImplementedError
 
-    def _read(self, n: int) -> bytes:
+    def _read_some(self, n: int) -> bytes:
         raise NotImplementedError
 
     def fileno(self) -> int:
@@ -137,25 +242,21 @@ class PipeTransport(Transport):
     """
 
     def __init__(self, read_fd: int | None, write_fd: int | None):
+        super().__init__()
         self._read_fd = read_fd
         self._write_fd = write_fd
 
-    def _write(self, data: bytes) -> None:
-        view = memoryview(data)
-        while view:
-            written = os.write(self._write_fd, view)
-            view = view[written:]
+    def _write_some(self, view: memoryview) -> int:
+        try:
+            return os.write(self._write_fd, view)
+        except OSError as exc:
+            raise ProtocolError(f"pipe write failed: {exc}") from exc
 
-    def _read(self, n: int) -> bytes:
-        chunks: list[bytes] = []
-        remaining = n
-        while remaining:
-            chunk = os.read(self._read_fd, remaining)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+    def _read_some(self, n: int) -> bytes:
+        try:
+            return os.read(self._read_fd, n)
+        except OSError as exc:
+            raise ProtocolError(f"pipe read failed: {exc}") from exc
 
     def fileno(self) -> int:
         return self._read_fd if self._read_fd is not None else self._write_fd
@@ -171,25 +272,55 @@ class PipeTransport(Transport):
 
 
 class SocketTransport(Transport):
-    """Frames over a connected socket (``socketpair`` today, TCP
-    tomorrow — the framing neither knows nor cares)."""
+    """Frames over a connected socket — ``socketpair`` on one host,
+    TCP across hosts; the framing neither knows nor cares.
+
+    :meth:`set_deadline` arms an *absolute* transfer deadline: every
+    subsequent read/write adjusts the socket timeout to the time
+    remaining, so a peer trickling one byte per timeout window (the
+    slowloris pattern) still hits the wall.  ``None`` disarms it.
+    """
 
     def __init__(self, sock: socket.socket):
+        super().__init__()
         self._sock = sock
+        self._deadline: float | None = None
 
-    def _write(self, data: bytes) -> None:
-        self._sock.sendall(data)
+    def set_deadline(self, seconds: float | None) -> None:
+        if seconds is None:
+            self._deadline = None
+            try:
+                self._sock.settimeout(None)
+            except OSError:
+                pass
+        else:
+            self._deadline = time.monotonic() + seconds
 
-    def _read(self, n: int) -> bytes:
-        chunks: list[bytes] = []
-        remaining = n
-        while remaining:
-            chunk = self._sock.recv(remaining)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+    def _arm(self) -> None:
+        if self._deadline is None:
+            return
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0:
+            raise ProtocolError("transport deadline exceeded")
+        self._sock.settimeout(remaining)
+
+    def _write_some(self, view: memoryview) -> int:
+        try:
+            self._arm()
+            return self._sock.send(view)
+        except socket.timeout as exc:
+            raise ProtocolError("transport deadline exceeded") from exc
+        except OSError as exc:
+            raise ProtocolError(f"socket write failed: {exc}") from exc
+
+    def _read_some(self, n: int) -> bytes:
+        try:
+            self._arm()
+            return self._sock.recv(n)
+        except socket.timeout as exc:
+            raise ProtocolError("transport deadline exceeded") from exc
+        except OSError as exc:
+            raise ProtocolError(f"socket read failed: {exc}") from exc
 
     def fileno(self) -> int:
         return self._sock.fileno()
@@ -225,3 +356,177 @@ def make_transport_pair(
         f"unknown cluster transport {transport!r}; expected 'pipe' or "
         "'socket'"
     )
+
+
+# -- authenticated handshake -------------------------------------------
+
+def _secret_bytes(secret) -> bytes:
+    if isinstance(secret, str):
+        return secret.encode("utf-8")
+    return bytes(secret)
+
+
+def auth_digest(secret, role: str, *parts: str) -> str:
+    """HMAC-SHA256 over ``role|part|part...`` keyed by the secret.
+
+    The role string domain-separates the worker's proof from the
+    coordinator's, so one side's response can never be replayed as the
+    other's.
+    """
+    message = "|".join((role,) + parts).encode("utf-8")
+    return hmac.new(
+        _secret_bytes(secret), message, hashlib.sha256
+    ).hexdigest()
+
+
+def server_handshake(
+    transport: Transport,
+    secret,
+    *,
+    deadline: float | None = 5.0,
+    features=FEATURES,
+    heartbeat_interval: float | None = None,
+) -> dict:
+    """Authenticate a dialing worker; returns its AUTH payload.
+
+    CHALLENGE (nonce) -> AUTH (HMAC over both nonces + identity) ->
+    WELCOME (coordinator's mutual HMAC + negotiated parameters).
+    Verification uses :func:`hmac.compare_digest` (constant time); any
+    failure raises :class:`AuthError` after best-effort sending a typed
+    ERROR frame so the peer learns why.  ``deadline`` bounds the whole
+    exchange on deadline-capable transports.
+    """
+    if not secret:
+        raise ValueError("cluster handshake requires a shared secret")
+    transport.set_deadline(deadline)
+    try:
+        nonce = os.urandom(16).hex()
+        transport.send(
+            MessageKind.CHALLENGE,
+            {
+                "nonce": nonce,
+                "version": PROTOCOL_VERSION,
+                "features": list(features),
+            },
+        )
+        message = transport.recv(allowed=(MessageKind.AUTH,))
+        if message is None:
+            raise AuthError("peer closed during handshake")
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        peer_nonce = payload.get("nonce")
+        peer_digest = payload.get("digest")
+        if not peer_nonce or not peer_digest:
+            _refuse(transport, "peer sent no credentials "
+                               "(missing --cluster-secret?)")
+        expected = auth_digest(secret, "worker", nonce, peer_nonce)
+        if not hmac.compare_digest(expected, str(peer_digest)):
+            _refuse(transport, "worker failed authentication "
+                               "(wrong cluster secret?)")
+        negotiated = sorted(
+            set(features) & set(payload.get("features") or [])
+        )
+        transport.send(
+            MessageKind.WELCOME,
+            {
+                "digest": auth_digest(
+                    secret, "coordinator", peer_nonce, nonce
+                ),
+                "features": negotiated,
+                "heartbeat_interval": heartbeat_interval,
+            },
+        )
+        payload["negotiated"] = negotiated
+        return payload
+    finally:
+        transport.set_deadline(None)
+
+
+def client_handshake(
+    transport: Transport,
+    secret,
+    *,
+    deadline: float | None = 5.0,
+    features=FEATURES,
+    info: dict | None = None,
+) -> dict:
+    """Answer a coordinator's challenge; returns the WELCOME payload.
+
+    Raises :class:`AuthError` when the coordinator refuses us or fails
+    the *mutual* proof (a listener that cannot prove knowledge of the
+    secret never receives work from this worker).
+    """
+    transport.set_deadline(deadline)
+    try:
+        message = transport.recv(
+            allowed=(MessageKind.CHALLENGE, MessageKind.ERROR)
+        )
+        if message is None:
+            raise AuthError("coordinator closed before challenging")
+        if message.kind is MessageKind.ERROR:
+            raise AuthError(_error_text(message.payload))
+        challenge = (
+            message.payload if isinstance(message.payload, dict) else {}
+        )
+        coord_nonce = challenge.get("nonce")
+        if not coord_nonce:
+            raise AuthError("coordinator sent an empty challenge")
+        nonce = os.urandom(16).hex()
+        payload = dict(info or {})
+        payload.update(
+            nonce=nonce,
+            version=PROTOCOL_VERSION,
+            features=list(features),
+            digest=(
+                auth_digest(secret, "worker", coord_nonce, nonce)
+                if secret
+                else None
+            ),
+        )
+        transport.send(MessageKind.AUTH, payload)
+        message = transport.recv(
+            allowed=(MessageKind.WELCOME, MessageKind.ERROR)
+        )
+        if message is None:
+            raise AuthError("coordinator closed during handshake")
+        if message.kind is MessageKind.ERROR:
+            raise AuthError(_error_text(message.payload))
+        welcome = (
+            message.payload if isinstance(message.payload, dict) else {}
+        )
+        if not secret:
+            raise AuthError(
+                "coordinator requires authentication but no cluster "
+                "secret is configured"
+            )
+        expected = auth_digest(secret, "coordinator", nonce, coord_nonce)
+        if not hmac.compare_digest(
+            expected, str(welcome.get("digest") or "")
+        ):
+            raise AuthError(
+                "coordinator failed mutual authentication "
+                "(wrong cluster secret?)"
+            )
+        return welcome
+    finally:
+        transport.set_deadline(None)
+
+
+def _refuse(transport: Transport, reason: str) -> None:
+    """Best-effort typed refusal, then raise :class:`AuthError`."""
+    try:
+        transport.send(
+            MessageKind.ERROR,
+            {"error_type": "AuthError", "error": reason},
+        )
+    except ProtocolError:
+        pass
+    raise AuthError(reason)
+
+
+def _error_text(payload) -> str:
+    if isinstance(payload, dict):
+        return (
+            f"{payload.get('error_type', 'AuthError')}: "
+            f"{payload.get('error', 'handshake refused')}"
+        )
+    return "handshake refused"

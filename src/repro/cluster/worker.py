@@ -24,7 +24,9 @@ shard's worker keeps dying.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import threading
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -223,6 +225,44 @@ def run_shard(
     )
 
 
+@contextlib.contextmanager
+def heartbeat_pump(transport: Transport, shard: int,
+                   interval: float | None):
+    """Send HEARTBEAT frames every ``interval`` seconds while active.
+
+    Runs on a daemon thread so a worker deep in a decode slab still
+    proves liveness; :meth:`Transport.send` serializes whole frames, so
+    beacons never interleave with PROGRESS/RESULT bytes.  A send
+    failure ends the pump silently — the main loop will hit the same
+    broken channel and surface it properly.  ``interval`` of ``None``
+    or ``<= 0`` disables the pump.
+    """
+    if not interval or interval <= 0:
+        yield
+        return
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                transport.send(
+                    MessageKind.HEARTBEAT,
+                    {"shard": shard, "pid": os.getpid()},
+                )
+            except Exception:
+                return
+
+    thread = threading.Thread(
+        target=loop, name="repro-cluster-heartbeat", daemon=True
+    )
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=max(1.0, 2 * interval))
+
+
 def _maybe_die(shard: int) -> None:
     """Honor the kill-once injection seam (see :data:`KILL_SHARD_ENV`)."""
     target = os.environ.get(KILL_SHARD_ENV)
@@ -239,26 +279,31 @@ def _maybe_die(shard: int) -> None:
     os._exit(42)
 
 
-def worker_main(transport: Transport, spec: ShardSpec) -> int:
+def worker_main(transport: Transport, spec: ShardSpec,
+                heartbeat_interval: float | None = None) -> int:
     """Protocol loop of a shard worker process.
 
     HELLO first (shard id, pid, protocol version), PROGRESS frames
-    while decoding, then exactly one of RESULT (success) or ERROR (a
-    typed failure the coordinator should surface under the run's error
-    budget).  Worker *death* — no RESULT, stream just ends — is the
-    coordinator's problem to detect and retry.
+    while decoding — plus HEARTBEAT beacons from a side thread when
+    ``heartbeat_interval`` is set — then exactly one of RESULT
+    (success) or ERROR (a typed failure the coordinator should surface
+    under the run's error budget).  Worker *death* — no RESULT, stream
+    just ends — and worker *silence* — heartbeats stop past the
+    coordinator's deadline — are the coordinator's problem to detect
+    and retry.
     """
     transport.send(
         MessageKind.HELLO,
         {"shard": spec.shard, "pid": os.getpid(), "service": spec.service},
     )
     try:
-        result = run_shard(
-            spec,
-            progress_sink=lambda p: transport.send(
-                MessageKind.PROGRESS, p.to_dict()
-            ),
-        )
+        with heartbeat_pump(transport, spec.shard, heartbeat_interval):
+            result = run_shard(
+                spec,
+                progress_sink=lambda p: transport.send(
+                    MessageKind.PROGRESS, p.to_dict()
+                ),
+            )
         _maybe_die(spec.shard)
         transport.send(MessageKind.RESULT, result)
         return 0

@@ -28,16 +28,10 @@ def _alert_rule(spec: str) -> AlertRule:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
-def _endpoint(spec: str) -> tuple[str, int]:
-    host, sep, port = spec.rpartition(":")
-    if not sep:
-        host, port = "127.0.0.1", spec
-    try:
-        return host or "127.0.0.1", int(port)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"bad HTTP endpoint {spec!r}; expected [HOST:]PORT"
-        ) from None
+# The [HOST:]PORT parser moved to cli_options.endpoint so every CLI
+# (--http here, --listen/--connect on the cluster commands) shares it;
+# this alias keeps the old import path working.
+_endpoint = cli_options.endpoint
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -123,8 +123,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"records": provider.runs()})
             elif path == "/shards.json" and hasattr(provider, "shards"):
                 # Fleet aggregators (repro.cluster) expose per-shard
-                # progress/fault detail alongside the merged report.
-                self._send_json({"shards": provider.shards()})
+                # progress/fault detail alongside the merged report;
+                # cross-host runs add per-worker liveness (heartbeats,
+                # shards completed, last known state).
+                payload = {"shards": provider.shards()}
+                if hasattr(provider, "workers"):
+                    payload["workers"] = provider.workers()
+                self._send_json(payload)
             elif path == "/trends.json" and hasattr(provider, "trends"):
                 self._send_json(provider.trends())
             elif path == "/dashboard" and hasattr(
@@ -155,8 +160,9 @@ class LiveHTTPServer:
     providers additionally exposing ``runs()``, ``trends()``, and
     ``dashboard_html()`` get the longitudinal routes, and fleet
     aggregators exposing ``shards()`` (see
-    :class:`repro.cluster.ClusterProvider`) get ``/shards.json``.  All
-    are called
+    :class:`repro.cluster.ClusterProvider`) get ``/shards.json``,
+    with per-worker liveness folded in when they also expose
+    ``workers()``.  All are called
     from handler threads and must be safe to call concurrently with
     ingestion (the daemon snapshots under a lock).
     """

@@ -8,7 +8,9 @@ paths; importing it has no side effects.
 """
 
 from .faults import (
+    ChaosProxy,
     FaultPlan,
+    NetFaultPlan,
     corrupt_cache_entry,
     corrupt_pcap_bytes,
     corrupt_pcap_records,
@@ -18,7 +20,9 @@ from .faults import (
 from .traces import generate_trace
 
 __all__ = [
+    "ChaosProxy",
     "FaultPlan",
+    "NetFaultPlan",
     "corrupt_cache_entry",
     "corrupt_pcap_bytes",
     "corrupt_pcap_records",

@@ -21,6 +21,11 @@ injector                        exercises
 :func:`kill_worker_once`        worker process death → pool retry
                                 with backoff
 :func:`corrupt_cache_entry`     cache damage → corruption-as-miss
+:class:`ChaosProxy`             network faults between cluster peers
+                                (drop, delay, duplicate, mid-frame
+                                truncation, blackhole) → handshake
+                                deadlines, heartbeat-loss detection,
+                                shard reassignment
 ==============================  =====================================
 
 Process-crossing injectors (:func:`inject_flow_crash`,
@@ -35,7 +40,10 @@ import contextlib
 import hashlib
 import os
 import random
+import socket
 import struct
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -270,3 +278,279 @@ def corrupt_cache_entry(
         data[pos] ^= 1 << rng.randrange(8)
     path.write_bytes(bytes(data))
     return flips
+
+
+# -- network faults -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """What :class:`ChaosProxy` does to one traffic direction.
+
+    Rates are per forwarded chunk (one ``recv`` worth of bytes, i.e.
+    roughly one frame for the cluster protocol's write pattern), drawn
+    from the direction's seeded RNG:
+
+    * ``drop_rate`` — silently discard the chunk (the framed stream
+      desynchronizes; the receiver sees bad magic or a truncated
+      frame and must treat the peer as lost);
+    * ``duplicate_rate`` — forward the chunk twice (stream corruption
+      from the other side: bytes after a valid frame that are not a
+      frame header);
+    * ``truncate_rate`` — forward a strict prefix of the chunk, then
+      tear the connection down: the canonical mid-frame EOF;
+    * ``delay`` — sleep this long before forwarding each chunk (slow
+      link; must *not* trip liveness detection by itself);
+    * ``blackhole_after`` — after this many forwarded bytes, keep the
+      connection open but forward nothing ever again (the half-open
+      peer TCP cannot detect without keepalives — only heartbeat
+      deadlines catch it);
+    * ``bytes_before_faults`` — let this many bytes through untouched
+      first (e.g. let the handshake complete so the fault lands on an
+      authenticated session).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    truncate_rate: float = 0.0
+    delay: float = 0.0
+    blackhole_after: int | None = None
+    bytes_before_faults: int = 0
+
+
+class _FaultGate:
+    """Deterministic per-direction fault decisions.
+
+    Split from the proxy's pump threads so the decision sequence is
+    unit-testable without sockets: feed chunks to :meth:`apply` and
+    assert on the returned actions.
+    """
+
+    def __init__(self, plan: NetFaultPlan, rng: random.Random):
+        self.plan = plan
+        self.rng = rng
+        self.forwarded = 0
+        self.blackholed = False
+        #: One entry per chunk: pass/drop/duplicate/truncate/blackhole.
+        self.actions: list[str] = []
+
+    def apply(self, chunk: bytes) -> tuple[list[bytes], bool]:
+        """Decide one chunk's fate: ``(pieces_to_forward, close_now)``.
+
+        An empty piece list with ``close_now`` false means the chunk
+        vanished (drop or blackhole) but the connection stays up.
+        """
+        plan = self.plan
+        if self.blackholed or (
+            plan.blackhole_after is not None
+            and self.forwarded >= plan.blackhole_after
+        ):
+            self.blackholed = True
+            self.actions.append("blackhole")
+            return [], False
+        if plan.blackhole_after is not None and (
+            self.forwarded + len(chunk) > plan.blackhole_after
+        ):
+            # The threshold lands mid-chunk: forward exactly up to it,
+            # swallow the rest.  Cutting by byte count (not chunk
+            # boundary) keeps the engagement point independent of how
+            # TCP happened to coalesce the stream.
+            keep = plan.blackhole_after - self.forwarded
+            self.forwarded = plan.blackhole_after
+            self.blackholed = True
+            self.actions.append("blackhole")
+            return ([chunk[:keep]] if keep else []), False
+        if self.forwarded < plan.bytes_before_faults:
+            self.forwarded += len(chunk)
+            self.actions.append("pass")
+            return [chunk], False
+        roll = self.rng.random()
+        if roll < plan.drop_rate:
+            self.actions.append("drop")
+            return [], False
+        roll -= plan.drop_rate
+        if roll < plan.truncate_rate and len(chunk) > 1:
+            cut = 1 + self.rng.randrange(len(chunk) - 1)
+            self.forwarded += cut
+            self.actions.append("truncate")
+            return [chunk[:cut]], True
+        roll -= plan.truncate_rate
+        if roll < plan.duplicate_rate:
+            self.forwarded += 2 * len(chunk)
+            self.actions.append("duplicate")
+            return [chunk, chunk], False
+        self.forwarded += len(chunk)
+        self.actions.append("pass")
+        return [chunk], False
+
+
+class ChaosProxy:
+    """A seedable TCP proxy that injects network faults between
+    cluster peers.
+
+    Sits between dial-in workers and a ``repro-paper cluster --listen``
+    coordinator (or any TCP pair): workers connect to
+    :attr:`address`, each accepted connection is dialed through to the
+    target, and every chunk of each direction passes a
+    :class:`_FaultGate` driven by a per-connection, per-direction RNG
+    — connection ``i``'s client→server gate seeds from
+    ``(seed * 1000003 + i) * 2``, server→client from ``... * 2 + 1`` —
+    so a given ``(seed, plan)`` replays the identical fault sequence
+    every run.
+
+    ``plan_for(conn_index)`` lets a test give each connection its own
+    plan (worker 0 clean, worker 1 blackholed, worker 2 truncating…);
+    otherwise every connection uses ``plan``.  Use as a context
+    manager, or :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        *,
+        seed: int = 0,
+        plan: NetFaultPlan | None = None,
+        plan_for=None,
+    ):
+        self.target = (target_host, target_port)
+        self.seed = seed
+        self.plan = plan or NetFaultPlan()
+        self.plan_for = plan_for
+        self.connections: list[dict] = []
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._sockets: list[socket.socket] = []
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("ChaosProxy is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(32)
+        self._listener = listener
+        accept = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            # Same wake-up trick for the accept loop: on Linux a
+            # blocked accept() survives close() but not shutdown().
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            sockets = list(self._sockets)
+        for sock in sockets:
+            # shutdown() wakes a pump thread blocked in recv(); close()
+            # alone would leave it pinned until the join timeout.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ----------------------------------------------------
+    def _accept_loop(self) -> None:
+        index = 0
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self.target, timeout=10)
+            except OSError:
+                client.close()
+                continue
+            plan = (
+                self.plan_for(index) if self.plan_for is not None
+                else self.plan
+            )
+            base = self.seed * 1000003 + index
+            gates = {
+                "c2s": _FaultGate(plan, random.Random(base * 2)),
+                "s2c": _FaultGate(plan, random.Random(base * 2 + 1)),
+            }
+            with self._lock:
+                self._sockets.extend((client, upstream))
+                self.connections.append(
+                    {"index": index, "plan": plan, **gates}
+                )
+            for name, src, dst in (
+                ("c2s", client, upstream),
+                ("s2c", upstream, client),
+            ):
+                pump = threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, gates[name]),
+                    name=f"chaos-{name}-{index}",
+                    daemon=True,
+                )
+                pump.start()
+                self._threads.append(pump)
+            index += 1
+
+    def _pump(
+        self, src: socket.socket, dst: socket.socket, gate: _FaultGate
+    ) -> None:
+        try:
+            while True:
+                chunk = src.recv(65536)
+                if not chunk:
+                    break
+                pieces, close_now = gate.apply(chunk)
+                if gate.plan.delay:
+                    time.sleep(gate.plan.delay)
+                for piece in pieces:
+                    dst.sendall(piece)
+                if close_now:
+                    # Mid-frame truncation: hard-close both directions
+                    # so each side sees the torn stream immediately.
+                    src.close()
+                    dst.close()
+                    return
+        except OSError:
+            pass
+        finally:
+            if gate.blackholed:
+                # Half-open simulation: keep both sockets up, just
+                # never forward again.  The peers must detect this via
+                # deadlines, not FIN/RST.
+                return
+            try:
+                dst.shutdown(socket.SHUT_WR)  # propagate half-close
+            except OSError:
+                try:
+                    dst.close()
+                except OSError:
+                    pass
