@@ -1,0 +1,188 @@
+"""Matrix-runner throughput: the tournament must stay cheap to re-run.
+
+The scenario × policy matrix is only useful if a full sweep fits in a
+coffee break and a resumed sweep is near-instant, so this bench pins
+both properties on a reduced grid:
+
+* **cold throughput** — every cell simulated from scratch; gated at a
+  ``REPRO_BENCH_MATRIX_FLOOR`` cells-per-minute floor (wall clock);
+* **warm resume** — the identical sweep against the per-cell cache
+  must replay from disk at least ``RESUME_SPEEDUP_MIN``x faster;
+* **determinism** — two cold runs produce identical rankings (the
+  throughput number is only comparable across runs if they do the
+  same work).
+
+Results go to ``BENCH_matrix.json`` for the CI job::
+
+    PYTHONPATH=src python benchmarks/bench_matrix.py \
+        --json-out bench-out/BENCH_matrix.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.experiments.cache import DatasetCache
+from repro.matrix.runner import MatrixConfig, run_matrix
+
+DEFAULT_FLOWS = 40
+DEFAULT_POLICIES = ("native", "srto", "tracks")
+DEFAULT_WORKLOADS = ("web_search",)
+DEFAULT_PATHS = ("wan", "datacenter")
+
+#: Wall-clock floor: a cold reduced grid must sustain at least this
+#: many cells per minute (generous — one cell is sub-second here).
+FLOOR_CELLS_PER_MIN = 6.0
+
+#: A cache-warm sweep must beat the cold one by at least this factor.
+RESUME_SPEEDUP_MIN = 3.0
+
+
+def floor_cells_per_min() -> float:
+    return float(
+        os.environ.get("REPRO_BENCH_MATRIX_FLOOR", str(FLOOR_CELLS_PER_MIN))
+    )
+
+
+def bench_config(flows: int = DEFAULT_FLOWS, **overrides) -> MatrixConfig:
+    base = MatrixConfig(
+        flows=flows,
+        policies=DEFAULT_POLICIES,
+        workloads=DEFAULT_WORKLOADS,
+        paths=DEFAULT_PATHS,
+        use_cache=False,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def measure(flows: int = DEFAULT_FLOWS, cache_root=None) -> dict:
+    """Cold run, repeat cold run (determinism), then warm resume."""
+    cold = run_matrix(bench_config(flows))
+    again = run_matrix(bench_config(flows))
+
+    warm_wall = None
+    if cache_root is not None:
+        cache = DatasetCache(root=cache_root, max_entries=64)
+        cached_config = bench_config(flows, use_cache=True)
+        run_matrix(cached_config, cache=cache)  # populate
+        warm = run_matrix(cached_config, cache=cache)
+        assert all(cell.cached for cell in warm.cells)
+        warm_wall = warm.wall_time
+
+    cells = len(cold.cells)
+    return {
+        "config": {
+            "flows": flows,
+            "policies": list(DEFAULT_POLICIES),
+            "workloads": list(DEFAULT_WORKLOADS),
+            "paths": list(DEFAULT_PATHS),
+        },
+        "cells": cells,
+        "cold_wall_s": cold.wall_time,
+        "cells_per_min": 60.0 * cells / cold.wall_time,
+        "slowest_cell_s": max(c.wall_time for c in cold.cells),
+        "warm_wall_s": warm_wall,
+        "resume_speedup": (
+            cold.wall_time / warm_wall if warm_wall else None
+        ),
+        "deterministic": cold.rankings() == again.rankings(),
+        "rankings": cold.rankings(),
+        "gates": {"floor_cells_per_min": floor_cells_per_min(),
+                  "resume_speedup_min": RESUME_SPEEDUP_MIN},
+    }
+
+
+def check_gates(result: dict) -> list[str]:
+    failures = []
+    if not result["deterministic"]:
+        failures.append("matrix rankings differ between identical runs")
+    if result["cells_per_min"] < result["gates"]["floor_cells_per_min"]:
+        failures.append(
+            f"cold sweep {result['cells_per_min']:.1f} cells/min < "
+            f"{result['gates']['floor_cells_per_min']} floor"
+        )
+    speedup = result["resume_speedup"]
+    if speedup is not None and speedup < RESUME_SPEEDUP_MIN:
+        failures.append(
+            f"cache resume only {speedup:.1f}x faster than cold "
+            f"(< {RESUME_SPEEDUP_MIN}x)"
+        )
+    return failures
+
+
+# -- pytest entry points (the CI matrix-smoke gate) ----------------------
+@pytest.fixture(scope="module")
+def bench_result(tmp_path_factory):
+    flows = int(os.environ.get("REPRO_BENCH_MATRIX_FLOWS", DEFAULT_FLOWS))
+    return measure(flows, cache_root=tmp_path_factory.mktemp("matrix"))
+
+
+def test_cold_throughput_above_floor(bench_result):
+    assert bench_result["cells_per_min"] >= floor_cells_per_min(), (
+        bench_result
+    )
+
+
+def test_warm_resume_speedup(bench_result):
+    assert bench_result["resume_speedup"] is not None
+    assert bench_result["resume_speedup"] >= RESUME_SPEEDUP_MIN, bench_result
+
+
+def test_rankings_deterministic(bench_result):
+    assert bench_result["deterministic"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+
+    import _emit
+
+    parser = argparse.ArgumentParser(
+        description="Measure matrix-runner throughput and cache resume."
+    )
+    parser.add_argument("--flows", type=int, default=DEFAULT_FLOWS)
+    parser.add_argument("--json-out", help="write BENCH_matrix.json here")
+    _emit.add_store_argument(parser)
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        result = measure(args.flows, cache_root=tmp)
+    failures = check_gates(result)
+
+    _emit.emit_result(
+        "matrix",
+        {k: v for k, v in result.items() if k != "rankings"},
+        store_path=args.results_store,
+        wall_time=time.perf_counter() - started,
+        meta={"rankings": result["rankings"]},
+    )
+    text = json.dumps(result, indent=2, sort_keys=True)
+    print(text)
+    if args.json_out:
+        out_dir = os.path.dirname(args.json_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            handle.write(text)
+    print(
+        f"matrix: {result['cells']} cells cold in "
+        f"{result['cold_wall_s']:.1f}s "
+        f"({result['cells_per_min']:.0f} cells/min), resume "
+        f"{result['resume_speedup']:.0f}x",
+        file=sys.stderr,
+    )
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

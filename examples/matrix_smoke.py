@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Policy-tournament smoke run: the matrix's headline conclusions.
+
+Runs a reduced scenario × policy grid and checks the two results the
+full tournament reproduces:
+
+* on the paper's own WAN paths, S-RTO beats native Linux recovery
+  (the Table 8/9 conclusion);
+* on the datacenter incast paths — where the RTO's 200 ms floor costs
+  three orders of magnitude against a sub-ms RTT — T-RACKs wins at
+  least one cell.
+
+Writes the full ranked-table JSON artifact next to nothing else the
+repo owns (default ``matrix_smoke.json``; the CI ``matrix-smoke`` job
+uploads it).
+
+Usage::
+
+    python examples/matrix_smoke.py [flows] [artifact.json]
+"""
+
+import sys
+import time
+
+from repro.matrix import MatrixConfig, run_matrix
+from repro.matrix.runner import dump_json
+
+
+def main() -> int:
+    flows = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    artifact = sys.argv[2] if len(sys.argv) > 2 else "matrix_smoke.json"
+    started = time.time()
+
+    config = MatrixConfig(
+        flows=flows,
+        policies=("native", "tlp", "srto", "tracks", "mobile"),
+        workloads=("web_search", "storage_short"),
+        paths=("wan", "datacenter"),
+    )
+    print(
+        f"sweeping {len(config.resolved_policies())} policies x "
+        f"{len(config.resolved_workloads())} workloads x "
+        f"{len(config.resolved_paths())} paths, {flows} flows/cell...",
+    )
+    result = run_matrix(config)
+    print(result.format_table())
+
+    winners = result.winners()
+    failures = []
+    for scenario, winner in sorted(winners.items()):
+        print(f"winner {scenario}: {winner}")
+    wan_wins = [s for s, w in winners.items() if s.endswith("/wan")]
+    if not all(winners[s] == "srto" for s in wan_wins):
+        failures.append(
+            "expected S-RTO to win every WAN cell, got "
+            f"{ {s: winners[s] for s in wan_wins} }"
+        )
+    dc_wins = [
+        s
+        for s, w in winners.items()
+        if s.endswith("/datacenter") and w == "tracks"
+    ]
+    if not dc_wins:
+        failures.append("expected T-RACKs to win >= 1 datacenter cell")
+
+    dump_json(result, artifact)
+    print(f"\nwrote {artifact} ({time.time() - started:.1f}s total)")
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

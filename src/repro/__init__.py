@@ -8,8 +8,12 @@ The package provides:
 * :mod:`repro.config` — frozen ``AnalysisConfig`` / ``RunConfig``;
 * :mod:`repro.core` — TAPO, the passive TCP stall classifier;
 * :mod:`repro.tcp` — a Linux-2.6.32-style TCP stack simulator with
-  pluggable recovery policies (native RTO, TLP, and the paper's S-RTO);
-* :mod:`repro.netsim` — a discrete-event network simulator;
+  pluggable recovery policies (native RTO, TLP, the paper's S-RTO,
+  T-RACKs, and Mobile-LR, all in a ``PolicyRegistry``);
+* :mod:`repro.netsim` — a discrete-event network simulator with WAN,
+  datacenter, and cellular path-condition models;
+* :mod:`repro.matrix` — the scenario x policy tournament runner behind
+  ``repro-paper matrix``;
 * :mod:`repro.packet` — headers, pcap I/O, flow demuxing;
 * :mod:`repro.workload` / :mod:`repro.app` — the three studied services;
 * :mod:`repro.experiments` — harnesses regenerating every table and
@@ -83,6 +87,13 @@ _EXPORTS = {
     "SRTOPolicy": "repro.tcp",
     "TLPPolicy": "repro.tcp",
     "TcpConnection": "repro.tcp",
+    # policy tournament surface
+    "MatrixConfig": "repro.matrix",
+    "MatrixResult": "repro.matrix",
+    "MobileLRPolicy": "repro.tcp",
+    "PolicyRegistry": "repro.tcp",
+    "TRACKsPolicy": "repro.tcp",
+    "run_matrix": "repro.matrix",
     # live monitoring surface
     "AlertRule": "repro.live",
     "LiveDaemon": "repro.live",
@@ -141,7 +152,16 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
         render_dashboard,
         trend_report,
     )
-    from .tcp import EndpointConfig, SRTOPolicy, TcpConnection, TLPPolicy
+    from .matrix import MatrixConfig, MatrixResult, run_matrix
+    from .tcp import (
+        EndpointConfig,
+        MobileLRPolicy,
+        PolicyRegistry,
+        SRTOPolicy,
+        TcpConnection,
+        TLPPolicy,
+        TRACKsPolicy,
+    )
 
 
 def __getattr__(name: str):

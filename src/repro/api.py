@@ -27,6 +27,10 @@ modules are implementation detail and may move.  The full surface:
   (cross-host listener mode), ``run_worker`` (dial-in worker loop);
 * live monitoring: ``LiveDaemon``, ``WindowStore``, ``AlertRule``,
   ``watch_directory``;
+* policy tournament: ``PolicyRegistry`` (the recovery-policy registry
+  behind ``--policies``), the ``TRACKsPolicy`` / ``MobileLRPolicy``
+  contenders, and the scenario x policy matrix — ``MatrixConfig``,
+  ``run_matrix``, ``MatrixResult``;
 * longitudinal results: ``ResultsStore``, ``TrendConfig``,
   ``trend_report``, ``merge_records``, ``render_dashboard``;
 * configuration: ``AnalysisConfig``, ``RunConfig``;
@@ -83,6 +87,7 @@ from .errors import (
     WorkerError,
 )
 from .live import AlertRule, LiveDaemon, WindowStore, watch_directory
+from .matrix import MatrixConfig, MatrixResult, run_matrix
 from .packet.flow import (
     ServerPredicate,
     StreamStats,
@@ -97,6 +102,7 @@ from .results import (
     render_dashboard,
     trend_report,
 )
+from .tcp import MobileLRPolicy, PolicyRegistry, TRACKsPolicy
 
 __all__ = [
     "AlertRule",
@@ -112,10 +118,14 @@ __all__ = [
     "FlowAnalysis",
     "FlowAnalysisError",
     "LiveDaemon",
+    "MatrixConfig",
+    "MatrixResult",
+    "MobileLRPolicy",
     "NetConfig",
     "PacketRecord",
     "ParseError",
     "PoisonTaskError",
+    "PolicyRegistry",
     "ReproError",
     "ResultsStore",
     "RetxCause",
@@ -125,6 +135,7 @@ __all__ = [
     "Stall",
     "StallCause",
     "StreamStats",
+    "TRACKsPolicy",
     "Tapo",
     "TrendConfig",
     "WindowStore",
@@ -135,6 +146,7 @@ __all__ = [
     "merge_records",
     "render_dashboard",
     "report",
+    "run_matrix",
     "run_worker",
     "server_by_ip",
     "server_by_port",

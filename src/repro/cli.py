@@ -13,6 +13,8 @@ One binary fronts every layer of the pipeline:
                (:mod:`repro.live.cli`)
 ``results``    inspect/trend-check the longitudinal results store
                (:mod:`repro.results.cli`)
+``matrix``     policy tournament: every recovery policy × workload ×
+               path scenario, ranked (:mod:`repro.matrix.cli`)
 ``cluster``    sharded analysis fleet: N worker processes, merged
                byte-identical report (:mod:`repro.cluster.cli`)
 ``cluster-worker``  dial in to a ``cluster --listen`` coordinator and
@@ -44,7 +46,7 @@ from __future__ import annotations
 import sys
 
 _SUBCOMMANDS = (
-    "run", "analyze", "trace", "watch", "results", "cluster",
+    "run", "analyze", "trace", "watch", "matrix", "results", "cluster",
     "cluster-worker",
 )
 
@@ -56,6 +58,8 @@ subcommands:
   analyze    classify TCP stalls in a pcap trace (batch or --stream)
   trace      re-simulate one flow with the flight recorder on
   watch      continuously monitor stalls in a live/rotating capture
+  matrix     run the policy tournament: every recovery policy against
+             every workload x path scenario, ranked per scenario
   results    inspect the longitudinal results store (list/show/
              trends/compact/merge/dashboard)
   cluster    shard a capture across N worker processes and merge
@@ -104,6 +108,10 @@ def main(argv: list[str] | None = None) -> int:
         from .live.cli import main as watch_main
 
         return watch_main(rest)
+    if command == "matrix":
+        from .matrix.cli import main as matrix_main
+
+        return matrix_main(rest)
     if command == "results":
         from .results.cli import main as results_main
 

@@ -150,6 +150,67 @@ def add_results_store(
     )
 
 
+def policy_list(spec: str) -> tuple[str, ...]:
+    """Argparse ``type=`` adapter for comma-separated policy names.
+
+    Validates through the policy registry
+    (:func:`repro.config.validate_policies`), so an unknown name fails
+    with a usage error that lists every registered policy.
+    """
+    from .config import validate_policies
+
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("empty policy list")
+    try:
+        return validate_policies(names)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def policy_name(name: str) -> str:
+    """Argparse ``type=`` adapter for a single policy name."""
+    return policy_list(name)[0]
+
+
+def add_policy(
+    parser: argparse.ArgumentParser,
+    default: str = "native",
+    help: str | None = None,
+):
+    """``--policy NAME`` — one registry-validated recovery policy."""
+    return parser.add_argument(
+        "--policy",
+        type=policy_name,
+        default=default,
+        metavar="NAME",
+        help=help
+        or (
+            f"recovery policy to simulate under (default {default}); "
+            "unknown names list the registry"
+        ),
+    )
+
+
+def add_policies(
+    parser: argparse.ArgumentParser,
+    default: "tuple[str, ...] | None" = None,
+    help: str | None = None,
+):
+    """``--policies NAME[,NAME...]`` — registry-validated selection."""
+    return parser.add_argument(
+        "--policies",
+        type=policy_list,
+        default=default,
+        metavar="NAME[,NAME...]",
+        help=help
+        or (
+            "comma-separated recovery policies to run (default: every "
+            "registered policy); unknown names list the registry"
+        ),
+    )
+
+
 def add_server_endpoint(parser: argparse.ArgumentParser) -> None:
     """``--server-ip`` / ``--server-port`` endpoint pin pair."""
     parser.add_argument(

@@ -48,6 +48,27 @@ def warn_deprecated_kwargs(where: str, names: list[str], instead: str) -> None:
     )
 
 
+def validate_policies(names) -> tuple[str, ...]:
+    """Resolve recovery-policy names through the policy registry.
+
+    Every surface that selects policies by name — ``--policy`` /
+    ``--policies`` flags, :class:`repro.matrix.MatrixConfig` — funnels
+    through here, so an unknown name always fails the same way: a
+    ``ValueError`` naming the registered policies (raised by
+    :meth:`repro.tcp.policies.PolicyRegistry.get`).  Returns the names
+    as a tuple, order preserved, duplicates rejected.
+    """
+    from .tcp.policies import REGISTRY
+
+    resolved: list[str] = []
+    for name in names:
+        REGISTRY.get(name)
+        if name in resolved:
+            raise ValueError(f"recovery policy {name!r} selected twice")
+        resolved.append(name)
+    return tuple(resolved)
+
+
 @dataclass(frozen=True)
 class AnalysisConfig:
     """How TAPO analyzes a flow (the paper's Sec. 3 knobs).

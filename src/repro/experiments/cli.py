@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the (slower) Table 8/9 policy sweep",
     )
+    cli_options.add_policies(
+        parser,
+        help=(
+            "policies for the mitigation sweep (registry-validated; "
+            "must include native, tlp, and srto, which Tables 8/9 "
+            "compare; default: exactly those three)"
+        ),
+    )
     parser.add_argument(
         "--export-dir",
         help="also write gnuplot-ready figure data files here",
@@ -172,9 +180,23 @@ def main(argv: list[str] | None = None) -> int:
 
     comparisons = []
     if not args.skip_mitigation:
+        if args.policies is not None:
+            missing = [
+                name
+                for name in ("native", "tlp", "srto")
+                if name not in args.policies
+            ]
+            if missing:
+                print(
+                    "repro-paper run: --policies must include "
+                    f"{', '.join(missing)} (Tables 8/9 compare them)",
+                    file=sys.stderr,
+                )
+                return 2
+        n_policies = len(args.policies) if args.policies is not None else 3
         print(
-            f"running mitigation sweep ({args.mitigation_flows} flows x 3 "
-            "policies x 2 services)...",
+            f"running mitigation sweep ({args.mitigation_flows} flows x "
+            f"{n_policies} policies x 2 services)...",
             file=sys.stderr,
         )
         comparisons = [
@@ -185,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
                 t1=5,
                 short_flow_max=None,
                 workers=args.workers,
+                policies=args.policies,
             ),
             compare_policies(
                 make_short_flow_profile(get_profile("cloud_storage")),
@@ -193,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
                 t1=10,
                 short_flow_max=None,
                 workers=args.workers,
+                policies=args.policies,
             ),
         ]
         print(format_table8(comparisons))

@@ -31,6 +31,16 @@ POLICIES: tuple[tuple[str, str], ...] = (
     ("srto", "S-RTO"),
 )
 
+#: Display labels for every policy the tournament can run — a superset
+#: of the paper's Table 8/9 trio (see :mod:`repro.matrix`).
+POLICY_LABELS: dict[str, str] = {
+    "native": "Linux",
+    "tlp": "TLP",
+    "srto": "S-RTO",
+    "tracks": "T-RACKs",
+    "mobile": "Mobile-LR",
+}
+
 #: Paper's short-flow threshold is 200 KB on 1.7 MB average flows;
 #: flow sizes here are scaled by ~7x, hence 60 KB.
 SHORT_FLOW_MAX_BYTES = 60_000
@@ -49,12 +59,27 @@ class PolicyOutcome:
     retransmissions: int = 0
     data_segments: int = 0
     flows: int = 0
+    #: Flows that hit at least one retransmission timeout (an RTO
+    #: stall — the event every contender policy tries to pre-empt).
+    rto_flows: int = 0
+    #: Sessions that did not complete within the simulation horizon.
+    failed_flows: int = 0
+    #: Probe-timer retransmissions across all flows (TLP/S-RTO/
+    #: mobile probes; zero for native and T-RACKs).
+    probe_retransmissions: int = 0
 
     @property
     def retransmission_ratio(self) -> float:
         if not self.data_segments:
             return 0.0
         return self.retransmissions / self.data_segments
+
+    @property
+    def stall_rate(self) -> float:
+        """Fraction of flows that suffered an RTO stall."""
+        if not self.flows:
+            return 0.0
+        return self.rto_flows / self.flows
 
     def latency_quantile(self, q: float) -> float:
         return percentile(self.latencies, q)
@@ -109,16 +134,21 @@ def run_policy(
     t2: int = 5,
     short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
     workers: int | None = 1,
+    policy_kwargs: dict | None = None,
 ) -> PolicyOutcome:
     """Run one service under one recovery policy.
 
     Per-request latencies are restricted to requests whose response is
     a "short flow" when ``short_flow_max`` is set; throughputs are
-    collected from large responses.
+    collected from large responses.  ``policy_kwargs`` overrides the
+    policy constructor arguments; when ``None`` (the default, and the
+    Table 8/9 path) S-RTO receives ``t1``/``t2`` and every other
+    policy its defaults.
     """
-    kwargs = {"t1": t1, "t2": t2} if policy == "srto" else {}
+    if policy_kwargs is None:
+        policy_kwargs = {"t1": t1, "t2": t2} if policy == "srto" else {}
     scenarios = generate_flows(
-        profile, flows, seed=seed, policy=policy, policy_kwargs=kwargs
+        profile, flows, seed=seed, policy=policy, policy_kwargs=policy_kwargs
     )
     outcome = PolicyOutcome(policy=policy)
     run = run_flows(scenarios, workers=workers)
@@ -126,6 +156,13 @@ def run_policy(
         outcome.flows += 1
         outcome.retransmissions += result.server_stats.retransmissions
         outcome.data_segments += result.server_stats.data_segments_sent
+        outcome.probe_retransmissions += (
+            result.server_stats.probe_retransmissions
+        )
+        if result.server_stats.rto_timeouts > 0:
+            outcome.rto_flows += 1
+        if not result.session_result.complete:
+            outcome.failed_flows += 1
         requests = result.scenario.session.requests
         for request, timing in zip(requests, result.session_result.timings):
             if timing.latency is None:
@@ -192,16 +229,26 @@ def compare_policies(
     short_flow_max: int | None = SHORT_FLOW_MAX_BYTES,
     workers: int | None = 1,
     run: "RunConfig | None" = None,
+    policies: "tuple[str, ...] | None" = None,
 ) -> MitigationComparison:
-    """Run all three policies over the same seeded workload.
+    """Run the selected policies over the same seeded workload.
 
-    ``run`` (a :class:`repro.config.RunConfig`) overrides ``workers``
-    when given.
+    ``policies`` defaults to the paper's Table 8/9 trio; any other
+    selection is resolved through the policy registry
+    (:func:`repro.config.validate_policies`), so unknown names fail
+    with the registered list.  ``run`` (a
+    :class:`repro.config.RunConfig`) overrides ``workers`` when given.
     """
     if run is not None:
         workers = run.workers
+    if policies is None:
+        policies = tuple(name for name, _label in POLICIES)
+    else:
+        from ..config import validate_policies
+
+        policies = validate_policies(policies)
     outcomes = {}
-    for policy, _label in POLICIES:
+    for policy in policies:
         outcomes[policy] = run_policy(
             profile,
             policy,

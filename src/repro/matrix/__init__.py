@@ -1,0 +1,58 @@
+"""Policy tournament: scenario × policy matrix (``repro-paper matrix``).
+
+The paper proves one policy (S-RTO) beats two others on one path class
+(WAN).  This subsystem generalizes that comparison: every policy in
+:data:`repro.tcp.policies.REGISTRY` runs against every workload ×
+path-condition scenario (:mod:`repro.matrix.scenarios` — WAN,
+datacenter incast, cellular), and the runner
+(:mod:`repro.matrix.runner`) emits one ranked table per scenario with
+stall rate, tail FCT, and retransmission cost per cell.  Results
+append to the longitudinal store, where the trend engine reports
+policy-order flips, and render on the dashboard as a ranking grid.
+
+Quick start::
+
+    from repro.matrix import MatrixConfig, run_matrix
+
+    result = run_matrix(MatrixConfig(flows=50))
+    print(result.format_table())
+    print(result.winners())
+"""
+
+from .runner import (
+    CELL_METRICS,
+    MatrixCell,
+    MatrixConfig,
+    MatrixResult,
+    append_to_store,
+    cell_fingerprint,
+    default_policies,
+    matrix_cache,
+    run_cell,
+    run_matrix,
+)
+from .scenarios import (
+    PATH_SCENARIOS,
+    WORKLOADS,
+    Workload,
+    get_workload,
+    scenario_profile,
+)
+
+__all__ = [
+    "CELL_METRICS",
+    "MatrixCell",
+    "MatrixConfig",
+    "MatrixResult",
+    "PATH_SCENARIOS",
+    "WORKLOADS",
+    "Workload",
+    "append_to_store",
+    "cell_fingerprint",
+    "default_policies",
+    "get_workload",
+    "matrix_cache",
+    "run_cell",
+    "run_matrix",
+    "scenario_profile",
+]

@@ -1,0 +1,94 @@
+"""Scenario axes of the policy tournament: workloads × path conditions.
+
+A matrix *cell* is (workload, path scenario, policy).  The axes:
+
+* **Workloads** — :data:`WORKLOADS`.  ``web_search`` and
+  ``storage_short`` are exactly the two services of the paper's
+  mitigation sweep (Tables 8/9), with the same per-workload S-RTO
+  ``T1`` thresholds (5 and 10) the paper deployed.  Keeping the
+  construction identical to ``repro-paper run``'s sweep is what makes
+  the matrix's WAN cells byte-identical to Table 8/9.
+* **Path scenarios** — :data:`PATH_SCENARIOS`, from
+  :data:`repro.netsim.profiles.PATH_MODELS`.  ``wan`` is the sentinel
+  "keep the workload's own path"; ``datacenter`` and ``cellular``
+  re-path the same workload through
+  :class:`~repro.netsim.profiles.DatacenterPath` /
+  :class:`~repro.netsim.profiles.CellularPath` via
+  ``dataclasses.replace`` (the workload layer duck-types the path).
+
+Adding an axis entry is one line in the relevant mapping; the runner,
+CLI, benchmarks, and dashboard all iterate these mappings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..experiments.mitigation import make_short_flow_profile
+from ..netsim.profiles import PATH_MODELS, make_path_model
+from ..workload.services import ServiceProfile, get_profile
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One workload axis entry.
+
+    ``t1`` is the S-RTO packets-in-flight threshold used for this
+    workload (the paper tuned it per service: 5 for web search, 10
+    for cloud-storage control flows).
+    """
+
+    name: str
+    t1: int
+    factory: Callable[[], ServiceProfile]
+
+    def profile(self) -> ServiceProfile:
+        return self.factory()
+
+
+def _web_search() -> ServiceProfile:
+    return get_profile("web_search")
+
+
+def _storage_short() -> ServiceProfile:
+    return make_short_flow_profile(get_profile("cloud_storage"))
+
+
+#: The workload axis, in table order.
+WORKLOADS: dict[str, Workload] = {
+    "web_search": Workload("web_search", t1=5, factory=_web_search),
+    "storage_short": Workload("storage_short", t1=10, factory=_storage_short),
+}
+
+#: The path-scenario axis, in table order (wan first: the paper's own
+#: environment and the byte-identity anchor).
+PATH_SCENARIOS: tuple[str, ...] = tuple(PATH_MODELS)
+
+
+def get_workload(name: str) -> Workload:
+    """The workload registered under ``name`` (ValueError otherwise)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def scenario_profile(workload: Workload, path_name: str) -> ServiceProfile:
+    """The service profile of one (workload, path) scenario.
+
+    ``wan`` returns the workload's own profile untouched — bit-for-bit
+    the profile the Table 8/9 sweep runs.  Other scenarios swap in the
+    registered path model and tag the profile name so caches and
+    result records distinguish the re-pathed variant.
+    """
+    profile = workload.profile()
+    model = make_path_model(path_name)
+    if model is None:
+        return profile
+    return dataclasses.replace(
+        profile, name=f"{profile.name}@{path_name}", path=model
+    )

@@ -7,35 +7,43 @@ from .loss import (
     CompositeJitter,
     CompositeLoss,
     GilbertElliottLoss,
+    IncastBurstLoss,
     JitterModel,
     LossModel,
     NoJitter,
     NoLoss,
+    RadioWakeJitter,
     RandomWalkJitter,
     ScriptedDrop,
     SpikeJitter,
     TimedBurstLoss,
     UniformJitter,
 )
+from .profiles import PATH_MODELS, CellularPath, DatacenterPath, make_path_model
 from .topology import Dispatcher, SharedBottleneck
 from .trace import CaptureTap
 
 __all__ = [
     "BernoulliLoss",
     "CaptureTap",
+    "CellularPath",
     "CompositeJitter",
     "CompositeLoss",
+    "DatacenterPath",
     "Dispatcher",
     "DuplexPath",
     "EventLoop",
     "GilbertElliottLoss",
+    "IncastBurstLoss",
     "JitterModel",
     "Link",
     "LinkStats",
     "LossModel",
     "NoJitter",
     "NoLoss",
+    "PATH_MODELS",
     "PathConfig",
+    "RadioWakeJitter",
     "RandomWalkJitter",
     "ScriptedDrop",
     "SimulationError",
@@ -43,4 +51,5 @@ __all__ = [
     "TimedBurstLoss",
     "Timer",
     "UniformJitter",
+    "make_path_model",
 ]

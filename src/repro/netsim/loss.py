@@ -205,6 +205,78 @@ class ScriptedDrop(LossModel):
         self._drops_left.clear()
 
 
+class IncastBurstLoss(LossModel):
+    """Synchronized incast drops a few packets into a burst.
+
+    Data-center incast (many servers answering one aggregator at once)
+    overflows the shallow switch buffer a few packets *into* the
+    synchronized burst: the front of each flow's window is queued
+    while the buffer still has room, then the fan-in collides and the
+    next packets are lost together.  The model schedules loss epochs
+    with exponential inter-arrival ``mean_interval`` seconds; once a
+    flow hits an armed epoch, its first ``skip_min``..``skip_max``
+    payload packets pass (buffer still filling), the following
+    ``burst_min``..``burst_max`` are dropped, and the link is clean
+    again until the next epoch.
+
+    The resulting signature is what T-RACKs targets: a short flow
+    loses packets near the *tail* of its window, at most a couple of
+    segments arrive behind the hole — duplicate ACKs below
+    ``dupthres`` — and a native sender has nothing left to do but wait
+    out a 200 ms-floored RTO on a sub-millisecond path.
+    """
+
+    def __init__(
+        self,
+        mean_interval: float = 0.05,
+        burst_min: int = 2,
+        burst_max: int = 4,
+        skip_min: int = 2,
+        skip_max: int = 6,
+    ):
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        if not 1 <= burst_min <= burst_max:
+            raise ValueError("need 1 <= burst_min <= burst_max")
+        if not 0 <= skip_min <= skip_max:
+            raise ValueError("need 0 <= skip_min <= skip_max")
+        self.mean_interval = mean_interval
+        self.burst_min = burst_min
+        self.burst_max = burst_max
+        self.skip_min = skip_min
+        self.skip_max = skip_max
+        self._next_epoch: float | None = None
+        self._skip_left = 0
+        self._drops_left = 0
+
+    def should_drop(self, rng: random.Random, now: float = 0.0, pkt=None) -> bool:
+        if self._next_epoch is None:
+            self._next_epoch = now + rng.expovariate(1 / self.mean_interval)
+        burst = False
+        # Catch up over idle gaps: epochs with no traffic dropped
+        # nothing, so only the most recent one arms a burst.
+        while now >= self._next_epoch:
+            burst = True
+            self._next_epoch += rng.expovariate(1 / self.mean_interval)
+        if burst:
+            self._skip_left = rng.randint(self.skip_min, self.skip_max)
+            self._drops_left = rng.randint(self.burst_min, self.burst_max)
+        if pkt is not None and pkt.payload_len == 0:
+            return False
+        if self._skip_left > 0:
+            self._skip_left -= 1
+            return False
+        if self._drops_left > 0:
+            self._drops_left -= 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._next_epoch = None
+        self._skip_left = 0
+        self._drops_left = 0
+
+
 class CompositeLoss(LossModel):
     """Union of several loss models (drop when any model drops)."""
 
@@ -335,3 +407,49 @@ class SpikeJitter(JitterModel):
         if rng.random() < self.spike_prob:
             return rng.uniform(self.spike_low, self.spike_high)
         return rng.uniform(0.0, self.base_jitter)
+
+
+class RadioWakeJitter(JitterModel):
+    """Cellular radio idle->active promotion latency.
+
+    A cellular modem drops from DCH/active to an idle state after
+    ``idle_threshold`` seconds without traffic; the next packet then
+    pays a state-promotion delay of hundreds of milliseconds to
+    seconds (RRC signalling) before the bearer is up again.  The first
+    packet of a flow, and the first packet after any sufficiently long
+    quiet gap, is delayed by ``uniform(promo_low, promo_high)``;
+    packets on a warm radio pass untouched.
+
+    For the recovery policies this is pure RTT *variance*: the first
+    RTT sample of a flow can be 10x the path RTT, which both seeds the
+    RTO absurdly high and — when the promotion hits mid-flow — looks
+    exactly like a loss to any policy with a non-adaptive probe timer.
+    """
+
+    def __init__(
+        self,
+        idle_threshold: float = 2.0,
+        promo_low: float = 0.2,
+        promo_high: float = 1.2,
+    ):
+        if idle_threshold <= 0:
+            raise ValueError("idle_threshold must be positive")
+        if not 0.0 <= promo_low <= promo_high:
+            raise ValueError("need 0 <= promo_low <= promo_high")
+        self.idle_threshold = idle_threshold
+        self.promo_low = promo_low
+        self.promo_high = promo_high
+        self._last_activity: float | None = None
+
+    def extra_delay(self, rng: random.Random, now: float = 0.0) -> float:
+        idle = (
+            self._last_activity is None
+            or now - self._last_activity >= self.idle_threshold
+        )
+        self._last_activity = now
+        if idle:
+            return rng.uniform(self.promo_low, self.promo_high)
+        return 0.0
+
+    def reset(self) -> None:
+        self._last_activity = None

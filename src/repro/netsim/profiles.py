@@ -1,0 +1,180 @@
+"""Path-condition models beyond the paper's WAN: datacenter, cellular.
+
+The paper's evaluation (and :mod:`repro.workload`'s ``PathProfile``)
+describes wide-area paths: tens of milliseconds of RTT, bufferbloat
+jitter, Bernoulli + burst loss.  The policy tournament
+(:mod:`repro.matrix`) needs the two environments its extra contenders
+were designed for:
+
+* :class:`DatacenterPath` — µs-scale RTT, GBit rates, shallow switch
+  buffers, and *synchronized* incast loss bursts
+  (:class:`~repro.netsim.loss.IncastBurstLoss`).  The defining property
+  is RTO >= 200 ms on a path whose RTT is ~300 µs: any recovery that
+  waits for the RTO costs three orders of magnitude.
+* :class:`CellularPath` — high-variance RTT (log-normal base + deep
+  bufferbloat random walk), a large last-mile queue, mostly
+  non-congestive radio loss, and idle->active radio promotion latency
+  (:class:`~repro.netsim.loss.RadioWakeJitter`).
+
+Both classes duck-type the ``PathProfile`` contract that
+:func:`repro.workload.generator.generate_flows` relies on — a
+``make_path(rng) -> PathConfig`` method plus ``cached_rttvar_low`` /
+``cached_rttvar_high`` attributes — so a workload profile can be
+re-pathed with ``dataclasses.replace(profile, path=DatacenterPath())``
+without the workload layer knowing anything about path models.  This
+module deliberately does *not* import :mod:`repro.workload`; the
+dependency points the other way.
+
+:data:`PATH_MODELS` maps scenario names to factories; ``None`` marks
+the sentinel ``wan`` scenario, meaning "keep the workload profile's
+own path" (which is what makes the matrix's WAN cells byte-identical
+to Table 8/9).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .link import PathConfig
+from .loss import (
+    BernoulliLoss,
+    CompositeJitter,
+    CompositeLoss,
+    IncastBurstLoss,
+    RadioWakeJitter,
+    RandomWalkJitter,
+    TimedBurstLoss,
+    UniformJitter,
+)
+
+
+@dataclass
+class DatacenterPath:
+    """Intra-datacenter path: µs RTT, shallow buffer, incast bursts.
+
+    ``queue_limit`` is the shallow shared switch buffer (packets);
+    ``incast_interval`` / ``incast_min`` / ``incast_max`` parameterize
+    the synchronized loss epochs.  Defaults are tuned so that a burst
+    takes out the *front* of a short flow's window — too few survivors
+    to reach ``dupthres`` — which is the stall T-RACKs exists to fix.
+    """
+
+    rtt_low: float = 0.0002
+    rtt_high: float = 0.0008
+    rate_bps: float = 1e9
+    queue_limit: int = 64
+    incast_interval: float = 0.05
+    incast_min: int = 2
+    incast_max: int = 4
+    ack_loss_rate: float = 0.0005
+    jitter_max: float = 0.0002
+    #: Cached per-destination RTT variance seeding the server's RTO.
+    #: Deliberately *WAN-scale*: production metric caches aggregate
+    #: across path classes, which is exactly why the kernel's seeded
+    #: RTO starts out ~1000x the datacenter RTT.
+    cached_rttvar_low: float = 0.0005
+    cached_rttvar_high: float = 0.002
+
+    def make_path(self, rng: random.Random) -> PathConfig:
+        rtt = rng.uniform(self.rtt_low, self.rtt_high)
+        return PathConfig(
+            delay=rtt / 2,
+            rate_bps=self.rate_bps,
+            queue_limit=self.queue_limit,
+            data_loss=IncastBurstLoss(
+                mean_interval=self.incast_interval,
+                burst_min=self.incast_min,
+                burst_max=self.incast_max,
+            ),
+            ack_loss=BernoulliLoss(self.ack_loss_rate),
+            data_jitter=UniformJitter(self.jitter_max),
+            ack_jitter=UniformJitter(self.jitter_max),
+        )
+
+
+@dataclass
+class CellularPath:
+    """Cellular last mile: high-variance RTT, bufferbloat, radio wake.
+
+    The base RTT is log-normal (median ``exp(rtt_mu)`` seconds) and a
+    deep random-walk queue adds up to ``walk_max`` seconds on top —
+    the combination keeps RTTVAR, and hence the kernel RTO, inflated.
+    Radio promotions (:class:`~repro.netsim.loss.RadioWakeJitter`)
+    delay the first packet after any ``radio_idle`` quiet period.
+    Loss is light and mostly non-congestive: Bernoulli radio loss plus
+    occasional handover outage bursts.
+    """
+
+    rtt_mu: float = -2.8  # exp(-2.8) ~ 61 ms median base RTT
+    rtt_sigma: float = 0.35
+    rate_low: float = 2e6
+    rate_high: float = 8e6
+    queue_limit: int = 256
+    data_loss_rate: float = 0.012
+    handover_mean_good: float = 12.0
+    handover_mean_bad: float = 0.25
+    ack_loss_rate: float = 0.012
+    walk_max: float = 0.6
+    walk_volatility: float = 0.15
+    radio_idle: float = 1.5
+    promo_low: float = 0.2
+    promo_high: float = 1.0
+    cached_rttvar_low: float = 0.3
+    cached_rttvar_high: float = 0.8
+
+    def make_path(self, rng: random.Random) -> PathConfig:
+        rtt = max(0.02, rng.lognormvariate(self.rtt_mu, self.rtt_sigma))
+        rate = rng.uniform(self.rate_low, self.rate_high)
+        return PathConfig(
+            delay=rtt / 2,
+            rate_bps=rate,
+            queue_limit=self.queue_limit,
+            data_loss=CompositeLoss(
+                BernoulliLoss(self.data_loss_rate),
+                TimedBurstLoss(
+                    mean_good=self.handover_mean_good,
+                    mean_bad=self.handover_mean_bad,
+                ),
+            ),
+            ack_loss=BernoulliLoss(self.ack_loss_rate),
+            data_jitter=CompositeJitter(
+                RandomWalkJitter(
+                    max_delay=self.walk_max, volatility=self.walk_volatility
+                ),
+                RadioWakeJitter(
+                    idle_threshold=self.radio_idle,
+                    promo_low=self.promo_low,
+                    promo_high=self.promo_high,
+                ),
+            ),
+            ack_jitter=RandomWalkJitter(
+                max_delay=self.walk_max / 3,
+                volatility=self.walk_volatility / 2,
+            ),
+        )
+
+
+#: Scenario name -> path-model factory.  ``None`` is the sentinel for
+#: "use the workload profile's own (WAN) path" — see module docstring.
+PATH_MODELS: dict[str, type | None] = {
+    "wan": None,
+    "datacenter": DatacenterPath,
+    "cellular": CellularPath,
+}
+
+
+def make_path_model(name: str):
+    """Instantiate the path model registered under ``name``.
+
+    Returns ``None`` for the ``wan`` sentinel.  Raises ``ValueError``
+    with the registered list for unknown names (mirrors
+    :meth:`repro.tcp.policies.PolicyRegistry.get`).
+    """
+    try:
+        factory = PATH_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown path scenario {name!r}; choose from {sorted(PATH_MODELS)}"
+        ) from None
+    return None if factory is None else factory()

@@ -362,6 +362,15 @@ def build_trace_parser() -> argparse.ArgumentParser:
         default=600.0,
         help="per-flow simulated-time cap in seconds (default 600)",
     )
+    from .. import cli_options
+
+    cli_options.add_policy(
+        parser,
+        help=(
+            "recovery policy the server runs while re-simulating "
+            "(default native); unknown names list the registry"
+        ),
+    )
     return parser
 
 
@@ -373,7 +382,9 @@ def trace_main(argv: list[str] | None = None) -> int:
     args = build_trace_parser().parse_args(argv)
     profile = get_profile(args.service)
     count = max(args.flow + 1, args.all_flows)
-    scenarios = list(generate_flows(profile, count, seed=args.seed))
+    scenarios = list(
+        generate_flows(profile, count, seed=args.seed, policy=args.policy)
+    )
     if args.flow >= len(scenarios):
         print(f"no flow {args.flow} in a {len(scenarios)}-flow dataset",
               file=sys.stderr)

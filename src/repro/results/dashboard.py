@@ -394,6 +394,58 @@ def _rankings_section(runs: "list[dict] | None") -> str:
     )
 
 
+def _matrix_section(runs: "list[dict] | None") -> str:
+    """Policy-ranking grid from the newest matrix record.
+
+    Rows are workloads, columns are path scenarios, each cell the
+    policy order (best first) of that scenario — the ``repro-paper
+    matrix`` tournament at a glance.  Matrix records key their
+    rankings ``workload/path``; records without such keys (e.g. the
+    per-service mitigation sweep) are left to the generic policy-
+    comparison section.
+    """
+    newest = None
+    for record in runs or []:
+        if record.get("name") == "matrix" and record.get("rankings"):
+            newest = record
+    if newest is None:
+        return (
+            '<p class="note">No matrix runs yet — run '
+            "<code>repro-paper matrix --results-store ...</code>.</p>"
+        )
+    grid: dict[str, dict[str, list]] = {}
+    paths: list[str] = []
+    for scenario, order in newest["rankings"].items():
+        workload, sep, path = scenario.partition("/")
+        if not sep:
+            workload, path = scenario, ""
+        grid.setdefault(workload, {})[path] = order
+        if path not in paths:
+            paths.append(path)
+    head = "".join(f"<th>{_esc(path)}</th>" for path in paths)
+    rows = []
+    for workload in grid:
+        cells = []
+        for path in paths:
+            order = grid[workload].get(path)
+            if not order:
+                cells.append("<td>—</td>")
+                continue
+            winner, rest = order[0], order[1:]
+            cells.append(
+                f'<td><span class="flag ok">{_esc(winner)}</span>'
+                + (f' &gt; {_esc(" > ".join(rest))}' if rest else "")
+                + "</td>"
+            )
+        rows.append(f"<tr><td>{_esc(workload)}</td>{''.join(cells)}</tr>")
+    return (
+        f'<p class="note">from run {_esc(newest["run_id"][:10])} '
+        "(winner highlighted, best first)</p>"
+        f"<table><thead><tr><th>workload</th>{head}</tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
 def _runs_section(runs: "list[dict] | None", limit: int = 15) -> str:
     if not runs:
         return '<p class="note">The results store is empty.</p>'
@@ -445,6 +497,7 @@ def render_dashboard(
         ("Benchmark trends", _trends_section(trends)),
         ("Regressions &amp; ranking flips", _regressions_section(trends)),
         ("Policy comparison", _rankings_section(runs)),
+        ("Policy tournament — scenario grid", _matrix_section(runs)),
         ("Recent result records", _runs_section(runs)),
     ]
     body = "".join(

@@ -18,7 +18,10 @@ benchmark, answered over the records of
 * **Did a policy ranking flip?**  :func:`detect_ranking_flips` walks
   records carrying ``rankings`` and reports every consecutive pair
   whose per-scenario policy order differs — the signal that a Table
-  8/9-style conclusion changed between runs.
+  8/9-style conclusion changed between runs.  Both the mitigation
+  sweep's per-service rankings and the ``repro-paper matrix``
+  tournament's per-``workload/path`` rankings flow through here
+  unchanged (scenario keys are opaque strings).
 
 :func:`trend_report` bundles all three into the JSON the daemon serves
 at ``/trends.json`` and ``repro-paper results trends`` prints.

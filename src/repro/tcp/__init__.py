@@ -11,10 +11,14 @@ from .constants import (
 )
 from .endpoint import EndpointConfig, TcpConnection, TcpEndpoint
 from .policies import (
+    REGISTRY,
+    MobileLRPolicy,
     NativePolicy,
+    PolicyRegistry,
     RecoveryPolicy,
     SRTOPolicy,
     TLPPolicy,
+    TRACKsPolicy,
     make_policy,
 )
 from .receiver import (
@@ -41,9 +45,12 @@ __all__ = [
     "IntervalReader",
     "MAX_RTO",
     "MIN_RTO",
+    "MobileLRPolicy",
     "NativePolicy",
     "NewReno",
     "PausingReader",
+    "PolicyRegistry",
+    "REGISTRY",
     "RTOEstimator",
     "ReceiverHalf",
     "RecoveryPolicy",
@@ -53,6 +60,7 @@ __all__ = [
     "SenderHalf",
     "SenderStats",
     "TLPPolicy",
+    "TRACKsPolicy",
     "TcpConnection",
     "TcpEndpoint",
     "make_congestion_control",

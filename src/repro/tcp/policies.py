@@ -1,4 +1,4 @@
-"""Loss-recovery policies: native RTO, TLP, and the paper's S-RTO.
+"""Loss-recovery policies: native RTO, TLP, S-RTO, T-RACKs, mobile-LR.
 
 The sender owns a single retransmission-timer slot.  Whenever it
 (re)arms that timer it asks its policy for a duration and a kind:
@@ -14,6 +14,16 @@ The sender owns a single retransmission-timer slot.  Whenever it
 ``NativePolicy`` reproduces the stock 2.6.32 kernel, ``TLPPolicy``
 implements Tail Loss Probe (Flach et al., SIGCOMM'13) as the paper's
 baseline mitigation, and ``SRTOPolicy`` is Algorithm 1 verbatim.
+``TRACKsPolicy`` and ``MobileLRPolicy`` extend the tournament beyond
+the paper: data-center recovery via replayed dup-ACKs at a virtual
+vswitch layer, and the cellular RTO/dupthresh adaptations of Liu et
+al. — each only pays off under path conditions the matrix runner
+(:mod:`repro.matrix`) sweeps explicitly.
+
+Every concrete policy registers itself in the module-level
+:data:`REGISTRY` (:class:`PolicyRegistry`); :func:`make_policy` and
+every CLI ``--policy``/``--policies`` flag resolve through it, so a
+new policy is available everywhere the moment it is registered.
 """
 
 from __future__ import annotations
@@ -47,10 +57,79 @@ class RecoveryPolicy:
         """Forget per-flight state (new connection)."""
 
 
+class PolicyRegistry:
+    """Name -> policy-class registry backing every policy lookup.
+
+    One instance (:data:`REGISTRY`) is the single source of truth for
+    which recovery policies exist: the ``make_policy`` factory, the
+    CLI ``--policy``/``--policies`` flags, and the matrix runner's
+    default policy set all resolve through it.  Registering a class
+    (``@REGISTRY.register`` or an explicit call) is the *only* step
+    needed to enter the tournament.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type[RecoveryPolicy]] = {}
+
+    def register(
+        self, cls: "type[RecoveryPolicy]"
+    ) -> "type[RecoveryPolicy]":
+        """Register ``cls`` under its ``name`` attribute (decorator-
+        friendly: returns the class).  Duplicate names are a bug."""
+        name = cls.name
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"policy class {cls!r} has no usable name")
+        if name in self._classes:
+            raise ValueError(
+                f"recovery policy {name!r} already registered by "
+                f"{self._classes[name].__name__}"
+            )
+        self._classes[name] = cls
+        return cls
+
+    def names(self) -> list[str]:
+        """Registered policy names, sorted."""
+        return sorted(self._classes)
+
+    def get(self, name: str) -> "type[RecoveryPolicy]":
+        """The class registered under ``name``.
+
+        Raises ``ValueError`` naming every registered policy — the
+        message every CLI surfaces verbatim for unknown ``--policy``
+        values.
+        """
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown recovery policy {name!r}; "
+                f"choose from {self.names()}"
+            ) from None
+
+    def create(self, name: str, **kwargs) -> "RecoveryPolicy":
+        """Instantiate the policy registered under ``name``."""
+        return self.get(name)(**kwargs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._classes
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+#: The process-wide policy registry every lookup resolves through.
+REGISTRY = PolicyRegistry()
+
+
+@REGISTRY.register
 class NativePolicy(RecoveryPolicy):
     """Stock Linux 2.6.32: no probe timer at all."""
 
 
+@REGISTRY.register
 class TLPPolicy(RecoveryPolicy):
     """Tail Loss Probe.
 
@@ -106,6 +185,7 @@ class TLPPolicy(RecoveryPolicy):
             self._probe_outstanding = False
 
 
+@REGISTRY.register
 class SRTOPolicy(RecoveryPolicy):
     """Smart-RTO (Algorithm 1 of the paper).
 
@@ -176,16 +256,164 @@ class SRTOPolicy(RecoveryPolicy):
             self._probe_outstanding = False
 
 
+@REGISTRY.register
+class TRACKsPolicy(RecoveryPolicy):
+    """T-RACKs: timely ACK retransmission for data-center recovery.
+
+    T-RACKs (Ahmed & Boutaba) runs a per-flow last-ACK timer at the
+    *vswitch* below the sender: when a flow's highest ACK stays
+    unchanged for a few RTTs, the vswitch replays that ACK ``dupthres``
+    times, spoofing the duplicate ACKs a shallow-buffered incast drop
+    never generated and triggering fast retransmit long before the
+    kernel's 200 ms-floored RTO.  This sender-side emulation keeps the
+    timer at the policy layer and delivers the spoofed dup-ACK burst
+    through :meth:`~repro.tcp.sender.SenderHalf.spoof_dup_acks`, so the
+    sender runs its ordinary dup-ACK fast-retransmit path (ssthresh
+    cut, Recovery entry) exactly as if the replayed ACKs had arrived
+    on the wire.
+
+    Deviations from the hardware deployment, both documented in
+    EXPERIMENTS.md: the timer is armed only in Open/Disorder (a 2.6.32
+    sender already in Recovery ignores further dup-ACKs, so replaying
+    them would be a no-op), and a delayed-ACK allowance is added for
+    single-segment flights (the vswitch cannot tell a delayed ACK from
+    a drop; without the allowance every delayed ACK would spoof a
+    spurious recovery).  On WAN paths ``2 * SRTT`` is no earlier than
+    TLP's probe and the forced window cut costs throughput — which is
+    why T-RACKs only wins where it was designed to: µs-RTT paths whose
+    RTO is two orders of magnitude above the RTT.
+    """
+
+    name = "tracks"
+
+    #: Worst-case delayed-ACK allowance (same guard as TLP/S-RTO).
+    WCDELACK = 0.2
+    #: Timer floor: the vswitch tick granularity.  Far below TLP's
+    #: 100 ms MIN_PTO — the entire point of the scheme.
+    MIN_TIMER = 0.004
+
+    def __init__(self, timer_scale: float = 2.0):
+        if timer_scale <= 0:
+            raise ValueError("timer_scale must be positive")
+        self.timer_scale = timer_scale
+        self._probe_outstanding = False
+
+    def reset(self) -> None:
+        self._probe_outstanding = False
+
+    def timer_duration(self, sender: "SenderHalf") -> tuple[float, str]:
+        rto = sender.rto_estimator.rto
+        srtt = sender.rto_estimator.srtt
+        if (
+            self._probe_outstanding
+            or srtt is None
+            or sender.ca_state not in (sender.OPEN, sender.DISORDER)
+            or sender.scoreboard.empty
+        ):
+            return rto, RTO
+        timer = max(self.timer_scale * srtt, self.MIN_TIMER)
+        if sender.scoreboard.packets_out == 1:
+            timer += self.WCDELACK
+        if timer >= rto:
+            return rto, RTO
+        return timer, PROBE
+
+    def on_probe_fire(self, sender: "SenderHalf") -> None:
+        self._probe_outstanding = True
+        if sender.recorder is not None:
+            head = sender.scoreboard.head()
+            sender.trace_event(
+                "probe", self.name, seq=head.seq if head is not None else 0
+            )
+        sender.spoof_dup_acks()
+
+    def on_ack(self, sender: "SenderHalf", new_data_acked: bool) -> None:
+        if new_data_acked:
+            self._probe_outstanding = False
+
+
+@REGISTRY.register
+class MobileLRPolicy(RecoveryPolicy):
+    """Mobile-network loss-recovery adaptations (Liu et al.).
+
+    Cellular paths combine high-variance RTT (bufferbloat plus radio
+    state promotions) with mostly non-congestive loss, which breaks
+    both kernel knobs the 2.6.32 recovery machine relies on: RTTVAR
+    inflation pushes the RTO seconds past the actual RTT, and
+    DSACK-driven ``dupthres`` growth (reordering looks like spurious
+    retransmission) delays fast retransmit further.  Two adaptations,
+    mirroring the measurement study's proposals:
+
+    * **Adaptive probe RTO** — arm a probe at
+      ``SRTT + max(rttvar4 / 2, MIN_VAR)``: the deviation term tracks
+      the path (unlike TLP's flat ``2 * SRTT``) but drops the kernel's
+      200 ms variance floor and full 4-deviation margin.  The fire
+      retransmits the head and enters Recovery via the S-RTO trigger
+      *without* halving cwnd — radio losses are not congestion, so the
+      window is left for the rate-halving of Recovery itself.
+    * **Dupthresh cap** — reordering-driven ``dupthres`` growth is
+      capped at :attr:`max_dupthresh`, keeping fast retransmit
+      reachable for the short flows that otherwise stall into RTOs.
+
+    The probe is armed in any congestion state (like S-RTO, unlike
+    TLP) but never after the head was already RTO-retransmitted —
+    the same safety rule as Algorithm 1.
+    """
+
+    name = "mobile"
+
+    #: Worst-case delayed-ACK allowance for single-segment flights.
+    WCDELACK = 0.2
+    #: Replacement for the kernel's 200 ms variance floor.
+    MIN_VAR = 0.05
+    #: Ceiling on DSACK-driven dupthres growth (kernel caps at 10).
+    DEFAULT_MAX_DUPTHRESH = 5
+
+    def __init__(self, max_dupthresh: int = DEFAULT_MAX_DUPTHRESH):
+        if max_dupthresh < 1:
+            raise ValueError("max_dupthresh must be >= 1")
+        self.max_dupthresh = max_dupthresh
+        self._probe_outstanding = False
+
+    def reset(self) -> None:
+        self._probe_outstanding = False
+
+    def timer_duration(self, sender: "SenderHalf") -> tuple[float, str]:
+        est = sender.rto_estimator
+        rto = est.rto
+        head = sender.scoreboard.head()
+        if (
+            self._probe_outstanding
+            or est.srtt is None
+            or head is None
+            or head.rto_retrans
+        ):
+            return rto, RTO
+        probe = est.srtt + max(est.rttvar4 / 2, self.MIN_VAR)
+        if sender.scoreboard.packets_out == 1:
+            probe += self.WCDELACK
+        if probe >= rto:
+            return rto, RTO
+        return probe, PROBE
+
+    def on_probe_fire(self, sender: "SenderHalf") -> None:
+        self._probe_outstanding = True
+        head = sender.scoreboard.head()
+        if head is None:
+            return
+        if sender.recorder is not None:
+            sender.trace_event("probe", self.name, seq=head.seq)
+        sender.retransmit_segment(head, probe=True)
+        sender.enter_recovery_from_probe()
+
+    def on_ack(self, sender: "SenderHalf", new_data_acked: bool) -> None:
+        if new_data_acked:
+            self._probe_outstanding = False
+        if sender.dup_thresh > self.max_dupthresh:
+            sender.dup_thresh = self.max_dupthresh
+
+
 def make_policy(name: str, **kwargs) -> RecoveryPolicy:
-    """Factory keyed by policy name: 'native', 'tlp' or 'srto'."""
-    policies = {
-        "native": NativePolicy,
-        "tlp": TLPPolicy,
-        "srto": SRTOPolicy,
-    }
-    try:
-        return policies[name](**kwargs)
-    except KeyError:
-        raise ValueError(
-            f"unknown recovery policy {name!r}; choose from {sorted(policies)}"
-        ) from None
+    """Factory over :data:`REGISTRY`: 'native', 'tlp', 'srto',
+    'tracks', 'mobile', plus anything registered since."""
+    return REGISTRY.create(name, **kwargs)

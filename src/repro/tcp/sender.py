@@ -512,6 +512,20 @@ class SenderHalf:
             self._rh_acks = 0
             self._set_state(self.RECOVERY)
 
+    def spoof_dup_acks(self) -> None:
+        """T-RACKs' trigger: behave as if ``dupthres`` duplicate ACKs
+        for ``snd_una`` just arrived (the vswitch replayed the last
+        ACK), entering fast-retransmit Recovery without waiting for
+        the real (lost) dup-ACK train.  A no-op unless the connection
+        is in Open/Disorder with unacknowledged data — a sender
+        already in Recovery/Loss ignores further dup-ACKs anyway."""
+        if self.ca_state not in (self.OPEN, self.DISORDER):
+            return
+        if self.scoreboard.empty:
+            return
+        self.dup_acks = max(self.dup_acks, self._effective_dup_thresh())
+        self._enter_recovery()
+
     def _rate_halve(self) -> None:
         """2.6.32 Recovery: shed one segment every second ACK until the
         window reaches ssthresh."""

@@ -1,0 +1,177 @@
+"""Datacenter/cellular path models and their loss/jitter primitives."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.netsim.link import PathConfig
+from repro.netsim.loss import IncastBurstLoss, RadioWakeJitter
+from repro.netsim.profiles import (
+    PATH_MODELS,
+    CellularPath,
+    DatacenterPath,
+    make_path_model,
+)
+
+
+@dataclass
+class _Pkt:
+    payload_len: int = 1448
+
+
+class TestIncastBurstLoss:
+    def _feed(self, model, rng, times, payload=1448):
+        return [
+            model.should_drop(rng, now=t, pkt=_Pkt(payload)) for t in times
+        ]
+
+    def test_burst_signature_skip_then_drop(self):
+        """Once an epoch arms, skip_min..skip_max packets pass, then
+        burst_min..burst_max consecutive packets drop."""
+        model = IncastBurstLoss(
+            mean_interval=100.0, burst_min=2, burst_max=2,
+            skip_min=3, skip_max=3,
+        )
+        rng = random.Random(1)
+        assert not model.should_drop(rng, now=0.0, pkt=_Pkt())
+        # Pin the next epoch so the packet train crosses exactly one
+        # (mean_interval=100 s keeps a second epoch far away).
+        model._next_epoch = 1.0
+        outcomes = self._feed(
+            model, rng, [1.0 + i * 0.001 for i in range(10)]
+        )
+        # Skip phase (buffer filling), then the synchronized drop.
+        assert outcomes == [
+            False, False, False, True, True,
+            False, False, False, False, False,
+        ]
+
+    def test_acks_never_dropped(self):
+        model = IncastBurstLoss(mean_interval=0.001, skip_min=0, skip_max=0)
+        rng = random.Random(2)
+        outcomes = [
+            model.should_drop(rng, now=i * 0.01, pkt=_Pkt(payload_len=0))
+            for i in range(200)
+        ]
+        assert not any(outcomes)
+
+    def test_idle_gap_arms_single_burst(self):
+        """Many elapsed epochs over an idle gap collapse into one burst
+        (the catch-up loop), not one burst per missed epoch."""
+        model = IncastBurstLoss(
+            mean_interval=0.01, burst_min=1, burst_max=1,
+            skip_min=0, skip_max=0,
+        )
+        rng = random.Random(3)
+        model.should_drop(rng, now=0.0, pkt=_Pkt())  # seed the epoch clock
+        # 100 s idle: ~10k epochs elapse unseen.
+        outcomes = self._feed(
+            model, rng, [100.0 + i * 1e-5 for i in range(50)]
+        )
+        assert outcomes.count(True) <= 1
+
+    def test_reset_clears_state(self):
+        model = IncastBurstLoss(mean_interval=0.001, skip_min=0, skip_max=0)
+        rng = random.Random(4)
+        while not model.should_drop(rng, now=rng.random(), pkt=_Pkt()):
+            pass
+        model.reset()
+        assert model._next_epoch is None
+        assert model._drops_left == 0 and model._skip_left == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_interval": 0.0},
+            {"burst_min": 0},
+            {"burst_min": 5, "burst_max": 2},
+            {"skip_min": -1},
+            {"skip_min": 4, "skip_max": 2},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            IncastBurstLoss(**kwargs)
+
+
+class TestRadioWakeJitter:
+    def test_first_packet_pays_promotion(self):
+        model = RadioWakeJitter(idle_threshold=2.0, promo_low=0.2,
+                                promo_high=1.2)
+        delay = model.extra_delay(random.Random(1), now=0.0)
+        assert 0.2 <= delay <= 1.2
+
+    def test_warm_radio_is_free(self):
+        model = RadioWakeJitter(idle_threshold=2.0)
+        rng = random.Random(2)
+        model.extra_delay(rng, now=0.0)
+        # Steady traffic keeps the radio promoted.
+        for i in range(1, 50):
+            assert model.extra_delay(rng, now=i * 0.1) == 0.0
+
+    def test_idle_gap_repromotes(self):
+        model = RadioWakeJitter(idle_threshold=2.0, promo_low=0.3,
+                                promo_high=0.3)
+        rng = random.Random(3)
+        model.extra_delay(rng, now=0.0)
+        assert model.extra_delay(rng, now=1.0) == 0.0
+        assert model.extra_delay(rng, now=3.5) == pytest.approx(0.3)
+
+    def test_reset_forgets_activity(self):
+        model = RadioWakeJitter(promo_low=0.5, promo_high=0.5)
+        rng = random.Random(4)
+        model.extra_delay(rng, now=0.0)
+        model.reset()
+        assert model.extra_delay(rng, now=0.001) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"idle_threshold": 0.0},
+            {"promo_low": -0.1},
+            {"promo_low": 1.0, "promo_high": 0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RadioWakeJitter(**kwargs)
+
+
+class TestPathProfiles:
+    @pytest.mark.parametrize("model_cls", [DatacenterPath, CellularPath])
+    def test_duck_types_path_profile(self, model_cls):
+        model = model_cls()
+        assert model.cached_rttvar_low < model.cached_rttvar_high
+        path = model.make_path(random.Random(7))
+        assert isinstance(path, PathConfig)
+
+    @pytest.mark.parametrize("model_cls", [DatacenterPath, CellularPath])
+    def test_make_path_deterministic(self, model_cls):
+        first = model_cls().make_path(random.Random(11))
+        second = model_cls().make_path(random.Random(11))
+        assert first.delay == second.delay
+        assert first.rate_bps == second.rate_bps
+        assert first.queue_limit == second.queue_limit
+
+    def test_datacenter_is_microsecond_scale(self):
+        path = DatacenterPath().make_path(random.Random(1))
+        assert path.delay < 0.001  # sub-ms one-way
+        assert path.rate_bps >= 1e9
+        assert isinstance(path.data_loss, IncastBurstLoss)
+
+    def test_cellular_rtt_floor_and_radio_wake(self):
+        model = CellularPath()
+        for seed in range(20):
+            path = model.make_path(random.Random(seed))
+            assert path.delay >= 0.01  # >= 20 ms RTT floor
+        jitters = path.data_jitter.models
+        assert any(isinstance(j, RadioWakeJitter) for j in jitters)
+
+    def test_registry_and_factory(self):
+        assert set(PATH_MODELS) == {"wan", "datacenter", "cellular"}
+        assert make_path_model("wan") is None
+        assert isinstance(make_path_model("datacenter"), DatacenterPath)
+        assert isinstance(make_path_model("cellular"), CellularPath)
+        with pytest.raises(ValueError, match="choose from"):
+            make_path_model("marsnet")

@@ -1,0 +1,171 @@
+"""Conformance contract for every registered recovery policy.
+
+Any policy added to :data:`repro.tcp.policies.REGISTRY` is picked up
+here automatically and must satisfy three properties:
+
+* deterministic — same seed, same packets, every time;
+* parallel-safe — byte-identical results whatever ``--workers`` is;
+* do-no-harm — on a loss-free path it never fires, so its packet
+  trace is byte-identical to native Linux recovery.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.experiments.mitigation import make_short_flow_profile
+from repro.experiments.runner import run_flows
+from repro.netsim.link import PathConfig
+from repro.tcp.policies import REGISTRY
+from repro.workload.generator import generate_flows
+from repro.workload.services import get_profile
+
+FLOWS = 8
+SEED = 424242
+
+ALL_POLICIES = REGISTRY.names()
+
+
+def _packet_signature(run):
+    return [
+        [
+            (p.timestamp, p.seq, p.ack, p.flags, p.payload_len, p.window)
+            for p in result.packets
+        ]
+        for result in run.results
+    ]
+
+
+def _run(profile, policy, workers=1, flows=FLOWS, seed=SEED):
+    scenarios = generate_flows(profile, flows, seed=seed, policy=policy)
+    return run_flows(scenarios, workers=workers)
+
+
+@dataclasses.dataclass
+class _CleanPath:
+    """Loss-free, jitter-free path stub (duck-types ``PathProfile``)."""
+
+    delay: float = 0.03
+    cached_rttvar_low: float = 0.01
+    cached_rttvar_high: float = 0.02
+
+    def make_path(self, rng: random.Random) -> PathConfig:
+        return PathConfig(delay=self.delay)
+
+
+def _lossy_profile():
+    """A WAN workload whose loss actually engages the policies."""
+    return get_profile("web_search")
+
+
+def _clean_profile():
+    """Single-request short flows on a perfect path: no app pauses, no
+    backend fetches, no loss — any probe or retransmission is the
+    policy's own doing."""
+    return dataclasses.replace(
+        make_short_flow_profile(get_profile("cloud_storage")),
+        name="clean",
+        path=_CleanPath(),
+    )
+
+
+class TestRegistry:
+    def test_expected_contenders_registered(self):
+        for name in ("native", "tlp", "srto", "tracks", "mobile"):
+            assert name in REGISTRY
+
+    def test_names_sorted(self):
+        assert ALL_POLICIES == sorted(ALL_POLICIES)
+
+
+class TestPolicySelection:
+    """Every policy-selecting CLI flag resolves through the registry."""
+
+    def test_policy_name_adapter(self):
+        from repro.cli_options import policy_name
+
+        assert policy_name("tracks") == "tracks"
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="choose from"):
+            policy_name("bogus")
+
+    def test_validate_policies_lists_registry(self):
+        from repro.config import validate_policies
+
+        assert validate_policies(("native", "mobile")) == (
+            "native",
+            "mobile",
+        )
+        with pytest.raises(ValueError, match="choose from"):
+            validate_policies(("native", "bogus"))
+        with pytest.raises(ValueError, match="twice"):
+            validate_policies(("native", "native"))
+
+    def test_trace_cli_rejects_unknown_policy(self, capsys):
+        from repro.obs.export import build_trace_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_trace_parser().parse_args(["--policy", "bogus"])
+        assert excinfo.value.code == 2
+        assert "choose from" in capsys.readouterr().err
+
+    def test_run_cli_rejects_unknown_policies(self, capsys):
+        from repro.experiments.cli import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--policies", "native,warp9"])
+        assert excinfo.value.code == 2
+        assert "choose from" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+class TestDeterminism:
+    def test_same_seed_same_packets(self, policy):
+        profile = _lossy_profile()
+        first = _run(profile, policy)
+        second = _run(profile, policy)
+        assert _packet_signature(first) == _packet_signature(second)
+        assert [r.server_stats for r in first.results] == [
+            r.server_stats for r in second.results
+        ]
+
+    def test_workers_do_not_change_results(self, policy):
+        profile = _lossy_profile()
+        serial = _run(profile, policy, workers=1)
+        parallel = _run(profile, policy, workers=2)
+        assert _packet_signature(serial) == _packet_signature(parallel)
+        assert [r.server_stats for r in serial.results] == [
+            r.server_stats for r in parallel.results
+        ]
+
+
+class TestDoNoHarm:
+    """On a loss-free flow every contender must behave exactly like
+    native: no probes, no retransmissions, identical wire trace."""
+
+    @pytest.fixture(scope="class")
+    def native_run(self):
+        return _run(_clean_profile(), "native")
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_no_spurious_recovery(self, policy):
+        run = _run(_clean_profile(), policy)
+        for result in run.results:
+            stats = result.server_stats
+            assert stats.retransmissions == 0, (
+                f"{policy} retransmitted on a loss-free flow"
+            )
+            assert stats.rto_timeouts == 0
+            assert stats.probe_retransmissions == 0
+            assert result.session_result.complete
+
+    @pytest.mark.parametrize(
+        "policy", [name for name in ALL_POLICIES if name != "native"]
+    )
+    def test_trace_identical_to_native(self, policy, native_run):
+        run = _run(_clean_profile(), policy)
+        assert _packet_signature(run) == _packet_signature(native_run), (
+            f"{policy} perturbed the wire trace of a loss-free flow"
+        )
